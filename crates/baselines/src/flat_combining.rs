@@ -1,0 +1,262 @@
+//! A flat-combining binary trie: the universal-construction comparator.
+//!
+//! The paper's introduction (§1) positions the lock-free trie against what
+//! universal constructions achieve: Fatourou–Kallimanis–Kanellou [25] give
+//! wait-free structures where operations *announce themselves in an
+//! announcement array and are executed in ordered batches*, costing
+//! `O(N + c̄(op) · log u)` per operation on a binary trie. Flat combining
+//! (Hendler, Incze, Shavit, Tzafrir) is the practical embodiment of that
+//! idea: threads publish operation records; whoever acquires the combiner
+//! lock executes *everyone's* pending operations against the sequential
+//! structure and distributes results.
+//!
+//! This baseline lets experiment E4 measure exactly the trade the paper
+//! describes: batching amortizes the lock, but every operation still pays
+//! the announcement round-trip, and a stalled combiner blocks the world
+//! (unlike the lock-free trie — experiment E7).
+
+use core::sync::atomic::{AtomicBool, AtomicI64, AtomicU8, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::seq_trie::SeqBinaryTrie;
+use crate::set_trait::ConcurrentOrderedSet;
+
+const MAX_THREADS: usize = 64;
+
+/// Operation codes in a publication record.
+const OP_NONE: u8 = 0;
+const OP_INSERT: u8 = 1;
+const OP_REMOVE: u8 = 2;
+const OP_CONTAINS: u8 = 3;
+const OP_PRED: u8 = 4;
+/// Set by the combiner once the result field is valid.
+const OP_DONE: u8 = 5;
+/// Slot reserved by a publisher that has not yet written its op code
+/// (threads can hash to the same slot; the claim CAS arbitrates).
+const OP_CLAIMED: u8 = 6;
+
+/// One slot of the announcement array.
+#[derive(Debug)]
+struct Record {
+    /// Operation code (`OP_*`); the slot owner CASes `NONE → op`, the
+    /// combiner writes `DONE` after filling `result`.
+    op: AtomicU8,
+    key: AtomicI64,
+    /// Result: 0/1 for booleans; the predecessor key or −1.
+    result: AtomicI64,
+}
+
+impl Record {
+    const fn new() -> Self {
+        Self {
+            op: AtomicU8::new(OP_NONE),
+            key: AtomicI64::new(0),
+            result: AtomicI64::new(0),
+        }
+    }
+}
+
+/// A binary trie behind a flat-combining coordinator.
+///
+/// # Examples
+///
+/// ```
+/// use lftrie_baselines::flat_combining::FlatCombiningBinaryTrie;
+/// use lftrie_baselines::ConcurrentOrderedSet;
+///
+/// let set = FlatCombiningBinaryTrie::new(128);
+/// set.insert(31);
+/// assert_eq!(set.predecessor(40), Some(31));
+/// ```
+pub struct FlatCombiningBinaryTrie {
+    records: Box<[Record]>,
+    combiner: Mutex<SeqBinaryTrie>,
+    /// Fast-path hint that a combiner is active.
+    combining: AtomicBool,
+}
+
+impl FlatCombiningBinaryTrie {
+    /// Creates an empty set over `{0, …, universe−1}` (at most
+    /// [`MAX_THREADS`] = 64 concurrent publisher slots).
+    pub fn new(universe: u64) -> Self {
+        Self {
+            records: (0..MAX_THREADS).map(|_| Record::new()).collect(),
+            combiner: Mutex::new(SeqBinaryTrie::new(universe)),
+            combining: AtomicBool::new(false),
+        }
+    }
+
+    fn slot(&self) -> &Record {
+        // Hash the thread id into a slot; collisions spin on the busy slot.
+        thread_local! {
+            static SLOT: core::cell::Cell<usize> = const { core::cell::Cell::new(usize::MAX) };
+        }
+        let idx = SLOT.with(|s| {
+            if s.get() == usize::MAX {
+                let id = std::thread::current().id();
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                std::hash::Hash::hash(&id, &mut h);
+                s.set((std::hash::Hasher::finish(&h) as usize) % MAX_THREADS);
+            }
+            s.get()
+        });
+        &self.records[idx]
+    }
+
+    /// Publishes `(op, key)` and waits for a combiner (possibly this
+    /// thread) to execute it. Returns the result word.
+    fn submit(&self, op: u8, key: i64) -> i64 {
+        let rec = self.slot();
+        // Claim the slot with a CAS (threads may hash to the same slot).
+        loop {
+            if rec
+                .op
+                .compare_exchange(OP_NONE, OP_CLAIMED, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                // Slot claimed: publish the key first, then the op code.
+                rec.key.store(key, Ordering::SeqCst);
+                rec.op.store(op, Ordering::SeqCst);
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        // Wait until combined, becoming the combiner if the lock is free.
+        loop {
+            if rec.op.load(Ordering::SeqCst) == OP_DONE {
+                let result = rec.result.load(Ordering::SeqCst);
+                rec.op.store(OP_NONE, Ordering::SeqCst);
+                return result;
+            }
+            if !self.combining.load(Ordering::SeqCst) {
+                if let Some(mut trie) = self.combiner.try_lock() {
+                    self.combining.store(true, Ordering::SeqCst);
+                    self.combine(&mut trie);
+                    self.combining.store(false, Ordering::SeqCst);
+                }
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Executes every published record against the sequential trie.
+    fn combine(&self, trie: &mut SeqBinaryTrie) {
+        for rec in self.records.iter() {
+            let op = rec.op.load(Ordering::SeqCst);
+            if !(OP_INSERT..=OP_PRED).contains(&op) {
+                continue;
+            }
+            let key = rec.key.load(Ordering::SeqCst) as u64;
+            let result = match op {
+                OP_INSERT => i64::from(trie.insert(key)),
+                OP_REMOVE => i64::from(trie.remove(key)),
+                OP_CONTAINS => i64::from(trie.contains(key)),
+                OP_PRED => trie.predecessor(key).map(|k| k as i64).unwrap_or(-1),
+                _ => unreachable!(),
+            };
+            rec.result.store(result, Ordering::SeqCst);
+            rec.op.store(OP_DONE, Ordering::SeqCst);
+        }
+    }
+}
+
+impl ConcurrentOrderedSet for FlatCombiningBinaryTrie {
+    fn insert(&self, x: u64) -> bool {
+        self.submit(OP_INSERT, x as i64) == 1
+    }
+    fn remove(&self, x: u64) -> bool {
+        self.submit(OP_REMOVE, x as i64) == 1
+    }
+    fn contains(&self, x: u64) -> bool {
+        self.submit(OP_CONTAINS, x as i64) == 1
+    }
+    fn predecessor(&self, y: u64) -> Option<u64> {
+        match self.submit(OP_PRED, y as i64) {
+            -1 => None,
+            k => Some(k as u64),
+        }
+    }
+    fn name(&self) -> &'static str {
+        "flatcombining-trie"
+    }
+}
+
+impl core::fmt::Debug for FlatCombiningBinaryTrie {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FlatCombiningBinaryTrie")
+            .field("slots", &self.records.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_oracle() {
+        let s = FlatCombiningBinaryTrie::new(256);
+        let mut model = BTreeSet::new();
+        let mut state = 0x7F4A_9E37_1234_0001u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = (state >> 33) % 256;
+            match state % 4 {
+                0 => assert_eq!(ConcurrentOrderedSet::insert(&s, x), model.insert(x)),
+                1 => assert_eq!(ConcurrentOrderedSet::remove(&s, x), model.remove(&x)),
+                2 => assert_eq!(ConcurrentOrderedSet::contains(&s, x), model.contains(&x)),
+                _ => assert_eq!(
+                    ConcurrentOrderedSet::predecessor(&s, x),
+                    model.range(..x).next_back().copied()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_batched_updates_converge() {
+        let s = Arc::new(FlatCombiningBinaryTrie::new(1024));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..256 {
+                        assert!(ConcurrentOrderedSet::insert(&*s, t * 256 + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for x in 0..1024 {
+            assert!(ConcurrentOrderedSet::contains(&*s, x), "missing {x}");
+        }
+        for y in 1..1024 {
+            assert_eq!(ConcurrentOrderedSet::predecessor(&*s, y), Some(y - 1));
+        }
+    }
+
+    #[test]
+    fn predecessor_results_distributed_to_publishers() {
+        let s = Arc::new(FlatCombiningBinaryTrie::new(64));
+        ConcurrentOrderedSet::insert(&*s, 7);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        assert_eq!(ConcurrentOrderedSet::predecessor(&*s, 10), Some(7));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

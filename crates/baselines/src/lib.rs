@@ -1,0 +1,33 @@
+//! Baseline ordered-set implementations for the lock-free binary trie
+//! evaluation (experiment E4 and the oracle suites).
+//!
+//! | Structure | Progress | Search | Predecessor |
+//! |-----------|----------|--------|-------------|
+//! | [`seq_trie::SeqBinaryTrie`] | sequential | O(1) | O(log u) |
+//! | [`locked::MutexBinaryTrie`] | blocking (global lock) | O(1)+lock | O(log u)+lock |
+//! | [`locked::RwLockBinaryTrie`] | blocking (rw lock) | O(1)+lock | O(log u)+lock |
+//! | [`locked::CoarseBTreeSet`] | blocking | O(log n)+lock | O(log n)+lock |
+//! | [`flat_combining::FlatCombiningBinaryTrie`] | blocking (combiner) | O(1)+batch | O(log u)+batch |
+//! | [`skiplist::LockFreeSkipList`] | lock-free | O(log n) expected | O(log n) expected |
+//! | [`harris_list::HarrisListSet`] | lock-free | O(n) | O(n) |
+//!
+//! Every structure implements [`ConcurrentOrderedSet`], the abstract data
+//! type of the paper (§1), so the harness can drive them interchangeably
+//! alongside the lock-free binary trie.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod flat_combining;
+pub mod harris_list;
+pub mod locked;
+pub mod seq_trie;
+pub mod set_trait;
+pub mod skiplist;
+
+pub use flat_combining::FlatCombiningBinaryTrie;
+pub use harris_list::HarrisListSet;
+pub use locked::{CoarseBTreeSet, MutexBinaryTrie, RwLockBinaryTrie};
+pub use seq_trie::SeqBinaryTrie;
+pub use set_trait::ConcurrentOrderedSet;
+pub use skiplist::LockFreeSkipList;

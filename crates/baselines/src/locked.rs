@@ -1,0 +1,183 @@
+//! Lock-based baselines: the simplest correct concurrent implementations.
+//!
+//! The paper's introduction positions the lock-free trie against what was
+//! previously achievable — universal constructions and lock-based wrappers
+//! (§1, §3). These baselines bound that design space from below:
+//!
+//! * [`MutexBinaryTrie`] — a global mutex around the sequential trie; the
+//!   classic coarse-grained baseline (every operation serializes).
+//! * [`RwLockBinaryTrie`] — readers (`contains`, `predecessor`) share the
+//!   lock; writers exclude everyone.
+//! * [`CoarseBTreeSet`] — a mutex around `std::collections::BTreeSet`, the
+//!   "just use the standard library" strawman.
+
+use std::collections::BTreeSet;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::seq_trie::SeqBinaryTrie;
+use crate::set_trait::ConcurrentOrderedSet;
+
+/// Global-mutex sequential binary trie.
+///
+/// # Examples
+///
+/// ```
+/// use lftrie_baselines::locked::MutexBinaryTrie;
+/// use lftrie_baselines::ConcurrentOrderedSet;
+///
+/// let set = MutexBinaryTrie::new(64);
+/// set.insert(9);
+/// assert_eq!(set.predecessor(10), Some(9));
+/// ```
+#[derive(Debug)]
+pub struct MutexBinaryTrie {
+    inner: Mutex<SeqBinaryTrie>,
+}
+
+impl MutexBinaryTrie {
+    /// Creates an empty set over `{0, …, universe−1}`.
+    pub fn new(universe: u64) -> Self {
+        Self {
+            inner: Mutex::new(SeqBinaryTrie::new(universe)),
+        }
+    }
+
+    /// Acquires and returns the global lock, emulating an updater that
+    /// stalls (or crashes) while holding it — the blocking counterpart of
+    /// the lock-free trie's stall-injection in experiment E7. Every other
+    /// operation blocks until the guard is dropped.
+    pub fn stall_guard(&self) -> parking_lot::MutexGuard<'_, SeqBinaryTrie> {
+        self.inner.lock()
+    }
+}
+
+impl ConcurrentOrderedSet for MutexBinaryTrie {
+    fn insert(&self, x: u64) -> bool {
+        self.inner.lock().insert(x)
+    }
+    fn remove(&self, x: u64) -> bool {
+        self.inner.lock().remove(x)
+    }
+    fn contains(&self, x: u64) -> bool {
+        self.inner.lock().contains(x)
+    }
+    fn predecessor(&self, y: u64) -> Option<u64> {
+        self.inner.lock().predecessor(y)
+    }
+    fn name(&self) -> &'static str {
+        "mutex-trie"
+    }
+}
+
+/// Reader-writer-locked sequential binary trie.
+#[derive(Debug)]
+pub struct RwLockBinaryTrie {
+    inner: RwLock<SeqBinaryTrie>,
+}
+
+impl RwLockBinaryTrie {
+    /// Creates an empty set over `{0, …, universe−1}`.
+    pub fn new(universe: u64) -> Self {
+        Self {
+            inner: RwLock::new(SeqBinaryTrie::new(universe)),
+        }
+    }
+}
+
+impl ConcurrentOrderedSet for RwLockBinaryTrie {
+    fn insert(&self, x: u64) -> bool {
+        self.inner.write().insert(x)
+    }
+    fn remove(&self, x: u64) -> bool {
+        self.inner.write().remove(x)
+    }
+    fn contains(&self, x: u64) -> bool {
+        self.inner.read().contains(x)
+    }
+    fn predecessor(&self, y: u64) -> Option<u64> {
+        self.inner.read().predecessor(y)
+    }
+    fn name(&self) -> &'static str {
+        "rwlock-trie"
+    }
+}
+
+/// Global-mutex `BTreeSet`.
+#[derive(Debug, Default)]
+pub struct CoarseBTreeSet {
+    inner: Mutex<BTreeSet<u64>>,
+}
+
+impl CoarseBTreeSet {
+    /// Creates an empty set (the universe is implicit for a BTree).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ConcurrentOrderedSet for CoarseBTreeSet {
+    fn insert(&self, x: u64) -> bool {
+        self.inner.lock().insert(x)
+    }
+    fn remove(&self, x: u64) -> bool {
+        self.inner.lock().remove(&x)
+    }
+    fn contains(&self, x: u64) -> bool {
+        self.inner.lock().contains(&x)
+    }
+    fn predecessor(&self, y: u64) -> Option<u64> {
+        self.inner.lock().range(..y).next_back().copied()
+    }
+    fn name(&self) -> &'static str {
+        "mutex-btreeset"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn exercise(set: &dyn ConcurrentOrderedSet) {
+        assert!(set.insert(5));
+        assert!(!set.insert(5));
+        assert!(set.insert(9));
+        assert_eq!(set.predecessor(9), Some(5));
+        assert_eq!(set.predecessor(5), None);
+        assert!(set.remove(5));
+        assert_eq!(set.predecessor(9), None);
+        assert!(set.contains(9));
+    }
+
+    #[test]
+    fn all_locked_variants_behave_identically() {
+        exercise(&MutexBinaryTrie::new(16));
+        exercise(&RwLockBinaryTrie::new(16));
+        exercise(&CoarseBTreeSet::new());
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let set = Arc::new(RwLockBinaryTrie::new(1024));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let set = Arc::clone(&set);
+                std::thread::spawn(move || {
+                    for i in 0..256 {
+                        let x = t * 256 + i;
+                        set.insert(x);
+                        assert!(set.contains(x));
+                        let _ = set.predecessor(x.max(1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for x in 0..1024 {
+            assert!(set.contains(x));
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! The sequential binary trie of the paper's introduction (§1, Figure 1).
+//!
+//! Prefixes of keys are represented in `b+1` bit arrays `D_0 … D_b`;
+//! `D_i[x] = 1` iff `x` is the length-`i` prefix of some key in `S`.
+//! `Search` is O(1), `Insert`/`Delete`/`Predecessor` are O(log u), and space
+//! is Θ(u). This is both the single-threaded performance baseline and the
+//! oracle used inside the lock-based baselines.
+
+/// A sequential binary trie over `{0, …, universe−1}`.
+///
+/// # Examples
+///
+/// ```
+/// use lftrie_baselines::seq_trie::SeqBinaryTrie;
+///
+/// let mut trie = SeqBinaryTrie::new(4);
+/// trie.insert(0);
+/// trie.insert(2);
+/// assert!(trie.contains(2));
+/// assert_eq!(trie.predecessor(2), Some(0));
+/// assert_eq!(trie.predecessor(0), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeqBinaryTrie {
+    b: u32,
+    universe: u64,
+    /// Heap-indexed bits: node `i` of the implicit tree (root = 1, leaves at
+    /// `2^b + x`), stored as one bit per node.
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl SeqBinaryTrie {
+    /// Creates an empty trie over `{0, …, universe−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe < 2` or `universe > 2^40` (sequential baseline
+    /// cap; the concurrent trie supports up to 2^62).
+    pub fn new(universe: u64) -> Self {
+        assert!(universe >= 2, "universe must contain at least two keys");
+        assert!(universe <= 1 << 40, "sequential baseline caps at 2^40");
+        let b = 64 - (universe - 1).leading_zeros();
+        let nodes = 1u64 << (b + 1); // indices 1 .. 2^{b+1}
+        Self {
+            b,
+            universe,
+            bits: vec![0; (nodes as usize).div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// The universe size this trie was created with.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// Number of keys currently in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn leaf(&self, x: u64) -> u64 {
+        (1u64 << self.b) + x
+    }
+
+    #[inline]
+    fn bit(&self, node: u64) -> bool {
+        self.bits[(node / 64) as usize] >> (node % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn set_bit(&mut self, node: u64, v: bool) {
+        let (w, m) = ((node / 64) as usize, 1u64 << (node % 64));
+        if v {
+            self.bits[w] |= m;
+        } else {
+            self.bits[w] &= !m;
+        }
+    }
+
+    #[inline]
+    fn check(&self, x: u64) {
+        assert!(x < self.universe, "key {x} outside universe {}", self.universe);
+    }
+
+    /// O(1) membership test (reads `D_b[x]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x ≥ universe`.
+    pub fn contains(&self, x: u64) -> bool {
+        self.check(x);
+        self.bit(self.leaf(x))
+    }
+
+    /// Adds `x`, setting the bits on the leaf-to-root path to 1; returns
+    /// `true` if the set changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x ≥ universe`.
+    pub fn insert(&mut self, x: u64) -> bool {
+        self.check(x);
+        let mut node = self.leaf(x);
+        if self.bit(node) {
+            return false;
+        }
+        self.len += 1;
+        loop {
+            self.set_bit(node, true);
+            if node == 1 {
+                return true;
+            }
+            node >>= 1;
+        }
+    }
+
+    /// Removes `x`, clearing each ancestor whose two children are now 0;
+    /// returns `true` if the set changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x ≥ universe`.
+    pub fn remove(&mut self, x: u64) -> bool {
+        self.check(x);
+        let mut node = self.leaf(x);
+        if !self.bit(node) {
+            return false;
+        }
+        self.len -= 1;
+        self.set_bit(node, false);
+        while node > 1 {
+            let parent = node >> 1;
+            if self.bit(node ^ 1) || self.bit(node) {
+                return true; // sibling (or self) still 1: ancestors stay 1
+            }
+            self.set_bit(parent, false);
+            node = parent;
+        }
+        true
+    }
+
+    /// The largest key in the set smaller than `y` (the paper's
+    /// `Predecessor(y)`, with `None` for −1). O(log u).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y ≥ universe`.
+    pub fn predecessor(&self, y: u64) -> Option<u64> {
+        self.check(y);
+        let mut t = self.leaf(y);
+        // Ascend until t is a right child whose left sibling is 1.
+        loop {
+            if t == 1 {
+                return None;
+            }
+            if t & 1 == 1 && self.bit(t ^ 1) {
+                break;
+            }
+            t >>= 1;
+        }
+        // Descend the rightmost 1-path from the left sibling.
+        let mut t = t ^ 1;
+        while t < (1u64 << self.b) {
+            t = if self.bit(2 * t + 1) {
+                2 * t + 1
+            } else {
+                debug_assert!(self.bit(2 * t), "internal 1-bit must have a 1-child");
+                2 * t
+            };
+        }
+        Some(t - (1u64 << self.b))
+    }
+
+    /// Iterates the keys in ascending order (O(u); diagnostic).
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.universe).filter(move |&x| self.contains(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn figure1_bits() {
+        // Figure 1: S = {0, 2}, u = 4: root 1, D1 = [1,1], D2 = [1,0,1,0].
+        let mut t = SeqBinaryTrie::new(4);
+        t.insert(0);
+        t.insert(2);
+        assert!(t.bit(1));
+        assert!(t.bit(2) && t.bit(3));
+        assert!(t.bit(4) && !t.bit(5) && t.bit(6) && !t.bit(7));
+    }
+
+    #[test]
+    fn delete_clears_lonely_paths_only() {
+        let mut t = SeqBinaryTrie::new(8);
+        t.insert(4);
+        t.insert(5);
+        t.remove(4);
+        assert!(!t.contains(4));
+        assert!(t.contains(5));
+        assert_eq!(t.predecessor(6), Some(5));
+        t.remove(5);
+        assert!(t.is_empty());
+        assert!(!t.bit(1), "root cleared when set empties");
+    }
+
+    #[test]
+    fn matches_btreeset_on_random_ops() {
+        let universe = 256u64;
+        let mut t = SeqBinaryTrie::new(universe);
+        let mut model = BTreeSet::new();
+        let mut state = 0x1234_5678_9ABC_DEFu64;
+        for _ in 0..50_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = (state >> 33) % universe;
+            match state % 4 {
+                0 => assert_eq!(t.insert(x), model.insert(x)),
+                1 => assert_eq!(t.remove(x), model.remove(&x)),
+                2 => assert_eq!(t.contains(x), model.contains(&x)),
+                _ => assert_eq!(t.predecessor(x), model.range(..x).next_back().copied()),
+            }
+            assert_eq!(t.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_universe() {
+        let mut t = SeqBinaryTrie::new(5);
+        for x in 0..5 {
+            t.insert(x);
+        }
+        assert_eq!(t.predecessor(4), Some(3));
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+}

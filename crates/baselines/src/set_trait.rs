@@ -1,0 +1,65 @@
+//! The common interface every evaluated structure implements.
+
+use lftrie_core::{LockFreeBinaryTrie, RelaxedBinaryTrie, RelaxedPred};
+
+/// A concurrent dynamic set over `{0, …, u−1}` with predecessor queries —
+/// the abstract data type of the paper (§1).
+///
+/// All methods take `&self`; implementations must be safe for concurrent use.
+pub trait ConcurrentOrderedSet: Send + Sync {
+    /// Adds `x`; returns `true` iff the set changed (the call was
+    /// S-modifying).
+    fn insert(&self, x: u64) -> bool;
+    /// Removes `x`; returns `true` iff the set changed.
+    fn remove(&self, x: u64) -> bool;
+    /// Membership test.
+    fn contains(&self, x: u64) -> bool;
+    /// Largest key smaller than `y`, or `None` (the paper's −1).
+    fn predecessor(&self, y: u64) -> Option<u64>;
+    /// Short display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+impl ConcurrentOrderedSet for LockFreeBinaryTrie {
+    fn insert(&self, x: u64) -> bool {
+        LockFreeBinaryTrie::insert(self, x)
+    }
+    fn remove(&self, x: u64) -> bool {
+        LockFreeBinaryTrie::remove(self, x)
+    }
+    fn contains(&self, x: u64) -> bool {
+        LockFreeBinaryTrie::contains(self, x)
+    }
+    fn predecessor(&self, y: u64) -> Option<u64> {
+        LockFreeBinaryTrie::predecessor(self, y)
+    }
+    fn name(&self) -> &'static str {
+        "lockfree-trie"
+    }
+}
+
+/// Best-effort adapter for the relaxed trie: `predecessor` maps the
+/// non-linearizable `⊥` answer to `None`.
+///
+/// Only meaningful in throughput experiments that tolerate relaxed
+/// semantics (E5 measures how often `⊥` actually occurs).
+impl ConcurrentOrderedSet for RelaxedBinaryTrie {
+    fn insert(&self, x: u64) -> bool {
+        RelaxedBinaryTrie::insert(self, x)
+    }
+    fn remove(&self, x: u64) -> bool {
+        RelaxedBinaryTrie::remove(self, x)
+    }
+    fn contains(&self, x: u64) -> bool {
+        RelaxedBinaryTrie::contains(self, x)
+    }
+    fn predecessor(&self, y: u64) -> Option<u64> {
+        match RelaxedBinaryTrie::predecessor(self, y) {
+            RelaxedPred::Found(k) => Some(k),
+            RelaxedPred::NoneSmaller | RelaxedPred::Interference => None,
+        }
+    }
+    fn name(&self) -> &'static str {
+        "relaxed-trie(best-effort)"
+    }
+}

@@ -1,0 +1,390 @@
+//! A lock-free skip list with predecessor queries.
+//!
+//! The paper's related work (§3) compares against skip-list-based designs
+//! (Fomitchev–Ruppert [28], the skip trie [41]); this baseline is the
+//! classic Herlihy–Shavit lock-free skip list: per-level Harris lists with a
+//! shared tower per key, logical deletion by marking, physical unlinking
+//! during `find`. `Search` and `Predecessor` are O(log n) *expected* —
+//! the contrast with the trie's O(1) search and O(log u) deterministic
+//! bounds is exactly what experiment E4 measures.
+
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+use lftrie_primitives::marked::{AtomicMarkedPtr, MarkedPtr};
+use lftrie_primitives::registry::Registry;
+use lftrie_primitives::{NEG_INF, POS_INF};
+
+use crate::set_trait::ConcurrentOrderedSet;
+
+const MAX_HEIGHT: usize = 24;
+
+struct Node {
+    key: i64,
+    /// Tower of next pointers; `next[0]` is the full (bottom) list.
+    next: Vec<AtomicMarkedPtr<Node>>,
+}
+
+impl Node {
+    fn height(&self) -> usize {
+        self.next.len()
+    }
+}
+
+/// Shared reference to an arena node; sound because the registry keeps every
+/// node alive for the lifetime of the list.
+#[inline]
+fn nref<'a>(ptr: *mut Node) -> &'a Node {
+    debug_assert!(!ptr.is_null());
+    unsafe { &*ptr }
+}
+
+/// A lock-free skip list over `u64` keys with predecessor queries.
+///
+/// # Examples
+///
+/// ```
+/// use lftrie_baselines::skiplist::LockFreeSkipList;
+/// use lftrie_baselines::ConcurrentOrderedSet;
+///
+/// let set = LockFreeSkipList::new();
+/// set.insert(8);
+/// set.insert(64);
+/// assert_eq!(set.predecessor(64), Some(8));
+/// ```
+pub struct LockFreeSkipList {
+    head: *mut Node,
+    nodes: Registry<Node>,
+    /// Cheap splittable seed for tower heights.
+    seed: AtomicUsize,
+}
+
+// Safety: nodes are owned by the registry; all mutation is via atomics.
+unsafe impl Send for LockFreeSkipList {}
+unsafe impl Sync for LockFreeSkipList {}
+
+impl Default for LockFreeSkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockFreeSkipList {
+    /// Creates an empty skip list.
+    pub fn new() -> Self {
+        let nodes = Registry::new();
+        let tail = nodes.alloc(Node {
+            key: POS_INF,
+            next: (0..MAX_HEIGHT).map(|_| AtomicMarkedPtr::null()).collect(),
+        });
+        let head = nodes.alloc(Node {
+            key: NEG_INF,
+            next: (0..MAX_HEIGHT)
+                .map(|_| AtomicMarkedPtr::new(MarkedPtr::new(tail, false)))
+                .collect(),
+        });
+        Self {
+            head,
+            nodes,
+            seed: AtomicUsize::new(0x9E3779B97F4A7C15),
+        }
+    }
+
+    fn random_height(&self) -> usize {
+        let mut s = self.seed.fetch_add(0x6A09E667F3BCC909, Ordering::Relaxed);
+        s ^= s >> 33;
+        s = s.wrapping_mul(0xFF51AFD7ED558CCD);
+        s ^= s >> 33;
+        ((s.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
+    }
+
+    /// Herlihy–Shavit `find`: fills `preds`/`succs` for `key` at every
+    /// level, physically unlinking marked nodes on the way. Returns `true`
+    /// if a bottom-level node with exactly `key` was found.
+    fn find(
+        &self,
+        key: i64,
+        preds: &mut [*mut Node; MAX_HEIGHT],
+        succs: &mut [*mut Node; MAX_HEIGHT],
+    ) -> bool {
+        'retry: loop {
+            let mut pred = self.head;
+            for level in (0..MAX_HEIGHT).rev() {
+                let mut cur = nref(pred).next[level].load().ptr();
+                loop {
+                    let cur_next = nref(cur).next[level].load();
+                    if cur_next.is_marked() {
+                        // Unlink the marked node at this level.
+                        let expected = MarkedPtr::new(cur, false);
+                        let replacement = MarkedPtr::new(cur_next.ptr(), false);
+                        if !nref(pred).next[level].compare_exchange(expected, replacement) {
+                            continue 'retry;
+                        }
+                        cur = cur_next.ptr();
+                    } else if nref(cur).key < key {
+                        pred = cur;
+                        cur = cur_next.ptr();
+                    } else {
+                        break;
+                    }
+                }
+                preds[level] = pred;
+                succs[level] = cur;
+            }
+            return nref(succs[0]).key == key;
+        }
+    }
+
+    /// Adds `key`; returns `true` if the set changed.
+    pub fn insert(&self, key: u64) -> bool {
+        let key = key as i64;
+        let mut preds = [core::ptr::null_mut(); MAX_HEIGHT];
+        let mut succs = [core::ptr::null_mut(); MAX_HEIGHT];
+        let height = self.random_height();
+        let new_node = self.nodes.alloc(Node {
+            key,
+            next: (0..height).map(|_| AtomicMarkedPtr::null()).collect(),
+        });
+        loop {
+            if self.find(key, &mut preds, &mut succs) {
+                return false; // already present (node stays in the arena)
+            }
+            // Prepare the tower, then link the bottom level: the
+            // linearization point of insert.
+            for (level, link) in nref(new_node).next.iter().enumerate() {
+                link.store(MarkedPtr::new(succs[level], false));
+            }
+            let expected = MarkedPtr::new(succs[0], false);
+            if !nref(preds[0]).next[0].compare_exchange(expected, MarkedPtr::new(new_node, false))
+            {
+                continue; // bottom CAS lost: re-find and retry
+            }
+            // Link the upper levels (best effort; marked ⇒ stop).
+            for level in 1..height {
+                loop {
+                    let cur_link = nref(new_node).next[level].load();
+                    if cur_link.is_marked() {
+                        return true; // concurrently deleted: stop linking
+                    }
+                    if cur_link.ptr() != succs[level] {
+                        let fresh = MarkedPtr::new(succs[level], false);
+                        if !nref(new_node).next[level].compare_exchange(cur_link, fresh) {
+                            return true; // marked meanwhile
+                        }
+                    }
+                    let expected = MarkedPtr::new(succs[level], false);
+                    if nref(preds[level]).next[level]
+                        .compare_exchange(expected, MarkedPtr::new(new_node, false))
+                    {
+                        break;
+                    }
+                    // Window moved: recompute it. If the key vanished, our
+                    // node was deleted; stop.
+                    if !self.find(key, &mut preds, &mut succs) {
+                        return true;
+                    }
+                    if succs[level] == new_node {
+                        break; // someone helped us link this level
+                    }
+                }
+            }
+            return true;
+        }
+    }
+
+    /// Removes `key`; returns `true` if the set changed (only the thread
+    /// whose bottom-level mark succeeds reports `true`).
+    pub fn remove(&self, key: u64) -> bool {
+        let key = key as i64;
+        let mut preds = [core::ptr::null_mut(); MAX_HEIGHT];
+        let mut succs = [core::ptr::null_mut(); MAX_HEIGHT];
+        if !self.find(key, &mut preds, &mut succs) {
+            return false;
+        }
+        let victim = succs[0];
+        // Mark upper levels (order irrelevant; the bottom level decides).
+        for level in (1..nref(victim).height()).rev() {
+            loop {
+                let next = nref(victim).next[level].load();
+                if next.is_marked() {
+                    break;
+                }
+                if nref(victim).next[level].compare_exchange(next, next.with_mark()) {
+                    break;
+                }
+            }
+        }
+        // Mark the bottom level: the linearization point of delete.
+        loop {
+            let next = nref(victim).next[0].load();
+            if next.is_marked() {
+                return false; // another remover won
+            }
+            if nref(victim).next[0].compare_exchange(next, next.with_mark()) {
+                let _ = self.find(key, &mut preds, &mut succs); // physical unlink
+                return true;
+            }
+        }
+    }
+
+    /// Membership test (read-only traversal, no helping).
+    pub fn contains(&self, key: u64) -> bool {
+        let key = key as i64;
+        let mut pred = self.head;
+        for level in (0..MAX_HEIGHT).rev() {
+            let mut cur = nref(pred).next[level].load().ptr();
+            while nref(cur).key < key {
+                pred = cur;
+                cur = nref(cur).next[level].load().ptr();
+            }
+            if nref(cur).key == key {
+                return !nref(cur).next[0].load().is_marked();
+            }
+        }
+        false
+    }
+
+    /// Largest key smaller than `y`, or `None`.
+    pub fn predecessor(&self, y: u64) -> Option<u64> {
+        let y = y as i64;
+        let mut pred = self.head;
+        for level in (0..MAX_HEIGHT).rev() {
+            let mut cur = nref(pred).next[level].load().ptr();
+            while nref(cur).key < y {
+                pred = cur;
+                cur = nref(cur).next[level].load().ptr();
+            }
+        }
+        if nref(pred).key != NEG_INF && !nref(pred).next[0].load().is_marked() {
+            return Some(nref(pred).key as u64);
+        }
+        // The closest node is deleted (or none exists): rescan the bottom
+        // level for the last unmarked key < y.
+        let mut best: Option<u64> = None;
+        let mut cur = nref(self.head).next[0].load().ptr();
+        while nref(cur).key < y {
+            if !nref(cur).next[0].load().is_marked() {
+                best = Some(nref(cur).key as u64);
+            }
+            cur = nref(cur).next[0].load().ptr();
+        }
+        best
+    }
+}
+
+impl ConcurrentOrderedSet for LockFreeSkipList {
+    fn insert(&self, x: u64) -> bool {
+        LockFreeSkipList::insert(self, x)
+    }
+    fn remove(&self, x: u64) -> bool {
+        LockFreeSkipList::remove(self, x)
+    }
+    fn contains(&self, x: u64) -> bool {
+        LockFreeSkipList::contains(self, x)
+    }
+    fn predecessor(&self, y: u64) -> Option<u64> {
+        LockFreeSkipList::predecessor(self, y)
+    }
+    fn name(&self) -> &'static str {
+        "lockfree-skiplist"
+    }
+}
+
+impl core::fmt::Debug for LockFreeSkipList {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("LockFreeSkipList")
+            .field("allocated", &self.nodes.allocated())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_oracle() {
+        let s = LockFreeSkipList::new();
+        let mut model = BTreeSet::new();
+        let mut state = 0xA5A5_5A5A_1234_8765u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = (state >> 33) % 512;
+            match state % 4 {
+                0 => assert_eq!(s.insert(x), model.insert(x)),
+                1 => assert_eq!(s.remove(x), model.remove(&x)),
+                2 => assert_eq!(s.contains(x), model.contains(&x)),
+                _ => assert_eq!(s.predecessor(x), model.range(..x).next_back().copied()),
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let s = Arc::new(LockFreeSkipList::new());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..512 {
+                        assert!(s.insert(t * 512 + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for x in 0..2048 {
+            assert!(s.contains(x), "missing {x}");
+        }
+        for y in 1..2048 {
+            assert_eq!(s.predecessor(y), Some(y - 1));
+        }
+    }
+
+    #[test]
+    fn racing_same_key_updates_keep_set_semantics() {
+        let s = Arc::new(LockFreeSkipList::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut ins = 0usize;
+                    let mut del = 0usize;
+                    for _ in 0..1000 {
+                        if s.insert(42) {
+                            ins += 1;
+                        }
+                        if s.remove(42) {
+                            del += 1;
+                        }
+                    }
+                    (ins, del)
+                })
+            })
+            .collect();
+        let (mut ins, mut del) = (0, 0);
+        for h in handles {
+            let (i, d) = h.join().unwrap();
+            ins += i;
+            del += d;
+        }
+        // Every successful delete pairs with a successful insert.
+        let present = s.contains(42);
+        assert_eq!(ins, del + usize::from(present));
+    }
+
+    #[test]
+    fn tower_heights_are_bounded_and_varied() {
+        let s = LockFreeSkipList::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let h = s.random_height();
+            assert!((1..=MAX_HEIGHT).contains(&h));
+            seen.insert(h);
+        }
+        assert!(seen.len() > 3, "heights should vary: {seen:?}");
+    }
+}

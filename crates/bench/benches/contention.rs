@@ -1,0 +1,85 @@
+//! Multithreaded throughput under contention (experiment E4's scaling
+//! series), via `iter_custom` around the harness driver.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lftrie_baselines::{ConcurrentOrderedSet, LockFreeSkipList, MutexBinaryTrie};
+use lftrie_core::LockFreeBinaryTrie;
+use lftrie_harness::driver::{run, RunConfig};
+use lftrie_harness::workload::{prefill, KeyDist, OpMix};
+
+const UNIVERSE: u64 = 1 << 14;
+
+fn bench_structure<S: ConcurrentOrderedSet>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    make: impl Fn() -> S,
+    name: &str,
+) {
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
+            b.iter_custom(|iters| {
+                let set = make();
+                prefill(&set, UNIVERSE, 0.2, 42);
+                let cfg = RunConfig {
+                    threads,
+                    ops_per_thread: iters.max(100),
+                    universe: UNIVERSE,
+                    mix: OpMix::UPDATE_HEAVY,
+                    keys: KeyDist::Uniform,
+                    seed: 42,
+                };
+                let res = run(&set, &cfg);
+                // Normalize to "time for `iters` ops per thread".
+                res.elapsed
+            })
+        });
+    }
+}
+
+fn bench_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_heavy_contention");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    bench_structure(&mut group, || LockFreeBinaryTrie::new(UNIVERSE), "lockfree-trie");
+    bench_structure(&mut group, || MutexBinaryTrie::new(UNIVERSE), "mutex-trie");
+    bench_structure(&mut group, LockFreeSkipList::new, "lockfree-skiplist");
+    group.finish();
+}
+
+/// 90% of operations on 10% of the keyspace: skew concentrates updates on
+/// few trie paths and few latest-lists, raising the effective ċ.
+fn bench_hotspot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_heavy_hotspot_90_10");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("lockfree-trie", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let set = LockFreeBinaryTrie::new(UNIVERSE);
+                    prefill(&set, UNIVERSE, 0.2, 42);
+                    let cfg = RunConfig {
+                        threads,
+                        ops_per_thread: iters.max(100),
+                        universe: UNIVERSE,
+                        mix: OpMix::UPDATE_HEAVY,
+                        keys: KeyDist::HOT_90_10,
+                        seed: 42,
+                    };
+                    run(&set, &cfg).elapsed
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contention, bench_hotspot);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Single-threaded operation latencies across every structure (experiment
+//! E4's zero-contention column): `cargo bench -p lftrie-bench --bench ops`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lftrie_baselines::{
+    CoarseBTreeSet, ConcurrentOrderedSet, HarrisListSet, LockFreeSkipList, MutexBinaryTrie,
+    RwLockBinaryTrie,
+};
+use lftrie_core::{LockFreeBinaryTrie, RelaxedBinaryTrie};
+
+const UNIVERSE: u64 = 1 << 16;
+
+fn structures() -> Vec<Box<dyn ConcurrentOrderedSet>> {
+    vec![
+        Box::new(LockFreeBinaryTrie::new(UNIVERSE)),
+        Box::new(RelaxedBinaryTrie::new(UNIVERSE)),
+        Box::new(MutexBinaryTrie::new(UNIVERSE)),
+        Box::new(RwLockBinaryTrie::new(UNIVERSE)),
+        Box::new(CoarseBTreeSet::new()),
+        Box::new(LockFreeSkipList::new()),
+        Box::new(HarrisListSet::new()),
+    ]
+}
+
+fn prefill(set: &dyn ConcurrentOrderedSet, stride: u64) {
+    for k in (0..UNIVERSE).step_by(stride as usize) {
+        set.insert(k);
+    }
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_solo");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for set in structures() {
+        // Harris list is O(n): keep its content small enough to finish.
+        let stride = if set.name() == "harris-list" { 64 } else { 4 };
+        prefill(set.as_ref(), stride);
+        let mut key = 0u64;
+        group.bench_function(set.name(), |b| {
+            b.iter(|| {
+                key = (key + 12_289) % UNIVERSE;
+                std::hint::black_box(set.contains(key))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_predecessor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predecessor_solo");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for set in structures() {
+        let stride = if set.name() == "harris-list" { 64 } else { 4 };
+        prefill(set.as_ref(), stride);
+        let mut key = 1u64;
+        group.bench_function(set.name(), |b| {
+            b.iter(|| {
+                key = 1 + (key + 12_289) % (UNIVERSE - 1);
+                std::hint::black_box(set.predecessor(key))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_delete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_delete_solo");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for set in structures() {
+        let stride = if set.name() == "harris-list" { 64 } else { 4 };
+        prefill(set.as_ref(), stride);
+        let mut key = 1u64;
+        group.bench_function(set.name(), |b| {
+            b.iter_batched(
+                || {
+                    key = (key + 24_593) % UNIVERSE;
+                    key | 1 // odd keys are absent after prefill(step 4)
+                },
+                |k| {
+                    set.insert(k);
+                    set.remove(k);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search, bench_predecessor, bench_insert_delete);
+criterion_main!(benches);

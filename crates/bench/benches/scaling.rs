@@ -1,0 +1,59 @@
+//! Wall-clock scaling in the universe size (experiments E1/E2 in time
+//! rather than steps): `Search` must stay flat while updates and
+//! predecessor grow with log u.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lftrie_core::{LockFreeBinaryTrie, RelaxedBinaryTrie};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("universe_scaling");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    for exp in [8u32, 12, 16, 20] {
+        let u = 1u64 << exp;
+        let trie = LockFreeBinaryTrie::new(u);
+        for k in (0..u).step_by(4) {
+            trie.insert(k);
+        }
+        let mut key = 0u64;
+        group.bench_with_input(BenchmarkId::new("search", exp), &u, |b, &u| {
+            b.iter(|| {
+                key = (key + 12_289) % u;
+                std::hint::black_box(trie.contains(key))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("predecessor", exp), &u, |b, &u| {
+            b.iter(|| {
+                key = 1 + (key + 12_289) % (u - 1);
+                std::hint::black_box(trie.predecessor(key))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("insert_delete", exp), &u, |b, &u| {
+            b.iter(|| {
+                key = (key + 24_593) % u;
+                trie.insert(key | 1);
+                trie.remove(key | 1);
+            })
+        });
+        // Relaxed trie: the wait-free O(log u) core without announcements.
+        let relaxed = RelaxedBinaryTrie::new(u);
+        for k in (0..u).step_by(4) {
+            relaxed.insert(k);
+        }
+        group.bench_with_input(BenchmarkId::new("relaxed_insert_delete", exp), &u, |b, &u| {
+            b.iter(|| {
+                key = (key + 24_593) % u;
+                relaxed.insert(key | 1);
+                relaxed.remove(key | 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

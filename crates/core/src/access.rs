@@ -1,0 +1,198 @@
+//! Shared storage of both tries and the `FindLatest`/`FirstActivated`
+//! abstraction.
+//!
+//! §5 reuses §4's trie-update algorithms verbatim, "replaced with a different
+//! implementation" of `FindLatest` and `FirstActivated` (paper §4.4.1). We
+//! capture that reuse with [`LatestAccess`]: the relaxed trie resolves
+//! `latest[x]` with a single read, the lock-free trie with the two-node
+//! latest-list protocol of lines 116–127. Everything else — the `latest`
+//! array, the `dNodePtr` array representing internal trie nodes, and the
+//! update-node arena — lives in [`TrieCore`] and is shared.
+
+use core::sync::atomic::{AtomicPtr, Ordering};
+
+use lftrie_primitives::registry::Registry;
+use lftrie_primitives::steps;
+
+use crate::layout::{Layout, NodeIndex};
+use crate::node::UpdateNode;
+
+/// Resolution of per-key latest update nodes; implemented by both tries.
+///
+/// Implementations must guarantee the paper's Observations 4.7–4.9 /
+/// Lemmas 5.4, 5.7, 5.8: a returned node was the first activated update node
+/// of its key's latest list at some configuration during the call, and
+/// `first_activated` answers for some configuration during the call.
+pub(crate) trait LatestAccess {
+    /// `FindLatest(x)`: the first activated update node in the `latest[x]`
+    /// list.
+    fn find_latest(&self, key: i64) -> *mut UpdateNode;
+
+    /// `FirstActivated(uNode)`: is `uNode` the first activated update node in
+    /// `latest[uNode.key]`?
+    fn first_activated(&self, node: *mut UpdateNode) -> bool;
+}
+
+/// Storage shared by the relaxed and lock-free tries: `latest[·]`, the
+/// internal nodes' `dNodePtr` fields, and the node arena.
+pub(crate) struct TrieCore {
+    layout: Layout,
+    /// `latest[x]` for every (padded) key; initially the key's dummy DEL node.
+    latest: Box<[AtomicPtr<UpdateNode>]>,
+    /// `dNodePtr` of every internal node, indexed by [`NodeIndex`] `1..2^b`
+    /// (slot 0 unused); initially the dummy of the subtree's leftmost key.
+    dnode: Box<[AtomicPtr<UpdateNode>]>,
+    /// Arena owning every update node, dummies included (DESIGN.md D4).
+    nodes: Registry<UpdateNode>,
+}
+
+impl TrieCore {
+    /// Builds the initial configuration: `S = ∅`, every `latest[x]` a dummy
+    /// DEL node whose boundaries make all interpreted bits 0 (§4.5.2).
+    pub(crate) fn new(universe: u64) -> Self {
+        let layout = Layout::new(universe);
+        let n = layout.num_leaves() as usize;
+        let nodes = Registry::new();
+
+        let mut latest = Vec::with_capacity(n);
+        for x in 0..n {
+            let dummy = nodes.alloc(UpdateNode::new_dummy(x as i64, layout.bits()));
+            latest.push(AtomicPtr::new(dummy));
+        }
+
+        let mut dnode = Vec::with_capacity(n);
+        dnode.push(AtomicPtr::new(core::ptr::null_mut())); // slot 0: unused
+        for i in 1..n {
+            let leftmost = layout.leftmost_key(i as u64) as usize;
+            let dummy = latest[leftmost].load(Ordering::Relaxed);
+            dnode.push(AtomicPtr::new(dummy));
+        }
+
+        Self {
+            layout,
+            latest: latest.into_boxed_slice(),
+            dnode: dnode.into_boxed_slice(),
+            nodes,
+        }
+    }
+
+    /// The trie geometry.
+    #[inline]
+    pub(crate) fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// `b = ⌈log₂ u⌉`.
+    #[inline]
+    pub(crate) fn b(&self) -> u32 {
+        self.layout.bits()
+    }
+
+    /// Reads the head of the `latest[key]` list.
+    #[inline]
+    pub(crate) fn latest_head(&self, key: i64) -> *mut UpdateNode {
+        steps::on_read();
+        self.latest[key as usize].load(Ordering::SeqCst)
+    }
+
+    /// CAS on `latest[key]` (lines 35/54/170/192).
+    #[inline]
+    pub(crate) fn cas_latest(
+        &self,
+        key: i64,
+        current: *mut UpdateNode,
+        new: *mut UpdateNode,
+    ) -> bool {
+        steps::on_cas();
+        self.latest[key as usize]
+            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Reads `t.dNodePtr` of internal node `t`.
+    #[inline]
+    pub(crate) fn dnode_load(&self, t: NodeIndex) -> *mut UpdateNode {
+        debug_assert!(!self.layout.is_leaf(t));
+        steps::on_read();
+        self.dnode[t as usize].load(Ordering::SeqCst)
+    }
+
+    /// CAS on `t.dNodePtr` (lines 66/70).
+    #[inline]
+    pub(crate) fn dnode_cas(
+        &self,
+        t: NodeIndex,
+        current: *mut UpdateNode,
+        new: *mut UpdateNode,
+    ) -> bool {
+        debug_assert!(!self.layout.is_leaf(t));
+        steps::on_cas();
+        self.dnode[t as usize]
+            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Allocates an update node in the arena.
+    #[inline]
+    pub(crate) fn alloc_node(&self, node: UpdateNode) -> *mut UpdateNode {
+        self.nodes.alloc(node)
+    }
+
+    /// Number of update nodes ever allocated (dummies included) — the E6
+    /// space metric.
+    pub(crate) fn allocated_nodes(&self) -> usize {
+        self.nodes.allocated()
+    }
+}
+
+impl core::fmt::Debug for TrieCore {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TrieCore")
+            .field("b", &self.b())
+            .field("num_leaves", &self.layout.num_leaves())
+            .field("allocated_nodes", &self.allocated_nodes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Kind, Status};
+
+    #[test]
+    fn initial_configuration_is_all_dummies() {
+        let core = TrieCore::new(8);
+        for x in 0..8i64 {
+            let head = core.latest_head(x);
+            let node = unsafe { &*head };
+            assert_eq!(node.kind(), Kind::Del);
+            assert_eq!(node.status(), Status::Active);
+            assert_eq!(node.key(), x);
+            assert!(node.latest_next().is_null());
+        }
+        assert_eq!(core.allocated_nodes(), 8);
+    }
+
+    #[test]
+    fn dnode_seeded_with_leftmost_dummy() {
+        let core = TrieCore::new(8);
+        let layout = *core.layout();
+        for t in 1..layout.num_leaves() {
+            let d = core.dnode_load(t);
+            let node = unsafe { &*d };
+            assert_eq!(node.key() as u64, layout.leftmost_key(t));
+            assert_eq!(node.kind(), Kind::Del);
+        }
+    }
+
+    #[test]
+    fn cas_latest_swaps_exactly_once() {
+        let core = TrieCore::new(4);
+        let old = core.latest_head(2);
+        let fresh = core.alloc_node(UpdateNode::new_ins(2, Status::Active, old, core.b()));
+        assert!(core.cas_latest(2, old, fresh));
+        assert!(!core.cas_latest(2, old, fresh), "stale expected must fail");
+        assert_eq!(core.latest_head(2), fresh);
+    }
+}

@@ -1,0 +1,241 @@
+//! The wait-free trie-update and traversal algorithms shared by both tries:
+//! `InterpretedBit`, `InsertBinaryTrie`, `DeleteBinaryTrie` and
+//! `RelaxedPredecessor` (paper §4.4, lines 22–90).
+//!
+//! Comments carry the paper's pseudocode line numbers. The routines are
+//! generic over [`LatestAccess`], which is how §5 swaps in the latest-list
+//! implementations of `FindLatest`/`FirstActivated` without touching these
+//! algorithms.
+//!
+//! Each loop body is factored into a `…_step` function so that the scenario
+//! tests replaying Figures 2 and 3 can drive the traversals one trie level at
+//! a time; the public operations simply run the steps to completion, which
+//! preserves the paper's wait-free `O(log u)` worst-case bounds (each step is
+//! a constant number of shared accesses, and there are at most `b` steps).
+
+use lftrie_primitives::NO_PRED;
+
+use crate::access::{LatestAccess, TrieCore};
+use crate::layout::{Layout, NodeIndex};
+use crate::node::{Kind, UpdateNode};
+
+/// `InterpretedBit(t)` (lines 22–27): computes the interpreted bit of trie
+/// node `t` from the update node its key currently depends on.
+///
+/// For an internal node the key comes from `t.dNodePtr` (a DEL node whose key
+/// lies in `U_t`); for a leaf it is the leaf's own key — the paper seeds leaf
+/// `dNodePtr`s with the key's dummy, which resolves identically.
+pub(crate) fn interpreted_bit<A: LatestAccess>(core: &TrieCore, acc: &A, t: NodeIndex) -> bool {
+    let layout = core.layout();
+    let key = if layout.is_leaf(t) {
+        layout.leaf_key(t) as i64
+    } else {
+        let d = core.dnode_load(t);
+        unsafe { (*d).key() }
+    };
+    let u_node = acc.find_latest(key); // L23
+    let u = unsafe { &*u_node };
+    if u.kind() == Kind::Ins {
+        return true; // L24
+    }
+    let h = layout.height(t);
+    if h <= u.upper0() {
+        // L25
+        if h < u.lower1() && acc.first_activated(u_node) {
+            return false; // L26
+        }
+    }
+    true // L27
+}
+
+/// One iteration of `InsertBinaryTrie`'s loop (lines 40–46) at node `t`.
+/// Returns `false` if the operation must return (line 44).
+pub(crate) fn insert_binary_trie_step<A: LatestAccess>(
+    core: &TrieCore,
+    acc: &A,
+    i_node: *mut UpdateNode,
+    t: NodeIndex,
+) -> bool {
+    let d = core.dnode_load(t);
+    let u_node = acc.find_latest(unsafe { (*d).key() }); // L40
+    let u = unsafe { &*u_node };
+    if u.kind() == Kind::Del {
+        // L41
+        let h = core.layout().height(t);
+        // L42 re-reads t.dNodePtr for the pointer comparison.
+        if core.dnode_load(t) == u_node || h <= u.upper0() {
+            unsafe { (*i_node).set_target(u_node) }; // L43
+            if !acc.first_activated(i_node) {
+                return false; // L44
+            }
+            if h < u.lower1() {
+                // L45
+                u.min_write_lower1(h); // L46
+            }
+        }
+    }
+    true
+}
+
+/// `InsertBinaryTrie(iNode)` (lines 38–46): sets the interpreted bits on the
+/// path from the parent of `iNode.key`'s leaf to the root to 1.
+pub(crate) fn insert_binary_trie<A: LatestAccess>(
+    core: &TrieCore,
+    acc: &A,
+    i_node: *mut UpdateNode,
+) {
+    let layout = core.layout();
+    let leaf = layout.leaf(unsafe { (*i_node).key() } as u64);
+    let mut t = layout.parent(leaf); // L39: parent of the leaf …
+    loop {
+        if !insert_binary_trie_step(core, acc, i_node, t) {
+            return;
+        }
+        if t == Layout::ROOT {
+            return; // … to the root
+        }
+        t = layout.parent(t);
+    }
+}
+
+/// Outcome of one `DeleteBinaryTrie` iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DeleteStep {
+    /// Iteration acquired the parent and cleared its bit; continue from it.
+    Continue(NodeIndex),
+    /// The traversal is finished (returned early or reached the root).
+    Done,
+}
+
+/// One iteration of `DeleteBinaryTrie`'s loop (lines 61–72), starting from
+/// child node `t` (never the root).
+pub(crate) fn delete_binary_trie_step<A: LatestAccess>(
+    core: &TrieCore,
+    acc: &A,
+    d_node: *mut UpdateNode,
+    t: NodeIndex,
+) -> DeleteStep {
+    let layout = core.layout();
+    let d = unsafe { &*d_node };
+    let stop_threshold = core.b() + 1;
+
+    // L61: someone re-set this subtree's bits — nothing left to clear here.
+    if interpreted_bit(core, acc, layout.sibling(t)) || interpreted_bit(core, acc, t) {
+        return DeleteStep::Done;
+    }
+    let t = layout.parent(t); // L62
+    let expected = core.dnode_load(t); // L63
+    if !acc.first_activated(d_node) {
+        return DeleteStep::Done; // L64
+    }
+    if d.stopped() || d.lower1() != stop_threshold {
+        return DeleteStep::Done; // L65
+    }
+    if !core.dnode_cas(t, expected, d_node) {
+        // L66 failed: one more attempt (defeats outdated-delete ABA, §4.4.3)
+        let expected = core.dnode_load(t); // L67
+        if !acc.first_activated(d_node) {
+            return DeleteStep::Done; // L68
+        }
+        if d.stopped() || d.lower1() != stop_threshold {
+            return DeleteStep::Done; // L69
+        }
+        if !core.dnode_cas(t, expected, d_node) {
+            return DeleteStep::Done; // L70
+        }
+    }
+    // L71: a child's bit turned 1 while we were acquiring t.
+    if interpreted_bit(core, acc, layout.left(t)) || interpreted_bit(core, acc, layout.right(t)) {
+        return DeleteStep::Done;
+    }
+    d.set_upper0(layout.height(t)); // L72
+    if t == Layout::ROOT {
+        DeleteStep::Done // L60: loop guard
+    } else {
+        DeleteStep::Continue(t)
+    }
+}
+
+/// `DeleteBinaryTrie(dNode)` (lines 58–72): clears interpreted bits from
+/// `dNode.key`'s leaf towards the root while both children read 0.
+pub(crate) fn delete_binary_trie<A: LatestAccess>(
+    core: &TrieCore,
+    acc: &A,
+    d_node: *mut UpdateNode,
+) {
+    let layout = core.layout();
+    let mut t = layout.leaf(unsafe { (*d_node).key() } as u64); // L59
+    loop {
+        // L60
+        match delete_binary_trie_step(core, acc, d_node, t) {
+            DeleteStep::Done => return,
+            DeleteStep::Continue(next) => t = next,
+        }
+    }
+}
+
+/// `RelaxedSuccessor(y)` — the mirror image of `RelaxedPredecessor`
+/// (extension; the paper notes predecessor only, successor is symmetric:
+/// swap left/right and take the left-most 1-path).
+///
+/// Returns `Some(key)` for a certified successor, `Some(NO_PRED)` when no
+/// greater key is present, `None` for ⊥.
+pub(crate) fn relaxed_successor<A: LatestAccess>(core: &TrieCore, acc: &A, y: i64) -> Option<i64> {
+    let layout = core.layout();
+    let mut t = layout.leaf(y as u64);
+    loop {
+        // Climb while t is a right child or its (right) sibling reads 0.
+        if layout.is_left_child(t) && interpreted_bit(core, acc, layout.sibling(t)) {
+            break;
+        }
+        t = layout.parent(t);
+        if t == Layout::ROOT {
+            return Some(NO_PRED);
+        }
+    }
+    // Descend the left-most 1-path from t.parent.right.
+    let mut t = layout.sibling(t);
+    while layout.height(t) > 0 {
+        if interpreted_bit(core, acc, layout.left(t)) {
+            t = layout.left(t);
+        } else if interpreted_bit(core, acc, layout.right(t)) {
+            t = layout.right(t);
+        } else {
+            return None;
+        }
+    }
+    Some(layout.leaf_key(t) as i64)
+}
+
+/// `RelaxedPredecessor(y)` (lines 73–90).
+///
+/// Returns `Some(key)` for a certified predecessor, `Some(NO_PRED)` (−1) when
+/// no smaller key is present, and `None` for the paper's `⊥` (a concurrent
+/// update prevented the traversal).
+pub(crate) fn relaxed_predecessor<A: LatestAccess>(core: &TrieCore, acc: &A, y: i64) -> Option<i64> {
+    let layout = core.layout();
+    let mut t = layout.leaf(y as u64); // L74
+    loop {
+        // L75: climb while t is a left child or its (left) sibling reads 0.
+        if !layout.is_left_child(t) && interpreted_bit(core, acc, layout.sibling(t)) {
+            break;
+        }
+        t = layout.parent(t); // L76
+        if t == Layout::ROOT {
+            return Some(NO_PRED); // L77–78
+        }
+    }
+    // L80: descend the right-most 1-path from t.parent.left.
+    let mut t = layout.sibling(t);
+    while layout.height(t) > 0 {
+        // L81
+        if interpreted_bit(core, acc, layout.right(t)) {
+            t = layout.right(t); // L82–83
+        } else if interpreted_bit(core, acc, layout.left(t)) {
+            t = layout.left(t); // L84–85
+        } else {
+            return None; // L86–88: both children read 0 — ⊥
+        }
+    }
+    Some(layout.leaf_key(t) as i64) // L89–90
+}

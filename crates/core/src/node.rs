@@ -1,0 +1,447 @@
+//! Node types of the binary tries (paper Figure 4 and Figure 6).
+//!
+//! A single [`UpdateNode`] layout serves both the relaxed trie (§4, Figure 4)
+//! and the lock-free trie (§5, Figure 6): the relaxed trie simply creates its
+//! nodes already [`Status::Active`] and ignores the announcement-related
+//! fields. Field mutability follows the figures; "immutable" fields are
+//! written once before the node is published and never changed.
+//!
+//! All orderings are `SeqCst`: the paper's proofs assume sequential
+//! consistency, and the helping protocol contains store-buffer patterns
+//! (e.g. `W(target); R(latest)` racing `W(latest); R(target)`) that weaker
+//! orderings would not linearize.
+
+use core::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicU32, AtomicU8, Ordering};
+
+use lftrie_lists::pall::PallCell;
+use lftrie_lists::pushstack::PushStack;
+use lftrie_primitives::minreg::{AndMinRegister, MinRegister};
+use lftrie_primitives::steps;
+use lftrie_primitives::swcursor::PublishedKey;
+use lftrie_primitives::{NO_PRED, POS_INF};
+
+/// `type` field of an update node: INS or DEL (Figure 4 line 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Created by an `Insert`.
+    Ins,
+    /// Created by a `Delete` (or a per-key dummy).
+    Del,
+}
+
+/// `status` field of an update node (Figure 6 line 94): `Inactive` until the
+/// creating operation (or a helper) activates it, which is the linearization
+/// point of S-modifying updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Not yet linearized.
+    Inactive = 0,
+    /// Linearized.
+    Active = 1,
+}
+
+/// Sentinel for "delPred2 not yet written" (`⊥` in Figure 6 line 104).
+pub(crate) const DELPRED2_UNSET: i64 = i64::MIN;
+
+/// An INS or DEL update node (Figures 4 and 6).
+///
+/// DEL-only fields (`upper0_boundary`, `lower1_boundary`, `del_pred*`) are
+/// present on every node for layout uniformity; they are only meaningful when
+/// `kind == Kind::Del`, mirroring the paper's "additional fields when
+/// type = DEL".
+pub struct UpdateNode {
+    /// Immutable key in `U` (Fig. 6 line 92).
+    pub(crate) key: i64,
+    /// Immutable type (line 93).
+    pub(crate) kind: Kind,
+    /// `Inactive → Active` once (line 94).
+    status: AtomicU8,
+    /// Points to the update node this one replaced; changes once to null
+    /// (`⊥`) after activation (line 95).
+    latest_next: AtomicPtr<UpdateNode>,
+    /// INS nodes: the DEL node whose `lower1Boundary` the insert is about to
+    /// min-write (line 96); null is `⊥`.
+    target: AtomicPtr<UpdateNode>,
+    /// `false → true` once (line 97): tells the owner of the *targeted* DEL
+    /// node to stop clearing interpreted bits.
+    stop: AtomicBool,
+    /// `false → true` once (line 98): set after the relaxed-trie update and
+    /// notifications finish, so helpers know to de-announce (line 135).
+    completed: AtomicBool,
+    /// DEL: heights `≤ upper0Boundary` that depend on this node read bit 0
+    /// (line 100). Only the creator writes it, incrementing by 1 (Obs. 4.12).
+    upper0_boundary: AtomicU32,
+    /// DEL: min-register; heights `≥ lower1Boundary` read bit 1 (line 101).
+    lower1_boundary: AndMinRegister,
+    /// DEL: predecessor node of the first embedded predecessor (line 102).
+    del_pred_node: AtomicPtr<PredNode>,
+    /// DEL: result of the first embedded predecessor (line 103).
+    del_pred: AtomicI64,
+    /// DEL: `⊥ →` result of the second embedded predecessor (line 104).
+    del_pred2: AtomicI64,
+}
+
+// Safety: every field is either immutable after publication or atomic; raw
+// pointers are dereferenced only while the owning trie (and thus the
+// registries keeping every node alive) is borrowed.
+unsafe impl Send for UpdateNode {}
+unsafe impl Sync for UpdateNode {}
+
+impl UpdateNode {
+    /// Creates an INS node for `key` (Insert lines 31–33 / 165–166).
+    pub(crate) fn new_ins(key: i64, status: Status, latest_next: *mut UpdateNode, b: u32) -> Self {
+        Self::new(key, Kind::Ins, status, latest_next, 0, b + 1, b)
+    }
+
+    /// Creates a DEL node for `key` with `latestNext` pointing at the INS
+    /// node it supersedes (Delete lines 50–53 / 185–187).
+    pub(crate) fn new_del(key: i64, status: Status, latest_next: *mut UpdateNode, b: u32) -> Self {
+        Self::new(key, Kind::Del, status, latest_next, 0, b + 1, b)
+    }
+
+    /// Creates the per-key dummy DEL node of the initial configuration: its
+    /// boundaries make every interpreted bit 0 (`upper0 = b`,
+    /// `lower1 = b+1`), it is active, and its `latestNext` is `⊥`.
+    pub(crate) fn new_dummy(key: i64, b: u32) -> Self {
+        Self::new(
+            key,
+            Kind::Del,
+            Status::Active,
+            core::ptr::null_mut(),
+            b,
+            b + 1,
+            b,
+        )
+    }
+
+    fn new(
+        key: i64,
+        kind: Kind,
+        status: Status,
+        latest_next: *mut UpdateNode,
+        upper0: u32,
+        lower1: u32,
+        b: u32,
+    ) -> Self {
+        Self {
+            key,
+            kind,
+            status: AtomicU8::new(status as u8),
+            latest_next: AtomicPtr::new(latest_next),
+            target: AtomicPtr::new(core::ptr::null_mut()),
+            stop: AtomicBool::new(false),
+            completed: AtomicBool::new(false),
+            upper0_boundary: AtomicU32::new(upper0),
+            lower1_boundary: AndMinRegister::new(lower1, b + 1),
+            del_pred_node: AtomicPtr::new(core::ptr::null_mut()),
+            del_pred: AtomicI64::new(NO_PRED),
+            del_pred2: AtomicI64::new(DELPRED2_UNSET),
+        }
+    }
+
+    /// The node's immutable key.
+    #[inline]
+    pub(crate) fn key(&self) -> i64 {
+        self.key
+    }
+
+    /// The node's immutable type.
+    #[inline]
+    pub(crate) fn kind(&self) -> Kind {
+        self.kind
+    }
+
+    #[inline]
+    pub(crate) fn status(&self) -> Status {
+        steps::on_read();
+        if self.status.load(Ordering::SeqCst) == Status::Active as u8 {
+            Status::Active
+        } else {
+            Status::Inactive
+        }
+    }
+
+    /// Activation: the linearization point of S-modifying updates (lines
+    /// 131/174/197). Idempotent (helpers may race the owner).
+    #[inline]
+    pub(crate) fn activate(&self) {
+        steps::on_write();
+        self.status.store(Status::Active as u8, Ordering::SeqCst);
+    }
+
+    #[inline]
+    pub(crate) fn latest_next(&self) -> *mut UpdateNode {
+        steps::on_read();
+        self.latest_next.load(Ordering::SeqCst)
+    }
+
+    /// Clears `latestNext` to `⊥` (lines 134/169/175/190/199).
+    #[inline]
+    pub(crate) fn clear_latest_next(&self) {
+        steps::on_write();
+        self.latest_next
+            .store(core::ptr::null_mut(), Ordering::SeqCst);
+    }
+
+    #[inline]
+    pub(crate) fn target(&self) -> *mut UpdateNode {
+        steps::on_read();
+        self.target.load(Ordering::SeqCst)
+    }
+
+    /// `iNode.target ← uNode` (line 43).
+    #[inline]
+    pub(crate) fn set_target(&self, node: *mut UpdateNode) {
+        steps::on_write();
+        self.target.store(node, Ordering::SeqCst);
+    }
+
+    #[inline]
+    pub(crate) fn stopped(&self) -> bool {
+        steps::on_read();
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// `….stop ← True` (lines 34/55/133/168/198).
+    #[inline]
+    pub(crate) fn set_stop(&self) {
+        steps::on_write();
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    #[inline]
+    pub(crate) fn completed(&self) -> bool {
+        steps::on_read();
+        self.completed.load(Ordering::SeqCst)
+    }
+
+    /// `….completed ← True` (lines 178/204).
+    #[inline]
+    pub(crate) fn set_completed(&self) {
+        steps::on_write();
+        self.completed.store(true, Ordering::SeqCst);
+    }
+
+    /// Reads `upper0Boundary` (heights ≤ it see interpreted bit 0).
+    #[inline]
+    pub(crate) fn upper0(&self) -> u32 {
+        steps::on_read();
+        self.upper0_boundary.load(Ordering::SeqCst)
+    }
+
+    /// `dNode.upper0Boundary ← t.height` (line 72); only the creator writes,
+    /// and consecutive writes increment by exactly 1 (Lemma 4.13).
+    #[inline]
+    pub(crate) fn set_upper0(&self, height: u32) {
+        debug_assert_eq!(self.kind, Kind::Del);
+        debug_assert_eq!(
+            self.upper0_boundary.load(Ordering::SeqCst) + 1,
+            height,
+            "upper0Boundary must increment by 1 (Lemma 4.13)"
+        );
+        steps::on_write();
+        self.upper0_boundary.store(height, Ordering::SeqCst);
+    }
+
+    /// Reads `lower1Boundary`.
+    #[inline]
+    pub(crate) fn lower1(&self) -> u32 {
+        self.lower1_boundary.read()
+    }
+
+    /// `MinWrite(uNode.lower1Boundary, t.height)` (line 46).
+    #[inline]
+    pub(crate) fn min_write_lower1(&self, height: u32) {
+        debug_assert_eq!(self.kind, Kind::Del);
+        self.lower1_boundary.min_write(height);
+    }
+
+    #[inline]
+    pub(crate) fn del_pred_node(&self) -> *mut PredNode {
+        steps::on_read();
+        self.del_pred_node.load(Ordering::SeqCst)
+    }
+
+    /// Writes the immutable `delPredNode` before the node is published
+    /// (line 189).
+    #[inline]
+    pub(crate) fn init_del_pred_node(&self, node: *mut PredNode) {
+        self.del_pred_node.store(node, Ordering::SeqCst);
+    }
+
+    #[inline]
+    pub(crate) fn del_pred(&self) -> i64 {
+        steps::on_read();
+        self.del_pred.load(Ordering::SeqCst)
+    }
+
+    /// Writes the immutable `delPred` before the node is published (line 188).
+    #[inline]
+    pub(crate) fn init_del_pred(&self, key: i64) {
+        self.del_pred.store(key, Ordering::SeqCst);
+    }
+
+    /// Reads `delPred2`; `None` until the second embedded predecessor's
+    /// result is recorded.
+    #[inline]
+    pub(crate) fn del_pred2(&self) -> Option<i64> {
+        steps::on_read();
+        match self.del_pred2.load(Ordering::SeqCst) {
+            DELPRED2_UNSET => None,
+            v => Some(v),
+        }
+    }
+
+    /// `dNode.delPred2 ← delPred2` (line 201); written once.
+    #[inline]
+    pub(crate) fn set_del_pred2(&self, key: i64) {
+        debug_assert_ne!(key, DELPRED2_UNSET);
+        steps::on_write();
+        self.del_pred2.store(key, Ordering::SeqCst);
+    }
+}
+
+impl core::fmt::Debug for UpdateNode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let mut s = f.debug_struct("UpdateNode");
+        s.field("key", &self.key)
+            .field("kind", &self.kind)
+            .field("status", &self.status())
+            .field("stop", &self.stop.load(Ordering::SeqCst))
+            .field("completed", &self.completed());
+        if self.kind == Kind::Del {
+            s.field("upper0", &self.upper0_boundary.load(Ordering::SeqCst))
+                .field("lower1", &self.lower1_boundary.read());
+        }
+        s.finish()
+    }
+}
+
+/// A notification record (Figure 6 lines 109–113): the *value* carried by one
+/// notify node in a predecessor node's `notifyList`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NotifyRecord {
+    /// The notifying update node's key (line 110).
+    pub key: i64,
+    /// The notifying update node (line 111).
+    pub update_node: *mut UpdateNode,
+    /// INS node with the largest key `< pNode.key` the notifier saw in the
+    /// U-ALL (line 112); null is `⊥`.
+    pub update_node_max: *mut UpdateNode,
+    /// The receiver's `RuallPosition.key` at send time (line 113).
+    pub notify_threshold: i64,
+}
+
+// Safety: plain-old-data snapshot; pointers dereferenced only under the
+// trie's lifetime.
+unsafe impl Send for NotifyRecord {}
+unsafe impl Sync for NotifyRecord {}
+
+/// A predecessor node in the P-ALL (Figure 6 lines 105–108).
+pub struct PredNode {
+    /// Immutable input key `y` (line 106).
+    pub(crate) key: i64,
+    /// Insert-only list of notifications (line 107).
+    pub(crate) notify_list: PushStack<NotifyRecord>,
+    /// Published RU-ALL traversal position; initially the `+∞` sentinel's key
+    /// (line 108). Written by the owner via the validated-copy protocol.
+    pub(crate) ruall_position: PublishedKey,
+    /// The P-ALL cell this node was announced with, for removal.
+    pall_cell: AtomicPtr<PallCell<PredNode>>,
+}
+
+// Safety: as for UpdateNode.
+unsafe impl Send for PredNode {}
+unsafe impl Sync for PredNode {}
+
+impl PredNode {
+    /// Creates the announcement record for a `PredHelper(y)` instance.
+    pub(crate) fn new(key: i64) -> Self {
+        Self {
+            key,
+            notify_list: PushStack::new(),
+            ruall_position: PublishedKey::new(POS_INF),
+            pall_cell: AtomicPtr::new(core::ptr::null_mut()),
+        }
+    }
+
+    pub(crate) fn pall_cell(&self) -> *mut PallCell<PredNode> {
+        self.pall_cell.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_pall_cell(&self, cell: *mut PallCell<PredNode>) {
+        self.pall_cell.store(cell, Ordering::SeqCst);
+    }
+}
+
+impl core::fmt::Debug for PredNode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PredNode")
+            .field("key", &self.key)
+            .field("ruall_position", &self.ruall_position.load())
+            .field("notifications", &self.notify_list.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_reads_as_all_zero_bits() {
+        let b = 4;
+        let dummy = UpdateNode::new_dummy(3, b);
+        assert_eq!(dummy.kind(), Kind::Del);
+        assert_eq!(dummy.status(), Status::Active);
+        // Every height h in 1..=b satisfies h <= upper0 and h < lower1,
+        // which is the "interpreted bit 0" condition.
+        for h in 0..=b {
+            assert!(h <= dummy.upper0());
+            assert!(h < dummy.lower1());
+        }
+    }
+
+    #[test]
+    fn upper0_increments_by_one() {
+        let d = UpdateNode::new_del(5, Status::Active, core::ptr::null_mut(), 4);
+        assert_eq!(d.upper0(), 0);
+        d.set_upper0(1);
+        d.set_upper0(2);
+        assert_eq!(d.upper0(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "increment by 1")]
+    fn upper0_skip_is_rejected_in_debug() {
+        let d = UpdateNode::new_del(5, Status::Active, core::ptr::null_mut(), 4);
+        d.set_upper0(3);
+    }
+
+    #[test]
+    fn lower1_only_decreases() {
+        let d = UpdateNode::new_del(5, Status::Active, core::ptr::null_mut(), 6);
+        assert_eq!(d.lower1(), 7);
+        d.min_write_lower1(4);
+        d.min_write_lower1(6); // ignored
+        assert_eq!(d.lower1(), 4);
+    }
+
+    #[test]
+    fn del_pred2_transitions_from_unset() {
+        let d = UpdateNode::new_del(5, Status::Inactive, core::ptr::null_mut(), 4);
+        assert_eq!(d.del_pred2(), None);
+        d.set_del_pred2(-1);
+        assert_eq!(d.del_pred2(), Some(-1));
+    }
+
+    #[test]
+    fn status_flips_once() {
+        let n = UpdateNode::new_ins(1, Status::Inactive, core::ptr::null_mut(), 4);
+        assert_eq!(n.status(), Status::Inactive);
+        n.activate();
+        n.activate();
+        assert_eq!(n.status(), Status::Active);
+    }
+}

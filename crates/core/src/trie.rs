@@ -1,0 +1,925 @@
+//! The lock-free, linearizable **binary trie** (paper §5).
+//!
+//! Wraps the wait-free relaxed trie of §4 with the announcement machinery
+//! that makes `Predecessor` linearizable:
+//!
+//! * **latest lists** — per key, a list of ≤ 2 update nodes whose first
+//!   *activated* node defines membership; activation (`status:
+//!   Inactive → Active`) is the linearization point of S-modifying updates
+//!   (§5.3.1);
+//! * **U-ALL / RU-ALL** — update announcements sorted ascending/descending;
+//!   the RU-ALL is traversed with a published cursor (`RuallPosition`) that
+//!   update operations read to stamp `notifyThreshold` on notifications;
+//! * **P-ALL + notify lists** — predecessor announcements and the
+//!   notifications updates send them;
+//! * **embedded predecessor operations** — every `Delete` runs two
+//!   `PredHelper` instances whose results (`delPred`, `delPred2`) feed the
+//!   recovery computation (Definition 5.1) when a predecessor's relaxed-trie
+//!   traversal returns ⊥.
+//!
+//! Pseudocode line numbers (91–269) are cited throughout.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use lftrie_lists::announce::AnnounceList;
+use lftrie_lists::pall::PallList;
+use lftrie_primitives::registry::Registry;
+use lftrie_primitives::{Key, NEG_INF, NO_PRED, POS_INF};
+
+use crate::access::{LatestAccess, TrieCore};
+use crate::bitops;
+use crate::node::{Kind, NotifyRecord, PredNode, Status, UpdateNode};
+
+/// A lock-free, linearizable binary trie over `{0, …, universe−1}` with
+/// O(1) `contains` and lock-free exact `predecessor`.
+///
+/// All operations take `&self` and may be called concurrently from any
+/// number of threads.
+///
+/// # Examples
+///
+/// ```
+/// use lftrie_core::LockFreeBinaryTrie;
+///
+/// let set = LockFreeBinaryTrie::new(1 << 12);
+/// set.insert(100);
+/// set.insert(311);
+/// assert!(set.contains(311));
+/// assert_eq!(set.predecessor(311), Some(100));
+/// assert_eq!(set.predecessor(100), None);
+/// set.remove(100);
+/// assert_eq!(set.predecessor(311), None);
+/// ```
+pub struct LockFreeBinaryTrie {
+    core: TrieCore,
+    universe: u64,
+    /// U-ALL: update announcements, key-ascending (§5.1).
+    uall: AnnounceList<UpdateNode>,
+    /// RU-ALL: update announcements, key-descending (§5.1).
+    ruall: AnnounceList<UpdateNode>,
+    /// P-ALL: predecessor announcements (§5.1).
+    pall: PallList<PredNode>,
+    /// Arena owning every predecessor node (DESIGN.md D4).
+    preds: Registry<PredNode>,
+    /// Diagnostic tallies (experiment E5/E7): how often `predecessor` used
+    /// the relaxed traversal vs. the ⊥-recovery path.
+    relaxed_bottoms: AtomicU64,
+    recoveries: AtomicU64,
+}
+
+impl LatestAccess for LockFreeBinaryTrie {
+    /// `FindLatest(x)` (lines 116–120): first activated node of the
+    /// `latest[x]` list.
+    fn find_latest(&self, key: i64) -> *mut UpdateNode {
+        let u_node = self.core.latest_head(key); // L117
+        let u = unsafe { &*u_node };
+        if u.status() == Status::Inactive {
+            // L118
+            let next = u.latest_next(); // L119
+            if !next.is_null() {
+                return next; // L120
+            }
+        }
+        u_node
+    }
+
+    /// `FirstActivated(uNode)` (lines 125–127).
+    fn first_activated(&self, node: *mut UpdateNode) -> bool {
+        let u_node = self.core.latest_head(unsafe { (*node).key() }); // L126
+        if node == u_node {
+            return true; // L127, first disjunct
+        }
+        let u = unsafe { &*u_node };
+        u.status() == Status::Inactive && node == u.latest_next() // L127, second
+    }
+}
+
+impl LockFreeBinaryTrie {
+    /// Creates an empty trie over `{0, …, universe−1}`.
+    ///
+    /// Allocates the Θ(u) initial configuration (arrays plus per-key dummy
+    /// DEL nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe < 2` or `universe > 2^62`.
+    pub fn new(universe: u64) -> Self {
+        Self {
+            core: TrieCore::new(universe),
+            universe,
+            uall: AnnounceList::new(lftrie_lists::Direction::Ascending),
+            ruall: AnnounceList::new(lftrie_lists::Direction::Descending),
+            pall: PallList::new(),
+            preds: Registry::new(),
+            relaxed_bottoms: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+        }
+    }
+
+    /// The universe size `u` this trie was created with.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    #[inline]
+    fn check_key(&self, x: Key) -> i64 {
+        assert!(x < self.universe, "key {x} outside universe {}", self.universe);
+        x as i64
+    }
+
+    // ------------------------------------------------------------------
+    // Announcement helpers
+    // ------------------------------------------------------------------
+
+    /// Inserts `uNode` into the U-ALL and RU-ALL (lines 130/173/196).
+    fn announce(&self, u_node: *mut UpdateNode) {
+        let key = unsafe { (*u_node).key() };
+        self.uall.insert(key, u_node);
+        self.ruall.insert(key, u_node);
+    }
+
+    /// Removes every announcement of `uNode` (lines 136/179/205): helpers
+    /// may have re-announced it, so removal is exhaustive (DESIGN.md D2).
+    fn deannounce(&self, u_node: *mut UpdateNode) {
+        let key = unsafe { (*u_node).key() };
+        self.uall.remove_all(key, u_node);
+        self.ruall.remove_all(key, u_node);
+    }
+
+    /// `HelpActivate(uNode)` (lines 128–136): finish a stalled update's
+    /// announcement and activation on its behalf.
+    fn help_activate(&self, u_node: *mut UpdateNode) {
+        let u = unsafe { &*u_node };
+        if u.status() == Status::Inactive {
+            // L129
+            self.announce(u_node); // L130
+            u.activate(); // L131
+            if u.kind() == Kind::Del {
+                // L132–133: uNode.latestNext.target.stop ← True (⊥-tolerant)
+                let prev_ins = u.latest_next();
+                if !prev_ins.is_null() {
+                    let target = unsafe { (*prev_ins).target() };
+                    if !target.is_null() {
+                        unsafe { (*target).set_stop() };
+                    }
+                }
+            }
+            u.clear_latest_next(); // L134
+            if u.completed() {
+                // L135: owner finished while we were helping — our (or a
+                // stale) announcement must go.
+                self.deannounce(u_node); // L136
+            }
+        }
+    }
+
+    /// `TraverseUall(x)` (lines 137–145): update nodes with key `< x` that
+    /// are first-activated, split into `(I, D)` by kind.
+    fn traverse_uall(&self, x: i64) -> (Vec<*mut UpdateNode>, Vec<*mut UpdateNode>) {
+        let mut ins = Vec::new();
+        let mut del = Vec::new();
+        for (key, u_node) in self.uall.iter() {
+            // L139–144
+            if key >= x {
+                break; // L140
+            }
+            let u = unsafe { &*u_node };
+            if u.status() != Status::Inactive && self.first_activated(u_node) {
+                // L141 (duplicate cells from helpers collapse here: sets)
+                let bucket = if u.kind() == Kind::Ins { &mut ins } else { &mut del };
+                if !bucket.contains(&u_node) {
+                    bucket.push(u_node); // L142–143
+                }
+            }
+        }
+        (ins, del) // L145
+    }
+
+    /// `NotifyPredOps(uNode)` (lines 146–155): send a notification about
+    /// `uNode` to every announced predecessor operation.
+    fn notify_pred_ops(&self, u_node: *mut UpdateNode) {
+        let (ins, _del) = self.traverse_uall(POS_INF); // L147: TraverseUall(∞)
+        for p_cell in self.pall.iter() {
+            // L148
+            let p_node = unsafe { (*p_cell).payload() };
+            let p = unsafe { &*p_node };
+            if !self.first_activated(u_node) {
+                return; // L149
+            }
+            // L150–154: build the notify node.
+            let update_node_max = ins
+                .iter()
+                .copied()
+                .filter(|&i| unsafe { (*i).key() } < p.key)
+                .max_by_key(|&i| unsafe { (*i).key() })
+                .unwrap_or(core::ptr::null_mut()); // L153
+            let record = NotifyRecord {
+                key: unsafe { (*u_node).key() },          // L151
+                update_node: u_node,                      // L152
+                update_node_max,                          // L153
+                notify_threshold: p.ruall_position.load(), // L154
+            };
+            // L155 + SendNotification (lines 156–161): guarded push.
+            if !p
+                .notify_list
+                .push_with(record, || self.first_activated(u_node))
+            {
+                return;
+            }
+        }
+    }
+
+    /// `TraverseRUall(pNode)` (lines 257–269): walk the RU-ALL publishing
+    /// the position key, collecting first-activated nodes with key `< y`.
+    fn traverse_ruall(&self, p_node: *mut PredNode) -> (Vec<*mut UpdateNode>, Vec<*mut UpdateNode>) {
+        let p = unsafe { &*p_node };
+        let y = p.key; // L259
+        let mut ins = Vec::new();
+        let mut del = Vec::new();
+        let mut cell = self.ruall.head(); // L260: +∞ sentinel
+        loop {
+            // L261–263: atomic-copy step (validated publication, DESIGN.md D3)
+            cell = self.ruall.advance_publishing(cell, &p.ruall_position);
+            let key = unsafe { (*cell).key() };
+            if key == NEG_INF {
+                break; // L268 (tail sentinel reached; payload is null)
+            }
+            if key < y {
+                // L264
+                let u_node = unsafe { (*cell).payload() };
+                let u = unsafe { &*u_node };
+                if u.status() != Status::Inactive && self.first_activated(u_node) {
+                    // L265
+                    let bucket = if u.kind() == Kind::Ins { &mut ins } else { &mut del };
+                    if !bucket.contains(&u_node) {
+                        bucket.push(u_node); // L266–267
+                    }
+                }
+            }
+        }
+        (ins, del) // L269
+    }
+
+    // ------------------------------------------------------------------
+    // Set operations
+    // ------------------------------------------------------------------
+
+    /// `Search(x)` (lines 121–124): O(1) worst case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x ≥ universe`.
+    pub fn contains(&self, x: Key) -> bool {
+        let x = self.check_key(x);
+        let u_node = self.find_latest(x); // L122
+        unsafe { (*u_node).kind() == Kind::Ins } // L123–124
+    }
+
+    /// `Insert(x)` (lines 162–180): adds `x`; returns `true` iff this call
+    /// was S-modifying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x ≥ universe`.
+    pub fn insert(&self, x: Key) -> bool {
+        let x = self.check_key(x);
+        let d_node = self.find_latest(x); // L163
+        if unsafe { (*d_node).kind() } != Kind::Del {
+            return false; // L164: x already in S
+        }
+        // L165–167: new inactive INS node with latestNext → dNode.
+        let i_node = self
+            .core
+            .alloc_node(UpdateNode::new_ins(x, Status::Inactive, d_node, self.core.b()));
+        // L168: dNode.latestNext.target.stop ← True (⊥-tolerant).
+        let prev_ins = unsafe { (*d_node).latest_next() };
+        if !prev_ins.is_null() {
+            let target = unsafe { (*prev_ins).target() };
+            if !target.is_null() {
+                unsafe { (*target).set_stop() };
+            }
+        }
+        unsafe { (*d_node).clear_latest_next() }; // L169
+        if !self.core.cas_latest(x, d_node, i_node) {
+            // L170 failed: help the Insert that won, then return.
+            self.help_activate(self.core.latest_head(x)); // L171
+            return false; // L172
+        }
+        self.announce(i_node); // L173
+        unsafe { (*i_node).activate() }; // L174: linearization point
+        unsafe { (*i_node).clear_latest_next() }; // L175
+        bitops::insert_binary_trie(&self.core, self, i_node); // L176
+        self.notify_pred_ops(i_node); // L177
+        unsafe { (*i_node).set_completed() }; // L178
+        self.deannounce(i_node); // L179
+        true // L180
+    }
+
+    /// `Delete(x)` (lines 181–206): removes `x`; returns `true` iff this
+    /// call was S-modifying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x ≥ universe`.
+    pub fn remove(&self, x: Key) -> bool {
+        let x = self.check_key(x);
+        let i_node = self.find_latest(x); // L182
+        if unsafe { (*i_node).kind() } != Kind::Ins {
+            return false; // L183: x not in S
+        }
+        // L184: first embedded predecessor (its announcement stays in the
+        // P-ALL until this Delete returns).
+        let (del_pred, p_node1) = self.pred_helper(x);
+        // L185–189: new inactive DEL node recording the embedded result.
+        let d_node = self
+            .core
+            .alloc_node(UpdateNode::new_del(x, Status::Inactive, i_node, self.core.b()));
+        unsafe {
+            (*d_node).init_del_pred(del_pred); // L188
+            (*d_node).init_del_pred_node(p_node1); // L189
+            (*i_node).clear_latest_next(); // L190
+        }
+        self.notify_pred_ops(i_node); // L191: help previous Insert notify
+        if !self.core.cas_latest(x, i_node, d_node) {
+            // L192 failed
+            self.help_activate(self.core.latest_head(x)); // L193
+            self.remove_pred_node(p_node1); // L194
+            return false; // L195
+        }
+        self.announce(d_node); // L196
+        unsafe { (*d_node).activate() }; // L197: linearization point
+        // L198: iNode.target.stop ← True (⊥-tolerant).
+        let target = unsafe { (*i_node).target() };
+        if !target.is_null() {
+            unsafe { (*target).set_stop() };
+        }
+        unsafe { (*d_node).clear_latest_next() }; // L199
+        // L200–201: second embedded predecessor.
+        let (del_pred2, p_node2) = self.pred_helper(x);
+        unsafe { (*d_node).set_del_pred2(del_pred2) };
+        bitops::delete_binary_trie(&self.core, self, d_node); // L202
+        self.notify_pred_ops(d_node); // L203
+        unsafe { (*d_node).set_completed() }; // L204
+        self.deannounce(d_node); // L205
+        self.remove_pred_node(p_node1); // L206
+        self.remove_pred_node(p_node2);
+        true
+    }
+
+    /// `Predecessor(y)` (lines 253–256): the largest key in the set smaller
+    /// than `y`, or `None` (the paper's −1). Linearizable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y ≥ universe`.
+    pub fn predecessor(&self, y: Key) -> Option<Key> {
+        let y = self.check_key(y);
+        let (pred, p_node) = self.pred_helper(y); // L254
+        self.remove_pred_node(p_node); // L255
+        if pred == NO_PRED {
+            None
+        } else {
+            Some(pred as Key) // L256
+        }
+    }
+
+    fn remove_pred_node(&self, p_node: *mut PredNode) {
+        let cell = unsafe { (*p_node).pall_cell() };
+        self.pall.remove(cell);
+    }
+
+    // ------------------------------------------------------------------
+    // PredHelper (lines 207–252)
+    // ------------------------------------------------------------------
+
+    /// `PredHelper(y)`: computes the candidate return values and returns the
+    /// largest, along with the still-announced predecessor node.
+    fn pred_helper(&self, y: i64) -> (i64, *mut PredNode) {
+        // L208–209: announce.
+        let p_node = self.preds.alloc(PredNode::new(y));
+        let p_cell = self.pall.insert(p_node);
+        unsafe { (*p_node).set_pall_cell(p_cell) };
+
+        // L210–214: Q = announcements older than ours, oldest-first (the
+        // traversal prepends, so walking newest→oldest yields oldest-first).
+        let q: Vec<*mut PredNode> = {
+            let mut q: Vec<*mut PredNode> = self
+                .pall
+                .iter_after(p_cell)
+                .map(|c| unsafe { (*c).payload() })
+                .collect();
+            q.reverse();
+            q
+        };
+
+        let (i_ruall, d_ruall) = self.traverse_ruall(p_node); // L215
+        let r0 = bitops::relaxed_predecessor(&self.core, self, y); // L216
+        let (i_uall, d_uall) = self.traverse_uall(y); // L217
+
+        // L218–227: collect notifications (head read = C_notify).
+        let mut i_notify: Vec<*mut UpdateNode> = Vec::new();
+        let mut d_notify: Vec<*mut UpdateNode> = Vec::new();
+        let p = unsafe { &*p_node };
+        for record in p.notify_list.iter() {
+            // L219: notify nodes with key < y only.
+            if record.key >= y {
+                continue;
+            }
+            let u_node = record.update_node;
+            if unsafe { (*u_node).kind() } == Kind::Ins {
+                // L220
+                if record.notify_threshold <= record.key && !i_notify.contains(&u_node) {
+                    i_notify.push(u_node); // L221–222
+                }
+            } else if record.notify_threshold < record.key && !d_notify.contains(&u_node) {
+                d_notify.push(u_node); // L223–225
+            }
+            // L226–227: accept the notifier's updateNodeMax when the
+            // notification arrived after our RU-ALL traversal finished and
+            // the notifier itself was not seen during that traversal.
+            if record.notify_threshold == NEG_INF
+                && !i_ruall.contains(&u_node)
+                && !d_ruall.contains(&u_node)
+                && !record.update_node_max.is_null()
+                && !i_notify.contains(&record.update_node_max)
+            {
+                i_notify.push(record.update_node_max);
+            }
+        }
+
+        // L228: r1 = max key over Iuall ∪ Inotify ∪ (Duall−Druall) ∪ (Dnotify−Druall).
+        let mut r1 = NO_PRED;
+        for &u in i_uall.iter().chain(i_notify.iter()) {
+            r1 = r1.max(unsafe { (*u).key() });
+        }
+        for &u in d_uall.iter().chain(d_notify.iter()) {
+            if !d_ruall.contains(&u) {
+                r1 = r1.max(unsafe { (*u).key() });
+            }
+        }
+
+        // L229–251: the relaxed traversal failed — recover from embedded
+        // predecessor results.
+        let r0_val = match r0 {
+            Some(v) => v,
+            None => {
+                self.relaxed_bottoms.fetch_add(1, Ordering::Relaxed);
+                if d_ruall.is_empty() {
+                    NO_PRED // only r1 constrains the answer (see §5.2)
+                } else {
+                    self.recoveries.fetch_add(1, Ordering::Relaxed);
+                    self.recover_from_embedded(y, p_node, &q, &d_ruall) // L230–251
+                }
+            }
+        };
+        (r0_val.max(r1), p_node) // L252
+    }
+
+    /// Lines 231–251: Definition 5.1's graph computation over the notify
+    /// lists of this operation and of the oldest relevant embedded
+    /// predecessor.
+    fn recover_from_embedded(
+        &self,
+        y: i64,
+        p_node: *mut PredNode,
+        q: &[*mut PredNode],
+        d_ruall: &[*mut UpdateNode],
+    ) -> i64 {
+        // L232: predecessor nodes of the first embedded predecessors of
+        // Druall's deletes.
+        let pred_nodes: Vec<*mut PredNode> = d_ruall
+            .iter()
+            .map(|&d| unsafe { (*d).del_pred_node() })
+            .collect();
+
+        // L231–236: L1 from the *earliest announced* such node we saw in Q
+        // (Q is oldest-first, so the first match).
+        let mut l1: Vec<*mut UpdateNode> = Vec::new();
+        if let Some(&earliest) = q.iter().find(|&&pn| pred_nodes.contains(&pn)) {
+            // L233–234
+            for record in unsafe { &*earliest }.notify_list.iter() {
+                // L235–236: prepend updateNode if not already present.
+                if record.key < y && !l1.contains(&record.update_node) {
+                    l1.insert(0, record.update_node);
+                }
+            }
+        }
+
+        // L237–241: L2 from our own notify list; also remove from L1 every
+        // update node that notified us.
+        let mut l2: Vec<*mut UpdateNode> = Vec::new();
+        for record in unsafe { &*p_node }.notify_list.iter() {
+            // L238
+            if record.key >= y {
+                continue;
+            }
+            l1.retain(|&u| u != record.update_node); // L239
+            if record.notify_threshold >= record.key && !l2.contains(&record.update_node) {
+                l2.insert(0, record.update_node); // L240–241
+            }
+        }
+
+        // L242: L = L1 · L2.
+        let mut l: Vec<*mut UpdateNode> = l1;
+        l.extend(l2);
+
+        // L243: drop DEL nodes that are not the last update node in L with
+        // their key (so ≤ 1 DEL node per key survives).
+        let l: Vec<*mut UpdateNode> = l
+            .iter()
+            .enumerate()
+            .filter(|&(i, &u)| {
+                let is_ins = unsafe { (*u).kind() } == Kind::Ins;
+                is_ins
+                    || !l[i + 1..]
+                        .iter()
+                        .any(|&v| unsafe { (*v).key() } == unsafe { (*u).key() })
+            })
+            .map(|(_, &u)| u)
+            .collect();
+
+        // L244–246 (Definition 5.1): edges key(dNode) → dNode.delPred2 for
+        // DEL nodes in L. Each vertex has ≤ 1 outgoing edge and every edge
+        // strictly decreases the key, so chains terminate.
+        let mut edges: Vec<(i64, i64)> = Vec::new();
+        for &u in &l {
+            if unsafe { (*u).kind() } == Kind::Del {
+                match unsafe { (*u).del_pred2() } {
+                    Some(dp2) => edges.push((unsafe { (*u).key() }, dp2)),
+                    None => {
+                        // A DEL node only notifies after line 201 set
+                        // delPred2, so this cannot happen (§5.2).
+                        debug_assert!(false, "DEL node in L without delPred2");
+                    }
+                }
+            }
+        }
+        let out_edge = |v: i64| edges.iter().find(|&&(u, _)| u == v).map(|&(_, w)| w);
+
+        // L247–248: X = delPred results of Druall ∪ keys of INS nodes in L.
+        let mut x_set: Vec<i64> = d_ruall.iter().map(|&d| unsafe { (*d).del_pred() }).collect();
+        for &u in &l {
+            if unsafe { (*u).kind() } == Kind::Ins {
+                x_set.push(unsafe { (*u).key() });
+            }
+        }
+
+        // L249: R = sinks of T_L reachable from X (edges strictly decrease,
+        // so following out-edges terminates at the sink).
+        let mut r_set: Vec<i64> = Vec::new();
+        for &start in &x_set {
+            let mut v = start;
+            while let Some(next) = out_edge(v) {
+                debug_assert!(next < v, "delPred2 edges must decrease (Def. 5.1)");
+                v = next;
+            }
+            r_set.push(v);
+        }
+
+        // L250: deleted keys (per Druall) cannot be answers.
+        r_set.retain(|&w| !d_ruall.iter().any(|&d| unsafe { (*d).key() } == w));
+
+        // L251: max R; the paper proves R is non-empty here.
+        r_set.into_iter().max().unwrap_or(NO_PRED)
+    }
+
+    // ------------------------------------------------------------------
+    // Stall injection (experiment E7: lock-freedom witness)
+    // ------------------------------------------------------------------
+
+    /// Performs `Insert(x)` up to and including its linearization point
+    /// (line 174) and then **abandons** the operation: the interpreted bits
+    /// are never updated, no notifications are sent, and the announcement is
+    /// never withdrawn — exactly the footprint of a thread that crashed
+    /// mid-insert.
+    ///
+    /// Lock-freedom (and the helping protocol) guarantees all other
+    /// operations keep completing and stay linearizable; experiment E7 uses
+    /// this as the stalled-updater witness. Returns `true` if the stalled
+    /// insert was S-modifying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x ≥ universe`.
+    #[cfg(feature = "stall-injection")]
+    pub fn insert_stalled_after_activation(&self, x: Key) -> bool {
+        let x = self.check_key(x);
+        let d_node = self.find_latest(x); // L163
+        if unsafe { (*d_node).kind() } != Kind::Del {
+            return false;
+        }
+        let i_node = self
+            .core
+            .alloc_node(UpdateNode::new_ins(x, Status::Inactive, d_node, self.core.b()));
+        let prev_ins = unsafe { (*d_node).latest_next() };
+        if !prev_ins.is_null() {
+            let target = unsafe { (*prev_ins).target() };
+            if !target.is_null() {
+                unsafe { (*target).set_stop() };
+            }
+        }
+        unsafe { (*d_node).clear_latest_next() };
+        if !self.core.cas_latest(x, d_node, i_node) {
+            self.help_activate(self.core.latest_head(x));
+            return false;
+        }
+        self.announce(i_node);
+        unsafe { (*i_node).activate() }; // linearized …
+        true // … and abandoned here (no L175–179).
+    }
+
+    /// Performs `Insert(x)` up to — but **not including** — activation: the
+    /// new INS node is installed at the head of the `latest[x]` list with
+    /// status `Inactive` and is *not yet announced or linearized*. Until
+    /// some operation helps (`HelpActivate`), `FindLatest(x)` must resolve
+    /// through `latestNext` (lines 118–120) and report the *previous* state.
+    ///
+    /// Returns `true` if the node was installed (the stall is in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x ≥ universe`.
+    #[cfg(feature = "stall-injection")]
+    pub fn insert_stalled_before_activation(&self, x: Key) -> bool {
+        let x = self.check_key(x);
+        let d_node = self.find_latest(x); // L163
+        if unsafe { (*d_node).kind() } != Kind::Del {
+            return false;
+        }
+        let i_node = self
+            .core
+            .alloc_node(UpdateNode::new_ins(x, Status::Inactive, d_node, self.core.b()));
+        let prev_ins = unsafe { (*d_node).latest_next() };
+        if !prev_ins.is_null() {
+            let target = unsafe { (*prev_ins).target() };
+            if !target.is_null() {
+                unsafe { (*target).set_stop() };
+            }
+        }
+        unsafe { (*d_node).clear_latest_next() }; // L169
+        if !self.core.cas_latest(x, d_node, i_node) {
+            self.help_activate(self.core.latest_head(x));
+            return false;
+        }
+        true // abandoned before L173–174: inactive, unannounced.
+    }
+
+    /// Performs `Delete(x)` through its linearization point and the second
+    /// embedded predecessor (line 201) and then **abandons** it: the
+    /// interpreted bits on `x`'s path remain stale 1s, its DEL node stays
+    /// announced in the U-ALL/RU-ALL, and its two embedded predecessor
+    /// nodes stay announced in the P-ALL — precisely the state that forces
+    /// concurrent `Predecessor` operations into the ⊥-recovery computation
+    /// of Definition 5.1 (`tests/recovery.rs` exercises this
+    /// deterministically). Returns `true` if the stalled delete was
+    /// S-modifying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x ≥ universe`.
+    #[cfg(feature = "stall-injection")]
+    pub fn remove_stalled_before_trie_update(&self, x: Key) -> bool {
+        let x = self.check_key(x);
+        let i_node = self.find_latest(x); // L182
+        if unsafe { (*i_node).kind() } != Kind::Ins {
+            return false;
+        }
+        let (del_pred, p_node1) = self.pred_helper(x); // L184
+        let d_node = self
+            .core
+            .alloc_node(UpdateNode::new_del(x, Status::Inactive, i_node, self.core.b()));
+        unsafe {
+            (*d_node).init_del_pred(del_pred); // L188
+            (*d_node).init_del_pred_node(p_node1); // L189
+            (*i_node).clear_latest_next(); // L190
+        }
+        self.notify_pred_ops(i_node); // L191
+        if !self.core.cas_latest(x, i_node, d_node) {
+            self.help_activate(self.core.latest_head(x));
+            self.remove_pred_node(p_node1);
+            return false;
+        }
+        self.announce(d_node); // L196
+        unsafe { (*d_node).activate() }; // L197: linearized …
+        let target = unsafe { (*i_node).target() };
+        if !target.is_null() {
+            unsafe { (*target).set_stop() };
+        }
+        unsafe { (*d_node).clear_latest_next() }; // L199
+        let (del_pred2, _p_node2) = self.pred_helper(x); // L200
+        unsafe { (*d_node).set_del_pred2(del_pred2) }; // L201
+        true // … and abandoned here (no L202–206).
+    }
+
+    // ------------------------------------------------------------------
+    // Diagnostics
+    // ------------------------------------------------------------------
+
+    /// Quiescent snapshot of the set's contents (O(u); for tests, examples
+    /// and experiment verification — not part of the paper's API).
+    pub fn collect_keys(&self) -> Vec<Key> {
+        (0..self.universe).filter(|&x| self.contains(x)).collect()
+    }
+
+    /// Diagnostic counters: `(relaxed-⊥ occurrences, recovery-path runs)`
+    /// across all `predecessor` calls so far (experiment E5).
+    pub fn traversal_stats(&self) -> (u64, u64) {
+        (
+            self.relaxed_bottoms.load(Ordering::Relaxed),
+            self.recoveries.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of live announcements `(U-ALL, RU-ALL, P-ALL)` — all zero at
+    /// quiescence (Figure 5 shape checks).
+    pub fn announcement_lens(&self) -> (usize, usize, usize) {
+        (self.uall.len(), self.ruall.len(), self.pall.len())
+    }
+
+    /// Total update nodes allocated (E6 space metric; includes the `2^b`
+    /// dummies).
+    pub fn allocated_nodes(&self) -> usize {
+        self.core.allocated_nodes()
+    }
+}
+
+impl core::fmt::Debug for LockFreeBinaryTrie {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let (uall, ruall, pall) = self.announcement_lens();
+        f.debug_struct("LockFreeBinaryTrie")
+            .field("universe", &self.universe)
+            .field("uall", &uall)
+            .field("ruall", &ruall)
+            .field("pall", &pall)
+            .field("allocated_nodes", &self.allocated_nodes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn model_pred(model: &BTreeSet<u64>, y: u64) -> Option<u64> {
+        model.range(..y).next_back().copied()
+    }
+
+    #[test]
+    fn empty_trie_behaviour() {
+        let t = LockFreeBinaryTrie::new(16);
+        assert!(!t.contains(7));
+        assert_eq!(t.predecessor(15), None);
+        assert!(!t.remove(3), "delete of absent key is not S-modifying");
+    }
+
+    #[test]
+    fn basic_insert_search_delete_predecessor() {
+        let t = LockFreeBinaryTrie::new(64);
+        assert!(t.insert(10));
+        assert!(t.insert(20));
+        assert!(!t.insert(20));
+        assert!(t.contains(10));
+        assert_eq!(t.predecessor(15), Some(10));
+        assert_eq!(t.predecessor(21), Some(20));
+        assert_eq!(t.predecessor(10), None);
+        assert!(t.remove(10));
+        assert_eq!(t.predecessor(15), None);
+        assert_eq!(t.predecessor(21), Some(20));
+    }
+
+    #[test]
+    fn announcements_drain_at_quiescence() {
+        let t = LockFreeBinaryTrie::new(32);
+        for x in 0..32 {
+            t.insert(x);
+        }
+        for x in (0..32).step_by(2) {
+            t.remove(x);
+        }
+        for y in 0..32 {
+            let _ = t.predecessor(y);
+        }
+        assert_eq!(t.announcement_lens(), (0, 0, 0));
+    }
+
+    #[test]
+    fn sequential_random_ops_match_btreeset() {
+        let universe = 128u64;
+        let t = LockFreeBinaryTrie::new(universe);
+        let mut model = BTreeSet::new();
+        let mut state = 0xB7E151628AED2A6Bu64;
+        for step in 0..20_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = (state >> 33) % universe;
+            match state % 4 {
+                0 => assert_eq!(t.insert(x), model.insert(x), "insert {x} @{step}"),
+                1 => assert_eq!(t.remove(x), model.remove(&x), "remove {x} @{step}"),
+                2 => assert_eq!(t.contains(x), model.contains(&x), "contains {x} @{step}"),
+                _ => assert_eq!(t.predecessor(x), model_pred(&model, x), "pred {x} @{step}"),
+            }
+        }
+        assert_eq!(t.announcement_lens(), (0, 0, 0));
+    }
+
+    #[test]
+    fn delete_runs_embedded_predecessors() {
+        let t = LockFreeBinaryTrie::new(16);
+        t.insert(3);
+        t.insert(9);
+        // Deleting 9 runs PredHelper(9) twice; both should see 3.
+        assert!(t.remove(9));
+        assert_eq!(t.predecessor(10), Some(3));
+        assert_eq!(t.announcement_lens(), (0, 0, 0));
+    }
+
+    #[test]
+    fn concurrent_disjoint_stripes_agree_with_models() {
+        let universe = 1u64 << 9;
+        let t = Arc::new(LockFreeBinaryTrie::new(universe));
+        let handles: Vec<_> = (0..4u64)
+            .map(|tid| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    let lo = tid * 128;
+                    let mut model = BTreeSet::new();
+                    let mut state = tid ^ 0xDEADBEEFCAFEF00D;
+                    for _ in 0..3_000 {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let x = lo + (state >> 33) % 128;
+                        if state % 2 == 0 {
+                            assert_eq!(t.insert(x), model.insert(x));
+                        } else {
+                            assert_eq!(t.remove(x), model.remove(&x));
+                        }
+                    }
+                    (lo, model)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lo, model) = h.join().unwrap();
+            for x in lo..lo + 128 {
+                assert_eq!(t.contains(x), model.contains(&x), "key {x}");
+            }
+        }
+        assert_eq!(t.announcement_lens(), (0, 0, 0));
+    }
+
+    #[test]
+    fn predecessor_remains_exact_under_update_contention() {
+        // Writers toggle "noise" keys while a fixed key below them stays
+        // put; predecessor(noise_floor) must always see the fixed key.
+        let t = Arc::new(LockFreeBinaryTrie::new(256));
+        t.insert(10); // fixed
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::SeqCst) {
+                        let k = 100 + ((w * 31 + i * 7) % 64);
+                        t.insert(k);
+                        t.remove(k);
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..10_000 {
+            // 50 < 100: noise is above the query, must never affect it.
+            assert_eq!(t.predecessor(50), Some(10));
+        }
+        // Queries above the noise must return ≥ 10 and < 200, and any key
+        // they return must be 10 or a noise key.
+        for _ in 0..10_000 {
+            match t.predecessor(200) {
+                Some(k) => assert!(k == 10 || (100..164).contains(&k), "got {k}"),
+                None => panic!("10 is always present"),
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+        for w in writers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn racing_inserts_of_same_key_one_wins() {
+        let t = Arc::new(LockFreeBinaryTrie::new(8));
+        let wins: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || t.insert(5))
+            })
+            .collect();
+        let total: usize = wins.into_iter().map(|h| usize::from(h.join().unwrap())).sum();
+        assert_eq!(total, 1, "exactly one S-modifying insert");
+        assert!(t.contains(5));
+        assert_eq!(t.announcement_lens(), (0, 0, 0));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the implicit trie geometry: the identities every
+//! traversal in `bitops` relies on.
+
+use lftrie_core::layout::Layout;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn leaf_roundtrip(universe in 2u64..(1 << 20), key_frac in 0.0f64..1.0) {
+        let layout = Layout::new(universe);
+        let key = ((layout.num_leaves() - 1) as f64 * key_frac) as u64;
+        let leaf = layout.leaf(key);
+        prop_assert!(layout.is_leaf(leaf));
+        prop_assert_eq!(layout.leaf_key(leaf), key);
+        prop_assert_eq!(layout.height(leaf), 0);
+    }
+
+    #[test]
+    fn parent_child_inverse(universe in 4u64..(1 << 16), node_frac in 0.0f64..1.0) {
+        let layout = Layout::new(universe);
+        let max_internal = layout.num_leaves() - 1;
+        let node = 1 + (max_internal as f64 * node_frac) as u64;
+        if !layout.is_leaf(node) {
+            prop_assert_eq!(layout.parent(layout.left(node)), node);
+            prop_assert_eq!(layout.parent(layout.right(node)), node);
+            prop_assert_eq!(layout.sibling(layout.left(node)), layout.right(node));
+            prop_assert!(layout.is_left_child(layout.left(node)));
+            prop_assert!(!layout.is_left_child(layout.right(node)));
+        }
+    }
+
+    #[test]
+    fn key_range_contains_exactly_the_subtree_leaves(
+        universe in 4u64..(1 << 12),
+        node_frac in 0.0f64..1.0,
+    ) {
+        let layout = Layout::new(universe);
+        let total = 2 * layout.num_leaves() - 1;
+        let node = 1 + ((total - 1) as f64 * node_frac) as u64;
+        let (lo, hi) = layout.key_range(node);
+        // Walking down-left reaches lo's leaf; down-right reaches hi's leaf.
+        let mut l = node;
+        while !layout.is_leaf(l) {
+            l = layout.left(l);
+        }
+        let mut r = node;
+        while !layout.is_leaf(r) {
+            r = layout.right(r);
+        }
+        prop_assert_eq!(layout.leaf_key(l), lo);
+        prop_assert_eq!(layout.leaf_key(r), hi);
+        prop_assert_eq!(layout.leftmost_key(node), lo);
+    }
+
+    #[test]
+    fn path_to_root_has_height_many_steps(universe in 2u64..(1 << 16), key_frac in 0.0f64..1.0) {
+        let layout = Layout::new(universe);
+        let key = ((layout.num_leaves() - 1) as f64 * key_frac) as u64;
+        let path: Vec<_> = layout.path_to_root(layout.leaf(key)).collect();
+        prop_assert_eq!(path.len() as u32, layout.bits() + 1);
+        prop_assert_eq!(*path.last().unwrap(), Layout::ROOT);
+        for pair in path.windows(2) {
+            prop_assert_eq!(layout.parent(pair[0]), pair[1]);
+            prop_assert_eq!(layout.height(pair[1]), layout.height(pair[0]) + 1);
+        }
+        // Every node on the path covers the key.
+        for &node in &path {
+            let (lo, hi) = layout.key_range(node);
+            prop_assert!(lo <= key && key <= hi);
+        }
+    }
+
+    #[test]
+    fn universe_padding_is_minimal_power_of_two(universe in 2u64..(1 << 30)) {
+        let layout = Layout::new(universe);
+        let n = layout.num_leaves();
+        prop_assert!(n.is_power_of_two());
+        prop_assert!(n >= universe);
+        prop_assert!(n / 2 < universe, "padding must be minimal");
+        prop_assert_eq!(n, 1u64 << layout.bits());
+    }
+}

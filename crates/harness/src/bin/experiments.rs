@@ -1,0 +1,59 @@
+//! Experiment runner: regenerates every experiment of EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [e1 e2 … e7 | all] [--quick]
+//! ```
+//!
+//! E1–E3 measure *step complexity* and need the `step-count` feature:
+//!
+//! ```text
+//! cargo run -p lftrie-harness --release --features step-count --bin experiments -- e1 e2 e3
+//! ```
+
+use lftrie_harness::{experiments, report, steps_enabled};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"]
+            .map(String::from)
+            .to_vec();
+    }
+
+    report::print_environment();
+    if quick {
+        println!("mode: --quick (reduced sizes)");
+    }
+
+    for exp in &wanted {
+        match exp.as_str() {
+            "e1" | "e2" | "e3" if !steps_enabled() => {
+                println!(
+                    "\n### {}: skipped — rebuild with `--features step-count` to measure steps",
+                    exp.to_uppercase()
+                );
+            }
+            "e1" => experiments::e1_search_steps(quick).print(),
+            "e2" => experiments::e2_relaxed_op_steps(quick).print(),
+            "e3" => experiments::e3_contention_steps(quick).print(),
+            "e4" => {
+                for table in experiments::e4_throughput(quick) {
+                    table.print();
+                }
+            }
+            "e5" => experiments::e5_bottom_rate(quick).print(),
+            "e6" => experiments::e6_space(quick).print(),
+            "e7" => experiments::e7_progress(quick).print(),
+            "e8" => experiments::e8_latency(quick).print(),
+            other => eprintln!("unknown experiment: {other} (expected e1..e8 or all)"),
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Long-running torture driver: continuous randomized concurrent load with
+//! periodic quiescent validation against a full `contains` scan.
+//!
+//! ```text
+//! cargo run --release -p lftrie-harness --bin torture -- [seconds] [threads] [log2_universe]
+//! ```
+//!
+//! Defaults: 10 seconds, 4 threads, universe 2^10. Exits non-zero on any
+//! consistency violation.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lftrie_core::LockFreeBinaryTrie;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let seconds = args.first().copied().unwrap_or(10);
+    let threads = args.get(1).copied().unwrap_or(4) as usize;
+    let log2_u = args.get(2).copied().unwrap_or(10).min(24);
+    let universe = 1u64 << log2_u;
+
+    println!("torture: {seconds}s, {threads} threads, universe 2^{log2_u}");
+    let deadline = Instant::now() + Duration::from_secs(seconds);
+    let mut round = 0u64;
+    let total_ops = Arc::new(AtomicU64::new(0));
+
+    while Instant::now() < deadline {
+        round += 1;
+        let trie = Arc::new(LockFreeBinaryTrie::new(universe));
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let trie = Arc::clone(&trie);
+                let stop = Arc::clone(&stop);
+                let total_ops = Arc::clone(&total_ops);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(round ^ (t as u64) << 32);
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let k = rng.gen_range(0..universe);
+                        match rng.gen_range(0..10) {
+                            0..=2 => {
+                                trie.insert(k);
+                            }
+                            3..=5 => {
+                                trie.remove(k);
+                            }
+                            6 => {
+                                std::hint::black_box(trie.contains(k));
+                            }
+                            _ => {
+                                if let Some(p) = trie.predecessor(k.max(1)) {
+                                    assert!(p < k.max(1), "pred returned ≥ query");
+                                }
+                            }
+                        }
+                        n += 1;
+                    }
+                    total_ops.fetch_add(n, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            w.join().unwrap();
+        }
+
+        // Quiescent validation.
+        let present: Vec<u64> = (0..universe).filter(|&x| trie.contains(x)).collect();
+        for y in (1..universe).step_by(7) {
+            let expected = present.iter().rev().find(|&&k| k < y).copied();
+            let got = trie.predecessor(y);
+            if got != expected {
+                eprintln!("round {round}: predecessor({y}) = {got:?}, expected {expected:?}");
+                std::process::exit(1);
+            }
+        }
+        let (uall, ruall, pall) = trie.announcement_lens();
+        if (uall, ruall, pall) != (0, 0, 0) {
+            eprintln!("round {round}: announcements leaked: {uall}/{ruall}/{pall}");
+            std::process::exit(1);
+        }
+        let (bottoms, recoveries) = trie.traversal_stats();
+        print!(
+            "\rround {round}: ok ({} ops total, ⊥ seen {bottoms}, recoveries {recoveries})   ",
+            total_ops.load(Ordering::Relaxed)
+        );
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+    }
+    println!(
+        "\ntorture passed: {} rounds, {} ops",
+        round,
+        total_ops.load(Ordering::Relaxed)
+    );
+}

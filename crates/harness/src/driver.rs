@@ -1,0 +1,199 @@
+//! Multithreaded measurement driver.
+//!
+//! Spawns `threads` workers that apply deterministic operation streams to a
+//! shared structure, synchronized on a barrier, and reports wall-clock
+//! throughput plus (under the `step-count` feature) shared-memory steps per
+//! operation — the unit of the paper's complexity claims.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use lftrie_baselines::ConcurrentOrderedSet;
+use lftrie_primitives::steps;
+use serde::Serialize;
+
+use crate::workload::{apply, KeyDist, OpMix, OpStream};
+
+/// Configuration of one measured run.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RunConfig {
+    /// Worker count.
+    pub threads: usize,
+    /// Operations each worker performs.
+    pub ops_per_thread: u64,
+    /// Universe size keys are drawn from.
+    pub universe: u64,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Key-popularity distribution.
+    pub keys: KeyDist,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// Result of one measured run.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RunResult {
+    /// Total operations applied.
+    pub total_ops: u64,
+    /// Wall-clock time of the measured section.
+    pub elapsed: Duration,
+    /// Million operations per second (all threads combined).
+    pub mops: f64,
+    /// Mean shared-memory steps per operation (0 without `step-count`).
+    pub steps_per_op: f64,
+    /// Mean CAS operations per operation (0 without `step-count`).
+    pub cas_per_op: f64,
+}
+
+/// Runs `cfg` against `set` and measures throughput (and steps under the
+/// `step-count` feature).
+///
+/// Workers run identical-length deterministic streams; the clock covers the
+/// span from the barrier release to the last worker finishing.
+pub fn run<S: ConcurrentOrderedSet + ?Sized>(set: &S, cfg: &RunConfig) -> RunResult {
+    let barrier = Barrier::new(cfg.threads + 1);
+    let total_steps = std::sync::Mutex::new(steps::StepCounts::default());
+
+    let started = std::thread::scope(|scope| {
+        for t in 0..cfg.threads {
+            let barrier = &barrier;
+            let total_steps = &total_steps;
+            let cfg = *cfg;
+            let set: &S = set;
+            scope.spawn(move || {
+                let mut stream =
+                    OpStream::with_dist(cfg.mix, cfg.keys, cfg.universe, cfg.seed, t as u64);
+                barrier.wait();
+                steps::reset();
+                for _ in 0..cfg.ops_per_thread {
+                    apply(set, stream.next_op());
+                }
+                let mine = steps::snapshot();
+                let mut agg = total_steps.lock().unwrap();
+                agg.reads += mine.reads;
+                agg.writes += mine.writes;
+                agg.cas += mine.cas;
+                agg.min_writes += mine.min_writes;
+            });
+        }
+        // Stamp the start *before* releasing the barrier: workers cannot
+        // pass it until this thread arrives, so the stamp lower-bounds every
+        // worker's first operation (stamping after the release races the
+        // workers on a single-core host and can observe an empty interval).
+        let start = Instant::now();
+        barrier.wait();
+        start
+        // scope joins all workers here
+    });
+    let elapsed = started.elapsed();
+
+    let total_ops = cfg.ops_per_thread * cfg.threads as u64;
+    let agg = total_steps.into_inner().unwrap();
+    RunResult {
+        total_ops,
+        elapsed,
+        mops: total_ops as f64 / elapsed.as_secs_f64() / 1e6,
+        steps_per_op: agg.total() as f64 / total_ops as f64,
+        cas_per_op: agg.cas as f64 / total_ops as f64,
+    }
+}
+
+/// Measures a single closure's steps on this thread (for the solo-op
+/// experiments E1/E2). Returns `(elapsed, steps)`.
+pub fn measure_solo<T>(f: impl FnOnce() -> T) -> (Duration, steps::StepCounts) {
+    steps::reset();
+    let start = Instant::now();
+    let _ = std::hint::black_box(f());
+    let elapsed = start.elapsed();
+    (elapsed, steps::snapshot())
+}
+
+/// Runs `f` on `threads` workers for `duration`, returning the number of
+/// completed calls (progress experiment E7). `stall` is invoked on a
+/// dedicated non-counted thread once the workers have started.
+pub fn run_against_stall<F, G>(threads: usize, duration: Duration, f: F, stall: G) -> u64
+where
+    F: Fn(usize) -> u64 + Sync,
+    G: FnOnce() + Send,
+{
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(threads + 2);
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for t in 0..threads {
+            let stop = &stop;
+            let barrier = &barrier;
+            let f = &f;
+            workers.push(scope.spawn(move || {
+                barrier.wait();
+                let mut done = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    done += f(t);
+                }
+                done
+            }));
+        }
+        scope.spawn(|| {
+            barrier.wait();
+            stall();
+        });
+        barrier.wait();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        workers.into_iter().map(|w| w.join().unwrap()).sum()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lftrie_baselines::CoarseBTreeSet;
+    use lftrie_core::LockFreeBinaryTrie;
+
+    #[test]
+    fn run_counts_every_operation() {
+        let set = LockFreeBinaryTrie::new(256);
+        let cfg = RunConfig {
+            threads: 2,
+            ops_per_thread: 500,
+            universe: 256,
+            mix: OpMix::BALANCED,
+            keys: KeyDist::Uniform,
+            seed: 3,
+        };
+        let res = run(&set, &cfg);
+        assert_eq!(res.total_ops, 1000);
+        assert!(res.mops > 0.0);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_final_state() {
+        let mk = || {
+            let set = CoarseBTreeSet::new();
+            let cfg = RunConfig {
+                threads: 1,
+                ops_per_thread: 2000,
+                universe: 128,
+                mix: OpMix::UPDATE_HEAVY,
+                keys: KeyDist::Uniform,
+                seed: 11,
+            };
+            run(&set, &cfg);
+            (0..128).filter(|&x| set.contains(x)).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn run_against_stall_reports_progress() {
+        let done = run_against_stall(
+            2,
+            Duration::from_millis(50),
+            |_| 1,
+            || std::thread::sleep(Duration::from_millis(10)),
+        );
+        assert!(done > 0);
+    }
+}

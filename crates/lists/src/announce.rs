@@ -1,0 +1,558 @@
+//! The sorted announcement lists: U-ALL and RU-ALL (paper §5.1).
+//!
+//! The *update announcement linked list* (U-ALL) is a lock-free linked list
+//! of update nodes sorted by key ascending; the *reverse update announcement
+//! linked list* (RU-ALL) mirrors its contents sorted by key descending. In
+//! both, a node with key `k` is inserted **after** every node with the same
+//! key, and both carry sentinels with keys `+∞` / `−∞` (the RU-ALL sentinels'
+//! keys are what `notifyThreshold` reads before/after a predecessor's
+//! traversal).
+//!
+//! The paper uses Fomitchev–Ruppert lists for their amortized bounds; we use
+//! Harris–Michael lists (CAS insert, logical delete by marking a cell's
+//! `next`, physical unlink during mutating searches) — see DESIGN.md D2. One
+//! structural difference matters: `HelpActivate` (paper line 130) lets a
+//! helper re-insert an update node that its owner already removed, so the
+//! same payload may transiently have several *cells* in a list. We therefore
+//! separate list cells from payloads and make [`AnnounceList::remove_all`]
+//! unlink every cell carrying the payload (each helper inserts at most one,
+//! so this is bounded by the helping degree).
+
+use core::fmt;
+use core::marker::PhantomData;
+
+use lftrie_primitives::marked::{AtomicMarkedPtr, MarkedPtr};
+use lftrie_primitives::registry::Registry;
+use lftrie_primitives::swcursor::PublishedKey;
+use lftrie_primitives::{NEG_INF, POS_INF};
+
+/// Sort direction of an announcement list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// U-ALL order: keys ascending, head sentinel `−∞`, tail sentinel `+∞`.
+    Ascending,
+    /// RU-ALL order: keys descending, head sentinel `+∞`, tail sentinel `−∞`.
+    Descending,
+}
+
+impl Direction {
+    /// True if a cell with key `a` must appear strictly after every cell with
+    /// key `b` — i.e. `a` is past the insertion region for key `b`.
+    #[inline]
+    fn strictly_after(self, a: i64, b: i64) -> bool {
+        match self {
+            Direction::Ascending => a > b,
+            Direction::Descending => a < b,
+        }
+    }
+}
+
+/// One list cell: an immutable key, an immutable payload pointer, and the
+/// markable `next` link.
+pub struct Cell<P> {
+    key: i64,
+    payload: *mut P,
+    next: AtomicMarkedPtr<Cell<P>>,
+}
+
+impl<P> Cell<P> {
+    /// The cell's key (a universe key, or a sentinel `±∞`).
+    #[inline]
+    pub fn key(&self) -> i64 {
+        self.key
+    }
+
+    /// The announced payload (null on sentinels).
+    #[inline]
+    pub fn payload(&self) -> *mut P {
+        self.payload
+    }
+}
+
+impl<P> fmt::Debug for Cell<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cell")
+            .field("key", &self.key)
+            .field("payload", &self.payload)
+            .finish()
+    }
+}
+
+/// A lock-free sorted announcement list (U-ALL / RU-ALL).
+///
+/// Duplicate keys are allowed and FIFO-ordered: a new cell is linked after
+/// every existing cell with an equal key, as §5.1 requires for both lists.
+///
+/// # Examples
+///
+/// ```
+/// use lftrie_lists::announce::{AnnounceList, Direction};
+///
+/// let uall: AnnounceList<u64> = AnnounceList::new(Direction::Ascending);
+/// let mut a = 7u64;
+/// let mut b = 3u64;
+/// uall.insert(7, &mut a);
+/// uall.insert(3, &mut b);
+/// let keys: Vec<i64> = uall.iter().map(|(k, _)| k).collect();
+/// assert_eq!(keys, vec![3, 7]);
+/// ```
+pub struct AnnounceList<P> {
+    head: *mut Cell<P>,
+    direction: Direction,
+    cells: Registry<Cell<P>>,
+}
+
+// Safety: the list owns its cells via the registry; payloads are raw pointers
+// whose dereference sites carry their own obligations.
+unsafe impl<P: Send + Sync> Send for AnnounceList<P> {}
+unsafe impl<P: Send + Sync> Sync for AnnounceList<P> {}
+
+impl<P> fmt::Debug for AnnounceList<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnnounceList")
+            .field("direction", &self.direction)
+            .field("len", &self.iter().count())
+            .finish()
+    }
+}
+
+impl<P> AnnounceList<P> {
+    /// Creates an empty list with its two sentinels.
+    pub fn new(direction: Direction) -> Self {
+        let cells = Registry::new();
+        let (head_key, tail_key) = match direction {
+            Direction::Ascending => (NEG_INF, POS_INF),
+            Direction::Descending => (POS_INF, NEG_INF),
+        };
+        let tail = cells.alloc(Cell {
+            key: tail_key,
+            payload: core::ptr::null_mut(),
+            next: AtomicMarkedPtr::null(),
+        });
+        let head = cells.alloc(Cell {
+            key: head_key,
+            payload: core::ptr::null_mut(),
+            next: AtomicMarkedPtr::new(MarkedPtr::new(tail, false)),
+        });
+        Self {
+            head,
+            direction,
+            cells,
+        }
+    }
+
+    /// The head sentinel (`−∞` ascending, `+∞` descending). RU-ALL traversals
+    /// start here so that `RuallPosition` initially publishes `+∞` (paper
+    /// line 108).
+    #[inline]
+    pub fn head(&self) -> *mut Cell<P> {
+        self.head
+    }
+
+    /// The list's sort direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Finds the insertion window for `key`: returns `(pred, succ)` where
+    /// `pred` is the last unmarked cell not strictly after `key` and `succ`
+    /// its unmarked successor. Physically unlinks marked cells on the way
+    /// (Michael-style helping).
+    fn find(&self, key: i64) -> (*mut Cell<P>, *mut Cell<P>) {
+        'retry: loop {
+            let mut pred = self.head;
+            // Safety: cells live until the registry drops with the list.
+            let mut cur = unsafe { (*pred).next.load() }.ptr();
+            loop {
+                debug_assert!(!cur.is_null(), "tail sentinel is never passed");
+                let cur_next = unsafe { (*cur).next.load() };
+                if cur_next.is_marked() {
+                    // cur is logically deleted: unlink it from pred.
+                    let expected = MarkedPtr::new(cur, false);
+                    let replacement = MarkedPtr::new(cur_next.ptr(), false);
+                    if !unsafe { (*pred).next.compare_exchange(expected, replacement) } {
+                        continue 'retry;
+                    }
+                    cur = cur_next.ptr();
+                } else if self.direction.strictly_after(unsafe { (*cur).key }, key) {
+                    return (pred, cur);
+                } else {
+                    pred = cur;
+                    cur = cur_next.ptr();
+                }
+            }
+        }
+    }
+
+    /// Inserts a new cell announcing `payload` under `key`, after all equal
+    /// keys. Returns the cell.
+    pub fn insert(&self, key: i64, payload: *mut P) -> *mut Cell<P> {
+        let cell = self.cells.alloc(Cell {
+            key,
+            payload,
+            next: AtomicMarkedPtr::null(),
+        });
+        loop {
+            let (pred, succ) = self.find(key);
+            unsafe { (*cell).next.store(MarkedPtr::new(succ, false)) };
+            let expected = MarkedPtr::new(succ, false);
+            let new = MarkedPtr::new(cell, false);
+            if unsafe { (*pred).next.compare_exchange(expected, new) } {
+                return cell;
+            }
+        }
+    }
+
+    /// Logically deletes (and physically unlinks) **every** cell with key
+    /// `key` announcing `payload`. Returns the number of cells removed.
+    ///
+    /// Removal must be exhaustive because helpers may have announced the same
+    /// payload again after the owner's removal (paper lines 130/136).
+    pub fn remove_all(&self, key: i64, payload: *mut P) -> usize {
+        let mut removed = 0;
+        'retry: loop {
+            let mut pred = self.head;
+            let mut cur = unsafe { (*pred).next.load() }.ptr();
+            loop {
+                let cur_next = unsafe { (*cur).next.load() };
+                if cur_next.is_marked() {
+                    let expected = MarkedPtr::new(cur, false);
+                    let replacement = MarkedPtr::new(cur_next.ptr(), false);
+                    if !unsafe { (*pred).next.compare_exchange(expected, replacement) } {
+                        continue 'retry;
+                    }
+                    cur = cur_next.ptr();
+                    continue;
+                }
+                let cur_key = unsafe { (*cur).key };
+                if self.direction.strictly_after(cur_key, key) {
+                    return removed;
+                }
+                if cur_key == key && unsafe { (*cur).payload } == payload {
+                    // Mark, then loop without advancing so the unlink branch
+                    // above detaches it.
+                    let expected = MarkedPtr::new(cur_next.ptr(), false);
+                    let marked = MarkedPtr::new(cur_next.ptr(), true);
+                    if unsafe { (*cur).next.compare_exchange(expected, marked) } {
+                        removed += 1;
+                    }
+                    continue 'retry;
+                }
+                pred = cur;
+                cur = cur_next.ptr();
+            }
+        }
+    }
+
+    /// Read-only iterator over unmarked cells in list order (sentinels
+    /// excluded), yielding `(key, payload)`.
+    ///
+    /// The iterator follows live `next` pointers without helping; cells
+    /// concurrently removed may or may not be yielded, exactly like the
+    /// paper's traversals (the caller re-validates with `FirstActivated`).
+    pub fn iter(&self) -> Iter<'_, P> {
+        Iter {
+            cur: self.head,
+            _list: PhantomData,
+        }
+    }
+
+    /// Advances an RU-ALL traversal one hop, publishing the key of the
+    /// destination cell in `position` with the validate-retry protocol
+    /// standing in for the paper's atomic copy (line 262; DESIGN.md D3).
+    ///
+    /// Logically-deleted cells in front of the cursor are physically
+    /// unlinked before the hop (when `cur` itself is live): without this,
+    /// workloads whose keys trend monotonically never route an insertion or
+    /// removal scan past the dead region, the physical chain grows without
+    /// bound, and every traversal pays O(dead) — the paper's lists stay
+    /// O(contention) precisely because traversals help clean up.
+    ///
+    /// Returns the destination cell (possibly the tail sentinel, whose key is
+    /// `−∞`). `cur` must be a cell of this list that is not the tail.
+    pub fn advance_publishing(&self, cur: *mut Cell<P>, position: &PublishedKey) -> *mut Cell<P> {
+        loop {
+            let cur_link = unsafe { (*cur).next.load() };
+            let next = cur_link.ptr();
+            debug_assert!(!next.is_null(), "advance_publishing called on the tail");
+            let next_link = unsafe { (*next).next.load() };
+            if next_link.is_marked() && !cur_link.is_marked() {
+                // `next` is logically deleted and `cur` is live: unlink it
+                // and retry (on CAS failure the window changed; re-read).
+                let expected = MarkedPtr::new(next, false);
+                let replacement = MarkedPtr::new(next_link.ptr(), false);
+                let _ = unsafe { (*cur).next.compare_exchange(expected, replacement) };
+                continue;
+            }
+            // Validated copy: publish, then confirm the source is unchanged.
+            position.publish(unsafe { (*next).key });
+            let check = unsafe { (*cur).next.load() };
+            if check.ptr() == next {
+                return next;
+            }
+        }
+    }
+
+    /// Number of live (unmarked, non-sentinel) cells; O(n), for tests and
+    /// diagnostics.
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// Number of physically linked non-sentinel cells, marked included —
+    /// the quantity the traversal-side unlinking keeps bounded (tests and
+    /// diagnostics; O(n)).
+    pub fn physical_len(&self) -> usize {
+        let mut n = 0usize;
+        let mut cur = self.head;
+        loop {
+            let next = unsafe { (*cur).next.load() }.ptr();
+            if next.is_null() {
+                return n.saturating_sub(1); // last counted hop was the tail
+            }
+            n += 1;
+            cur = next;
+        }
+    }
+
+    /// True if no live cells are present.
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
+}
+
+/// Iterator over `(key, payload)` pairs; see [`AnnounceList::iter`].
+pub struct Iter<'a, P> {
+    cur: *mut Cell<P>,
+    _list: PhantomData<&'a AnnounceList<P>>,
+}
+
+impl<'a, P> Iterator for Iter<'a, P> {
+    type Item = (i64, *mut P);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let cur_link = unsafe { (*self.cur).next.load() };
+            let cell = cur_link.ptr();
+            if cell.is_null() {
+                return None; // walked off the tail sentinel
+            }
+            let cell_next = unsafe { (*cell).next.load() };
+            if cell_next.ptr().is_null() {
+                return None; // tail sentinel
+            }
+            if cell_next.is_marked() {
+                // Dead cell: help unlink it (only from a live predecessor)
+                // so monotone workloads cannot grow the physical chain.
+                if !cur_link.is_marked() {
+                    let expected = MarkedPtr::new(cell, false);
+                    let replacement = MarkedPtr::new(cell_next.ptr(), false);
+                    let _ = unsafe { (*self.cur).next.compare_exchange(expected, replacement) };
+                    continue; // re-read the (possibly repaired) link
+                }
+                self.cur = cell; // dead predecessor: just walk through
+                continue;
+            }
+            self.cur = cell;
+            return Some(unsafe { ((*cell).key, (*cell).payload) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn keys<P>(list: &AnnounceList<P>) -> Vec<i64> {
+        list.iter().map(|(k, _)| k).collect()
+    }
+
+    #[test]
+    fn ascending_orders_keys() {
+        let list: AnnounceList<u64> = AnnounceList::new(Direction::Ascending);
+        let mut payloads: Vec<u64> = (0..6).collect();
+        for (i, k) in [5i64, 1, 3, 2, 4, 0].iter().enumerate() {
+            list.insert(*k, &mut payloads[i]);
+        }
+        assert_eq!(keys(&list), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn descending_orders_keys() {
+        let list: AnnounceList<u64> = AnnounceList::new(Direction::Descending);
+        let mut payloads: Vec<u64> = (0..6).collect();
+        for (i, k) in [5i64, 1, 3, 2, 4, 0].iter().enumerate() {
+            list.insert(*k, &mut payloads[i]);
+        }
+        assert_eq!(keys(&list), vec![5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn duplicates_inserted_after_equals_fifo() {
+        for dir in [Direction::Ascending, Direction::Descending] {
+            let list: AnnounceList<u64> = AnnounceList::new(dir);
+            let mut a = 1u64;
+            let mut b = 2u64;
+            let mut c = 3u64;
+            list.insert(7, &mut a);
+            list.insert(7, &mut b);
+            list.insert(7, &mut c);
+            let payloads: Vec<*mut u64> = list.iter().map(|(_, p)| p).collect();
+            assert_eq!(
+                payloads,
+                vec![&mut a as *mut u64, &mut b as *mut u64, &mut c as *mut u64],
+                "equal keys must keep insertion (FIFO) order in {dir:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_all_removes_every_cell_of_payload() {
+        let list: AnnounceList<u64> = AnnounceList::new(Direction::Ascending);
+        let mut a = 1u64;
+        let mut b = 2u64;
+        // Simulate helper duplication: payload `a` announced twice.
+        list.insert(4, &mut a);
+        list.insert(4, &mut b);
+        list.insert(4, &mut a);
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.remove_all(4, &mut a), 2);
+        let payloads: Vec<*mut u64> = list.iter().map(|(_, p)| p).collect();
+        assert_eq!(payloads, vec![&mut b as *mut u64]);
+        assert_eq!(list.remove_all(4, &mut a), 0, "idempotent");
+    }
+
+    #[test]
+    fn sentinels_bound_traversal() {
+        let list: AnnounceList<u64> = AnnounceList::new(Direction::Descending);
+        assert!(list.is_empty());
+        let head = list.head();
+        assert_eq!(unsafe { (*head).key() }, POS_INF);
+        let cursor = PublishedKey::new(POS_INF);
+        let tail = list.advance_publishing(head, &cursor);
+        assert_eq!(unsafe { (*tail).key() }, NEG_INF);
+        assert_eq!(cursor.load(), NEG_INF);
+    }
+
+    #[test]
+    fn advance_publishing_walks_and_publishes_each_key() {
+        let list: AnnounceList<u64> = AnnounceList::new(Direction::Descending);
+        let mut payloads: Vec<u64> = (0..3).collect();
+        list.insert(10, &mut payloads[0]);
+        list.insert(20, &mut payloads[1]);
+        list.insert(30, &mut payloads[2]);
+        let cursor = PublishedKey::new(POS_INF);
+        let mut cell = list.head();
+        let mut seen = Vec::new();
+        loop {
+            cell = list.advance_publishing(cell, &cursor);
+            let k = unsafe { (*cell).key() };
+            assert_eq!(cursor.load(), k, "published key tracks the cursor");
+            if k == NEG_INF {
+                break;
+            }
+            seen.push(k);
+        }
+        assert_eq!(seen, vec![30, 20, 10]);
+    }
+
+    #[test]
+    fn monotone_churn_does_not_grow_the_descending_chain() {
+        // Regression: ascending keys in a descending list insert *before*
+        // the dead region, so insertion/removal scans never unlink old
+        // cells; traversals must do it instead (found via ablation A2/A3:
+        // every RU-ALL walk paid O(history)).
+        let list: AnnounceList<u64> = AnnounceList::new(Direction::Descending);
+        let mut payload = 7u64;
+        let p: *mut u64 = &mut payload;
+        for round in 0..10_000i64 {
+            list.insert(round, p);
+            assert_eq!(list.remove_all(round, p), 1);
+            if round % 256 == 0 {
+                // A traversal with the published cursor cleans as it goes.
+                let cursor = PublishedKey::new(POS_INF);
+                let mut cell = list.head();
+                while unsafe { (*cell).key() } != lftrie_primitives::NEG_INF {
+                    cell = list.advance_publishing(cell, &cursor);
+                }
+                assert!(
+                    list.physical_len() <= 2,
+                    "dead cells accumulated: {} at round {round}",
+                    list.physical_len()
+                );
+            }
+        }
+        // Plain iteration cleans too.
+        let _ = list.iter().count();
+        assert!(list.physical_len() <= 2);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn iterator_unlinks_dead_cells() {
+        let list: AnnounceList<u64> = AnnounceList::new(Direction::Ascending);
+        let mut a = 1u64;
+        for k in 0..100 {
+            list.insert(100 - k, &mut a); // descending keys in ascending list
+            list.remove_all(100 - k, &mut a);
+        }
+        assert!(list.physical_len() > 0 || list.is_empty());
+        let _ = list.iter().count();
+        assert!(
+            list.physical_len() <= 1,
+            "iter() must unlink dead cells, found {}",
+            list.physical_len()
+        );
+    }
+
+    #[test]
+    fn concurrent_insert_remove_keeps_order_and_converges() {
+        let list: Arc<AnnounceList<u64>> = Arc::new(AnnounceList::new(Direction::Ascending));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let list = Arc::clone(&list);
+            handles.push(std::thread::spawn(move || {
+                let mut payloads: Vec<u64> = (0..64).collect();
+                for round in 0..64u64 {
+                    let key = ((t * 64 + round) % 16) as i64;
+                    let p: *mut u64 = &mut payloads[round as usize];
+                    list.insert(key, p);
+                    // Interleave a second announcement of the same payload
+                    // (helper behaviour), then remove all of them.
+                    if round % 3 == 0 {
+                        list.insert(key, p);
+                    }
+                    assert!(list.remove_all(key, p) >= 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(list.is_empty(), "all announcements removed");
+    }
+
+    #[test]
+    fn concurrent_inserts_always_sorted() {
+        let list: Arc<AnnounceList<u64>> = Arc::new(AnnounceList::new(Direction::Ascending));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let list = Arc::clone(&list);
+            handles.push(std::thread::spawn(move || {
+                let mut payloads: Vec<u64> = (0..128).collect();
+                for i in 0..128usize {
+                    list.insert(((t * 131 + i as u64 * 17) % 97) as i64, &mut payloads[i]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let ks = keys(&list);
+        let mut sorted = ks.clone();
+        sorted.sort();
+        assert_eq!(ks, sorted);
+        assert_eq!(ks.len(), 4 * 128);
+    }
+}

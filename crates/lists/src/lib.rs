@@ -1,0 +1,38 @@
+//! Lock-free linked-list substrates for the lock-free binary trie (paper §5).
+//!
+//! The linearizable trie surrounds its wait-free relaxed trie with four
+//! auxiliary lists through which operations help and inform each other:
+//!
+//! | Paper structure | Module | Shape |
+//! |-----------------|--------|-------|
+//! | U-ALL (update announcements) | [`announce`] | sorted ascending, duplicate keys FIFO |
+//! | RU-ALL (reverse update announcements) | [`announce`] | sorted descending, published-cursor traversal |
+//! | P-ALL (predecessor announcements) | [`pall`] | unsorted LIFO with removal |
+//! | per-predecessor `notifyList` | [`pushstack`] | insert-only, guarded push |
+//!
+//! All lists are lock-free, separate their cells from the announced payloads
+//! (so helper re-announcements are harmless; DESIGN.md D2), and reclaim cells
+//! in bulk when dropped (DESIGN.md D4).
+//!
+//! # Examples
+//!
+//! ```
+//! use lftrie_lists::announce::{AnnounceList, Direction};
+//!
+//! let ruall: AnnounceList<()> = AnnounceList::new(Direction::Descending);
+//! ruall.insert(5, std::ptr::null_mut());
+//! ruall.insert(9, std::ptr::null_mut());
+//! let keys: Vec<i64> = ruall.iter().map(|(k, _)| k).collect();
+//! assert_eq!(keys, vec![9, 5]);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod announce;
+pub mod pall;
+pub mod pushstack;
+
+pub use announce::{AnnounceList, Direction};
+pub use pall::PallList;
+pub use pushstack::PushStack;

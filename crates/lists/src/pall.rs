@@ -1,0 +1,302 @@
+//! The predecessor announcement linked list, P-ALL (paper §5.1).
+//!
+//! An *unsorted* lock-free linked list of predecessor nodes. A
+//! `Predecessor(y)` operation announces itself by inserting its predecessor
+//! node at the head (paper line 209); just before completing it removes the
+//! node (line 255). `Delete` operations keep the predecessor nodes of their
+//! two embedded predecessor operations announced until the `Delete` returns
+//! (line 206). Update operations traverse the whole list to notify every
+//! announced predecessor (line 148), and a predecessor operation traverses
+//! the suffix starting at its own node to snapshot the older announcements
+//! into its sequence `Q` (lines 210–214).
+//!
+//! Head insertion gives exactly the recency order those traversals need:
+//! from any cell, `next` leads to strictly older announcements.
+
+use core::fmt;
+use core::marker::PhantomData;
+
+use lftrie_primitives::marked::{AtomicMarkedPtr, MarkedPtr};
+use lftrie_primitives::registry::Registry;
+
+/// One P-ALL cell announcing a predecessor node `P`.
+pub struct PallCell<P> {
+    payload: *mut P,
+    next: AtomicMarkedPtr<PallCell<P>>,
+}
+
+impl<P> PallCell<P> {
+    /// The announced predecessor node (null on the head sentinel).
+    #[inline]
+    pub fn payload(&self) -> *mut P {
+        self.payload
+    }
+}
+
+impl<P> fmt::Debug for PallCell<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PallCell")
+            .field("payload", &self.payload)
+            .finish()
+    }
+}
+
+/// The P-ALL: lock-free LIFO announcement list with arbitrary removal.
+///
+/// # Examples
+///
+/// ```
+/// use lftrie_lists::pall::PallList;
+///
+/// let pall: PallList<u64> = PallList::new();
+/// let mut a = 1u64;
+/// let mut b = 2u64;
+/// let ca = pall.insert(&mut a);
+/// let cb = pall.insert(&mut b);
+/// // Newest first:
+/// let seen: Vec<*mut u64> = pall.iter().map(|c| unsafe { (*c).payload() }).collect();
+/// assert_eq!(seen, vec![&mut b as *mut u64, &mut a as *mut u64]);
+/// pall.remove(cb);
+/// assert_eq!(pall.iter().count(), 1);
+/// # let _ = ca;
+/// ```
+pub struct PallList<P> {
+    head: *mut PallCell<P>, // sentinel
+    cells: Registry<PallCell<P>>,
+}
+
+// Safety: as for AnnounceList — the list owns its cells, payloads are raw.
+unsafe impl<P: Send + Sync> Send for PallList<P> {}
+unsafe impl<P: Send + Sync> Sync for PallList<P> {}
+
+impl<P> fmt::Debug for PallList<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PallList")
+            .field("len", &self.iter().count())
+            .finish()
+    }
+}
+
+impl<P> Default for PallList<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> PallList<P> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        let cells = Registry::new();
+        let head = cells.alloc(PallCell {
+            payload: core::ptr::null_mut(),
+            next: AtomicMarkedPtr::null(),
+        });
+        Self { head, cells }
+    }
+
+    /// Announces `payload` at the head (paper line 209). Returns the cell,
+    /// which the caller later passes to [`PallList::remove`].
+    pub fn insert(&self, payload: *mut P) -> *mut PallCell<P> {
+        let cell = self.cells.alloc(PallCell {
+            payload,
+            next: AtomicMarkedPtr::null(),
+        });
+        loop {
+            let first = unsafe { (*self.head).next.load() };
+            debug_assert!(!first.is_marked(), "head sentinel is never marked");
+            unsafe { (*cell).next.store(MarkedPtr::new(first.ptr(), false)) };
+            if unsafe {
+                (*self.head)
+                    .next
+                    .compare_exchange(first, MarkedPtr::new(cell, false))
+            } {
+                return cell;
+            }
+        }
+    }
+
+    /// Removes a previously inserted cell: marks it (logical delete), then
+    /// unlinks it. Safe to call exactly once per insert.
+    pub fn remove(&self, cell: *mut PallCell<P>) {
+        // Logical delete: set the mark on cell.next.
+        loop {
+            let next = unsafe { (*cell).next.load() };
+            if next.is_marked() {
+                break; // already removed (should not happen for unique owners)
+            }
+            if unsafe { (*cell).next.compare_exchange(next, next.with_mark()) } {
+                break;
+            }
+        }
+        // Physical unlink: scan from the head, detaching marked cells.
+        self.unlink_marked();
+    }
+
+    /// Detaches every marked cell reachable from the head.
+    fn unlink_marked(&self) {
+        'retry: loop {
+            let mut pred = self.head;
+            let mut cur = unsafe { (*pred).next.load() }.ptr();
+            while !cur.is_null() {
+                let cur_next = unsafe { (*cur).next.load() };
+                if cur_next.is_marked() {
+                    let expected = MarkedPtr::new(cur, false);
+                    let replacement = MarkedPtr::new(cur_next.ptr(), false);
+                    if !unsafe { (*pred).next.compare_exchange(expected, replacement) } {
+                        continue 'retry;
+                    }
+                    cur = cur_next.ptr();
+                } else {
+                    pred = cur;
+                    cur = cur_next.ptr();
+                }
+            }
+            return;
+        }
+    }
+
+    /// Iterates over live cells, newest announcement first.
+    pub fn iter(&self) -> PallIter<'_, P> {
+        PallIter {
+            cur: self.head,
+            _list: PhantomData,
+        }
+    }
+
+    /// Iterates over the live cells strictly older than `cell` — the
+    /// traversal of lines 210–214 (the sequence `Q` before prepending).
+    ///
+    /// `cell` must have been returned by [`PallList::insert`] on this list.
+    pub fn iter_after(&self, cell: *mut PallCell<P>) -> PallIter<'_, P> {
+        PallIter {
+            cur: cell,
+            _list: PhantomData,
+        }
+    }
+
+    /// Number of live cells; O(n), for tests and diagnostics.
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// True if no predecessor operation is announced.
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
+}
+
+/// Iterator over live P-ALL cells; see [`PallList::iter`].
+pub struct PallIter<'a, P> {
+    cur: *mut PallCell<P>,
+    _list: PhantomData<&'a PallList<P>>,
+}
+
+impl<'a, P> Iterator for PallIter<'a, P> {
+    type Item = *mut PallCell<P>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let next = unsafe { (*self.cur).next.load() }.ptr();
+            if next.is_null() {
+                return None;
+            }
+            self.cur = next;
+            if !unsafe { (*next).next.load() }.is_marked() {
+                return Some(next);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_order() {
+        let pall: PallList<u64> = PallList::new();
+        let mut xs: Vec<u64> = (0..5).collect();
+        for x in xs.iter_mut() {
+            pall.insert(x);
+        }
+        let seen: Vec<u64> = pall
+            .iter()
+            .map(|c| unsafe { *(*c).payload() })
+            .collect();
+        assert_eq!(seen, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn iter_after_sees_only_older() {
+        let pall: PallList<u64> = PallList::new();
+        let mut a = 1u64;
+        let mut b = 2u64;
+        let mut c = 3u64;
+        pall.insert(&mut a);
+        let cb = pall.insert(&mut b);
+        pall.insert(&mut c);
+        let older: Vec<u64> = pall
+            .iter_after(cb)
+            .map(|cell| unsafe { *(*cell).payload() })
+            .collect();
+        assert_eq!(older, vec![1], "only announcements older than b");
+    }
+
+    #[test]
+    fn remove_unlinks() {
+        let pall: PallList<u64> = PallList::new();
+        let mut a = 1u64;
+        let mut b = 2u64;
+        let ca = pall.insert(&mut a);
+        let cb = pall.insert(&mut b);
+        pall.remove(ca);
+        let seen: Vec<u64> = pall
+            .iter()
+            .map(|c| unsafe { *(*c).payload() })
+            .collect();
+        assert_eq!(seen, vec![2]);
+        pall.remove(cb);
+        assert!(pall.is_empty());
+    }
+
+    #[test]
+    fn removed_cell_iteration_still_reaches_older_cells() {
+        // A Predecessor operation may hold a cell pointer while that cell is
+        // concurrently removed; iter_after must still reach older live cells
+        // through the marked cell's next pointer.
+        let pall: PallList<u64> = PallList::new();
+        let mut a = 1u64;
+        let mut b = 2u64;
+        let ca = pall.insert(&mut a);
+        let cb = pall.insert(&mut b);
+        pall.remove(cb);
+        let older: Vec<u64> = pall
+            .iter_after(cb)
+            .map(|cell| unsafe { *(*cell).payload() })
+            .collect();
+        assert_eq!(older, vec![1]);
+        let _ = ca;
+    }
+
+    #[test]
+    fn concurrent_announce_remove_converges_empty() {
+        let pall: Arc<PallList<u64>> = Arc::new(PallList::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let pall = Arc::clone(&pall);
+            handles.push(std::thread::spawn(move || {
+                let mut slot = 7u64;
+                for _ in 0..500 {
+                    let c = pall.insert(&mut slot);
+                    let _ = pall.iter().count();
+                    pall.remove(c);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(pall.is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Insert-only push stack with a guarded CAS: the notify-list substrate.
+//!
+//! Every predecessor node owns a `notifyList` of notify nodes; update
+//! operations prepend notifications with `SendNotification` (paper lines
+//! 156–161), whose CAS is *guarded*: between linking the new node's `next`
+//! and publishing it at the head, the sender re-checks that its update node
+//! is still first-activated, aborting the send otherwise. The list is never
+//! removed from — predecessor operations only read it — so a simple
+//! registry-backed Treiber-style push suffices.
+
+use core::fmt;
+use core::marker::PhantomData;
+use core::sync::atomic::{AtomicPtr, Ordering};
+
+use lftrie_primitives::registry::Registry;
+use lftrie_primitives::steps;
+
+struct Node<T> {
+    value: T,
+    next: *mut Node<T>,
+}
+
+/// An insert-only stack supporting guarded pushes and snapshot iteration.
+///
+/// # Examples
+///
+/// ```
+/// use lftrie_lists::pushstack::PushStack;
+///
+/// let stack: PushStack<i32> = PushStack::new();
+/// assert!(stack.push_with(1, || true));
+/// assert!(!stack.push_with(2, || false)); // guard failed: not linked
+/// assert_eq!(stack.iter().copied().collect::<Vec<_>>(), vec![1]);
+/// ```
+pub struct PushStack<T> {
+    head: AtomicPtr<Node<T>>,
+    nodes: Registry<Node<T>>,
+}
+
+// Safety: nodes are owned by the registry; values are only shared by
+// reference after publication.
+unsafe impl<T: Send> Send for PushStack<T> {}
+unsafe impl<T: Send + Sync> Sync for PushStack<T> {}
+
+impl<T> fmt::Debug for PushStack<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PushStack")
+            .field("len", &self.iter().count())
+            .finish()
+    }
+}
+
+impl<T> Default for PushStack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PushStack<T> {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self {
+            head: AtomicPtr::new(core::ptr::null_mut()),
+            nodes: Registry::new(),
+        }
+    }
+
+    /// Pushes `value` at the head unless `guard` fails.
+    ///
+    /// Implements the `SendNotification` loop: each attempt reads the head,
+    /// links `next`, evaluates `guard`, and only then attempts the CAS
+    /// (paper lines 157–161). Returns `false` — without linking the value —
+    /// as soon as `guard` returns `false`.
+    pub fn push_with(&self, value: T, mut guard: impl FnMut() -> bool) -> bool {
+        let node = self.nodes.alloc(Node {
+            value,
+            next: core::ptr::null_mut(),
+        });
+        loop {
+            steps::on_read();
+            let head = self.head.load(Ordering::SeqCst); // L158
+            unsafe { (*node).next = head }; // L159
+            if !guard() {
+                return false; // L160
+            }
+            steps::on_cas();
+            if self
+                .head
+                .compare_exchange(head, node, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return true; // L161
+            }
+        }
+    }
+
+    /// Unconditional push (a guard that always passes).
+    pub fn push(&self, value: T) {
+        let pushed = self.push_with(value, || true);
+        debug_assert!(pushed);
+    }
+
+    /// Iterates the stack newest-first from the head read *now* — the
+    /// `C_notify` snapshot point of the paper's line 219: nodes pushed after
+    /// this call starts are not observed.
+    pub fn iter(&self) -> PushStackIter<'_, T> {
+        steps::on_read();
+        PushStackIter {
+            cur: self.head.load(Ordering::SeqCst),
+            _stack: PhantomData,
+        }
+    }
+
+    /// Number of linked values; O(n), for tests and diagnostics.
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// True if nothing has been pushed (or every push's guard failed).
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::SeqCst).is_null()
+    }
+}
+
+/// Iterator over pushed values, newest first; see [`PushStack::iter`].
+pub struct PushStackIter<'a, T> {
+    cur: *mut Node<T>,
+    _stack: PhantomData<&'a PushStack<T>>,
+}
+
+impl<'a, T> Iterator for PushStackIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur.is_null() {
+            return None;
+        }
+        let node = unsafe { &*self.cur };
+        self.cur = node.next;
+        Some(&node.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn newest_first_iteration() {
+        let s: PushStack<u32> = PushStack::new();
+        for v in 0..5 {
+            s.push(v);
+        }
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn guard_failure_discards_value() {
+        let s: PushStack<u32> = PushStack::new();
+        s.push(1);
+        assert!(!s.push_with(2, || false));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn guard_reevaluated_per_attempt() {
+        // The guard must run between the head read and the CAS on every
+        // retry; we approximate by counting invocations under contention.
+        let s: Arc<PushStack<u64>> = Arc::new(PushStack::new());
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = Arc::clone(&s);
+            let calls = Arc::clone(&calls);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250u64 {
+                    let ok = s.push_with(t * 1000 + i, || {
+                        calls.fetch_add(1, Ordering::Relaxed);
+                        true
+                    });
+                    assert!(ok);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 1000);
+        assert!(calls.load(Ordering::Relaxed) >= 1000);
+    }
+
+    #[test]
+    fn iter_is_a_snapshot() {
+        let s: PushStack<u32> = PushStack::new();
+        s.push(1);
+        let it = s.iter();
+        s.push(2);
+        assert_eq!(it.copied().collect::<Vec<_>>(), vec![1]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based model checking of the list substrates: sequences of
+//! operations against reference models (sorted multimap for the
+//! announcement lists, vector for the push stack, stack-with-removal for
+//! the P-ALL).
+
+use lftrie_lists::announce::{AnnounceList, Direction};
+use lftrie_lists::pall::PallList;
+use lftrie_lists::pushstack::PushStack;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum AnnounceOp {
+    Insert { key: i64, payload_id: usize },
+    RemoveAll { key: i64, payload_id: usize },
+}
+
+fn announce_ops() -> impl Strategy<Value = Vec<AnnounceOp>> {
+    proptest::collection::vec(
+        (0i64..16, 0usize..8, proptest::bool::ANY).prop_map(|(key, payload_id, ins)| {
+            if ins {
+                AnnounceOp::Insert { key, payload_id }
+            } else {
+                AnnounceOp::RemoveAll { key, payload_id }
+            }
+        }),
+        1..200,
+    )
+}
+
+fn check_announce_model(direction: Direction, ops: &[AnnounceOp]) {
+    // Payload identity: stable addresses for ids 0..8.
+    let mut slots: Vec<u64> = (0..8).map(|i| i as u64).collect();
+    let ptrs: Vec<*mut u64> = slots.iter_mut().map(|s| s as *mut u64).collect();
+
+    let list: AnnounceList<u64> = AnnounceList::new(direction);
+    // Model: Vec of (key, payload_id) kept in list order.
+    let mut model: Vec<(i64, usize)> = Vec::new();
+
+    for &op in ops {
+        match op {
+            AnnounceOp::Insert { key, payload_id } => {
+                list.insert(key, ptrs[payload_id]);
+                // Insert after every equal key, before the first
+                // strictly-after key.
+                let pos = model
+                    .iter()
+                    .position(|&(k, _)| match direction {
+                        Direction::Ascending => k > key,
+                        Direction::Descending => k < key,
+                    })
+                    .unwrap_or(model.len());
+                model.insert(pos, (key, payload_id));
+            }
+            AnnounceOp::RemoveAll { key, payload_id } => {
+                let removed = list.remove_all(key, ptrs[payload_id]);
+                let before = model.len();
+                model.retain(|&(k, p)| !(k == key && p == payload_id));
+                assert_eq!(removed, before - model.len(), "removal count");
+            }
+        }
+        let got: Vec<(i64, usize)> = list
+            .iter()
+            .map(|(k, p)| {
+                let id = ptrs.iter().position(|&q| q == p).unwrap();
+                (k, id)
+            })
+            .collect();
+        assert_eq!(got, model, "list content diverged after {op:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ascending_announce_list_matches_model(ops in announce_ops()) {
+        check_announce_model(Direction::Ascending, &ops);
+    }
+
+    #[test]
+    fn descending_announce_list_matches_model(ops in announce_ops()) {
+        check_announce_model(Direction::Descending, &ops);
+    }
+
+    #[test]
+    fn push_stack_matches_vec(values in proptest::collection::vec(0u64..1000, 1..100)) {
+        let stack: PushStack<u64> = PushStack::new();
+        for &v in &values {
+            stack.push(v);
+        }
+        let got: Vec<u64> = stack.iter().copied().collect();
+        let expected: Vec<u64> = values.iter().rev().copied().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn pall_matches_stack_with_removal(ops in proptest::collection::vec((proptest::bool::ANY, 0usize..6), 1..120)) {
+        let mut slots: Vec<u64> = (0..200).collect();
+        let pall: PallList<u64> = PallList::new();
+        // Model: newest-first vec of (slot_index, cell); cells tracked for removal.
+        let mut live: Vec<(usize, *mut lftrie_lists::pall::PallCell<u64>)> = Vec::new();
+        let mut next_slot = 0usize;
+        for (ins, pick) in ops {
+            if ins && next_slot < slots.len() {
+                let p: *mut u64 = &mut slots[next_slot];
+                let cell = pall.insert(p);
+                live.insert(0, (next_slot, cell));
+                next_slot += 1;
+            } else if !live.is_empty() {
+                let idx = pick % live.len();
+                let (_, cell) = live.remove(idx);
+                pall.remove(cell);
+            }
+            let got: Vec<u64> = pall
+                .iter()
+                .map(|c| unsafe { *(*c).payload() })
+                .collect();
+            let expected: Vec<u64> = live.iter().map(|&(s, _)| s as u64).collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! The key domain shared by every crate in the workspace.
+//!
+//! The paper maintains a dynamic set over the universe `U = {0, …, u−1}` and
+//! additionally manipulates three out-of-band values:
+//!
+//! * `−1`, the return value of `Predecessor(y)` when no key smaller than `y`
+//!   is present ([`NO_PRED`]);
+//! * `−∞` and `+∞`, the keys of the sentinel nodes at the ends of the U-ALL
+//!   and RU-ALL announcement lists ([`NEG_INF`], [`POS_INF`]).
+//!
+//! Public APIs take keys as `u64` ([`Key`]); internally every key travels as
+//! an `i64` so the sentinels and `−1` are representable in the same word the
+//! hardware CAS operates on. Universes are therefore capped at
+//! [`MAX_UNIVERSE`] = 2⁶².
+
+/// Public key type: an element of the universe `{0, …, u−1}`.
+pub type Key = u64;
+
+/// Largest supported universe size (`u ≤ 2^62`), so that every key fits in an
+/// `i64` alongside the sentinels `−∞`, `+∞` and the value `−1`.
+pub const MAX_UNIVERSE: u64 = 1 << 62;
+
+/// Internal key of the RU-ALL head sentinel (`+∞` in the paper).
+pub const POS_INF: i64 = i64::MAX;
+
+/// Internal key of the RU-ALL tail sentinel (`−∞` in the paper).
+pub const NEG_INF: i64 = i64::MIN;
+
+/// "No predecessor exists": the `−1` return value of the paper.
+pub const NO_PRED: i64 = -1;
+
+/// Converts a public key into the internal signed representation.
+///
+/// # Panics
+///
+/// Panics (debug assertions only) if `key` exceeds [`MAX_UNIVERSE`].
+#[inline]
+pub fn to_internal(key: Key) -> i64 {
+    debug_assert!(key < MAX_UNIVERSE, "key {key} exceeds MAX_UNIVERSE");
+    key as i64
+}
+
+/// Converts an internal non-negative key back into the public representation.
+///
+/// # Panics
+///
+/// Panics (debug assertions only) if `key` is negative (a sentinel or
+/// [`NO_PRED`]), which would indicate a logic error in the caller.
+#[inline]
+pub fn to_public(key: i64) -> Key {
+    debug_assert!(key >= 0, "internal key {key} is not a universe element");
+    key as Key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_universe_keys() {
+        for k in [0u64, 1, 2, 1000, MAX_UNIVERSE - 1] {
+            assert_eq!(to_public(to_internal(k)), k);
+        }
+    }
+
+    #[test]
+    fn sentinels_are_ordered() {
+        assert!(NEG_INF < NO_PRED);
+        assert!(NO_PRED < 0);
+        assert!((MAX_UNIVERSE - 1) as i64 > 0);
+        assert!(POS_INF > (MAX_UNIVERSE - 1) as i64);
+    }
+}

@@ -1,0 +1,43 @@
+//! Shared-memory primitives underpinning the lock-free binary trie.
+//!
+//! The paper ("A Lock-free Binary Trie", Ko, ICDCS 2024) works in an
+//! asynchronous shared-memory model whose objects are registers, CAS objects,
+//! and `(log u)`-bit min-registers, plus a single-writer atomic-copy primitive
+//! used while traversing the reverse update-announcement list. This crate
+//! provides the concrete realisations of those model objects:
+//!
+//! * [`minreg`] — bounded min-registers, including the paper's AND-based
+//!   construction (`MinWrite` via a single `fetch_and`).
+//! * [`marked`] — word-sized atomic pointers with an embedded mark bit, the
+//!   substrate for Harris-style lock-free linked lists.
+//! * [`registry`] — a lock-free allocation registry providing deferred bulk
+//!   reclamation (the model assumes garbage collection; see DESIGN.md D4).
+//! * [`swcursor`] — the single-writer published cursor substituting for the
+//!   atomic-copy primitive (DESIGN.md D3).
+//! * [`steps`] — optional step-count instrumentation used to reproduce the
+//!   paper's step-complexity claims empirically.
+//! * [`keys`] — the key domain shared by all crates, including the `−∞`/`+∞`
+//!   sentinels and the `−1` "no predecessor" value used by the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use lftrie_primitives::minreg::{AndMinRegister, MinRegister};
+//!
+//! let reg = AndMinRegister::new(8, 8); // values in 0..=8, initially 8
+//! reg.min_write(5);
+//! reg.min_write(7); // no effect: 7 > 5
+//! assert_eq!(reg.read(), 5);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod keys;
+pub mod marked;
+pub mod minreg;
+pub mod registry;
+pub mod steps;
+pub mod swcursor;
+
+pub use keys::{Key, MAX_UNIVERSE, NEG_INF, NO_PRED, POS_INF};

@@ -1,0 +1,147 @@
+//! Lock-free allocation registry with deferred bulk reclamation.
+//!
+//! The paper's model assumes garbage collection: update nodes stay reachable
+//! from long-lived shared fields (`t.dNodePtr` can reference an old DEL node
+//! indefinitely; a DEL node's `delPredNode` keeps a predecessor node and its
+//! notify list readable after the `Delete` completes). Precise concurrent
+//! reclamation is therefore impossible without reference counting — see
+//! DESIGN.md D4. Instead, every node is allocated through a [`Registry`]
+//! that records the raw pointer in a lock-free queue and frees *everything at
+//! once* when the owning structure is dropped.
+//!
+//! This is sound (no use-after-free, no ABA from address reuse) and makes the
+//! space experiment (E6) straightforward: [`Registry::allocated`] is exactly
+//! the number of nodes a garbage collector would have been handed.
+
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::queue::SegQueue;
+
+/// Records every allocation of `T`; frees them all on drop.
+///
+/// # Examples
+///
+/// ```
+/// use lftrie_primitives::registry::Registry;
+///
+/// let reg: Registry<String> = Registry::new();
+/// let p = reg.alloc(String::from("node"));
+/// // p is valid until `reg` is dropped:
+/// assert_eq!(unsafe { &*p }, "node");
+/// assert_eq!(reg.allocated(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Registry<T> {
+    slots: SegQueue<*mut T>,
+    allocated: AtomicUsize,
+}
+
+// Safety: the registry owns heap allocations of T and only ever hands out raw
+// pointers; it can move between / be shared across threads whenever T can.
+unsafe impl<T: Send> Send for Registry<T> {}
+unsafe impl<T: Send + Sync> Sync for Registry<T> {}
+
+impl<T> Registry<T> {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self {
+            slots: SegQueue::new(),
+            allocated: AtomicUsize::new(0),
+        }
+    }
+
+    /// Heap-allocates `value` and registers it for reclamation at drop time.
+    ///
+    /// The returned pointer is valid (and its referent immovable) until the
+    /// registry is dropped.
+    pub fn alloc(&self, value: T) -> *mut T {
+        let ptr = Box::into_raw(Box::new(value));
+        self.slots.push(ptr);
+        self.allocated.fetch_add(1, Ordering::Relaxed);
+        ptr
+    }
+
+    /// Total number of allocations performed over the registry's lifetime.
+    pub fn allocated(&self) -> usize {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// True if nothing has been allocated yet.
+    pub fn is_empty(&self) -> bool {
+        self.allocated() == 0
+    }
+}
+
+impl<T> Default for Registry<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for Registry<T> {
+    fn drop(&mut self) {
+        while let Some(ptr) = self.slots.pop() {
+            // Safety: each pointer was produced by Box::into_raw in `alloc`
+            // and is popped exactly once.
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+    use std::sync::Arc;
+
+    static DROPS: StdAtomicUsize = StdAtomicUsize::new(0);
+
+    struct CountsDrops;
+    impl Drop for CountsDrops {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, StdOrdering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn frees_everything_on_drop() {
+        DROPS.store(0, StdOrdering::SeqCst);
+        {
+            let reg = Registry::new();
+            for _ in 0..100 {
+                reg.alloc(CountsDrops);
+            }
+            assert_eq!(reg.allocated(), 100);
+            assert_eq!(DROPS.load(StdOrdering::SeqCst), 0);
+        }
+        assert_eq!(DROPS.load(StdOrdering::SeqCst), 100);
+    }
+
+    #[test]
+    fn pointers_stable_across_later_allocs() {
+        let reg = Registry::new();
+        let first = reg.alloc(7u64);
+        for i in 0..1000u64 {
+            reg.alloc(i);
+        }
+        assert_eq!(unsafe { *first }, 7);
+    }
+
+    #[test]
+    fn concurrent_allocation_is_counted() {
+        let reg = Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250u64 {
+                    reg.alloc(i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.allocated(), 1000);
+    }
+}

@@ -1,0 +1,70 @@
+//! Prints the interpreted-bit states of the paper's Figures 1–3 using the
+//! relaxed binary trie's diagnostic API.
+//!
+//! ```text
+//! cargo run --release --example figure_walkthrough
+//! ```
+
+use lftrie::core::{RelaxedBinaryTrie, RelaxedPred};
+
+fn render(trie: &RelaxedBinaryTrie, caption: &str) {
+    println!("--- {caption}");
+    let levels = trie.interpreted_bits_by_level();
+    let width = levels.last().map(|l| l.len() * 4).unwrap_or(8);
+    for level in &levels {
+        let cell = width / level.len();
+        let row: String = level
+            .iter()
+            .map(|&b| format!("{:^cell$}", if b { "1" } else { "0" }))
+            .collect();
+        println!("  {row}");
+    }
+    for x in 0..trie.universe() {
+        let info = trie.latest_info(x);
+        if info.is_ins {
+            println!("  latest[{x}]: INS");
+        } else {
+            println!(
+                "  latest[{x}]: DEL  l1b={} u0b={}",
+                info.lower1_boundary.unwrap(),
+                info.upper0_boundary.unwrap()
+            );
+        }
+    }
+    println!();
+}
+
+fn main() {
+    println!("== Figure 1: sequential binary trie for S = {{0, 2}}, u = 4 ==\n");
+    let fig1 = RelaxedBinaryTrie::new(4);
+    fig1.insert(0);
+    fig1.insert(2);
+    render(&fig1, "S = {0, 2}");
+
+    println!("== Figure 2: TrieInsert(0) sets bits leaf -> root ==\n");
+    let fig2 = RelaxedBinaryTrie::new(4);
+    fig2.insert(3);
+    fig2.remove(3);
+    render(&fig2, "(a) S = ∅, root depends on latest[3]'s DEL node");
+    fig2.insert(0);
+    render(
+        &fig2,
+        "(c) after Insert(0): root flipped via MinWrite to latest[3].lower1Boundary",
+    );
+
+    println!("== Figure 3: TrieDelete(0) and TrieDelete(1) clear the path ==\n");
+    let fig3 = RelaxedBinaryTrie::new(4);
+    fig3.insert(0);
+    fig3.insert(1);
+    render(&fig3, "(a) S = {0, 1}");
+    fig3.remove(1);
+    render(&fig3, "(b-d) after Delete(1): its DEL node owns the parent");
+    fig3.remove(0);
+    render(&fig3, "(e-f) after Delete(0): all bits cleared to the root");
+
+    println!(
+        "RelaxedPredecessor(3) on the empty trie: {:?}",
+        fig3.predecessor(3)
+    );
+    assert_eq!(fig3.predecessor(3), RelaxedPred::NoneSmaller);
+}

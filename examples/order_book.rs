@@ -1,0 +1,91 @@
+//! A lock-free limit order book built on predecessor queries.
+//!
+//! Price levels are keys in the trie: the *best bid at or below an ask* is
+//! `predecessor(ask + 1)`; filling a level removes it; placing one inserts
+//! it. Matching threads and quote threads operate concurrently with no
+//! locks, exercising the insert/delete/predecessor mix the paper's
+//! amortized bounds target.
+//!
+//! ```text
+//! cargo run --release --example order_book
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lftrie::core::LockFreeBinaryTrie;
+
+/// Prices in integer ticks, up to 1<<20.
+const PRICE_LEVELS: u64 = 1 << 20;
+
+fn main() {
+    let bids = Arc::new(LockFreeBinaryTrie::new(PRICE_LEVELS));
+    let stop = Arc::new(AtomicBool::new(false));
+    let matched = Arc::new(AtomicU64::new(0));
+    let placed = Arc::new(AtomicU64::new(0));
+
+    // Seed the book with resting bids around 500_000 ticks.
+    for i in 0..10_000u64 {
+        bids.insert(495_000 + (i * 7) % 10_000);
+    }
+
+    // Quote threads keep placing bids in a band below the spread.
+    let quoters: Vec<_> = (0..2u64)
+        .map(|q| {
+            let bids = Arc::clone(&bids);
+            let stop = Arc::clone(&stop);
+            let placed = Arc::clone(&placed);
+            std::thread::spawn(move || {
+                let mut state = q + 1;
+                while !stop.load(Ordering::Relaxed) {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let price = 490_000 + (state >> 33) % 15_000;
+                    if bids.insert(price) {
+                        placed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Matching threads: sell orders lift the best bid at or below the ask.
+    let matchers: Vec<_> = (0..2u64)
+        .map(|m| {
+            let bids = Arc::clone(&bids);
+            let stop = Arc::clone(&stop);
+            let matched = Arc::clone(&matched);
+            std::thread::spawn(move || {
+                let mut state = 0xFEED ^ m;
+                while !stop.load(Ordering::Relaxed) {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let ask = 489_000 + (state >> 33) % 17_000;
+                    // Best bid that can trade against this ask:
+                    if let Some(best_bid) = bids.predecessor(ask + 1) {
+                        // Another matcher may race us to the same level;
+                        // remove() arbitrates.
+                        if bids.remove(best_bid) {
+                            assert!(best_bid <= ask, "matched through the ask");
+                            matched.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    stop.store(true, Ordering::Relaxed);
+    for t in quoters {
+        t.join().unwrap();
+    }
+    for t in matchers {
+        t.join().unwrap();
+    }
+
+    let best = bids.predecessor(PRICE_LEVELS - 1);
+    println!("orders placed:  {}", placed.load(Ordering::Relaxed));
+    println!("orders matched: {}", matched.load(Ordering::Relaxed));
+    println!("best remaining bid: {best:?}");
+    println!("announcements at quiescence: {:?}", bids.announcement_lens());
+    assert_eq!(bids.announcement_lens(), (0, 0, 0));
+}

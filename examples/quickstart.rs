@@ -1,0 +1,52 @@
+//! Quickstart: the lock-free binary trie as a concurrent sorted set.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use lftrie::core::LockFreeBinaryTrie;
+
+fn main() {
+    // A dynamic set over the universe {0, …, 2^20 − 1}.
+    let set = Arc::new(LockFreeBinaryTrie::new(1 << 20));
+
+    // Basic single-threaded usage: O(1) membership, O(log u) updates and
+    // exact predecessor queries.
+    set.insert(4_096);
+    set.insert(70_000);
+    set.insert(1_000_000);
+    assert!(set.contains(70_000));
+    assert_eq!(set.predecessor(70_000), Some(4_096));
+    assert_eq!(set.predecessor(4_096), None); // nothing smaller
+    set.remove(4_096);
+    assert_eq!(set.predecessor(70_000), None);
+
+    // Concurrent usage: all operations take &self; share via Arc.
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            let set = Arc::clone(&set);
+            std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    let key = t * 100_000 + i;
+                    set.insert(key);
+                    // Predecessor queries are linearizable even while other
+                    // threads insert concurrently; since nothing is deleted
+                    // here, the key we just inserted is its own floor.
+                    assert_eq!(set.predecessor(key + 1), Some(key));
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    println!(
+        "inserted {} keys across 4 threads; predecessor(1_000_001) = {:?}",
+        4 * 10_000,
+        set.predecessor(1_000_001)
+    );
+    println!("announcement lists at quiescence: {:?}", set.announcement_lens());
+}

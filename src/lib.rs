@@ -1,0 +1,12 @@
+//! # lftrie — a lock-free binary trie
+//!
+//! Facade crate re-exporting the workspace: the lock-free binary trie and the
+//! wait-free relaxed binary trie (`lftrie-core`), the primitives and list
+//! substrates they are built from, and the baseline structures used in the
+//! evaluation.
+#![warn(rust_2018_idioms)]
+
+pub use lftrie_baselines as baselines;
+pub use lftrie_core as core;
+pub use lftrie_lists as lists;
+pub use lftrie_primitives as primitives;

@@ -1,0 +1,157 @@
+//! Stress tests encoding the ordering invariants of the paper's Figures 7–9.
+//!
+//! The figures depict executions where a `Predecessor(y)` must not use a
+//! notification about a smaller key while missing a larger one that was
+//! present whenever the smaller one was:
+//!
+//! * Figure 7: `Delete(w)`, `Delete(x)` with `w < x < y` — accepting `w`
+//!   requires a candidate ≥ `x` (the RU-ALL's descending order + threshold
+//!   machinery).
+//! * Figure 8: the atomic-copy anomaly (covered at the unit level in
+//!   `swcursor`; here the whole-trie consequence is asserted).
+//! * Figure 9: `Insert(x)` before `Insert(w)` — accepting `w` requires
+//!   `updateNodeMax` to supply a candidate ≥ `x`.
+//!
+//! We enforce the figures' presence invariant with a single writer that
+//! maintains "w ∈ S ⇒ x ∈ S" at every configuration; any `predecessor(y)`
+//! returning `w` is then a genuine linearizability violation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use lftrie::core::LockFreeBinaryTrie;
+
+const W: u64 = 10;
+const X: u64 = 20;
+const Y: u64 = 30;
+
+/// One writer cycles insert(x); insert(w); delete(w); delete(x), so in every
+/// reachable configuration `w ∈ S ⇒ x ∈ S`. Readers must never see `w` as
+/// the predecessor of `y`.
+fn run_invariant_cycle(universe: u64, noise_threads: usize, iters: u64) {
+    let trie = Arc::new(LockFreeBinaryTrie::new(universe));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let trie = Arc::clone(&trie);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                trie.insert(X);
+                trie.insert(W);
+                trie.remove(W);
+                trie.remove(X);
+            }
+        })
+    };
+
+    // Optional noise on unrelated keys ABOVE y (cannot change pred(y), but
+    // stresses the announcement lists the figures are about).
+    let noise: Vec<_> = (0..noise_threads)
+        .map(|n| {
+            let trie = Arc::clone(&trie);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let k = Y + 1 + ((n as u64 * 13 + i * 7) % (universe - Y - 2));
+                    trie.insert(k);
+                    trie.remove(k);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    for i in 0..iters {
+        let got = trie.predecessor(Y);
+        assert_ne!(
+            got,
+            Some(W),
+            "iteration {i}: predecessor({Y}) returned {W}, but {X} is in S \
+             whenever {W} is (Figures 7/9 invariant violated)"
+        );
+        if let Some(k) = got {
+            assert!(
+                k == X || k > Y || k == W || k < W,
+                "unexpected candidate {k}"
+            );
+            assert!(k <= X, "keys between X and Y are never inserted, got {k}");
+        }
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    writer.join().unwrap();
+    for n in noise {
+        n.join().unwrap();
+    }
+}
+
+#[test]
+fn figure7_delete_ordering_invariant() {
+    run_invariant_cycle(64, 0, 30_000);
+}
+
+#[test]
+fn figure7_with_announcement_noise() {
+    run_invariant_cycle(128, 2, 15_000);
+}
+
+#[test]
+fn figure9_insert_ordering_invariant() {
+    // The insert-facing half of the cycle (fresh trie each round so inserts
+    // dominate): readers racing the insert(x); insert(w) prefix must never
+    // adopt w without x.
+    for round in 0..200u64 {
+        let trie = Arc::new(LockFreeBinaryTrie::new(64));
+        let t2 = Arc::clone(&trie);
+        let writer = std::thread::spawn(move || {
+            t2.insert(X);
+            t2.insert(W);
+        });
+        for _ in 0..20 {
+            if trie.predecessor(Y) == Some(W) {
+                panic!("round {round}: pred({Y}) = {W} while {X} must precede it");
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(trie.predecessor(Y), Some(X));
+    }
+}
+
+#[test]
+fn figure8_downstream_effect_of_published_cursor() {
+    // Deletes racing a predecessor must never yield an answer that skips a
+    // larger concurrently-deleted key: if pred(y) returns w, then at some
+    // point during the query w was the largest present key < y. With the
+    // invariant writer this reduces to "never w", already covered; here we
+    // additionally drive two delete threads like Figure 8's dOp25/dOp29.
+    let trie = Arc::new(LockFreeBinaryTrie::new(64));
+    trie.insert(5); // stable floor
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = [(25u64, 29u64), (29, 25)]
+        .into_iter()
+        .map(|(a, b)| {
+            let trie = Arc::clone(&trie);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    trie.insert(a);
+                    trie.insert(b);
+                    trie.remove(a);
+                    trie.remove(b);
+                }
+            })
+        })
+        .collect();
+    for _ in 0..30_000 {
+        match trie.predecessor(40) {
+            Some(5) | Some(25) | Some(29) => {}
+            other => panic!("pred(40) = {other:?}, expected 5/25/29"),
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    for w in writers {
+        w.join().unwrap();
+    }
+}

@@ -1,0 +1,128 @@
+//! Deterministic exercises of the latest-list protocol (paper §5.3.1,
+//! lines 116–136): the two-node list, `FindLatest`'s fallback through
+//! `latestNext`, and `HelpActivate` finishing a stalled operation.
+
+use lftrie::core::LockFreeBinaryTrie;
+
+#[test]
+fn inactive_head_is_invisible_to_search() {
+    // An installed-but-unactivated INS node must not change membership:
+    // FindLatest resolves through latestNext to the previous DEL node
+    // (lines 118–120), so x is still absent.
+    let trie = LockFreeBinaryTrie::new(32);
+    assert!(trie.insert_stalled_before_activation(9));
+    assert!(
+        !trie.contains(9),
+        "un-linearized insert must be invisible (Lemma 5.4)"
+    );
+    assert_eq!(trie.predecessor(10), None);
+}
+
+#[test]
+fn inactive_head_preserves_previous_membership() {
+    // Same, but the previous state is "present": install a stalled DELETE's
+    // predecessor scenario via insert → the key stays visible... here we
+    // check the insert-over-present path: a second insert returns early
+    // because the key is (still, logically) absent → the stalled node is
+    // the first in the list but inactive.
+    let trie = LockFreeBinaryTrie::new(32);
+    trie.insert(4);
+    trie.remove(4);
+    trie.insert_stalled_before_activation(4);
+    assert!(!trie.contains(4));
+    // A fresh query sweep sees the set without 4.
+    trie.insert(2);
+    assert_eq!(trie.predecessor(6), Some(2));
+}
+
+#[test]
+fn competing_insert_helps_activate_the_stalled_one() {
+    // Insert(x) whose CAS fails calls HelpActivate(latest[x]) (line 171):
+    // the stalled node becomes active (linearizing the STALLED op), and the
+    // competing insert returns unsuccessfully.
+    let trie = LockFreeBinaryTrie::new(32);
+    trie.insert_stalled_before_activation(9);
+    assert!(
+        !trie.insert(9),
+        "the competing insert loses its CAS and only helps"
+    );
+    assert!(trie.contains(9), "helping activated the stalled insert");
+    assert_eq!(trie.predecessor(10), Some(9));
+    // The helper announced + activated + cleared latestNext, and since the
+    // stalled op never sets `completed`, its announcement legitimately
+    // remains in the U-ALL/RU-ALL.
+    let (uall, ruall, pall) = trie.announcement_lens();
+    assert!(uall >= 1 && ruall >= 1);
+    assert_eq!(pall, 0);
+}
+
+#[test]
+fn delete_after_helped_activation_round_trips() {
+    let trie = LockFreeBinaryTrie::new(32);
+    trie.insert_stalled_before_activation(9);
+    assert!(!trie.insert(9)); // helps activate
+    assert!(trie.remove(9));
+    assert!(!trie.contains(9));
+    assert_eq!(trie.predecessor(10), None);
+    assert!(trie.insert(9));
+    assert!(trie.contains(9));
+}
+
+#[test]
+fn predecessor_sees_through_inactive_heads() {
+    // A query while latest[x] is inactive must use the previous activated
+    // node for interpreted bits everywhere on the path.
+    let trie = LockFreeBinaryTrie::new(64);
+    trie.insert(20);
+    trie.insert_stalled_before_activation(24);
+    // 24 not linearized: predecessor(30) is 20.
+    assert_eq!(trie.predecessor(30), Some(20));
+    // Now a racing delete of 24 returns early (not in S) without helping…
+    assert!(!trie.remove(24), "delete of an absent key is a no-op");
+    // …but a racing insert helps, linearizing 24.
+    assert!(!trie.insert(24));
+    assert_eq!(trie.predecessor(30), Some(24));
+}
+
+#[test]
+fn stress_mixed_with_stalls_settles_consistently() {
+    use std::sync::Arc;
+    let trie = Arc::new(LockFreeBinaryTrie::new(64));
+    // Seed stalled inserts on odd keys; concurrent threads operate across
+    // the whole universe, helping as they collide.
+    for k in (1..64).step_by(8) {
+        trie.insert_stalled_before_activation(k);
+    }
+    let handles: Vec<_> = (0..3u64)
+        .map(|t| {
+            let trie = Arc::clone(&trie);
+            std::thread::spawn(move || {
+                let mut state = t + 7;
+                for _ in 0..5_000 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let k = (state >> 33) % 64;
+                    match state % 3 {
+                        0 => {
+                            trie.insert(k);
+                        }
+                        1 => {
+                            trie.remove(k);
+                        }
+                        _ => {
+                            std::hint::black_box(trie.predecessor(k.max(1)));
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Quiescent consistency (stalled-but-helped nodes included).
+    let present: Vec<u64> = (0..64).filter(|&x| trie.contains(x)).collect();
+    for y in 1..64 {
+        let expected = present.iter().rev().find(|&&k| k < y).copied();
+        assert_eq!(trie.predecessor(y), expected, "pred({y})");
+    }
+}

@@ -1,0 +1,157 @@
+//! Quiescent-state validation after heavy shared-key contention
+//! (DESIGN.md §6.4): once all threads join, every structure must present a
+//! single consistent set — `contains`, `predecessor`, and the announcement
+//! machinery must all agree.
+
+use std::sync::Arc;
+
+use lftrie::core::LockFreeBinaryTrie;
+
+/// After quiescence, `predecessor` answers must match a fresh `contains`
+/// scan exactly.
+fn assert_quiescent_consistency(trie: &LockFreeBinaryTrie, universe: u64) {
+    let present: Vec<u64> = (0..universe).filter(|&x| trie.contains(x)).collect();
+    for y in 0..universe {
+        let expected = present.iter().rev().find(|&&k| k < y).copied();
+        assert_eq!(
+            trie.predecessor(y),
+            expected,
+            "quiescent predecessor({y}) disagrees with contains() scan"
+        );
+    }
+    assert_eq!(
+        trie.announcement_lens(),
+        (0, 0, 0),
+        "announcement lists must drain at quiescence"
+    );
+}
+
+#[test]
+fn shared_key_hammering_settles_consistently() {
+    // All threads fight over the SAME small key set: maximal latest-list,
+    // helping, and notification contention.
+    let universe = 32u64;
+    let trie = Arc::new(LockFreeBinaryTrie::new(universe));
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            let trie = Arc::clone(&trie);
+            std::thread::spawn(move || {
+                let mut state = t.wrapping_mul(0x9E3779B97F4A7C15) ^ 0x2545F4914F6CDD1D;
+                for _ in 0..10_000 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let k = (state >> 33) % universe;
+                    match state % 4 {
+                        0 => {
+                            trie.insert(k);
+                        }
+                        1 => {
+                            trie.remove(k);
+                        }
+                        2 => {
+                            std::hint::black_box(trie.contains(k));
+                        }
+                        _ => {
+                            std::hint::black_box(trie.predecessor(k));
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_quiescent_consistency(&trie, universe);
+}
+
+#[test]
+fn tiny_universe_maximal_contention() {
+    // Universe of 4 (the paper's running example size): every operation
+    // collides with every other.
+    let universe = 4u64;
+    for round in 0..10u64 {
+        let trie = Arc::new(LockFreeBinaryTrie::new(universe));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let trie = Arc::clone(&trie);
+                std::thread::spawn(move || {
+                    let mut state = t ^ round.wrapping_mul(0xA076_1D64_78BD_642F);
+                    for _ in 0..2_000 {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let k = (state >> 33) % universe;
+                        if state % 3 == 0 {
+                            trie.insert(k);
+                        } else if state % 3 == 1 {
+                            trie.remove(k);
+                        } else {
+                            std::hint::black_box(trie.predecessor(k));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_quiescent_consistency(&trie, universe);
+    }
+}
+
+#[test]
+fn alternating_phases_of_growth_and_shrink() {
+    let universe = 256u64;
+    let trie = Arc::new(LockFreeBinaryTrie::new(universe));
+    for phase in 0..4 {
+        let grow = phase % 2 == 0;
+        let handles: Vec<_> = (0..3u64)
+            .map(|t| {
+                let trie = Arc::clone(&trie);
+                std::thread::spawn(move || {
+                    let mut state = t + phase as u64 * 1315423911;
+                    for _ in 0..5_000 {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let k = (state >> 33) % universe;
+                        if grow {
+                            trie.insert(k);
+                        } else {
+                            trie.remove(k);
+                        }
+                        std::hint::black_box(trie.predecessor(k.max(1)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_quiescent_consistency(&trie, universe);
+    }
+}
+
+#[test]
+fn search_is_exact_between_phases() {
+    // Search's linearization is a single read; after any quiescent phase it
+    // must agree with the full scan.
+    let universe = 128u64;
+    let trie = Arc::new(LockFreeBinaryTrie::new(universe));
+    let handles: Vec<_> = (0..2u64)
+        .map(|t| {
+            let trie = Arc::clone(&trie);
+            std::thread::spawn(move || {
+                for i in 0..universe {
+                    if (i + t) % 3 == 0 {
+                        trie.insert(i);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    for x in 0..universe {
+        let expected = x % 3 == 0 || (x + 1) % 3 == 0;
+        assert_eq!(trie.contains(x), expected, "key {x}");
+    }
+    assert_quiescent_consistency(&trie, universe);
+}

@@ -1,0 +1,127 @@
+//! Deterministic exercises of the ⊥-recovery path (paper lines 230–251,
+//! Definition 5.1).
+//!
+//! A delete abandoned *after* linearization but *before* updating the
+//! relaxed trie leaves stale 1-bits on its key's path. A later
+//! `Predecessor` traversal descends into that subtree, finds both children
+//! at 0, and gets ⊥ from `RelaxedPredecessor` — with the abandoned DEL node
+//! sitting in its `Druall`. The answer must then be reconstructed from the
+//! embedded predecessor results (`delPred`, `delPred2`) and the notify
+//! lists, exactly as §5.2's recovery computation prescribes.
+
+use lftrie::core::LockFreeBinaryTrie;
+
+#[test]
+fn recovery_uses_first_embedded_predecessor() {
+    // S = {5, 9}; Delete(9) stalls before clearing the bits.
+    let trie = LockFreeBinaryTrie::new(32);
+    trie.insert(5);
+    trie.insert(9);
+    assert!(trie.remove_stalled_before_trie_update(9));
+    assert!(!trie.contains(9), "the stalled delete is linearized");
+
+    // The query's relaxed traversal hits 9's stale subtree and bottoms out;
+    // the recovery path must recover 5 from dNode9.delPred.
+    assert_eq!(trie.predecessor(20), Some(5));
+    let (bottoms, recoveries) = trie.traversal_stats();
+    assert!(bottoms >= 1, "the stale subtree must force at least one ⊥");
+    assert!(recoveries >= 1, "⊥ with a non-empty Druall runs the recovery");
+}
+
+#[test]
+fn recovery_follows_delpred2_chain_to_minus_one() {
+    // S = {5, 9}; Delete(9) stalls, then Delete(5) completes. The recovery
+    // graph is X = {5} with edge 5 → delPred2(5) = −1, so the sink is −1
+    // and the answer is None.
+    let trie = LockFreeBinaryTrie::new(32);
+    trie.insert(5);
+    trie.insert(9);
+    assert!(trie.remove_stalled_before_trie_update(9));
+    assert!(trie.remove(5));
+    assert_eq!(trie.predecessor(20), None);
+}
+
+#[test]
+fn recovery_sees_keys_below_the_stale_subtree() {
+    // A smaller key inserted *before* the stall is found even though the
+    // traversal cannot pass the stale region: S = {2, 9}, stale delete of 9.
+    let trie = LockFreeBinaryTrie::new(32);
+    trie.insert(2);
+    trie.insert(9);
+    trie.remove_stalled_before_trie_update(9);
+    assert_eq!(trie.predecessor(12), Some(2));
+    // Keys *above* the stale subtree are unaffected.
+    trie.insert(17);
+    assert_eq!(trie.predecessor(20), Some(17));
+}
+
+#[test]
+fn inserts_after_the_stall_are_visible() {
+    // An insert linearized after the stalled delete must be returned
+    // (it notifies the query or is seen in the U-ALL / trie).
+    let trie = LockFreeBinaryTrie::new(64);
+    trie.insert(9);
+    trie.remove_stalled_before_trie_update(9);
+    trie.insert(7); // below 9, fresh path
+    assert_eq!(trie.predecessor(12), Some(7));
+    trie.insert(11);
+    assert_eq!(trie.predecessor(12), Some(11));
+}
+
+#[test]
+fn reinserting_the_stalled_key_repairs_the_subtree() {
+    // Insert(9) after the stalled Delete(9): the insert's bit-setting pass
+    // repairs the path and predecessor queries resume the fast path.
+    let trie = LockFreeBinaryTrie::new(32);
+    trie.insert(9);
+    trie.remove_stalled_before_trie_update(9);
+    assert!(trie.insert(9), "re-insert after linearized delete is S-modifying");
+    assert!(trie.contains(9));
+    assert_eq!(trie.predecessor(10), Some(9));
+    assert_eq!(trie.predecessor(9), None);
+}
+
+#[test]
+fn multiple_stalled_deletes_compound() {
+    // Two stale subtrees between the answer and the query.
+    let trie = LockFreeBinaryTrie::new(64);
+    trie.insert(3);
+    trie.insert(20);
+    trie.insert(24);
+    trie.remove_stalled_before_trie_update(20);
+    trie.remove_stalled_before_trie_update(24);
+    assert_eq!(trie.predecessor(30), Some(3));
+    assert_eq!(trie.predecessor(24), Some(3));
+    assert_eq!(trie.predecessor(3), None);
+}
+
+#[test]
+fn queries_under_concurrent_load_with_stalls_stay_sound() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let trie = Arc::new(LockFreeBinaryTrie::new(128));
+    trie.insert(10);
+    trie.insert(50);
+    trie.remove_stalled_before_trie_update(50);
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let trie = Arc::clone(&trie);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                let k = 60 + (i % 40);
+                trie.insert(k);
+                trie.remove(k);
+                i += 1;
+            }
+        })
+    };
+    for _ in 0..20_000 {
+        // 10 is stable, 50 deleted (stalled), noise ≥ 60: pred(55) ∈ {10}.
+        assert_eq!(trie.predecessor(55), Some(10));
+    }
+    stop.store(true, Ordering::SeqCst);
+    writer.join().unwrap();
+}
