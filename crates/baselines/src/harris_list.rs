@@ -97,8 +97,11 @@ impl HarrisListSet {
                 return false;
             }
             unsafe { (*node).next.store(MarkedPtr::new(cur, false)) };
-            if unsafe { (*pred).next.compare_exchange(MarkedPtr::new(cur, false), MarkedPtr::new(node, false)) }
-            {
+            if unsafe {
+                (*pred)
+                    .next
+                    .compare_exchange(MarkedPtr::new(cur, false), MarkedPtr::new(node, false))
+            } {
                 return true;
             }
         }

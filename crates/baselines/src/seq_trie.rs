@@ -87,7 +87,11 @@ impl SeqBinaryTrie {
 
     #[inline]
     fn check(&self, x: u64) {
-        assert!(x < self.universe, "key {x} outside universe {}", self.universe);
+        assert!(
+            x < self.universe,
+            "key {x} outside universe {}",
+            self.universe
+        );
     }
 
     /// O(1) membership test (reads `D_b[x]`).
@@ -220,7 +224,7 @@ mod tests {
         let universe = 256u64;
         let mut t = SeqBinaryTrie::new(universe);
         let mut model = BTreeSet::new();
-        let mut state = 0x1234_5678_9ABC_DEFu64;
+        let mut state = 0x0123_4567_89AB_CDEF_u64;
         for _ in 0..50_000 {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             let x = (state >> 33) % universe;

@@ -154,8 +154,7 @@ impl LockFreeSkipList {
                 link.store(MarkedPtr::new(succs[level], false));
             }
             let expected = MarkedPtr::new(succs[0], false);
-            if !nref(preds[0]).next[0].compare_exchange(expected, MarkedPtr::new(new_node, false))
-            {
+            if !nref(preds[0]).next[0].compare_exchange(expected, MarkedPtr::new(new_node, false)) {
                 continue; // bottom CAS lost: re-find and retry
             }
             // Link the upper levels (best effort; marked ⇒ stop).

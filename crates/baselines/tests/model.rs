@@ -1,0 +1,107 @@
+//! Sequential model checking for every baseline: each
+//! [`ConcurrentOrderedSet`] implementation must behave exactly like
+//! `std::collections::BTreeSet` over arbitrary operation traces, so the
+//! benchmark numbers cite structures that are actually correct.
+//!
+//! (The facade's `sequential_equivalence` suite covers the same property
+//! through the `lftrie` re-exports; this in-crate copy keeps the baselines
+//! crate honest on its own, including when tested in isolation.)
+
+use std::collections::BTreeSet;
+
+use lftrie_baselines::{
+    CoarseBTreeSet, ConcurrentOrderedSet, FlatCombiningBinaryTrie, HarrisListSet, LockFreeSkipList,
+    MutexBinaryTrie, RwLockBinaryTrie, SeqBinaryTrie,
+};
+use proptest::prelude::*;
+
+const UNIVERSE: u64 = 64;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u64),
+    Remove(u64),
+    Contains(u64),
+    Predecessor(u64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u8..4, 0..UNIVERSE).prop_map(|(kind, key)| match kind {
+            0 => Op::Insert(key),
+            1 => Op::Remove(key),
+            2 => Op::Contains(key),
+            _ => Op::Predecessor(key),
+        }),
+        1..300,
+    )
+}
+
+fn check(set: &dyn ConcurrentOrderedSet, trace: &[Op]) {
+    let mut model = BTreeSet::new();
+    for (i, &op) in trace.iter().enumerate() {
+        match op {
+            Op::Insert(k) => assert_eq!(set.insert(k), model.insert(k), "insert {k} @{i}"),
+            Op::Remove(k) => assert_eq!(set.remove(k), model.remove(&k), "remove {k} @{i}"),
+            Op::Contains(k) => assert_eq!(set.contains(k), model.contains(&k), "contains {k} @{i}"),
+            Op::Predecessor(k) => assert_eq!(
+                set.predecessor(k),
+                model.range(..k).next_back().copied(),
+                "predecessor {k} @{i}"
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mutex_trie_matches_model(trace in ops()) {
+        check(&MutexBinaryTrie::new(UNIVERSE), &trace);
+    }
+
+    #[test]
+    fn rwlock_trie_matches_model(trace in ops()) {
+        check(&RwLockBinaryTrie::new(UNIVERSE), &trace);
+    }
+
+    #[test]
+    fn coarse_btreeset_matches_model(trace in ops()) {
+        check(&CoarseBTreeSet::new(), &trace);
+    }
+
+    #[test]
+    fn flat_combining_trie_matches_model(trace in ops()) {
+        check(&FlatCombiningBinaryTrie::new(UNIVERSE), &trace);
+    }
+
+    #[test]
+    fn skiplist_matches_model(trace in ops()) {
+        check(&LockFreeSkipList::new(), &trace);
+    }
+
+    #[test]
+    fn harris_list_matches_model(trace in ops()) {
+        check(&HarrisListSet::new(), &trace);
+    }
+
+    #[test]
+    fn seq_trie_matches_model(trace in ops()) {
+        // The sequential trie is not a ConcurrentOrderedSet (methods take
+        // &mut self); drive it directly.
+        let mut trie = SeqBinaryTrie::new(UNIVERSE);
+        let mut model = BTreeSet::new();
+        for &op in &trace {
+            match op {
+                Op::Insert(k) => prop_assert_eq!(trie.insert(k), model.insert(k)),
+                Op::Remove(k) => prop_assert_eq!(trie.remove(k), model.remove(&k)),
+                Op::Contains(k) => prop_assert_eq!(trie.contains(k), model.contains(&k)),
+                Op::Predecessor(k) => {
+                    prop_assert_eq!(trie.predecessor(k), model.range(..k).next_back().copied())
+                }
+            }
+        }
+        prop_assert_eq!(trie.len(), model.len());
+    }
+}

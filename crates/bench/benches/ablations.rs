@@ -34,8 +34,12 @@ fn a1_min_register(c: &mut Criterion) {
             fm_reg.min_write(std::hint::black_box(v));
         })
     });
-    group.bench_function("and_read", |b| b.iter(|| std::hint::black_box(and_reg.read())));
-    group.bench_function("fetch_min_read", |b| b.iter(|| std::hint::black_box(fm_reg.read())));
+    group.bench_function("and_read", |b| {
+        b.iter(|| std::hint::black_box(and_reg.read()))
+    });
+    group.bench_function("fetch_min_read", |b| {
+        b.iter(|| std::hint::black_box(fm_reg.read()))
+    });
     group.finish();
 }
 

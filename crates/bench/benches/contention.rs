@@ -43,7 +43,11 @@ fn bench_contention(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
-    bench_structure(&mut group, || LockFreeBinaryTrie::new(UNIVERSE), "lockfree-trie");
+    bench_structure(
+        &mut group,
+        || LockFreeBinaryTrie::new(UNIVERSE),
+        "lockfree-trie",
+    );
     bench_structure(&mut group, || MutexBinaryTrie::new(UNIVERSE), "mutex-trie");
     bench_structure(&mut group, LockFreeSkipList::new, "lockfree-skiplist");
     group.finish();

@@ -98,5 +98,10 @@ fn bench_insert_delete(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_search, bench_predecessor, bench_insert_delete);
+criterion_group!(
+    benches,
+    bench_search,
+    bench_predecessor,
+    bench_insert_delete
+);
 criterion_main!(benches);

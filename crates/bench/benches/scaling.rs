@@ -44,13 +44,17 @@ fn bench_scaling(c: &mut Criterion) {
         for k in (0..u).step_by(4) {
             relaxed.insert(k);
         }
-        group.bench_with_input(BenchmarkId::new("relaxed_insert_delete", exp), &u, |b, &u| {
-            b.iter(|| {
-                key = (key + 24_593) % u;
-                relaxed.insert(key | 1);
-                relaxed.remove(key | 1);
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("relaxed_insert_delete", exp),
+            &u,
+            |b, &u| {
+                b.iter(|| {
+                    key = (key + 24_593) % u;
+                    relaxed.insert(key | 1);
+                    relaxed.remove(key | 1);
+                })
+            },
+        );
     }
     group.finish();
 }

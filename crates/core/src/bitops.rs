@@ -19,6 +19,70 @@ use crate::access::{LatestAccess, TrieCore};
 use crate::layout::{Layout, NodeIndex};
 use crate::node::{Kind, UpdateNode};
 
+// ----------------------------------------------------------------------
+// Bit-level helpers
+// ----------------------------------------------------------------------
+//
+// The implicit heap indexing (`layout`) and the traversals below are all
+// word-level bit manipulation; these helpers name the identities they rely
+// on. `tests/bitops_props.rs` checks each against a naive bit-by-bit
+// reference.
+
+/// Number of set bits in `x`.
+#[inline]
+pub fn popcount(x: u64) -> u32 {
+    x.count_ones()
+}
+
+/// Mask selecting the `h` low-order bits (`h ≤ 64`): the within-subtree key
+/// offset at height `h` — a subtree of height `h` spans `low_mask(h) + 1`
+/// keys.
+///
+/// # Panics
+///
+/// Panics if `h > 64`.
+#[inline]
+pub fn low_mask(h: u32) -> u64 {
+    assert!(h <= 64, "mask width exceeds the word size");
+    if h == 64 {
+        u64::MAX
+    } else {
+        (1u64 << h) - 1
+    }
+}
+
+/// Position of the least-significant set bit, or `None` for 0. For a node
+/// index this is the number of trailing levels on which the node is the
+/// left-most right descendant.
+#[inline]
+pub fn first_set(x: u64) -> Option<u32> {
+    if x == 0 {
+        None
+    } else {
+        Some(x.trailing_zeros())
+    }
+}
+
+/// Position of the most-significant set bit, or `None` for 0. For a heap
+/// node index this is exactly the node's depth (`last_set(root) = 0`).
+#[inline]
+pub fn last_set(x: u64) -> Option<u32> {
+    if x == 0 {
+        None
+    } else {
+        Some(63 - x.leading_zeros())
+    }
+}
+
+/// Position of the highest bit where `x` and `y` differ, or `None` when
+/// equal. For two keys this is the height of the lowest common ancestor of
+/// their leaves minus one — equivalently, the LCA of `leaf(x)` and
+/// `leaf(y)` sits at height `branch_bit(x, y) + 1`.
+#[inline]
+pub fn branch_bit(x: u64, y: u64) -> Option<u32> {
+    last_set(x ^ y)
+}
+
 /// `InterpretedBit(t)` (lines 22–27): computes the interpreted bit of trie
 /// node `t` from the update node its key currently depends on.
 ///
@@ -212,7 +276,11 @@ pub(crate) fn relaxed_successor<A: LatestAccess>(core: &TrieCore, acc: &A, y: i6
 /// Returns `Some(key)` for a certified predecessor, `Some(NO_PRED)` (−1) when
 /// no smaller key is present, and `None` for the paper's `⊥` (a concurrent
 /// update prevented the traversal).
-pub(crate) fn relaxed_predecessor<A: LatestAccess>(core: &TrieCore, acc: &A, y: i64) -> Option<i64> {
+pub(crate) fn relaxed_predecessor<A: LatestAccess>(
+    core: &TrieCore,
+    acc: &A,
+    y: i64,
+) -> Option<i64> {
     let layout = core.layout();
     let mut t = layout.leaf(y as u64); // L74
     loop {

@@ -46,7 +46,11 @@ fn figure_2_insert_walkthrough() {
     assert_eq!(bits(&trie), (false, vec![false, false], vec![false; 4]));
     let info3 = trie.latest_info(3);
     assert_eq!(info3.lower1_boundary, Some(3), "panel (a): l1b = b+1 = 3");
-    assert_eq!(info3.upper0_boundary, Some(2), "panel (a): u0b = root height");
+    assert_eq!(
+        info3.upper0_boundary,
+        Some(2),
+        "panel (a): u0b = root height"
+    );
 
     // Panel (b): Insert(0) activates its INS node in latest[0]; this single
     // step flips the leaf AND its parent (both depend on latest[0]).

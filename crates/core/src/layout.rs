@@ -132,7 +132,7 @@ impl Layout {
     #[inline]
     pub fn depth(&self, node: NodeIndex) -> u32 {
         debug_assert!(node >= Self::ROOT);
-        63 - node.leading_zeros()
+        crate::bitops::last_set(node).expect("node index 0 is not in the trie")
     }
 
     /// Height (`b − depth`; leaves = 0, root = `b`), the quantity stored in
@@ -149,7 +149,7 @@ impl Layout {
         let h = self.height(node);
         let prefix = node - (1u64 << self.depth(node));
         let lo = prefix << h;
-        (lo, lo + (1u64 << h) - 1)
+        (lo, lo | crate::bitops::low_mask(h))
     }
 
     /// The smallest key in `U_t` — the key whose dummy DEL node seeds

@@ -35,11 +35,11 @@
 #![warn(rust_2018_idioms)]
 
 mod access;
-mod bitops;
 #[cfg(test)]
 mod figures;
 mod node;
 
+pub mod bitops;
 pub mod layout;
 pub mod relaxed;
 pub mod trie;

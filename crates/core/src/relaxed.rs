@@ -119,7 +119,11 @@ impl RelaxedBinaryTrie {
 
     #[inline]
     fn check_key(&self, x: Key) -> i64 {
-        assert!(x < self.universe, "key {x} outside universe {}", self.universe);
+        assert!(
+            x < self.universe,
+            "key {x} outside universe {}",
+            self.universe
+        );
         x as i64
     }
 
@@ -159,9 +163,12 @@ impl RelaxedBinaryTrie {
             return None; // L30: x already in S
         }
         // L31–33 (relaxed-trie update nodes are born active).
-        let i_node = self
-            .core
-            .alloc_node(UpdateNode::new_ins(x, Status::Active, d_node, self.core.b()));
+        let i_node = self.core.alloc_node(UpdateNode::new_ins(
+            x,
+            Status::Active,
+            d_node,
+            self.core.b(),
+        ));
         // L34: dNode.latestNext.target.stop ← True (ignore ⊥ reads).
         let prev_ins = unsafe { (*d_node).latest_next() };
         if !prev_ins.is_null() {
@@ -205,9 +212,12 @@ impl RelaxedBinaryTrie {
             return None; // L49: x not in S
         }
         // L50–53: dNode.latestNext ← iNode.
-        let d_node = self
-            .core
-            .alloc_node(UpdateNode::new_del(x, Status::Active, i_node, self.core.b()));
+        let d_node = self.core.alloc_node(UpdateNode::new_del(
+            x,
+            Status::Active,
+            i_node,
+            self.core.b(),
+        ));
         if !self.core.cas_latest(x, i_node, d_node) {
             return None; // L54: another TrieDelete(x) won
         }
@@ -351,11 +361,7 @@ mod tests {
         assert!(trie.insert(2));
         assert_eq!(
             trie.interpreted_bits_by_level(),
-            vec![
-                vec![true],
-                vec![true, true],
-                vec![true, false, true, false],
-            ]
+            vec![vec![true], vec![true, true], vec![true, false, true, false],]
         );
         assert_eq!(trie.predecessor(1), RelaxedPred::Found(0));
         assert_eq!(trie.predecessor(2), RelaxedPred::Found(0));
@@ -401,13 +407,19 @@ mod tests {
         let mut model = BTreeSet::new();
         let mut state = 0x243F6A8885A308D3u64;
         for step in 0..20_000u64 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = (state >> 33) % universe;
             match state % 3 {
                 0 => assert_eq!(trie.insert(x), model.insert(x), "insert {x} at {step}"),
                 1 => assert_eq!(trie.remove(x), model.remove(&x), "remove {x} at {step}"),
                 _ => {
-                    assert_eq!(trie.contains(x), model.contains(&x), "contains {x} at {step}");
+                    assert_eq!(
+                        trie.contains(x),
+                        model.contains(&x),
+                        "contains {x} at {step}"
+                    );
                     assert_eq!(
                         trie.predecessor(x),
                         model_pred(&model, x),
@@ -540,7 +552,7 @@ mod tests {
     }
 
     #[test]
-    fn relaxed_pred_found_key_was_present(){
+    fn relaxed_pred_found_key_was_present() {
         // Lemma 4.28: a returned key was in S sometime during the op. With a
         // writer toggling a fixed key set, a Found(k) must be one of them.
         let trie = Arc::new(RelaxedBinaryTrie::new(256));

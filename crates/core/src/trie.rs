@@ -123,7 +123,11 @@ impl LockFreeBinaryTrie {
 
     #[inline]
     fn check_key(&self, x: Key) -> i64 {
-        assert!(x < self.universe, "key {x} outside universe {}", self.universe);
+        assert!(
+            x < self.universe,
+            "key {x} outside universe {}",
+            self.universe
+        );
         x as i64
     }
 
@@ -186,7 +190,11 @@ impl LockFreeBinaryTrie {
             let u = unsafe { &*u_node };
             if u.status() != Status::Inactive && self.first_activated(u_node) {
                 // L141 (duplicate cells from helpers collapse here: sets)
-                let bucket = if u.kind() == Kind::Ins { &mut ins } else { &mut del };
+                let bucket = if u.kind() == Kind::Ins {
+                    &mut ins
+                } else {
+                    &mut del
+                };
                 if !bucket.contains(&u_node) {
                     bucket.push(u_node); // L142–143
                 }
@@ -214,9 +222,9 @@ impl LockFreeBinaryTrie {
                 .max_by_key(|&i| unsafe { (*i).key() })
                 .unwrap_or(core::ptr::null_mut()); // L153
             let record = NotifyRecord {
-                key: unsafe { (*u_node).key() },          // L151
-                update_node: u_node,                      // L152
-                update_node_max,                          // L153
+                key: unsafe { (*u_node).key() },           // L151
+                update_node: u_node,                       // L152
+                update_node_max,                           // L153
                 notify_threshold: p.ruall_position.load(), // L154
             };
             // L155 + SendNotification (lines 156–161): guarded push.
@@ -231,7 +239,10 @@ impl LockFreeBinaryTrie {
 
     /// `TraverseRUall(pNode)` (lines 257–269): walk the RU-ALL publishing
     /// the position key, collecting first-activated nodes with key `< y`.
-    fn traverse_ruall(&self, p_node: *mut PredNode) -> (Vec<*mut UpdateNode>, Vec<*mut UpdateNode>) {
+    fn traverse_ruall(
+        &self,
+        p_node: *mut PredNode,
+    ) -> (Vec<*mut UpdateNode>, Vec<*mut UpdateNode>) {
         let p = unsafe { &*p_node };
         let y = p.key; // L259
         let mut ins = Vec::new();
@@ -239,7 +250,10 @@ impl LockFreeBinaryTrie {
         let mut cell = self.ruall.head(); // L260: +∞ sentinel
         loop {
             // L261–263: atomic-copy step (validated publication, DESIGN.md D3)
-            cell = self.ruall.advance_publishing(cell, &p.ruall_position);
+            // Safety: `cell` starts at this list's head sentinel and each hop
+            // returns another cell of the same list; the NEG_INF break below
+            // stops the walk before the tail is passed back in.
+            cell = unsafe { self.ruall.advance_publishing(cell, &p.ruall_position) };
             let key = unsafe { (*cell).key() };
             if key == NEG_INF {
                 break; // L268 (tail sentinel reached; payload is null)
@@ -250,7 +264,11 @@ impl LockFreeBinaryTrie {
                 let u = unsafe { &*u_node };
                 if u.status() != Status::Inactive && self.first_activated(u_node) {
                     // L265
-                    let bucket = if u.kind() == Kind::Ins { &mut ins } else { &mut del };
+                    let bucket = if u.kind() == Kind::Ins {
+                        &mut ins
+                    } else {
+                        &mut del
+                    };
                     if !bucket.contains(&u_node) {
                         bucket.push(u_node); // L266–267
                     }
@@ -288,9 +306,12 @@ impl LockFreeBinaryTrie {
             return false; // L164: x already in S
         }
         // L165–167: new inactive INS node with latestNext → dNode.
-        let i_node = self
-            .core
-            .alloc_node(UpdateNode::new_ins(x, Status::Inactive, d_node, self.core.b()));
+        let i_node = self.core.alloc_node(UpdateNode::new_ins(
+            x,
+            Status::Inactive,
+            d_node,
+            self.core.b(),
+        ));
         // L168: dNode.latestNext.target.stop ← True (⊥-tolerant).
         let prev_ins = unsafe { (*d_node).latest_next() };
         if !prev_ins.is_null() {
@@ -331,9 +352,12 @@ impl LockFreeBinaryTrie {
         // P-ALL until this Delete returns).
         let (del_pred, p_node1) = self.pred_helper(x);
         // L185–189: new inactive DEL node recording the embedded result.
-        let d_node = self
-            .core
-            .alloc_node(UpdateNode::new_del(x, Status::Inactive, i_node, self.core.b()));
+        let d_node = self.core.alloc_node(UpdateNode::new_del(
+            x,
+            Status::Inactive,
+            i_node,
+            self.core.b(),
+        ));
         unsafe {
             (*d_node).init_del_pred(del_pred); // L188
             (*d_node).init_del_pred_node(p_node1); // L189
@@ -348,13 +372,13 @@ impl LockFreeBinaryTrie {
         }
         self.announce(d_node); // L196
         unsafe { (*d_node).activate() }; // L197: linearization point
-        // L198: iNode.target.stop ← True (⊥-tolerant).
+                                         // L198: iNode.target.stop ← True (⊥-tolerant).
         let target = unsafe { (*i_node).target() };
         if !target.is_null() {
             unsafe { (*target).set_stop() };
         }
         unsafe { (*d_node).clear_latest_next() }; // L199
-        // L200–201: second embedded predecessor.
+                                                  // L200–201: second embedded predecessor.
         let (del_pred2, p_node2) = self.pred_helper(x);
         unsafe { (*d_node).set_del_pred2(del_pred2) };
         bitops::delete_binary_trie(&self.core, self, d_node); // L202
@@ -385,7 +409,9 @@ impl LockFreeBinaryTrie {
 
     fn remove_pred_node(&self, p_node: *mut PredNode) {
         let cell = unsafe { (*p_node).pall_cell() };
-        self.pall.remove(cell);
+        // Safety: the cell was stored into the PredNode by the `insert` in
+        // `announce_pred`, and each PredNode is de-announced exactly once.
+        unsafe { self.pall.remove(cell) };
     }
 
     // ------------------------------------------------------------------
@@ -557,7 +583,10 @@ impl LockFreeBinaryTrie {
         let out_edge = |v: i64| edges.iter().find(|&&(u, _)| u == v).map(|&(_, w)| w);
 
         // L247–248: X = delPred results of Druall ∪ keys of INS nodes in L.
-        let mut x_set: Vec<i64> = d_ruall.iter().map(|&d| unsafe { (*d).del_pred() }).collect();
+        let mut x_set: Vec<i64> = d_ruall
+            .iter()
+            .map(|&d| unsafe { (*d).del_pred() })
+            .collect();
         for &u in &l {
             if unsafe { (*u).kind() } == Kind::Ins {
                 x_set.push(unsafe { (*u).key() });
@@ -608,9 +637,12 @@ impl LockFreeBinaryTrie {
         if unsafe { (*d_node).kind() } != Kind::Del {
             return false;
         }
-        let i_node = self
-            .core
-            .alloc_node(UpdateNode::new_ins(x, Status::Inactive, d_node, self.core.b()));
+        let i_node = self.core.alloc_node(UpdateNode::new_ins(
+            x,
+            Status::Inactive,
+            d_node,
+            self.core.b(),
+        ));
         let prev_ins = unsafe { (*d_node).latest_next() };
         if !prev_ins.is_null() {
             let target = unsafe { (*prev_ins).target() };
@@ -646,9 +678,12 @@ impl LockFreeBinaryTrie {
         if unsafe { (*d_node).kind() } != Kind::Del {
             return false;
         }
-        let i_node = self
-            .core
-            .alloc_node(UpdateNode::new_ins(x, Status::Inactive, d_node, self.core.b()));
+        let i_node = self.core.alloc_node(UpdateNode::new_ins(
+            x,
+            Status::Inactive,
+            d_node,
+            self.core.b(),
+        ));
         let prev_ins = unsafe { (*d_node).latest_next() };
         if !prev_ins.is_null() {
             let target = unsafe { (*prev_ins).target() };
@@ -685,9 +720,12 @@ impl LockFreeBinaryTrie {
             return false;
         }
         let (del_pred, p_node1) = self.pred_helper(x); // L184
-        let d_node = self
-            .core
-            .alloc_node(UpdateNode::new_del(x, Status::Inactive, i_node, self.core.b()));
+        let d_node = self.core.alloc_node(UpdateNode::new_del(
+            x,
+            Status::Inactive,
+            i_node,
+            self.core.b(),
+        ));
         unsafe {
             (*d_node).init_del_pred(del_pred); // L188
             (*d_node).init_del_pred_node(p_node1); // L189
@@ -812,7 +850,9 @@ mod tests {
         let mut model = BTreeSet::new();
         let mut state = 0xB7E151628AED2A6Bu64;
         for step in 0..20_000u64 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = (state >> 33) % universe;
             match state % 4 {
                 0 => assert_eq!(t.insert(x), model.insert(x), "insert {x} @{step}"),
@@ -917,7 +957,10 @@ mod tests {
                 std::thread::spawn(move || t.insert(5))
             })
             .collect();
-        let total: usize = wins.into_iter().map(|h| usize::from(h.join().unwrap())).sum();
+        let total: usize = wins
+            .into_iter()
+            .map(|h| usize::from(h.join().unwrap()))
+            .sum();
         assert_eq!(total, 1, "exactly one S-modifying insert");
         assert!(t.contains(5));
         assert_eq!(t.announcement_lens(), (0, 0, 0));

@@ -8,8 +8,8 @@
 use std::time::Duration;
 
 use lftrie_baselines::{
-    CoarseBTreeSet, ConcurrentOrderedSet, FlatCombiningBinaryTrie, HarrisListSet,
-    LockFreeSkipList, MutexBinaryTrie, RwLockBinaryTrie,
+    CoarseBTreeSet, ConcurrentOrderedSet, FlatCombiningBinaryTrie, HarrisListSet, LockFreeSkipList,
+    MutexBinaryTrie, RwLockBinaryTrie,
 };
 use lftrie_core::{LockFreeBinaryTrie, RelaxedBinaryTrie, RelaxedPred};
 use rand::rngs::StdRng;
@@ -19,7 +19,7 @@ use crate::driver::{self, RunConfig};
 use crate::report::Table;
 use crate::workload::{prefill, KeyDist, OpMix};
 
-const SEED: u64 = 0x5EED_0F_1F7E;
+const SEED: u64 = 0x005E_ED0F_1F7E;
 
 // Capped at 8: beyond the hardware thread count the announcement lists grow
 // with every preempted-mid-operation updater, and on a 1-core host 16-way
@@ -38,7 +38,11 @@ pub fn e1_search_steps(quick: bool) -> Table {
         "E1: Search step complexity (claim: O(1), flat in u)",
         &["u", "log2(u)", "steps/hit", "steps/miss", "ns/search"],
     );
-    let exponents: &[u32] = if quick { &[8, 12, 16] } else { &[8, 12, 16, 20] };
+    let exponents: &[u32] = if quick {
+        &[8, 12, 16]
+    } else {
+        &[8, 12, 16, 20]
+    };
     for &e in exponents {
         let u = 1u64 << e;
         let trie = LockFreeBinaryTrie::new(u);
@@ -76,7 +80,11 @@ pub fn e2_relaxed_op_steps(quick: bool) -> Table {
         "E2: relaxed-trie solo op steps (claim: linear in log u)",
         &["u", "log2(u)", "steps/insert", "steps/delete", "steps/pred"],
     );
-    let exponents: &[u32] = if quick { &[8, 12, 16] } else { &[8, 12, 16, 20] };
+    let exponents: &[u32] = if quick {
+        &[8, 12, 16]
+    } else {
+        &[8, 12, 16, 20]
+    };
     for &e in exponents {
         let u = 1u64 << e;
         let trie = RelaxedBinaryTrie::new(u);
@@ -233,7 +241,13 @@ pub fn e4_throughput(quick: bool) -> Vec<Table> {
 pub fn e5_bottom_rate(quick: bool) -> Table {
     let mut table = Table::new(
         "E5: RelaxedPredecessor ⊥ rate vs update share (claim: 0 solo, grows with contention)",
-        &["update %", "threads", "preds", "⊥ rate %", "lockfree recovery %"],
+        &[
+            "update %",
+            "threads",
+            "preds",
+            "⊥ rate %",
+            "lockfree recovery %",
+        ],
     );
     // A small universe keeps update and query paths overlapping, so the
     // interference the specification permits actually materializes.
@@ -261,7 +275,7 @@ pub fn e5_bottom_rate(quick: bool) -> Table {
                         let mut rng = StdRng::seed_from_u64(SEED + t as u64 + which as u64 * 97);
                         for _ in 0..per_thread {
                             let k = rng.gen_range(0..universe);
-                            if rng.gen_range(0..100) < update_pct {
+                            if rng.gen_range(0..100u32) < update_pct {
                                 if rng.gen_bool(0.5) {
                                     if which == 0 {
                                         relaxed.insert(k);

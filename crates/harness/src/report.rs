@@ -23,7 +23,8 @@ impl Table {
     /// Appends one row (stringifying each cell).
     pub fn row<D: Display>(&mut self, cells: &[D]) -> &mut Self {
         assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 

@@ -115,7 +115,7 @@ impl KeyDist {
                 hot_ops_pct,
             } => {
                 let hot_keys = (universe * u64::from(hot_keys_pct) / 100).max(1);
-                if rng.gen_range(0..100) < hot_ops_pct {
+                if rng.gen_range(0..100u32) < hot_ops_pct {
                     rng.gen_range(0..hot_keys)
                 } else {
                     rng.gen_range(hot_keys.min(universe - 1)..universe)
@@ -142,13 +142,7 @@ impl OpStream {
     }
 
     /// Creates the stream with an explicit key distribution.
-    pub fn with_dist(
-        mix: OpMix,
-        keys: KeyDist,
-        universe: u64,
-        seed: u64,
-        thread_id: u64,
-    ) -> Self {
+    pub fn with_dist(mix: OpMix, keys: KeyDist, universe: u64, seed: u64, thread_id: u64) -> Self {
         Self {
             rng: StdRng::seed_from_u64(seed ^ thread_id.wrapping_mul(0x9E3779B97F4A7C15)),
             dist: WeightedIndex::new(mix.weights()).expect("valid weights"),

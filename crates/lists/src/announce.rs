@@ -269,8 +269,17 @@ impl<P> AnnounceList<P> {
     /// O(contention) precisely because traversals help clean up.
     ///
     /// Returns the destination cell (possibly the tail sentinel, whose key is
-    /// `−∞`). `cur` must be a cell of this list that is not the tail.
-    pub fn advance_publishing(&self, cur: *mut Cell<P>, position: &PublishedKey) -> *mut Cell<P> {
+    /// `−∞`).
+    ///
+    /// # Safety
+    ///
+    /// `cur` must be a cell of this list (whose cells live until the list is
+    /// dropped) and must not be the tail sentinel.
+    pub unsafe fn advance_publishing(
+        &self,
+        cur: *mut Cell<P>,
+        position: &PublishedKey,
+    ) -> *mut Cell<P> {
         loop {
             let cur_link = unsafe { (*cur).next.load() };
             let next = cur_link.ptr();
@@ -430,7 +439,7 @@ mod tests {
         let head = list.head();
         assert_eq!(unsafe { (*head).key() }, POS_INF);
         let cursor = PublishedKey::new(POS_INF);
-        let tail = list.advance_publishing(head, &cursor);
+        let tail = unsafe { list.advance_publishing(head, &cursor) };
         assert_eq!(unsafe { (*tail).key() }, NEG_INF);
         assert_eq!(cursor.load(), NEG_INF);
     }
@@ -446,7 +455,7 @@ mod tests {
         let mut cell = list.head();
         let mut seen = Vec::new();
         loop {
-            cell = list.advance_publishing(cell, &cursor);
+            cell = unsafe { list.advance_publishing(cell, &cursor) };
             let k = unsafe { (*cell).key() };
             assert_eq!(cursor.load(), k, "published key tracks the cursor");
             if k == NEG_INF {
@@ -474,7 +483,7 @@ mod tests {
                 let cursor = PublishedKey::new(POS_INF);
                 let mut cell = list.head();
                 while unsafe { (*cell).key() } != lftrie_primitives::NEG_INF {
-                    cell = list.advance_publishing(cell, &cursor);
+                    cell = unsafe { list.advance_publishing(cell, &cursor) };
                 }
                 assert!(
                     list.physical_len() <= 2,
@@ -541,8 +550,8 @@ mod tests {
             let list = Arc::clone(&list);
             handles.push(std::thread::spawn(move || {
                 let mut payloads: Vec<u64> = (0..128).collect();
-                for i in 0..128usize {
-                    list.insert(((t * 131 + i as u64 * 17) % 97) as i64, &mut payloads[i]);
+                for (i, payload) in payloads.iter_mut().enumerate() {
+                    list.insert(((t * 131 + i as u64 * 17) % 97) as i64, payload);
                 }
             }));
         }

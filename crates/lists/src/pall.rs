@@ -56,7 +56,7 @@ impl<P> fmt::Debug for PallCell<P> {
 /// // Newest first:
 /// let seen: Vec<*mut u64> = pall.iter().map(|c| unsafe { (*c).payload() }).collect();
 /// assert_eq!(seen, vec![&mut b as *mut u64, &mut a as *mut u64]);
-/// pall.remove(cb);
+/// unsafe { pall.remove(cb) };
 /// assert_eq!(pall.iter().count(), 1);
 /// # let _ = ca;
 /// ```
@@ -116,8 +116,14 @@ impl<P> PallList<P> {
     }
 
     /// Removes a previously inserted cell: marks it (logical delete), then
-    /// unlinks it. Safe to call exactly once per insert.
-    pub fn remove(&self, cell: *mut PallCell<P>) {
+    /// unlinks it.
+    ///
+    /// # Safety
+    ///
+    /// `cell` must have been returned by [`PallList::insert`] on this list,
+    /// and each inserted cell may be removed at most once (cells stay
+    /// allocated until the list drops, so the pointer itself remains valid).
+    pub unsafe fn remove(&self, cell: *mut PallCell<P>) {
         // Logical delete: set the mark on cell.next.
         loop {
             let next = unsafe { (*cell).next.load() };
@@ -220,10 +226,7 @@ mod tests {
         for x in xs.iter_mut() {
             pall.insert(x);
         }
-        let seen: Vec<u64> = pall
-            .iter()
-            .map(|c| unsafe { *(*c).payload() })
-            .collect();
+        let seen: Vec<u64> = pall.iter().map(|c| unsafe { *(*c).payload() }).collect();
         assert_eq!(seen, vec![4, 3, 2, 1, 0]);
     }
 
@@ -250,13 +253,10 @@ mod tests {
         let mut b = 2u64;
         let ca = pall.insert(&mut a);
         let cb = pall.insert(&mut b);
-        pall.remove(ca);
-        let seen: Vec<u64> = pall
-            .iter()
-            .map(|c| unsafe { *(*c).payload() })
-            .collect();
+        unsafe { pall.remove(ca) };
+        let seen: Vec<u64> = pall.iter().map(|c| unsafe { *(*c).payload() }).collect();
         assert_eq!(seen, vec![2]);
-        pall.remove(cb);
+        unsafe { pall.remove(cb) };
         assert!(pall.is_empty());
     }
 
@@ -270,7 +270,7 @@ mod tests {
         let mut b = 2u64;
         let ca = pall.insert(&mut a);
         let cb = pall.insert(&mut b);
-        pall.remove(cb);
+        unsafe { pall.remove(cb) };
         let older: Vec<u64> = pall
             .iter_after(cb)
             .map(|cell| unsafe { *(*cell).payload() })
@@ -290,7 +290,7 @@ mod tests {
                 for _ in 0..500 {
                     let c = pall.insert(&mut slot);
                     let _ = pall.iter().count();
-                    pall.remove(c);
+                    unsafe { pall.remove(c) };
                 }
             }));
         }

@@ -109,7 +109,7 @@ proptest! {
             } else if !live.is_empty() {
                 let idx = pick % live.len();
                 let (_, cell) = live.remove(idx);
-                pall.remove(cell);
+                unsafe { pall.remove(cell) };
             }
             let got: Vec<u64> = pall
                 .iter()

@@ -65,9 +65,9 @@ mod tests {
 
     #[test]
     fn sentinels_are_ordered() {
-        assert!(NEG_INF < NO_PRED);
-        assert!(NO_PRED < 0);
-        assert!((MAX_UNIVERSE - 1) as i64 > 0);
-        assert!(POS_INF > (MAX_UNIVERSE - 1) as i64);
+        const { assert!(NEG_INF < NO_PRED) };
+        const { assert!(NO_PRED < 0) };
+        const { assert!((MAX_UNIVERSE - 1) as i64 > 0) };
+        const { assert!(POS_INF > (MAX_UNIVERSE - 1) as i64) };
     }
 }

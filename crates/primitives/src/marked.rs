@@ -122,7 +122,9 @@ unsafe impl<T: Send + Sync> Sync for AtomicMarkedPtr<T> {}
 
 impl<T> fmt::Debug for AtomicMarkedPtr<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_tuple("AtomicMarkedPtr").field(&self.load()).finish()
+        f.debug_tuple("AtomicMarkedPtr")
+            .field(&self.load())
+            .finish()
     }
 }
 

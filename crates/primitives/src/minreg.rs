@@ -152,9 +152,7 @@ mod tests {
         for a in 0..=20 {
             for b in 0..=20 {
                 assert_eq!(
-                    AndMinRegister::decode(
-                        AndMinRegister::encode(a) & AndMinRegister::encode(b)
-                    ),
+                    AndMinRegister::decode(AndMinRegister::encode(a) & AndMinRegister::encode(b)),
                     a.min(b)
                 );
             }

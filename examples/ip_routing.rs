@@ -96,7 +96,7 @@ fn main() {
         match lookup(addr) {
             Some((prefix, blocks)) => {
                 // The covering block really covers the address.
-                let start = key_of(u32::from(prefix) ) ;
+                let start = key_of(u32::from(prefix));
                 assert!(key_of(addr) - start < u64::from(blocks));
                 hits += 1;
             }

@@ -86,6 +86,9 @@ fn main() {
     println!("orders placed:  {}", placed.load(Ordering::Relaxed));
     println!("orders matched: {}", matched.load(Ordering::Relaxed));
     println!("best remaining bid: {best:?}");
-    println!("announcements at quiescence: {:?}", bids.announcement_lens());
+    println!(
+        "announcements at quiescence: {:?}",
+        bids.announcement_lens()
+    );
     assert_eq!(bids.announcement_lens(), (0, 0, 0));
 }

@@ -48,5 +48,8 @@ fn main() {
         4 * 10_000,
         set.predecessor(1_000_001)
     );
-    println!("announcement lists at quiescence: {:?}", set.announcement_lens());
+    println!(
+        "announcement lists at quiescence: {:?}",
+        set.announcement_lens()
+    );
 }

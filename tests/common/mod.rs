@@ -1,0 +1,24 @@
+//! Helpers shared by the integration suites.
+
+/// Iteration budget for the long-running stress suites.
+///
+/// Defaults keep `cargo test -q` CI-friendly (a few seconds even on a
+/// single-core runner); set `LFTRIE_STRESS_ITERS` to restore or exceed the
+/// heavy mode, e.g.:
+///
+/// ```text
+/// LFTRIE_STRESS_ITERS=100000 cargo test --release --test linearizability_stress
+/// ```
+///
+/// The value is the *base* per-thread count; call sites scale it (dividing
+/// by small constants) so the relative weight of each scenario is
+/// preserved — the floor of 4 keeps every scaled site non-zero.
+pub fn stress_iters(default: u64) -> u64 {
+    match std::env::var("LFTRIE_STRESS_ITERS") {
+        Ok(v) => v
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("LFTRIE_STRESS_ITERS must be a u64, got {v:?}"))
+            .max(4),
+        Err(_) => default,
+    }
+}

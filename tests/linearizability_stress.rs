@@ -18,6 +18,9 @@ use std::sync::Arc;
 
 use lftrie::core::{LockFreeBinaryTrie, RelaxedBinaryTrie, RelaxedPred};
 
+mod common;
+use common::stress_iters;
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Kind {
     Ins,
@@ -76,7 +79,10 @@ fn episodes_per_key(updates: &[UpdateEvent], universe: u64) -> Vec<Vec<Episode>>
                         open = None;
                     }
                     // S-modifying events must alternate per key.
-                    (k, o) => panic!("non-alternating history for key {}: {k:?} after {o:?}", e.key),
+                    (k, o) => panic!(
+                        "non-alternating history for key {}: {k:?} after {o:?}",
+                        e.key
+                    ),
                 }
             }
             if let Some(ins) = open {
@@ -261,8 +267,9 @@ fn check(out: &StressOutput, universe: u64, relaxed: bool) {
 
 #[test]
 fn lockfree_trie_predecessor_is_linearizable_under_stress() {
+    let iters = stress_iters(4_000);
     for seed in [11, 42, 20240610] {
-        let out = run_stress(false, 64, 2, 2, 8_000, 8_000, seed);
+        let out = run_stress(false, 64, 2, 2, iters, iters, seed);
         assert_eq!(out.bottoms, 0, "lock-free trie never reports ⊥");
         check(&out, 64, false);
     }
@@ -272,14 +279,16 @@ fn lockfree_trie_predecessor_is_linearizable_under_stress() {
 fn lockfree_trie_predecessor_linearizable_wide_universe() {
     // Wider universe exercises deep trie paths and the recovery machinery
     // less often but more meaningfully.
-    let out = run_stress(false, 1 << 10, 4, 2, 4_000, 4_000, 7);
+    let iters = stress_iters(4_000) / 2;
+    let out = run_stress(false, 1 << 10, 4, 2, iters, iters, 7);
     check(&out, 1 << 10, false);
 }
 
 #[test]
 fn relaxed_trie_satisfies_relaxed_specification() {
+    let iters = stress_iters(4_000);
     for seed in [5, 99] {
-        let out = run_stress(true, 64, 2, 2, 8_000, 8_000, seed);
+        let out = run_stress(true, 64, 2, 2, iters, iters, seed);
         check(&out, 64, true);
     }
 }

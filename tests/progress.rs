@@ -110,7 +110,10 @@ fn mutex_baseline_blocks_where_lockfree_does_not() {
         done += 1;
     }
     assert_eq!(done, 5_000);
-    assert!(!blocked.is_finished(), "mutex op still blocked by the guard");
+    assert!(
+        !blocked.is_finished(),
+        "mutex op still blocked by the guard"
+    );
     std::thread::sleep(Duration::from_millis(20));
     assert!(!blocked.is_finished());
     drop(guard);

@@ -7,6 +7,9 @@ use std::sync::Arc;
 
 use lftrie::core::LockFreeBinaryTrie;
 
+mod common;
+use common::stress_iters;
+
 /// After quiescence, `predecessor` answers must match a fresh `contains`
 /// scan exactly.
 fn assert_quiescent_consistency(trie: &LockFreeBinaryTrie, universe: u64) {
@@ -31,13 +34,14 @@ fn shared_key_hammering_settles_consistently() {
     // All threads fight over the SAME small key set: maximal latest-list,
     // helping, and notification contention.
     let universe = 32u64;
+    let iters = stress_iters(5_000);
     let trie = Arc::new(LockFreeBinaryTrie::new(universe));
     let handles: Vec<_> = (0..4u64)
         .map(|t| {
             let trie = Arc::clone(&trie);
             std::thread::spawn(move || {
                 let mut state = t.wrapping_mul(0x9E3779B97F4A7C15) ^ 0x2545F4914F6CDD1D;
-                for _ in 0..10_000 {
+                for _ in 0..iters {
                     state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
                     let k = (state >> 33) % universe;
                     match state % 4 {
@@ -69,6 +73,7 @@ fn tiny_universe_maximal_contention() {
     // Universe of 4 (the paper's running example size): every operation
     // collides with every other.
     let universe = 4u64;
+    let iters = stress_iters(5_000) / 4;
     for round in 0..10u64 {
         let trie = Arc::new(LockFreeBinaryTrie::new(universe));
         let handles: Vec<_> = (0..4u64)
@@ -76,7 +81,7 @@ fn tiny_universe_maximal_contention() {
                 let trie = Arc::clone(&trie);
                 std::thread::spawn(move || {
                     let mut state = t ^ round.wrapping_mul(0xA076_1D64_78BD_642F);
-                    for _ in 0..2_000 {
+                    for _ in 0..iters {
                         state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
                         let k = (state >> 33) % universe;
                         if state % 3 == 0 {
@@ -100,6 +105,7 @@ fn tiny_universe_maximal_contention() {
 #[test]
 fn alternating_phases_of_growth_and_shrink() {
     let universe = 256u64;
+    let iters = stress_iters(5_000);
     let trie = Arc::new(LockFreeBinaryTrie::new(universe));
     for phase in 0..4 {
         let grow = phase % 2 == 0;
@@ -108,7 +114,7 @@ fn alternating_phases_of_growth_and_shrink() {
                 let trie = Arc::clone(&trie);
                 std::thread::spawn(move || {
                     let mut state = t + phase as u64 * 1315423911;
-                    for _ in 0..5_000 {
+                    for _ in 0..iters {
                         state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
                         let k = (state >> 33) % universe;
                         if grow {

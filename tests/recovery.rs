@@ -25,7 +25,10 @@ fn recovery_uses_first_embedded_predecessor() {
     assert_eq!(trie.predecessor(20), Some(5));
     let (bottoms, recoveries) = trie.traversal_stats();
     assert!(bottoms >= 1, "the stale subtree must force at least one ⊥");
-    assert!(recoveries >= 1, "⊥ with a non-empty Druall runs the recovery");
+    assert!(
+        recoveries >= 1,
+        "⊥ with a non-empty Druall runs the recovery"
+    );
 }
 
 #[test]
@@ -75,7 +78,10 @@ fn reinserting_the_stalled_key_repairs_the_subtree() {
     let trie = LockFreeBinaryTrie::new(32);
     trie.insert(9);
     trie.remove_stalled_before_trie_update(9);
-    assert!(trie.insert(9), "re-insert after linearized delete is S-modifying");
+    assert!(
+        trie.insert(9),
+        "re-insert after linearized delete is S-modifying"
+    );
     assert!(trie.contains(9));
     assert_eq!(trie.predecessor(10), Some(9));
     assert_eq!(trie.predecessor(9), None);

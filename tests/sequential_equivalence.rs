@@ -5,8 +5,8 @@
 use std::collections::BTreeSet;
 
 use lftrie::baselines::{
-    CoarseBTreeSet, ConcurrentOrderedSet, FlatCombiningBinaryTrie, HarrisListSet,
-    LockFreeSkipList, MutexBinaryTrie, RwLockBinaryTrie, SeqBinaryTrie,
+    CoarseBTreeSet, ConcurrentOrderedSet, FlatCombiningBinaryTrie, HarrisListSet, LockFreeSkipList,
+    MutexBinaryTrie, RwLockBinaryTrie, SeqBinaryTrie,
 };
 use lftrie::core::{LockFreeBinaryTrie, RelaxedBinaryTrie, RelaxedPred};
 use proptest::prelude::*;

@@ -1,0 +1,350 @@
+//! Vendored stand-in for `criterion` (no crates.io access in the build
+//! environment). Source-compatible with the bench files in
+//! `crates/bench/benches`: [`Criterion`], [`BenchmarkGroup`] (with
+//! `sample_size` / `warm_up_time` / `measurement_time` / `bench_function` /
+//! `bench_with_input` / `finish`), [`Bencher`] (`iter`, `iter_batched`,
+//! `iter_custom`), [`BenchmarkId`], [`BatchSize`],
+//! [`measurement::WallTime`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: per benchmark it warms up for `warm_up_time`,
+//! auto-scales an iteration count to roughly fill
+//! `measurement_time / sample_size` per sample, takes `sample_size`
+//! samples, and prints mean / min ns-per-iteration to stdout. No
+//! statistics, plots, or baselines — good enough for regression smoke and
+//! for `cargo bench --no-run` compilation checks.
+
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    //! Measurement clocks.
+
+    /// Wall-clock measurement (the only clock implemented).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, not differentiated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier of a parameterized benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>`; flags criterion would parse are ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            filter: self.filter.clone(),
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+    _criterion: std::marker::PhantomData<&'a M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total sampling duration budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Throughput annotation (accepted and ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up: also calibrates iterations per sample.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(50);
+        while warm_start.elapsed() < self.warm_up_time {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            per_iter = bencher.elapsed.max(Duration::from_nanos(1)) / bencher.iters as u32;
+            // Grow the per-call iteration count toward ~1ms per call.
+            if bencher.elapsed < Duration::from_millis(1) && bencher.iters < (1 << 20) {
+                bencher.iters *= 2;
+            }
+        }
+        let per_sample =
+            (self.measurement_time / self.sample_size as u32).max(Duration::from_micros(10));
+        let iters_per_sample =
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+
+        let mut best = f64::INFINITY;
+        let mut total_ns = 0f64;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            bencher.iters = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            let ns = bencher.elapsed.as_nanos() as f64;
+            best = best.min(ns / bencher.iters as f64);
+            total_ns += ns;
+            total_iters += bencher.iters;
+        }
+        let mean = total_ns / total_iters.max(1) as f64;
+        println!("{full:<60} mean {mean:>12.2} ns/iter   min {best:>12.2} ns/iter");
+    }
+}
+
+/// Throughput annotation (accepted and ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with per-iteration setup excluded from the timing.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+
+    /// Like [`iter_batched`](Self::iter_batched) but the routine takes the
+    /// input by reference.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+
+    /// Hands the iteration count to `routine`, which returns the measured
+    /// duration itself.
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        self.elapsed = routine(self.iters);
+    }
+}
+
+/// Prevents the optimizer from discarding `value`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut calls = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_custom_uses_returned_duration() {
+        let mut b = Bencher {
+            iters: 7,
+            elapsed: Duration::ZERO,
+        };
+        b.iter_custom(|iters| Duration::from_nanos(iters * 10));
+        assert_eq!(b.elapsed, Duration::from_nanos(70));
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut group = c.benchmark_group("smoke");
+        let mut ran = false;
+        group.bench_function("skipped", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        group.finish();
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,176 @@
+//! Vendored stand-in for the `crossbeam` facade crate (no crates.io access
+//! in the build environment). Implements only the subset the workspace
+//! uses: [`queue::SegQueue`].
+
+pub mod queue {
+    //! Concurrent queues.
+
+    use core::ptr;
+    use core::sync::atomic::{AtomicPtr, Ordering};
+
+    /// Lock-free unbounded multi-producer collection with the subset of the
+    /// `crossbeam` `SegQueue` API the workspace uses.
+    ///
+    /// Internally a Treiber stack: `push` is a single CAS loop and is
+    /// lock-free under arbitrary concurrency. Pop order is therefore LIFO,
+    /// not FIFO. Unlike the real crate, [`pop`](SegQueue::pop) takes
+    /// `&mut self`: a concurrent-`pop` Treiber stack needs safe memory
+    /// reclamation (a popper can read a node another popper just freed),
+    /// and the in-tree caller (`lftrie_primitives::registry`) only drains
+    /// at drop time where exclusivity is free. Code that needs concurrent
+    /// pops fails to compile instead of hitting use-after-free.
+    pub struct SegQueue<T> {
+        head: AtomicPtr<Node<T>>,
+        len: core::sync::atomic::AtomicUsize,
+    }
+
+    struct Node<T> {
+        value: T,
+        next: *mut Node<T>,
+    }
+
+    unsafe impl<T: Send> Send for SegQueue<T> {}
+    unsafe impl<T: Send> Sync for SegQueue<T> {}
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            Self {
+                head: AtomicPtr::new(ptr::null_mut()),
+                len: core::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+
+        /// Pushes `value`. Lock-free.
+        pub fn push(&self, value: T) {
+            let node = Box::into_raw(Box::new(Node {
+                value,
+                next: ptr::null_mut(),
+            }));
+            let mut head = self.head.load(Ordering::Acquire);
+            loop {
+                unsafe { (*node).next = head };
+                match self.head.compare_exchange_weak(
+                    head,
+                    node,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => break,
+                    Err(h) => head = h,
+                }
+            }
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// Pops an element, or `None` if the queue is empty.
+        ///
+        /// Exclusive access (see the type docs): no other thread can be
+        /// pushing or popping, so plain loads/stores suffice.
+        pub fn pop(&mut self) -> Option<T> {
+            let head = *self.head.get_mut();
+            if head.is_null() {
+                return None;
+            }
+            let node = unsafe { Box::from_raw(head) };
+            *self.head.get_mut() = node.next;
+            *self.len.get_mut() -= 1;
+            Some(node.value)
+        }
+
+        /// Number of elements currently in the queue.
+        pub fn len(&self) -> usize {
+            self.len.load(Ordering::Relaxed)
+        }
+
+        /// True if the queue holds no elements.
+        pub fn is_empty(&self) -> bool {
+            self.head.load(Ordering::Acquire).is_null()
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Drop for SegQueue<T> {
+        fn drop(&mut self) {
+            let mut cur = *self.head.get_mut();
+            while !cur.is_null() {
+                let node = unsafe { Box::from_raw(cur) };
+                cur = node.next;
+            }
+        }
+    }
+
+    impl<T> core::fmt::Debug for SegQueue<T> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.debug_struct("SegQueue")
+                .field("len", &self.len())
+                .finish()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Arc;
+
+        #[test]
+        fn push_pop_round_trips() {
+            let mut q = SegQueue::new();
+            assert!(q.is_empty());
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.len(), 2);
+            let mut got = vec![q.pop().unwrap(), q.pop().unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+            assert!(q.pop().is_none());
+        }
+
+        #[test]
+        fn concurrent_pushes_all_arrive() {
+            let q = Arc::new(SegQueue::new());
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        for i in 0..1000u64 {
+                            q.push(t * 1000 + i);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let mut q = Arc::try_unwrap(q).expect("all workers joined");
+            let mut seen = std::collections::HashSet::new();
+            while let Some(v) = q.pop() {
+                assert!(seen.insert(v));
+            }
+            assert_eq!(seen.len(), 4000);
+        }
+
+        #[test]
+        fn drop_frees_remaining_elements() {
+            static DROPS: core::sync::atomic::AtomicUsize = core::sync::atomic::AtomicUsize::new(0);
+            struct D;
+            impl Drop for D {
+                fn drop(&mut self) {
+                    DROPS.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            {
+                let q = SegQueue::new();
+                for _ in 0..10 {
+                    q.push(D);
+                }
+            }
+            assert_eq!(DROPS.load(Ordering::SeqCst), 10);
+        }
+    }
+}

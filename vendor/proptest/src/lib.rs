@@ -1,0 +1,412 @@
+//! Vendored stand-in for `proptest` (no crates.io access in the build
+//! environment). Source-compatible with the subset of the real API this
+//! workspace uses:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]` header,
+//! * [`Strategy`] with `prop_map`, implemented for integer / float ranges
+//!   and tuples,
+//! * [`collection::vec`], [`bool::ANY`], [`strategy::Just`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! deterministic seed (override with `PROPTEST_RNG_SEED`), failures are
+//! **not shrunk** — the failing case number and seed are printed so the run
+//! can be replayed — and there is no persistence of failure regressions.
+
+use core::cell::Cell;
+
+/// Deterministic generator driving all strategies — the vendored rand
+/// stub's `StdRng` (SplitMix64-seeded xoshiro256**) behind the small
+/// sampling surface the strategies need.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Seeds the generator.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self {
+            inner: <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        rand::Rng::next_u64(&mut self.inner)
+    }
+
+    /// Uniform draw below `bound` (64-bit widening reduction).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+thread_local! {
+    static CURRENT_CASE: Cell<(u64, u32)> = const { Cell::new((0, 0)) };
+}
+
+/// Base seed for a named test: `PROPTEST_RNG_SEED` when set, else a stable
+/// hash of the test name (so tests draw independent streams).
+pub fn base_seed(test_name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_RNG_SEED") {
+        // A silently-ignored bad seed would fake a clean replay.
+        return s
+            .trim()
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("PROPTEST_RNG_SEED must be a u64, got {s:?}"));
+    }
+    // FNV-1a over the name.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Records which case is executing (for failure reports).
+pub fn set_current_case(seed: u64, case: u32) {
+    CURRENT_CASE.with(|c| c.set((seed, case)));
+}
+
+/// Panic message context for a failing case.
+pub fn failure_context() -> String {
+    let (seed, case) = CURRENT_CASE.with(|c| c.get());
+    format!("(case {case}, base seed {seed}; replay with PROPTEST_RNG_SEED={seed})")
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+    {
+        strategy::Map { inner: self, f }
+    }
+}
+
+pub mod strategy {
+    //! Strategy combinators.
+
+    use super::{Strategy, TestRng};
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = self.end.abs_diff(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = hi.abs_diff(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.below(span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Generates `true` / `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The any-boolean strategy value.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Generates `Vec`s whose length is uniform in `len` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::Just;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed {}", $crate::failure_context())
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, "{} {}", format_args!($($fmt)*), $crate::failure_context())
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        assert!(
+            *l == *r,
+            "assertion failed: `{:?} == {:?}` {}",
+            l,
+            r,
+            $crate::failure_context()
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        assert!(
+            *l == *r,
+            "assertion failed: `{:?} == {:?}`: {} {}",
+            l,
+            r,
+            format_args!($($fmt)*),
+            $crate::failure_context()
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        assert!(
+            *l != *r,
+            "assertion failed: `{:?} != {:?}` {}",
+            l,
+            r,
+            $crate::failure_context()
+        );
+    }};
+}
+
+/// Declares property tests. Mirrors the real macro's common form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_prop(x in 0u64..100, v in proptest::collection::vec(0u8..4, 1..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let seed = $crate::base_seed(concat!(module_path!(), "::", stringify!($name)));
+            let mut rng = $crate::TestRng::seed_from_u64(seed);
+            for case in 0..config.cases {
+                $crate::set_current_case(seed, case);
+                $(let $pat = $crate::Strategy::new_value(&($strat), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = (5u64..17).new_value(&mut rng);
+            assert!((5..17).contains(&x));
+            let y = (-3i64..4).new_value(&mut rng);
+            assert!((-3..4).contains(&y));
+            let f = (0.0f64..1.0).new_value(&mut rng);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = crate::TestRng::seed_from_u64(2);
+        let strat = crate::collection::vec(0u8..4, 1..9);
+        for _ in 0..500 {
+            let v = strat.new_value(&mut rng);
+            assert!((1..9).contains(&v.len()));
+            assert!(v.iter().all(|&b| b < 4));
+        }
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        let mut rng = crate::TestRng::seed_from_u64(3);
+        let strat = (0u8..2, 10u64..20).prop_map(|(a, b)| a as u64 + b);
+        for _ in 0..200 {
+            let v = strat.new_value(&mut rng);
+            assert!((10..21).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 0u64..50, flip in crate::bool::ANY) {
+            prop_assert!(x < 50);
+            prop_assert_eq!(flip, flip);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config_uses_default(v in crate::collection::vec(0i64..8, 1..5)) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+    }
+}

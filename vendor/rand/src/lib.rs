@@ -1,0 +1,266 @@
+//! Vendored stand-in for `rand` 0.8 (no crates.io access in the build
+//! environment). Implements the subset the workspace uses with the same
+//! source-level API: [`Rng`] (`gen_range`, `gen_bool`), [`SeedableRng`]
+//! (`seed_from_u64`), [`rngs::StdRng`], and
+//! [`distributions::WeightedIndex`].
+//!
+//! `StdRng` here is xoshiro256** seeded through SplitMix64 — fast, solid
+//! statistical quality for workload generation, and deterministic per seed
+//! (which is all the harness requires; it is NOT the cryptographic ChaCha
+//! generator the real `rand` uses).
+
+pub mod rngs;
+
+pub mod distributions {
+    //! Sampling distributions.
+
+    use crate::Rng;
+
+    /// Types that sample values from an RNG.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error building a [`WeightedIndex`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum WeightedError {
+        /// No weights were provided.
+        NoItem,
+        /// A weight was invalid (all-zero total).
+        AllWeightsZero,
+    }
+
+    impl core::fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                WeightedError::NoItem => write!(f, "no weights provided"),
+                WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+            }
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// Unsigned weight types [`WeightedIndex`] accepts.
+    pub trait Weight: Copy + PartialOrd {
+        /// The additive identity.
+        const ZERO: Self;
+        /// Checked-free addition (weights are small in practice).
+        fn add(self, rhs: Self) -> Self;
+        /// Widening conversion for sampling.
+        fn to_u64(self) -> u64;
+        /// Narrowing conversion back (inputs came from `Self`, so in range).
+        fn from_u64(v: u64) -> Self;
+    }
+
+    macro_rules! impl_weight {
+        ($($t:ty),*) => {$(
+            impl Weight for $t {
+                const ZERO: Self = 0;
+                fn add(self, rhs: Self) -> Self { self + rhs }
+                fn to_u64(self) -> u64 { self as u64 }
+                fn from_u64(v: u64) -> Self { v as $t }
+            }
+        )*};
+    }
+
+    impl_weight!(u8, u16, u32, u64, usize);
+
+    /// Samples indices `0..n` proportionally to the given weights.
+    #[derive(Debug, Clone)]
+    pub struct WeightedIndex<W> {
+        cumulative: Vec<W>,
+    }
+
+    impl<W: Weight> WeightedIndex<W> {
+        /// Builds the sampler from an iterator of weights.
+        pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator,
+            I::Item: core::borrow::Borrow<W>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = W::ZERO;
+            for w in weights {
+                total = total.add(*core::borrow::Borrow::borrow(&w));
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() {
+                return Err(WeightedError::NoItem);
+            }
+            if total.to_u64() == 0 {
+                return Err(WeightedError::AllWeightsZero);
+            }
+            Ok(Self { cumulative })
+        }
+    }
+
+    impl<W: Weight> Distribution<usize> for WeightedIndex<W> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            let total = self.cumulative.last().unwrap().to_u64();
+            // Uniform in 1..=total, then first cumulative bucket >= x.
+            let x = W::from_u64(((rng.next_u64() as u128 * total as u128) >> 64) as u64 + 1);
+            self.cumulative.partition_point(|&c| c < x)
+        }
+    }
+}
+
+/// Values [`Rng::gen_range`] accepts: the subset of range types used here.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end - self.start) as u64;
+                // Lemire-style rejection-free-enough reduction: unbiased via
+                // 128-bit widening multiply.
+                let x = rng.next_u64();
+                let m = (x as u128).wrapping_mul(span as u128);
+                self.start + ((m >> 64) as u64) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + SampleRange::<$t>::sample_from(0..(hi - lo + 1), rng)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                let off = SampleRange::<$u>::sample_from(0..span, rng);
+                (self.start as $u).wrapping_add(off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// A source of randomness (the subset of `rand::Rng` used here).
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p not a probability: {p}");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// Seedable deterministic generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::distributions::{Distribution, WeightedIndex};
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = rng.gen_range(0u64..10);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let x = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+        }
+        for _ in 0..1000 {
+            let x = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "got {hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dist = WeightedIndex::new([40u32, 40, 10, 10]).unwrap();
+        let mut counts = [0u32; 4];
+        for _ in 0..100_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert!((38_000..42_000).contains(&counts[0]), "{counts:?}");
+        assert!((38_000..42_000).contains(&counts[1]), "{counts:?}");
+        assert!((9_000..11_000).contains(&counts[2]), "{counts:?}");
+        assert!((9_000..11_000).contains(&counts[3]), "{counts:?}");
+        assert!(WeightedIndex::<u32>::new([0u32; 0]).is_err());
+        assert!(WeightedIndex::new([0u32, 0]).is_err());
+    }
+
+    #[test]
+    fn zero_weight_entries_never_sampled() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dist = WeightedIndex::new([0u32, 100, 0]).unwrap();
+        for _ in 0..1000 {
+            assert_eq!(dist.sample(&mut rng), 1);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Vendored stand-in for `serde` (no crates.io access in the build
+//! environment). Nothing in the workspace serializes through serde — JSON
+//! output is hand-rolled in `lftrie-harness::report` — so `Serialize` is a
+//! marker trait kept only so the `#[derive(Serialize)]` annotations on
+//! experiment config types stay source-compatible with the real crate.
+
+/// Marker for types whose fields are report-friendly (see crate docs; the
+/// real serde trait's methods are not needed by this workspace).
+pub trait Serialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;

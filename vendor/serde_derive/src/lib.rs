@@ -1,0 +1,32 @@
+//! Vendored stand-in for `serde_derive`: `#[derive(Serialize)]` emits a
+//! bare `impl serde::Serialize` marker impl (the stub trait has no items).
+//! Generic types fall back to emitting nothing — none occur in-tree.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the (stub) `serde::Serialize` marker for a non-generic type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter();
+    // Scan for the `struct` / `enum` / `union` keyword; the following ident
+    // is the type name.
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(kw) = &tt {
+            let kw = kw.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    // Generic type? Skip the impl rather than mis-emit.
+                    if let Some(TokenTree::Punct(p)) = tokens.next() {
+                        if p.as_char() == '<' {
+                            return TokenStream::new();
+                        }
+                    }
+                    return format!("impl ::serde::Serialize for {name} {{}}")
+                        .parse()
+                        .unwrap();
+                }
+            }
+        }
+    }
+    TokenStream::new()
+}
