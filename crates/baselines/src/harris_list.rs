@@ -4,9 +4,15 @@
 //! operations, which is exactly the degenerate behaviour the skip trie paper
 //! warns about and the binary trie avoids. Included as the low end of the
 //! E4 comparison and as a second oracle for the list substrate.
+//!
+//! Nodes are epoch-reclaimed: the thread whose CAS physically unlinks a
+//! marked node retires it, so steady-state memory tracks the live set (the
+//! same [`Registry`] accounting the trie uses, keeping the E6 space
+//! comparison apples-to-apples).
 
+use lftrie_primitives::epoch::{self, Guard};
 use lftrie_primitives::marked::{AtomicMarkedPtr, MarkedPtr};
-use lftrie_primitives::registry::Registry;
+use lftrie_primitives::registry::{Reclaim, Registry};
 use lftrie_primitives::{NEG_INF, POS_INF};
 
 use crate::set_trait::ConcurrentOrderedSet;
@@ -15,6 +21,9 @@ struct Node {
     key: i64,
     next: AtomicMarkedPtr<Node>,
 }
+
+/// An unlinked node is unreachable for new pins immediately.
+impl Reclaim for Node {}
 
 /// A lock-free sorted linked list over `u64` keys.
 ///
@@ -60,8 +69,8 @@ impl HarrisListSet {
     }
 
     /// Michael-style search: `(pred, cur)` with `pred.key < key ≤ cur.key`,
-    /// unlinking marked nodes.
-    fn find(&self, key: i64) -> (*mut Node, *mut Node) {
+    /// unlinking (and retiring) marked nodes.
+    fn find(&self, key: i64, guard: &Guard<'_>) -> (*mut Node, *mut Node) {
         'retry: loop {
             let mut pred = self.head;
             let mut cur = unsafe { (*pred).next.load() }.ptr();
@@ -73,6 +82,8 @@ impl HarrisListSet {
                     if !unsafe { (*pred).next.compare_exchange(expected, replacement) } {
                         continue 'retry;
                     }
+                    // Exactly one CAS unlinks each node: retire it here.
+                    unsafe { self.nodes.retire(cur, guard) };
                     cur = cur_next.ptr();
                 } else if unsafe { (*cur).key } < key {
                     pred = cur;
@@ -87,13 +98,16 @@ impl HarrisListSet {
     /// Adds `key`; returns `true` if the set changed.
     pub fn insert(&self, key: u64) -> bool {
         let key = key as i64;
+        let guard = &epoch::pin();
         let node = self.nodes.alloc(Node {
             key,
             next: AtomicMarkedPtr::null(),
         });
         loop {
-            let (pred, cur) = self.find(key);
+            let (pred, cur) = self.find(key, guard);
             if unsafe { (*cur).key } == key {
+                // Never published: free the speculative node immediately.
+                unsafe { self.nodes.dealloc(node) };
                 return false;
             }
             unsafe { (*node).next.store(MarkedPtr::new(cur, false)) };
@@ -110,8 +124,9 @@ impl HarrisListSet {
     /// Removes `key`; returns `true` if the set changed.
     pub fn remove(&self, key: u64) -> bool {
         let key = key as i64;
+        let guard = &epoch::pin();
         loop {
-            let (_, cur) = self.find(key);
+            let (_, cur) = self.find(key, guard);
             if unsafe { (*cur).key } != key {
                 return false;
             }
@@ -120,7 +135,7 @@ impl HarrisListSet {
                 return false; // another remover is ahead
             }
             if unsafe { (*cur).next.compare_exchange(next, next.with_mark()) } {
-                let _ = self.find(key); // physical unlink
+                let _ = self.find(key, guard); // physical unlink (and retire)
                 return true;
             }
         }
@@ -129,6 +144,7 @@ impl HarrisListSet {
     /// Membership test (read-only traversal).
     pub fn contains(&self, key: u64) -> bool {
         let key = key as i64;
+        let _guard = epoch::pin();
         let mut cur = unsafe { (*self.head).next.load() }.ptr();
         while unsafe { (*cur).key } < key {
             cur = unsafe { (*cur).next.load() }.ptr();
@@ -140,6 +156,7 @@ impl HarrisListSet {
     /// Largest key smaller than `y`, or `None`.
     pub fn predecessor(&self, y: u64) -> Option<u64> {
         let y = y as i64;
+        let _guard = epoch::pin();
         let mut best: Option<u64> = None;
         let mut cur = unsafe { (*self.head).next.load() }.ptr();
         while unsafe { (*cur).key } < y {
@@ -149,6 +166,31 @@ impl HarrisListSet {
             cur = unsafe { (*cur).next.load() }.ptr();
         }
         best
+    }
+}
+
+impl HarrisListSet {
+    /// `(cumulative, live)` node allocation counts (E6 space accounting).
+    pub fn node_counts(&self) -> (usize, usize) {
+        (self.nodes.allocated(), self.nodes.live())
+    }
+
+    /// Runs quiescent reclamation sweeps on the node registry.
+    pub fn collect_garbage(&self) {
+        self.nodes.flush();
+    }
+}
+
+impl Drop for HarrisListSet {
+    fn drop(&mut self) {
+        // Free the still-linked chain (sentinels included); unlinked nodes
+        // were retired and are freed by the registry's Drop.
+        let mut cur = self.head;
+        while !cur.is_null() {
+            let next = unsafe { (*cur).next.load() }.ptr();
+            unsafe { self.nodes.dealloc(cur) };
+            cur = next;
+        }
     }
 }
 
@@ -174,6 +216,7 @@ impl core::fmt::Debug for HarrisListSet {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("HarrisListSet")
             .field("allocated", &self.nodes.allocated())
+            .field("live", &self.nodes.live())
             .finish()
     }
 }
@@ -199,6 +242,22 @@ mod tests {
                 _ => assert_eq!(s.predecessor(x), model.range(..x).next_back().copied()),
             }
         }
+    }
+
+    #[test]
+    fn churn_reclaims_removed_nodes() {
+        let s = HarrisListSet::new();
+        for round in 0..10_000u64 {
+            s.insert(round % 8);
+            s.remove(round % 8);
+        }
+        s.collect_garbage();
+        let (allocated, live) = s.node_counts();
+        assert!(allocated >= 10_000);
+        assert!(
+            live <= 2 + 8 + 64,
+            "unlinked nodes must be reclaimed, {live} still live"
+        );
     }
 
     #[test]

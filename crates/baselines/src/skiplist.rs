@@ -7,11 +7,19 @@
 //! during `find`. `Search` and `Predecessor` are O(log n) *expected* —
 //! the contrast with the trie's O(1) search and O(log u) deterministic
 //! bounds is exactly what experiment E4 measures.
+//!
+//! Towers are epoch-reclaimed: each node counts the levels it is currently
+//! linked at (`links`, raised before a link CAS, dropped at the unlinking
+//! CAS); the winning remover retires the victim, and the registry's
+//! readiness gate keeps it parked until the whole tower is unlinked — a
+//! node still linked at an upper level stays dereferenceable for
+//! traversals descending through it.
 
 use core::sync::atomic::{AtomicUsize, Ordering};
 
+use lftrie_primitives::epoch::{self, Guard};
 use lftrie_primitives::marked::{AtomicMarkedPtr, MarkedPtr};
-use lftrie_primitives::registry::Registry;
+use lftrie_primitives::registry::{Reclaim, Registry};
 use lftrie_primitives::{NEG_INF, POS_INF};
 
 use crate::set_trait::ConcurrentOrderedSet;
@@ -22,11 +30,21 @@ struct Node {
     key: i64,
     /// Tower of next pointers; `next[0]` is the full (bottom) list.
     next: Vec<AtomicMarkedPtr<Node>>,
+    /// Levels currently (or speculatively about to be) linking this node;
+    /// over-approximates occupancy, never under-approximates it.
+    links: AtomicUsize,
 }
 
 impl Node {
     fn height(&self) -> usize {
         self.next.len()
+    }
+}
+
+impl Reclaim for Node {
+    /// A retired tower may be freed only once no level links it.
+    fn ready_to_reclaim(&self) -> bool {
+        self.links.load(Ordering::SeqCst) == 0
     }
 }
 
@@ -75,12 +93,14 @@ impl LockFreeSkipList {
         let tail = nodes.alloc(Node {
             key: POS_INF,
             next: (0..MAX_HEIGHT).map(|_| AtomicMarkedPtr::null()).collect(),
+            links: AtomicUsize::new(0),
         });
         let head = nodes.alloc(Node {
             key: NEG_INF,
             next: (0..MAX_HEIGHT)
                 .map(|_| AtomicMarkedPtr::new(MarkedPtr::new(tail, false)))
                 .collect(),
+            links: AtomicUsize::new(0),
         });
         Self {
             head,
@@ -105,6 +125,7 @@ impl LockFreeSkipList {
         key: i64,
         preds: &mut [*mut Node; MAX_HEIGHT],
         succs: &mut [*mut Node; MAX_HEIGHT],
+        _guard: &Guard<'_>,
     ) -> bool {
         'retry: loop {
             let mut pred = self.head;
@@ -119,6 +140,9 @@ impl LockFreeSkipList {
                         if !nref(pred).next[level].compare_exchange(expected, replacement) {
                             continue 'retry;
                         }
+                        // One level fewer holds the node; when the count
+                        // hits zero the retired tower becomes reclaimable.
+                        nref(cur).links.fetch_sub(1, Ordering::SeqCst);
                         cur = cur_next.ptr();
                     } else if nref(cur).key < key {
                         pred = cur;
@@ -137,24 +161,32 @@ impl LockFreeSkipList {
     /// Adds `key`; returns `true` if the set changed.
     pub fn insert(&self, key: u64) -> bool {
         let key = key as i64;
+        let guard = &epoch::pin();
         let mut preds = [core::ptr::null_mut(); MAX_HEIGHT];
         let mut succs = [core::ptr::null_mut(); MAX_HEIGHT];
         let height = self.random_height();
         let new_node = self.nodes.alloc(Node {
             key,
             next: (0..height).map(|_| AtomicMarkedPtr::null()).collect(),
+            links: AtomicUsize::new(0),
         });
         loop {
-            if self.find(key, &mut preds, &mut succs) {
-                return false; // already present (node stays in the arena)
+            if self.find(key, &mut preds, &mut succs, guard) {
+                // Already present: the speculative node was never published.
+                unsafe { self.nodes.dealloc(new_node) };
+                return false;
             }
             // Prepare the tower, then link the bottom level: the
-            // linearization point of insert.
+            // linearization point of insert. The link count is raised
+            // *before* each link CAS (and rolled back on failure) so it can
+            // never under-report occupancy.
             for (level, link) in nref(new_node).next.iter().enumerate() {
                 link.store(MarkedPtr::new(succs[level], false));
             }
             let expected = MarkedPtr::new(succs[0], false);
+            nref(new_node).links.fetch_add(1, Ordering::SeqCst);
             if !nref(preds[0]).next[0].compare_exchange(expected, MarkedPtr::new(new_node, false)) {
+                nref(new_node).links.fetch_sub(1, Ordering::SeqCst);
                 continue; // bottom CAS lost: re-find and retry
             }
             // Link the upper levels (best effort; marked ⇒ stop).
@@ -171,18 +203,24 @@ impl LockFreeSkipList {
                         }
                     }
                     let expected = MarkedPtr::new(succs[level], false);
+                    nref(new_node).links.fetch_add(1, Ordering::SeqCst);
                     if nref(preds[level]).next[level]
                         .compare_exchange(expected, MarkedPtr::new(new_node, false))
                     {
                         break;
                     }
+                    nref(new_node).links.fetch_sub(1, Ordering::SeqCst);
                     // Window moved: recompute it. If the key vanished, our
                     // node was deleted; stop.
-                    if !self.find(key, &mut preds, &mut succs) {
+                    if !self.find(key, &mut preds, &mut succs, guard) {
                         return true;
                     }
                     if succs[level] == new_node {
-                        break; // someone helped us link this level
+                        // Unreachable today (no code path links another
+                        // thread's tower); if helping is ever added, the
+                        // helper's own inc-before-CAS covers this link — a
+                        // second count here would leak the tower forever.
+                        break;
                     }
                 }
             }
@@ -194,9 +232,10 @@ impl LockFreeSkipList {
     /// whose bottom-level mark succeeds reports `true`).
     pub fn remove(&self, key: u64) -> bool {
         let key = key as i64;
+        let guard = &epoch::pin();
         let mut preds = [core::ptr::null_mut(); MAX_HEIGHT];
         let mut succs = [core::ptr::null_mut(); MAX_HEIGHT];
-        if !self.find(key, &mut preds, &mut succs) {
+        if !self.find(key, &mut preds, &mut succs, guard) {
             return false;
         }
         let victim = succs[0];
@@ -219,7 +258,11 @@ impl LockFreeSkipList {
                 return false; // another remover won
             }
             if nref(victim).next[0].compare_exchange(next, next.with_mark()) {
-                let _ = self.find(key, &mut preds, &mut succs); // physical unlink
+                let _ = self.find(key, &mut preds, &mut succs, guard); // physical unlink
+                                                                       // Only the winning remover reaches this point: retire the
+                                                                       // tower; the links gate keeps it parked until every level
+                                                                       // (bottom included, usually by the find above) unlinked it.
+                unsafe { self.nodes.retire(victim, guard) };
                 return true;
             }
         }
@@ -228,6 +271,7 @@ impl LockFreeSkipList {
     /// Membership test (read-only traversal, no helping).
     pub fn contains(&self, key: u64) -> bool {
         let key = key as i64;
+        let _guard = epoch::pin();
         let mut pred = self.head;
         for level in (0..MAX_HEIGHT).rev() {
             let mut cur = nref(pred).next[level].load().ptr();
@@ -245,6 +289,7 @@ impl LockFreeSkipList {
     /// Largest key smaller than `y`, or `None`.
     pub fn predecessor(&self, y: u64) -> Option<u64> {
         let y = y as i64;
+        let _guard = epoch::pin();
         let mut pred = self.head;
         for level in (0..MAX_HEIGHT).rev() {
             let mut cur = nref(pred).next[level].load().ptr();
@@ -270,6 +315,33 @@ impl LockFreeSkipList {
     }
 }
 
+impl LockFreeSkipList {
+    /// `(cumulative, live)` node allocation counts (E6 space accounting).
+    pub fn node_counts(&self) -> (usize, usize) {
+        (self.nodes.allocated(), self.nodes.live())
+    }
+
+    /// Runs quiescent reclamation sweeps on the node registry.
+    pub fn collect_garbage(&self) {
+        self.nodes.flush();
+    }
+}
+
+impl Drop for LockFreeSkipList {
+    fn drop(&mut self) {
+        // Walk the bottom level (which links every non-retired node) and
+        // free the chain; retired towers are no longer bottom-linked — the
+        // winning remover's find unlinked them there — and are freed by the
+        // registry's Drop instead.
+        let mut cur = self.head;
+        while !cur.is_null() {
+            let next = nref(cur).next[0].load().ptr();
+            unsafe { self.nodes.dealloc(cur) };
+            cur = next;
+        }
+    }
+}
+
 impl ConcurrentOrderedSet for LockFreeSkipList {
     fn insert(&self, x: u64) -> bool {
         LockFreeSkipList::insert(self, x)
@@ -292,6 +364,7 @@ impl core::fmt::Debug for LockFreeSkipList {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("LockFreeSkipList")
             .field("allocated", &self.nodes.allocated())
+            .field("live", &self.nodes.live())
             .finish()
     }
 }
@@ -317,6 +390,22 @@ mod tests {
                 _ => assert_eq!(s.predecessor(x), model.range(..x).next_back().copied()),
             }
         }
+    }
+
+    #[test]
+    fn churn_reclaims_removed_towers() {
+        let s = LockFreeSkipList::new();
+        for round in 0..10_000u64 {
+            s.insert(round % 8);
+            s.remove(round % 8);
+        }
+        s.collect_garbage();
+        let (allocated, live) = s.node_counts();
+        assert!(allocated >= 10_000);
+        assert!(
+            live <= 2 + 8 + 64,
+            "unlinked towers must be reclaimed, {live} still live"
+        );
     }
 
     #[test]

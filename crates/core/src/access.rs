@@ -9,8 +9,9 @@
 //! array, the `dNodePtr` array representing internal trie nodes, and the
 //! update-node arena — lives in [`TrieCore`] and is shared.
 
-use core::sync::atomic::{AtomicPtr, Ordering};
+use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
+use lftrie_primitives::epoch::Guard;
 use lftrie_primitives::registry::Registry;
 use lftrie_primitives::steps;
 
@@ -42,8 +43,14 @@ pub(crate) struct TrieCore {
     /// `dNodePtr` of every internal node, indexed by [`NodeIndex`] `1..2^b`
     /// (slot 0 unused); initially the dummy of the subtree's leftmost key.
     dnode: Box<[AtomicPtr<UpdateNode>]>,
-    /// Arena owning every update node, dummies included (DESIGN.md D4).
+    /// Epoch-aware registry owning every update node, dummies included
+    /// (DESIGN.md D4): superseded nodes are retired through it and freed
+    /// once unreferenced, so resident memory tracks the live set instead of
+    /// the update history.
     nodes: Registry<UpdateNode>,
+    /// Source of the never-reused [`UpdateNode::seq`] ids (0 is reserved
+    /// as "no node" in notify records).
+    next_seq: AtomicU64,
 }
 
 impl TrieCore {
@@ -53,10 +60,12 @@ impl TrieCore {
         let layout = Layout::new(universe);
         let n = layout.num_leaves() as usize;
         let nodes = Registry::new();
+        let next_seq = AtomicU64::new(1);
 
         let mut latest = Vec::with_capacity(n);
         for x in 0..n {
             let dummy = nodes.alloc(UpdateNode::new_dummy(x as i64, layout.bits()));
+            unsafe { (*dummy).seq = next_seq.fetch_add(1, Ordering::Relaxed) };
             latest.push(AtomicPtr::new(dummy));
         }
 
@@ -65,6 +74,9 @@ impl TrieCore {
         for i in 1..n {
             let leftmost = layout.leftmost_key(i as u64) as usize;
             let dummy = latest[leftmost].load(Ordering::Relaxed);
+            // Seed the install count: the dummy occupies this dNodePtr slot
+            // until a delete in its subtree displaces it.
+            unsafe { (*dummy).dnode_refs.fetch_add(1, Ordering::Relaxed) };
             dnode.push(AtomicPtr::new(dummy));
         }
 
@@ -73,6 +85,7 @@ impl TrieCore {
             latest: latest.into_boxed_slice(),
             dnode: dnode.into_boxed_slice(),
             nodes,
+            next_seq,
         }
     }
 
@@ -118,6 +131,12 @@ impl TrieCore {
     }
 
     /// CAS on `t.dNodePtr` (lines 66/70).
+    ///
+    /// Maintains [`UpdateNode::dnode_refs`] so reclamation can tell when a
+    /// node has left every `dNodePtr` slot: the incoming node's count is
+    /// raised *before* the CAS (the count over-approximates occupancy, never
+    /// under-approximates it) and rolled back on failure; the displaced
+    /// node's count drops after a success.
     #[inline]
     pub(crate) fn dnode_cas(
         &self,
@@ -127,21 +146,103 @@ impl TrieCore {
     ) -> bool {
         debug_assert!(!self.layout.is_leaf(t));
         steps::on_cas();
-        self.dnode[t as usize]
+        // Safety: `new` is the caller's own live node; `current` was read
+        // from the slot under the caller's guard.
+        unsafe { (*new).dnode_refs.fetch_add(1, Ordering::SeqCst) };
+        if self.dnode[t as usize]
             .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
+        {
+            if !current.is_null() && current != new {
+                unsafe { (*current).dnode_refs.fetch_sub(1, Ordering::SeqCst) };
+            } else if current == new {
+                // Re-installing the same node: occupancy is unchanged.
+                unsafe { (*new).dnode_refs.fetch_sub(1, Ordering::SeqCst) };
+            }
+            true
+        } else {
+            unsafe { (*new).dnode_refs.fetch_sub(1, Ordering::SeqCst) };
+            false
+        }
     }
 
-    /// Allocates an update node in the arena.
+    /// Allocates an update node in the arena, stamping its unique id.
     #[inline]
     pub(crate) fn alloc_node(&self, node: UpdateNode) -> *mut UpdateNode {
-        self.nodes.alloc(node)
+        let ptr = self.nodes.alloc(node);
+        // Safety: not yet published; single-owner write before publication.
+        unsafe { (*ptr).seq = self.next_seq.fetch_add(1, Ordering::Relaxed) };
+        ptr
+    }
+
+    /// Retires an update node once it can no longer be reached by threads
+    /// pinning from now on (superseded in its latest list, or never
+    /// published). Freed after the epoch grace period, once its
+    /// `completed`/`dNodePtr`/`target` gates open.
+    ///
+    /// # Safety
+    ///
+    /// As for [`Registry::retire`]; additionally the node must be off its
+    /// `latest[x]` list (the superseding node's `latestNext` already
+    /// cleared) or never published at all.
+    pub(crate) unsafe fn retire_node(&self, node: *mut UpdateNode, guard: &Guard<'_>) {
+        unsafe { self.nodes.retire(node, guard) };
+    }
+
+    /// Frees a node that lost its publication CAS: it was never linked
+    /// anywhere, so no grace period (or `completed` gate) applies.
+    ///
+    /// # Safety
+    ///
+    /// The node was allocated by [`TrieCore::alloc_node`], never published
+    /// (its `latest[x]` CAS failed before any announce/install), and is
+    /// dropped by its creating operation only.
+    pub(crate) unsafe fn dealloc_node(&self, node: *mut UpdateNode) {
+        unsafe { self.nodes.dealloc(node) };
     }
 
     /// Number of update nodes ever allocated (dummies included) — the E6
-    /// space metric.
+    /// "GC model" space metric.
     pub(crate) fn allocated_nodes(&self) -> usize {
         self.nodes.allocated()
+    }
+
+    /// Update nodes currently resident: `allocated − reclaimed`. The
+    /// steady-state footprint the memory-bound suite asserts on.
+    pub(crate) fn live_nodes(&self) -> usize {
+        self.nodes.live()
+    }
+
+    /// Update nodes freed by reclamation so far.
+    pub(crate) fn reclaimed_nodes(&self) -> usize {
+        self.nodes.reclaimed()
+    }
+
+    /// Runs quiescent reclamation sweeps (tests/diagnostics).
+    pub(crate) fn flush_reclamation(&self) {
+        self.nodes.flush();
+    }
+}
+
+impl Drop for TrieCore {
+    fn drop(&mut self) {
+        // Free the nodes still reachable from the latest lists: per key the
+        // head, plus an uncleared `latestNext` (the ≤ 2-node invariant of
+        // §5; the relaxed trie keeps exactly head + one-back alive).
+        // Everything in a `dNodePtr` slot is either one of those or already
+        // retired (dnode_refs parked it in the registry, whose own Drop
+        // frees it), so this walk frees each resident node exactly once.
+        for slot in self.latest.iter() {
+            let head = slot.load(Ordering::Relaxed);
+            if head.is_null() {
+                continue;
+            }
+            let next = unsafe { (*head).latest_next() };
+            if !next.is_null() {
+                unsafe { self.nodes.dealloc(next) };
+            }
+            unsafe { self.nodes.dealloc(head) };
+        }
     }
 }
 

@@ -16,6 +16,7 @@ use core::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicU32, AtomicU8, 
 use lftrie_lists::pall::PallCell;
 use lftrie_lists::pushstack::PushStack;
 use lftrie_primitives::minreg::{AndMinRegister, MinRegister};
+use lftrie_primitives::registry::Reclaim;
 use lftrie_primitives::steps;
 use lftrie_primitives::swcursor::PublishedKey;
 use lftrie_primitives::{NO_PRED, POS_INF};
@@ -55,6 +56,20 @@ pub struct UpdateNode {
     pub(crate) key: i64,
     /// Immutable type (line 93).
     pub(crate) kind: Kind,
+    /// Unique id stamped at allocation (never reused). Notify records carry
+    /// it instead of raw pointers so that identity comparisons against
+    /// long-dead notifiers can never alias a recycled address (ABA).
+    pub(crate) seq: u64,
+    /// Number of `dNodePtr` slots currently (or about to be) holding this
+    /// node; maintained by [`crate::access::TrieCore::dnode_cas`]. A retired
+    /// node is not freed while this is non-zero — `InterpretedBit` may still
+    /// read it through `t.dNodePtr` arbitrarily late.
+    pub(crate) dnode_refs: AtomicU32,
+    /// Number of live INS nodes whose `target` points here; incremented by
+    /// [`UpdateNode::set_target`], decremented when the pointing node is
+    /// itself reclaimed. Guards the `target.stop ← True` dereferences
+    /// (lines 34/55/133/168/198).
+    pub(crate) target_refs: AtomicU32,
     /// `Inactive → Active` once (line 94).
     status: AtomicU8,
     /// Points to the update node this one replaced; changes once to null
@@ -102,9 +117,11 @@ impl UpdateNode {
 
     /// Creates the per-key dummy DEL node of the initial configuration: its
     /// boundaries make every interpreted bit 0 (`upper0 = b`,
-    /// `lower1 = b+1`), it is active, and its `latestNext` is `⊥`.
+    /// `lower1 = b+1`), it is active, and its `latestNext` is `⊥`. Dummies
+    /// are born `completed` — no operation ever finishes them, and the flag
+    /// gates their reclamation once the first real insert supersedes them.
     pub(crate) fn new_dummy(key: i64, b: u32) -> Self {
-        Self::new(
+        let node = Self::new(
             key,
             Kind::Del,
             Status::Active,
@@ -112,7 +129,9 @@ impl UpdateNode {
             b,
             b + 1,
             b,
-        )
+        );
+        node.completed.store(true, Ordering::Relaxed);
+        node
     }
 
     fn new(
@@ -127,6 +146,9 @@ impl UpdateNode {
         Self {
             key,
             kind,
+            seq: 0,
+            dnode_refs: AtomicU32::new(0),
+            target_refs: AtomicU32::new(0),
             status: AtomicU8::new(status as u8),
             latest_next: AtomicPtr::new(latest_next),
             target: AtomicPtr::new(core::ptr::null_mut()),
@@ -190,11 +212,25 @@ impl UpdateNode {
         self.target.load(Ordering::SeqCst)
     }
 
-    /// `iNode.target ← uNode` (line 43).
-    #[inline]
+    /// `iNode.target ← uNode` (line 43). Only the creating insert writes
+    /// this field (single writer; concurrent readers go through the atomic).
+    ///
+    /// Maintains the targeted node's [`UpdateNode::target_refs`] count: the
+    /// new target is pinned *before* it is published (so a retired target is
+    /// rescued from limbo before any reader can reach it through us), the
+    /// displaced one released after.
     pub(crate) fn set_target(&self, node: *mut UpdateNode) {
         steps::on_write();
-        self.target.store(node, Ordering::SeqCst);
+        if !node.is_null() {
+            // Safety: the caller read `node` as a live first-activated node
+            // under its epoch guard; it is not freed while we hold it.
+            unsafe { (*node).target_refs.fetch_add(1, Ordering::SeqCst) };
+        }
+        let old = self.target.swap(node, Ordering::SeqCst);
+        if !old.is_null() {
+            // Safety: our count kept `old` alive until this release.
+            unsafe { (*old).target_refs.fetch_sub(1, Ordering::SeqCst) };
+        }
     }
 
     #[inline]
@@ -302,6 +338,32 @@ impl UpdateNode {
     }
 }
 
+impl Reclaim for UpdateNode {
+    /// A retired update node may still be read through two long-lived
+    /// shared paths the paper's GC model leaves dangling: `t.dNodePtr`
+    /// (until a later delete displaces it) and some live INS node's
+    /// `target`. Both are reference-counted; `completed` additionally keeps
+    /// the node while its own operation may still install it (the owner
+    /// only sets `completed` after its trie update and notifications, lines
+    /// 178/204).
+    fn ready_to_reclaim(&self) -> bool {
+        self.completed.load(Ordering::SeqCst)
+            && self.dnode_refs.load(Ordering::SeqCst) == 0
+            && self.target_refs.load(Ordering::SeqCst) == 0
+    }
+
+    /// Releases the `target_refs` pin this node holds on its target (the
+    /// count kept the target alive for exactly as long as our `target`
+    /// field was dereferenceable).
+    fn on_reclaim(&self) {
+        let t = self.target.load(Ordering::SeqCst);
+        if !t.is_null() {
+            // Safety: target_refs > 0 kept `t` allocated until this release.
+            unsafe { (*t).target_refs.fetch_sub(1, Ordering::SeqCst) };
+        }
+    }
+}
+
 impl core::fmt::Debug for UpdateNode {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let mut s = f.debug_struct("UpdateNode");
@@ -320,23 +382,37 @@ impl core::fmt::Debug for UpdateNode {
 
 /// A notification record (Figure 6 lines 109–113): the *value* carried by one
 /// notify node in a predecessor node's `notifyList`.
+///
+/// The paper stores *pointers* to the notifying update node (line 111) and
+/// to the U-ALL maximum (line 112), relying on garbage collection to keep
+/// them dereferenceable for as long as any notify list holds them. Under
+/// epoch reclamation a record can outlive its notifier by many epochs (a
+/// delete's embedded predecessor node — and thus its notify list — stays
+/// readable through `delPredNode` well after the notifier is reclaimed), so
+/// the record instead carries a **value snapshot** of everything the
+/// receiver reads (key, kind, `delPred2`), plus the never-reused
+/// [`UpdateNode::seq`] ids for the identity tests of lines 222/225/227/239.
+/// Nothing in a record is ever dereferenced.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct NotifyRecord {
     /// The notifying update node's key (line 110).
     pub key: i64,
-    /// The notifying update node (line 111).
-    pub update_node: *mut UpdateNode,
-    /// INS node with the largest key `< pNode.key` the notifier saw in the
-    /// U-ALL (line 112); null is `⊥`.
-    pub update_node_max: *mut UpdateNode,
+    /// The notifying update node's kind (read on line 220).
+    pub kind: Kind,
+    /// The notifying update node's unique id (stands in for the line-111
+    /// pointer in identity comparisons).
+    pub seq: u64,
+    /// DEL notifiers: `delPred2`, final by the time any DEL notifies
+    /// (line 201 precedes line 203); [`DELPRED2_UNSET`] on INS notifiers.
+    pub del_pred2: i64,
+    /// Id of the INS node with the largest key `< pNode.key` the notifier
+    /// saw in the U-ALL (line 112); 0 is `⊥`.
+    pub max_seq: u64,
+    /// That node's key ([`NO_PRED`] when `max_seq` is 0).
+    pub max_key: i64,
     /// The receiver's `RuallPosition.key` at send time (line 113).
     pub notify_threshold: i64,
 }
-
-// Safety: plain-old-data snapshot; pointers dereferenced only under the
-// trie's lifetime.
-unsafe impl Send for NotifyRecord {}
-unsafe impl Sync for NotifyRecord {}
 
 /// A predecessor node in the P-ALL (Figure 6 lines 105–108).
 pub struct PredNode {
@@ -354,6 +430,13 @@ pub struct PredNode {
 // Safety: as for UpdateNode.
 unsafe impl Send for PredNode {}
 unsafe impl Sync for PredNode {}
+
+/// Predecessor nodes are retired only after their P-ALL announcement is
+/// removed; the one long-lived path to them (`dNode.delPredNode`) is only
+/// followed for DEL nodes found announced in the RU-ALL, which cannot
+/// happen for threads pinning after the owning `Delete` de-announced — so
+/// the plain grace period suffices and no readiness gate is needed.
+impl Reclaim for PredNode {}
 
 impl PredNode {
     /// Creates the announcement record for a `PredHelper(y)` instance.

@@ -16,6 +16,7 @@
 use crate::access::{LatestAccess, TrieCore};
 use crate::bitops;
 use crate::node::{Kind, Status, UpdateNode};
+use lftrie_primitives::epoch;
 use lftrie_primitives::{Key, NO_PRED};
 
 /// Result of [`RelaxedBinaryTrie::predecessor`] (specification §4.1).
@@ -134,6 +135,7 @@ impl RelaxedBinaryTrie {
     /// Panics if `x ≥ universe`.
     pub fn contains(&self, x: Key) -> bool {
         let x = self.check_key(x);
+        let _guard = epoch::pin();
         let u_node = self.find_latest(x); // L16
         unsafe { (*u_node).kind() == Kind::Ins } // L17–18
     }
@@ -146,6 +148,10 @@ impl RelaxedBinaryTrie {
     /// Panics if `x ≥ universe`.
     pub fn insert(&self, x: Key) -> bool {
         let x = self.check_key(x);
+        // One pin across activation and the trie update: our published node
+        // must stay dereferenceable for the finish phase even if concurrent
+        // updates supersede it twice in between.
+        let _guard = epoch::pin();
         match self.insert_activate(x) {
             Some(i_node) => {
                 self.insert_finish(i_node); // L36
@@ -157,7 +163,14 @@ impl RelaxedBinaryTrie {
 
     /// Lines 29–35 of `TrieInsert`: create and activate the INS node (the
     /// strong-linearization point), without yet updating interpreted bits.
+    ///
+    /// On success, retires the node the displaced head itself superseded:
+    /// the relaxed trie never clears `latestNext`, so at any moment the head
+    /// and its immediate `latestNext` are dereferenceable (line 34 reads one
+    /// hop), but the node two generations back just became unreachable for
+    /// new operations.
     pub(crate) fn insert_activate(&self, x: i64) -> Option<*mut UpdateNode> {
+        let guard = &epoch::pin();
         let d_node = self.find_latest(x); // L29
         if unsafe { (*d_node).kind() } != Kind::Del {
             return None; // L30: x already in S
@@ -178,14 +191,28 @@ impl RelaxedBinaryTrie {
             }
         }
         if !self.core.cas_latest(x, d_node, i_node) {
-            return None; // L35: another TrieInsert(x) won
+            // L35: another TrieInsert(x) won; our node was never published.
+            unsafe { self.core.dealloc_node(i_node) };
+            return None;
+        }
+        if !prev_ins.is_null() {
+            // prev_ins is now two hops from the head: unreachable for new
+            // operations (no code follows two latestNext links). Its free is
+            // additionally gated on `completed`, which only its *own*
+            // operation sets at the end of `insert_finish` — so an owner
+            // still between activation and finish keeps it alive.
+            unsafe { self.core.retire_node(prev_ins, guard) };
         }
         Some(i_node)
     }
 
-    /// Line 36 of `TrieInsert`: `InsertBinaryTrie(iNode)`.
+    /// Line 36 of `TrieInsert`: `InsertBinaryTrie(iNode)`, then mark the
+    /// node completed — the relaxed trie's analogue of the lock-free line
+    /// 178, and the signal that lets a superseded node be reclaimed.
     pub(crate) fn insert_finish(&self, i_node: *mut UpdateNode) {
+        let _guard = epoch::pin();
         bitops::insert_binary_trie(&self.core, self, i_node);
+        unsafe { (*i_node).set_completed() };
     }
 
     /// `TrieDelete(x)` (lines 47–57): removes `x`; returns `true` iff this
@@ -196,6 +223,7 @@ impl RelaxedBinaryTrie {
     /// Panics if `x ≥ universe`.
     pub fn remove(&self, x: Key) -> bool {
         let x = self.check_key(x);
+        let _guard = epoch::pin();
         match self.delete_activate(x) {
             Some(d_node) => {
                 self.delete_finish(d_node); // L56
@@ -205,12 +233,16 @@ impl RelaxedBinaryTrie {
         }
     }
 
-    /// Lines 48–55 of `TrieDelete`: create and activate the DEL node.
+    /// Lines 48–55 of `TrieDelete`: create and activate the DEL node. On
+    /// success, retires the node two generations back (see
+    /// [`RelaxedBinaryTrie::insert_activate`]).
     pub(crate) fn delete_activate(&self, x: i64) -> Option<*mut UpdateNode> {
+        let guard = &epoch::pin();
         let i_node = self.find_latest(x); // L48
         if unsafe { (*i_node).kind() } != Kind::Ins {
             return None; // L49: x not in S
         }
+        let prev_del = unsafe { (*i_node).latest_next() };
         // L50–53: dNode.latestNext ← iNode.
         let d_node = self.core.alloc_node(UpdateNode::new_del(
             x,
@@ -219,19 +251,29 @@ impl RelaxedBinaryTrie {
             self.core.b(),
         ));
         if !self.core.cas_latest(x, i_node, d_node) {
-            return None; // L54: another TrieDelete(x) won
+            // L54: another TrieDelete(x) won; our node was never published.
+            unsafe { self.core.dealloc_node(d_node) };
+            return None;
         }
         // L55: iNode.target.stop ← True (ignore ⊥).
         let target = unsafe { (*i_node).target() };
         if !target.is_null() {
             unsafe { (*target).set_stop() };
         }
+        if !prev_del.is_null() {
+            // As in `insert_activate`: the owner's `delete_finish` opens the
+            // `completed` gate; retiring here only starts the clock.
+            unsafe { self.core.retire_node(prev_del, guard) };
+        }
         Some(d_node)
     }
 
-    /// Line 56 of `TrieDelete`: `DeleteBinaryTrie(dNode)`.
+    /// Line 56 of `TrieDelete`: `DeleteBinaryTrie(dNode)`, then mark the
+    /// node completed (see [`RelaxedBinaryTrie::insert_finish`]).
     pub(crate) fn delete_finish(&self, d_node: *mut UpdateNode) {
+        let _guard = epoch::pin();
         bitops::delete_binary_trie(&self.core, self, d_node);
+        unsafe { (*d_node).set_completed() };
     }
 
     /// `RelaxedPredecessor(y)` (lines 73–90): the largest key smaller than
@@ -242,6 +284,7 @@ impl RelaxedBinaryTrie {
     /// Panics if `y ≥ universe`.
     pub fn predecessor(&self, y: Key) -> RelaxedPred {
         let y = self.check_key(y);
+        let _guard = epoch::pin();
         match bitops::relaxed_predecessor(&self.core, self, y) {
             None => RelaxedPred::Interference,
             Some(NO_PRED) => RelaxedPred::NoneSmaller,
@@ -263,6 +306,7 @@ impl RelaxedBinaryTrie {
     /// Panics if `y ≥ universe`.
     pub fn successor(&self, y: Key) -> RelaxedSucc {
         let y = self.check_key(y);
+        let _guard = epoch::pin();
         match bitops::relaxed_successor(&self.core, self, y) {
             None => RelaxedSucc::Interference,
             Some(NO_PRED) => RelaxedSucc::NoneGreater,
@@ -273,6 +317,7 @@ impl RelaxedBinaryTrie {
     /// Diagnostic: the interpreted bits of every trie level, root first
     /// (level `d` has `2^d` bits) — the circles of Figures 1–3.
     pub fn interpreted_bits_by_level(&self) -> Vec<Vec<bool>> {
+        let _guard = epoch::pin();
         let layout = self.core.layout();
         let mut levels = Vec::with_capacity(layout.bits() as usize + 1);
         for depth in 0..=layout.bits() {
@@ -293,6 +338,7 @@ impl RelaxedBinaryTrie {
     /// Panics if `x ≥ universe`.
     pub fn latest_info(&self, x: Key) -> LatestInfo {
         let x = self.check_key(x);
+        let _guard = epoch::pin();
         let node = unsafe { &*self.find_latest(x) };
         if node.kind() == Kind::Ins {
             LatestInfo {
@@ -309,10 +355,20 @@ impl RelaxedBinaryTrie {
         }
     }
 
-    /// Total update nodes allocated so far (E6 space metric; includes the
-    /// `2^b` initial dummies).
+    /// Total update nodes allocated so far (the GC-model E6 space metric;
+    /// includes the `2^b` initial dummies).
     pub fn allocated_nodes(&self) -> usize {
         self.core.allocated_nodes()
+    }
+
+    /// Update nodes currently resident (`allocated − reclaimed`).
+    pub fn live_nodes(&self) -> usize {
+        self.core.live_nodes()
+    }
+
+    /// Runs quiescent reclamation sweeps on the node registry.
+    pub fn collect_garbage(&self) {
+        self.core.flush_reclamation();
     }
 
     /// Used by the figure-replay tests to drive traversal steps manually.

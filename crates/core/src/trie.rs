@@ -23,12 +23,40 @@ use core::sync::atomic::{AtomicU64, Ordering};
 
 use lftrie_lists::announce::AnnounceList;
 use lftrie_lists::pall::PallList;
+use lftrie_primitives::epoch::{self, Guard};
 use lftrie_primitives::registry::Registry;
 use lftrie_primitives::{Key, NEG_INF, NO_PRED, POS_INF};
 
 use crate::access::{LatestAccess, TrieCore};
 use crate::bitops;
-use crate::node::{Kind, NotifyRecord, PredNode, Status, UpdateNode};
+use crate::node::{Kind, NotifyRecord, PredNode, Status, UpdateNode, DELPRED2_UNSET};
+
+/// An update-node identity + key snapshot taken from a [`NotifyRecord`]:
+/// what the predecessor computation keeps of a notifier without ever
+/// dereferencing it (`seq` replaces the paper's pointer identity).
+#[derive(Debug, Clone, Copy)]
+struct NotifyCand {
+    seq: u64,
+    key: i64,
+}
+
+/// One element of the recovery sequence `L` (lines 231–243): again a pure
+/// value snapshot of a notify record.
+#[derive(Debug, Clone, Copy)]
+struct RecoverEntry {
+    seq: u64,
+    key: i64,
+    kind: Kind,
+    del_pred2: i64,
+}
+
+/// The unique id of a live update node (helper for identity tests between
+/// snapshots and freshly traversed nodes).
+#[inline]
+fn seq_of(node: *mut UpdateNode) -> u64 {
+    // Safety: callers only pass nodes reached under their epoch guard.
+    unsafe { (*node).seq }
+}
 
 /// A lock-free, linearizable binary trie over `{0, …, universe−1}` with
 /// O(1) `contains` and lock-free exact `predecessor`.
@@ -59,7 +87,8 @@ pub struct LockFreeBinaryTrie {
     ruall: AnnounceList<UpdateNode>,
     /// P-ALL: predecessor announcements (§5.1).
     pall: PallList<PredNode>,
-    /// Arena owning every predecessor node (DESIGN.md D4).
+    /// Epoch-aware registry owning every predecessor node (DESIGN.md D4);
+    /// nodes are retired when their operation withdraws its announcement.
     preds: Registry<PredNode>,
     /// Diagnostic tallies (experiment E5/E7): how often `predecessor` used
     /// the relaxed traversal vs. the ⊥-recovery path.
@@ -136,27 +165,27 @@ impl LockFreeBinaryTrie {
     // ------------------------------------------------------------------
 
     /// Inserts `uNode` into the U-ALL and RU-ALL (lines 130/173/196).
-    fn announce(&self, u_node: *mut UpdateNode) {
+    fn announce(&self, u_node: *mut UpdateNode, guard: &Guard<'_>) {
         let key = unsafe { (*u_node).key() };
-        self.uall.insert(key, u_node);
-        self.ruall.insert(key, u_node);
+        self.uall.insert(key, u_node, guard);
+        self.ruall.insert(key, u_node, guard);
     }
 
     /// Removes every announcement of `uNode` (lines 136/179/205): helpers
     /// may have re-announced it, so removal is exhaustive (DESIGN.md D2).
-    fn deannounce(&self, u_node: *mut UpdateNode) {
+    fn deannounce(&self, u_node: *mut UpdateNode, guard: &Guard<'_>) {
         let key = unsafe { (*u_node).key() };
-        self.uall.remove_all(key, u_node);
-        self.ruall.remove_all(key, u_node);
+        self.uall.remove_all(key, u_node, guard);
+        self.ruall.remove_all(key, u_node, guard);
     }
 
     /// `HelpActivate(uNode)` (lines 128–136): finish a stalled update's
     /// announcement and activation on its behalf.
-    fn help_activate(&self, u_node: *mut UpdateNode) {
+    fn help_activate(&self, u_node: *mut UpdateNode, guard: &Guard<'_>) {
         let u = unsafe { &*u_node };
         if u.status() == Status::Inactive {
             // L129
-            self.announce(u_node); // L130
+            self.announce(u_node, guard); // L130
             u.activate(); // L131
             if u.kind() == Kind::Del {
                 // L132–133: uNode.latestNext.target.stop ← True (⊥-tolerant)
@@ -172,17 +201,21 @@ impl LockFreeBinaryTrie {
             if u.completed() {
                 // L135: owner finished while we were helping — our (or a
                 // stale) announcement must go.
-                self.deannounce(u_node); // L136
+                self.deannounce(u_node, guard); // L136
             }
         }
     }
 
     /// `TraverseUall(x)` (lines 137–145): update nodes with key `< x` that
     /// are first-activated, split into `(I, D)` by kind.
-    fn traverse_uall(&self, x: i64) -> (Vec<*mut UpdateNode>, Vec<*mut UpdateNode>) {
+    fn traverse_uall(
+        &self,
+        x: i64,
+        guard: &Guard<'_>,
+    ) -> (Vec<*mut UpdateNode>, Vec<*mut UpdateNode>) {
         let mut ins = Vec::new();
         let mut del = Vec::new();
-        for (key, u_node) in self.uall.iter() {
+        for (key, u_node) in self.uall.iter(guard) {
             // L139–144
             if key >= x {
                 break; // L140
@@ -205,26 +238,37 @@ impl LockFreeBinaryTrie {
 
     /// `NotifyPredOps(uNode)` (lines 146–155): send a notification about
     /// `uNode` to every announced predecessor operation.
-    fn notify_pred_ops(&self, u_node: *mut UpdateNode) {
-        let (ins, _del) = self.traverse_uall(POS_INF); // L147: TraverseUall(∞)
-        for p_cell in self.pall.iter() {
+    fn notify_pred_ops(&self, u_node: *mut UpdateNode, guard: &Guard<'_>) {
+        let (ins, _del) = self.traverse_uall(POS_INF, guard); // L147: TraverseUall(∞)
+        let u = unsafe { &*u_node };
+        // DEL nodes notify only after line 201, so delPred2 is final and can
+        // be snapshotted into the (pointer-free) record.
+        let del_pred2 = if u.kind() == Kind::Del {
+            u.del_pred2().unwrap_or(DELPRED2_UNSET)
+        } else {
+            DELPRED2_UNSET
+        };
+        for p_cell in self.pall.iter(guard) {
             // L148
             let p_node = unsafe { (*p_cell).payload() };
             let p = unsafe { &*p_node };
             if !self.first_activated(u_node) {
                 return; // L149
             }
-            // L150–154: build the notify node.
+            // L150–154: build the notify node (a value snapshot; see
+            // `NotifyRecord` for why no pointers are stored).
             let update_node_max = ins
                 .iter()
                 .copied()
                 .filter(|&i| unsafe { (*i).key() } < p.key)
-                .max_by_key(|&i| unsafe { (*i).key() })
-                .unwrap_or(core::ptr::null_mut()); // L153
+                .max_by_key(|&i| unsafe { (*i).key() }); // L153
             let record = NotifyRecord {
-                key: unsafe { (*u_node).key() },           // L151
-                update_node: u_node,                       // L152
-                update_node_max,                           // L153
+                key: u.key(),                               // L151
+                kind: u.kind(),                             // (line 220's read)
+                seq: u.seq,                                 // L152, by identity
+                del_pred2,                                  // (line 245's read)
+                max_seq: update_node_max.map_or(0, seq_of), // L153
+                max_key: update_node_max.map_or(NO_PRED, |i| unsafe { (*i).key() }),
                 notify_threshold: p.ruall_position.load(), // L154
             };
             // L155 + SendNotification (lines 156–161): guarded push.
@@ -242,6 +286,7 @@ impl LockFreeBinaryTrie {
     fn traverse_ruall(
         &self,
         p_node: *mut PredNode,
+        guard: &Guard<'_>,
     ) -> (Vec<*mut UpdateNode>, Vec<*mut UpdateNode>) {
         let p = unsafe { &*p_node };
         let y = p.key; // L259
@@ -253,7 +298,10 @@ impl LockFreeBinaryTrie {
             // Safety: `cell` starts at this list's head sentinel and each hop
             // returns another cell of the same list; the NEG_INF break below
             // stops the walk before the tail is passed back in.
-            cell = unsafe { self.ruall.advance_publishing(cell, &p.ruall_position) };
+            cell = unsafe {
+                self.ruall
+                    .advance_publishing(cell, &p.ruall_position, guard)
+            };
             let key = unsafe { (*cell).key() };
             if key == NEG_INF {
                 break; // L268 (tail sentinel reached; payload is null)
@@ -289,6 +337,7 @@ impl LockFreeBinaryTrie {
     /// Panics if `x ≥ universe`.
     pub fn contains(&self, x: Key) -> bool {
         let x = self.check_key(x);
+        let _guard = epoch::pin();
         let u_node = self.find_latest(x); // L122
         unsafe { (*u_node).kind() == Kind::Ins } // L123–124
     }
@@ -301,6 +350,7 @@ impl LockFreeBinaryTrie {
     /// Panics if `x ≥ universe`.
     pub fn insert(&self, x: Key) -> bool {
         let x = self.check_key(x);
+        let guard = &epoch::pin();
         let d_node = self.find_latest(x); // L163
         if unsafe { (*d_node).kind() } != Kind::Del {
             return false; // L164: x already in S
@@ -322,17 +372,24 @@ impl LockFreeBinaryTrie {
         }
         unsafe { (*d_node).clear_latest_next() }; // L169
         if !self.core.cas_latest(x, d_node, i_node) {
-            // L170 failed: help the Insert that won, then return.
-            self.help_activate(self.core.latest_head(x)); // L171
+            // L170 failed: help the Insert that won, then return. Our node
+            // was never published; nobody else can hold it.
+            self.help_activate(self.core.latest_head(x), guard); // L171
+            unsafe { self.core.dealloc_node(i_node) };
             return false; // L172
         }
-        self.announce(i_node); // L173
+        self.announce(i_node, guard); // L173
         unsafe { (*i_node).activate() }; // L174: linearization point
         unsafe { (*i_node).clear_latest_next() }; // L175
+                                                  // dNode is now off the latest[x] list (head is the active iNode with
+                                                  // latestNext = ⊥): retire it. Its reclamation waits for its own
+                                                  // Delete to complete and for every dNodePtr/target reference to
+                                                  // drain (`UpdateNode::ready_to_reclaim`).
+        unsafe { self.core.retire_node(d_node, guard) };
         bitops::insert_binary_trie(&self.core, self, i_node); // L176
-        self.notify_pred_ops(i_node); // L177
+        self.notify_pred_ops(i_node, guard); // L177
         unsafe { (*i_node).set_completed() }; // L178
-        self.deannounce(i_node); // L179
+        self.deannounce(i_node, guard); // L179
         true // L180
     }
 
@@ -344,13 +401,14 @@ impl LockFreeBinaryTrie {
     /// Panics if `x ≥ universe`.
     pub fn remove(&self, x: Key) -> bool {
         let x = self.check_key(x);
+        let guard = &epoch::pin();
         let i_node = self.find_latest(x); // L182
         if unsafe { (*i_node).kind() } != Kind::Ins {
             return false; // L183: x not in S
         }
         // L184: first embedded predecessor (its announcement stays in the
         // P-ALL until this Delete returns).
-        let (del_pred, p_node1) = self.pred_helper(x);
+        let (del_pred, p_node1) = self.pred_helper(x, guard);
         // L185–189: new inactive DEL node recording the embedded result.
         let d_node = self.core.alloc_node(UpdateNode::new_del(
             x,
@@ -363,14 +421,15 @@ impl LockFreeBinaryTrie {
             (*d_node).init_del_pred_node(p_node1); // L189
             (*i_node).clear_latest_next(); // L190
         }
-        self.notify_pred_ops(i_node); // L191: help previous Insert notify
+        self.notify_pred_ops(i_node, guard); // L191: help previous Insert notify
         if !self.core.cas_latest(x, i_node, d_node) {
-            // L192 failed
-            self.help_activate(self.core.latest_head(x)); // L193
-            self.remove_pred_node(p_node1); // L194
+            // L192 failed: dNode was never published.
+            self.help_activate(self.core.latest_head(x), guard); // L193
+            self.remove_pred_node(p_node1, guard); // L194
+            unsafe { self.core.dealloc_node(d_node) };
             return false; // L195
         }
-        self.announce(d_node); // L196
+        self.announce(d_node, guard); // L196
         unsafe { (*d_node).activate() }; // L197: linearization point
                                          // L198: iNode.target.stop ← True (⊥-tolerant).
         let target = unsafe { (*i_node).target() };
@@ -378,15 +437,18 @@ impl LockFreeBinaryTrie {
             unsafe { (*target).set_stop() };
         }
         unsafe { (*d_node).clear_latest_next() }; // L199
-                                                  // L200–201: second embedded predecessor.
-        let (del_pred2, p_node2) = self.pred_helper(x);
+                                                  // iNode is off the latest[x] list: retire it (freed once its own
+                                                  // Insert completed and target references drain).
+        unsafe { self.core.retire_node(i_node, guard) };
+        // L200–201: second embedded predecessor.
+        let (del_pred2, p_node2) = self.pred_helper(x, guard);
         unsafe { (*d_node).set_del_pred2(del_pred2) };
         bitops::delete_binary_trie(&self.core, self, d_node); // L202
-        self.notify_pred_ops(d_node); // L203
+        self.notify_pred_ops(d_node, guard); // L203
         unsafe { (*d_node).set_completed() }; // L204
-        self.deannounce(d_node); // L205
-        self.remove_pred_node(p_node1); // L206
-        self.remove_pred_node(p_node2);
+        self.deannounce(d_node, guard); // L205
+        self.remove_pred_node(p_node1, guard); // L206
+        self.remove_pred_node(p_node2, guard);
         true
     }
 
@@ -398,8 +460,9 @@ impl LockFreeBinaryTrie {
     /// Panics if `y ≥ universe`.
     pub fn predecessor(&self, y: Key) -> Option<Key> {
         let y = self.check_key(y);
-        let (pred, p_node) = self.pred_helper(y); // L254
-        self.remove_pred_node(p_node); // L255
+        let guard = &epoch::pin();
+        let (pred, p_node) = self.pred_helper(y, guard); // L254
+        self.remove_pred_node(p_node, guard); // L255
         if pred == NO_PRED {
             None
         } else {
@@ -407,11 +470,20 @@ impl LockFreeBinaryTrie {
         }
     }
 
-    fn remove_pred_node(&self, p_node: *mut PredNode) {
+    /// Withdraws a predecessor node's announcement and retires it.
+    ///
+    /// Retirement is sound here: after the P-ALL removal, the only other
+    /// path to a predecessor node is `dNode.delPredNode`, which the recovery
+    /// computation follows only for DEL nodes found in its *own* RU-ALL
+    /// traversal — impossible for threads pinning after the owning `Delete`
+    /// de-announced (line 205 precedes line 206); concurrent holders are
+    /// pinned, which the grace period covers.
+    fn remove_pred_node(&self, p_node: *mut PredNode, guard: &Guard<'_>) {
         let cell = unsafe { (*p_node).pall_cell() };
         // Safety: the cell was stored into the PredNode by the `insert` in
-        // `announce_pred`, and each PredNode is de-announced exactly once.
-        unsafe { self.pall.remove(cell) };
+        // `pred_helper`, and each PredNode is de-announced exactly once.
+        unsafe { self.pall.remove(cell, guard) };
+        unsafe { self.preds.retire(p_node, guard) };
     }
 
     // ------------------------------------------------------------------
@@ -420,10 +492,10 @@ impl LockFreeBinaryTrie {
 
     /// `PredHelper(y)`: computes the candidate return values and returns the
     /// largest, along with the still-announced predecessor node.
-    fn pred_helper(&self, y: i64) -> (i64, *mut PredNode) {
+    fn pred_helper(&self, y: i64, guard: &Guard<'_>) -> (i64, *mut PredNode) {
         // L208–209: announce.
         let p_node = self.preds.alloc(PredNode::new(y));
-        let p_cell = self.pall.insert(p_node);
+        let p_cell = self.pall.insert(p_node, guard);
         unsafe { (*p_node).set_pall_cell(p_cell) };
 
         // L210–214: Q = announcements older than ours, oldest-first (the
@@ -431,56 +503,77 @@ impl LockFreeBinaryTrie {
         let q: Vec<*mut PredNode> = {
             let mut q: Vec<*mut PredNode> = self
                 .pall
-                .iter_after(p_cell)
+                .iter_after(p_cell, guard)
                 .map(|c| unsafe { (*c).payload() })
                 .collect();
             q.reverse();
             q
         };
 
-        let (i_ruall, d_ruall) = self.traverse_ruall(p_node); // L215
+        let (i_ruall, d_ruall) = self.traverse_ruall(p_node, guard); // L215
         let r0 = bitops::relaxed_predecessor(&self.core, self, y); // L216
-        let (i_uall, d_uall) = self.traverse_uall(y); // L217
+        let (i_uall, d_uall) = self.traverse_uall(y, guard); // L217
 
-        // L218–227: collect notifications (head read = C_notify).
-        let mut i_notify: Vec<*mut UpdateNode> = Vec::new();
-        let mut d_notify: Vec<*mut UpdateNode> = Vec::new();
+        // L218–227: collect notifications (head read = C_notify). Records
+        // are value snapshots; identity tests use never-reused seq ids.
+        let mut i_notify: Vec<NotifyCand> = Vec::new();
+        let mut d_notify: Vec<NotifyCand> = Vec::new();
         let p = unsafe { &*p_node };
         for record in p.notify_list.iter() {
             // L219: notify nodes with key < y only.
             if record.key >= y {
                 continue;
             }
-            let u_node = record.update_node;
-            if unsafe { (*u_node).kind() } == Kind::Ins {
+            if record.kind == Kind::Ins {
                 // L220
-                if record.notify_threshold <= record.key && !i_notify.contains(&u_node) {
-                    i_notify.push(u_node); // L221–222
+                if record.notify_threshold <= record.key
+                    && !i_notify.iter().any(|c| c.seq == record.seq)
+                {
+                    i_notify.push(NotifyCand {
+                        seq: record.seq,
+                        key: record.key,
+                    }); // L221–222
                 }
-            } else if record.notify_threshold < record.key && !d_notify.contains(&u_node) {
-                d_notify.push(u_node); // L223–225
+            } else if record.notify_threshold < record.key
+                && !d_notify.iter().any(|c| c.seq == record.seq)
+            {
+                d_notify.push(NotifyCand {
+                    seq: record.seq,
+                    key: record.key,
+                }); // L223–225
             }
             // L226–227: accept the notifier's updateNodeMax when the
             // notification arrived after our RU-ALL traversal finished and
             // the notifier itself was not seen during that traversal.
             if record.notify_threshold == NEG_INF
-                && !i_ruall.contains(&u_node)
-                && !d_ruall.contains(&u_node)
-                && !record.update_node_max.is_null()
-                && !i_notify.contains(&record.update_node_max)
+                && !i_ruall.iter().any(|&u| seq_of(u) == record.seq)
+                && !d_ruall.iter().any(|&u| seq_of(u) == record.seq)
+                && record.max_seq != 0
+                && !i_notify.iter().any(|c| c.seq == record.max_seq)
             {
-                i_notify.push(record.update_node_max);
+                i_notify.push(NotifyCand {
+                    seq: record.max_seq,
+                    key: record.max_key,
+                });
             }
         }
 
         // L228: r1 = max key over Iuall ∪ Inotify ∪ (Duall−Druall) ∪ (Dnotify−Druall).
         let mut r1 = NO_PRED;
-        for &u in i_uall.iter().chain(i_notify.iter()) {
+        for &u in i_uall.iter() {
             r1 = r1.max(unsafe { (*u).key() });
         }
-        for &u in d_uall.iter().chain(d_notify.iter()) {
+        for c in &i_notify {
+            r1 = r1.max(c.key);
+        }
+        for &u in d_uall.iter() {
             if !d_ruall.contains(&u) {
                 r1 = r1.max(unsafe { (*u).key() });
+            }
+        }
+        for c in &d_notify {
+            if !d_ruall.iter().any(|&u| seq_of(u) == c.seq) {
+                r1 = r1.max(c.key);
             }
         }
 
@@ -519,64 +612,73 @@ impl LockFreeBinaryTrie {
             .collect();
 
         // L231–236: L1 from the *earliest announced* such node we saw in Q
-        // (Q is oldest-first, so the first match).
-        let mut l1: Vec<*mut UpdateNode> = Vec::new();
+        // (Q is oldest-first, so the first match). Entries are value
+        // snapshots of the records — nothing here dereferences a notifier.
+        let mut l1: Vec<RecoverEntry> = Vec::new();
         if let Some(&earliest) = q.iter().find(|&&pn| pred_nodes.contains(&pn)) {
             // L233–234
             for record in unsafe { &*earliest }.notify_list.iter() {
                 // L235–236: prepend updateNode if not already present.
-                if record.key < y && !l1.contains(&record.update_node) {
-                    l1.insert(0, record.update_node);
+                if record.key < y && !l1.iter().any(|e| e.seq == record.seq) {
+                    l1.insert(
+                        0,
+                        RecoverEntry {
+                            seq: record.seq,
+                            key: record.key,
+                            kind: record.kind,
+                            del_pred2: record.del_pred2,
+                        },
+                    );
                 }
             }
         }
 
         // L237–241: L2 from our own notify list; also remove from L1 every
         // update node that notified us.
-        let mut l2: Vec<*mut UpdateNode> = Vec::new();
+        let mut l2: Vec<RecoverEntry> = Vec::new();
         for record in unsafe { &*p_node }.notify_list.iter() {
             // L238
             if record.key >= y {
                 continue;
             }
-            l1.retain(|&u| u != record.update_node); // L239
-            if record.notify_threshold >= record.key && !l2.contains(&record.update_node) {
-                l2.insert(0, record.update_node); // L240–241
+            l1.retain(|e| e.seq != record.seq); // L239
+            if record.notify_threshold >= record.key && !l2.iter().any(|e| e.seq == record.seq) {
+                l2.insert(
+                    0,
+                    RecoverEntry {
+                        seq: record.seq,
+                        key: record.key,
+                        kind: record.kind,
+                        del_pred2: record.del_pred2,
+                    },
+                ); // L240–241
             }
         }
 
         // L242: L = L1 · L2.
-        let mut l: Vec<*mut UpdateNode> = l1;
+        let mut l: Vec<RecoverEntry> = l1;
         l.extend(l2);
 
         // L243: drop DEL nodes that are not the last update node in L with
         // their key (so ≤ 1 DEL node per key survives).
-        let l: Vec<*mut UpdateNode> = l
+        let l: Vec<RecoverEntry> = l
             .iter()
             .enumerate()
-            .filter(|&(i, &u)| {
-                let is_ins = unsafe { (*u).kind() } == Kind::Ins;
-                is_ins
-                    || !l[i + 1..]
-                        .iter()
-                        .any(|&v| unsafe { (*v).key() } == unsafe { (*u).key() })
-            })
-            .map(|(_, &u)| u)
+            .filter(|&(i, e)| e.kind == Kind::Ins || !l[i + 1..].iter().any(|v| v.key == e.key))
+            .map(|(_, &e)| e)
             .collect();
 
         // L244–246 (Definition 5.1): edges key(dNode) → dNode.delPred2 for
         // DEL nodes in L. Each vertex has ≤ 1 outgoing edge and every edge
         // strictly decreases the key, so chains terminate.
         let mut edges: Vec<(i64, i64)> = Vec::new();
-        for &u in &l {
-            if unsafe { (*u).kind() } == Kind::Del {
-                match unsafe { (*u).del_pred2() } {
-                    Some(dp2) => edges.push((unsafe { (*u).key() }, dp2)),
-                    None => {
-                        // A DEL node only notifies after line 201 set
-                        // delPred2, so this cannot happen (§5.2).
-                        debug_assert!(false, "DEL node in L without delPred2");
-                    }
+        for e in &l {
+            if e.kind == Kind::Del {
+                // A DEL node only notifies after line 201 set delPred2, so
+                // the snapshot is always present (§5.2).
+                debug_assert_ne!(e.del_pred2, DELPRED2_UNSET, "DEL in L without delPred2");
+                if e.del_pred2 != DELPRED2_UNSET {
+                    edges.push((e.key, e.del_pred2));
                 }
             }
         }
@@ -587,9 +689,9 @@ impl LockFreeBinaryTrie {
             .iter()
             .map(|&d| unsafe { (*d).del_pred() })
             .collect();
-        for &u in &l {
-            if unsafe { (*u).kind() } == Kind::Ins {
-                x_set.push(unsafe { (*u).key() });
+        for e in &l {
+            if e.kind == Kind::Ins {
+                x_set.push(e.key);
             }
         }
 
@@ -633,6 +735,7 @@ impl LockFreeBinaryTrie {
     #[cfg(feature = "stall-injection")]
     pub fn insert_stalled_after_activation(&self, x: Key) -> bool {
         let x = self.check_key(x);
+        let guard = &epoch::pin();
         let d_node = self.find_latest(x); // L163
         if unsafe { (*d_node).kind() } != Kind::Del {
             return false;
@@ -652,12 +755,16 @@ impl LockFreeBinaryTrie {
         }
         unsafe { (*d_node).clear_latest_next() };
         if !self.core.cas_latest(x, d_node, i_node) {
-            self.help_activate(self.core.latest_head(x));
+            self.help_activate(self.core.latest_head(x), guard);
+            unsafe { self.core.dealloc_node(i_node) };
             return false;
         }
-        self.announce(i_node);
+        self.announce(i_node, guard);
         unsafe { (*i_node).activate() }; // linearized …
-        true // … and abandoned here (no L175–179).
+                                         // … and abandoned here (no L175–179): like a crashed thread, the
+                                         // stalled operation retires nothing — dNode and iNode simply leak
+                                         // (bounded by the number of injected stalls).
+        true
     }
 
     /// Performs `Insert(x)` up to — but **not including** — activation: the
@@ -674,6 +781,7 @@ impl LockFreeBinaryTrie {
     #[cfg(feature = "stall-injection")]
     pub fn insert_stalled_before_activation(&self, x: Key) -> bool {
         let x = self.check_key(x);
+        let guard = &epoch::pin();
         let d_node = self.find_latest(x); // L163
         if unsafe { (*d_node).kind() } != Kind::Del {
             return false;
@@ -693,7 +801,8 @@ impl LockFreeBinaryTrie {
         }
         unsafe { (*d_node).clear_latest_next() }; // L169
         if !self.core.cas_latest(x, d_node, i_node) {
-            self.help_activate(self.core.latest_head(x));
+            self.help_activate(self.core.latest_head(x), guard);
+            unsafe { self.core.dealloc_node(i_node) };
             return false;
         }
         true // abandoned before L173–174: inactive, unannounced.
@@ -715,11 +824,12 @@ impl LockFreeBinaryTrie {
     #[cfg(feature = "stall-injection")]
     pub fn remove_stalled_before_trie_update(&self, x: Key) -> bool {
         let x = self.check_key(x);
+        let guard = &epoch::pin();
         let i_node = self.find_latest(x); // L182
         if unsafe { (*i_node).kind() } != Kind::Ins {
             return false;
         }
-        let (del_pred, p_node1) = self.pred_helper(x); // L184
+        let (del_pred, p_node1) = self.pred_helper(x, guard); // L184
         let d_node = self.core.alloc_node(UpdateNode::new_del(
             x,
             Status::Inactive,
@@ -731,22 +841,26 @@ impl LockFreeBinaryTrie {
             (*d_node).init_del_pred_node(p_node1); // L189
             (*i_node).clear_latest_next(); // L190
         }
-        self.notify_pred_ops(i_node); // L191
+        self.notify_pred_ops(i_node, guard); // L191
         if !self.core.cas_latest(x, i_node, d_node) {
-            self.help_activate(self.core.latest_head(x));
-            self.remove_pred_node(p_node1);
+            self.help_activate(self.core.latest_head(x), guard);
+            self.remove_pred_node(p_node1, guard);
+            unsafe { self.core.dealloc_node(d_node) };
             return false;
         }
-        self.announce(d_node); // L196
+        self.announce(d_node, guard); // L196
         unsafe { (*d_node).activate() }; // L197: linearized …
         let target = unsafe { (*i_node).target() };
         if !target.is_null() {
             unsafe { (*target).set_stop() };
         }
         unsafe { (*d_node).clear_latest_next() }; // L199
-        let (del_pred2, _p_node2) = self.pred_helper(x); // L200
+        let (del_pred2, _p_node2) = self.pred_helper(x, guard); // L200
         unsafe { (*d_node).set_del_pred2(del_pred2) }; // L201
-        true // … and abandoned here (no L202–206).
+                                                       // … and abandoned here (no L202–206): the displaced iNode, both
+                                                       // embedded predecessor nodes, and dNode's announcements all leak,
+                                                       // exactly as if the deleting thread had crashed.
+        true
     }
 
     // ------------------------------------------------------------------
@@ -774,10 +888,56 @@ impl LockFreeBinaryTrie {
         (self.uall.len(), self.ruall.len(), self.pall.len())
     }
 
-    /// Total update nodes allocated (E6 space metric; includes the `2^b`
-    /// dummies).
+    /// Total update nodes allocated over the trie's lifetime (the paper's
+    /// GC-model E6 metric; includes the `2^b` dummies).
     pub fn allocated_nodes(&self) -> usize {
         self.core.allocated_nodes()
+    }
+
+    /// Update nodes currently resident (`allocated − reclaimed`): the
+    /// steady-state footprint. Under churn this stays bounded by the live
+    /// set plus O(u) structural slots plus the epoch window, independent of
+    /// how many updates ever ran (`tests/memory_bound.rs`).
+    pub fn live_nodes(&self) -> usize {
+        self.core.live_nodes()
+    }
+
+    /// Update nodes freed by epoch reclamation so far.
+    pub fn reclaimed_nodes(&self) -> usize {
+        self.core.reclaimed_nodes()
+    }
+
+    /// Predecessor-node accounting: `(cumulative, live)`.
+    pub fn pred_node_counts(&self) -> (usize, usize) {
+        (self.preds.allocated(), self.preds.live())
+    }
+
+    /// Runs quiescent reclamation sweeps on every registry this trie owns
+    /// (update nodes, predecessor nodes, announcement/P-ALL cells): after a
+    /// few epoch turns, everything retired and unreferenced is freed. Called
+    /// by tests and the space experiment before sampling `live_nodes`.
+    pub fn collect_garbage(&self) {
+        self.core.flush_reclamation();
+        self.preds.flush();
+        self.uall.flush_reclamation();
+        self.ruall.flush_reclamation();
+        self.pall.flush_reclamation();
+    }
+}
+
+impl Drop for LockFreeBinaryTrie {
+    fn drop(&mut self) {
+        // Free predecessor nodes still announced at teardown (abandoned /
+        // stalled operations): their cells are still linked in the P-ALL.
+        // De-announced predecessor nodes were retired and are freed by the
+        // `preds` registry's own Drop; marked-but-linked cells' payloads
+        // were retired too, so only unmarked cells carry live payloads.
+        let preds = &self.preds;
+        self.pall.for_each_linked(|p_node, marked| {
+            if !marked && !p_node.is_null() {
+                unsafe { preds.dealloc(p_node) };
+            }
+        });
     }
 }
 

@@ -319,12 +319,26 @@ pub fn e5_bottom_rate(quick: bool) -> Table {
     table
 }
 
-/// E6 — space: Θ(u) initial footprint plus one node per S-modifying update
-/// under the no-reclamation model (DESIGN.md D4).
+/// E6 — space: cumulative allocations grow with the update count (the
+/// paper's GC-model hand-off, Θ(u) + updates), but the *resident* footprint
+/// — live = allocated − reclaimed, the number the epoch collector actually
+/// keeps — stays near the Θ(u) initial configuration regardless of how many
+/// updates ran (DESIGN.md D4; `tests/memory_bound.rs` asserts the bound).
+/// The baselines report through the same registry accounting, so the
+/// steady-state comparison is apples-to-apples.
 pub fn e6_space(quick: bool) -> Table {
     let mut table = Table::new(
-        "E6: allocated update nodes (claim: Θ(u) + updates; GC model per DESIGN.md D4)",
-        &["u", "initial nodes", "after ops", "ops", "delta/op"],
+        "E6: update-node space (claim: cumulative ~ Θ(u)+updates, live ~ Θ(u) steady state)",
+        &[
+            "structure",
+            "u",
+            "initial",
+            "cumulative",
+            "live",
+            "reclaimed",
+            "ops",
+            "live delta/op",
+        ],
     );
     let exponents: &[u32] = if quick { &[10, 14] } else { &[10, 14, 18] };
     let ops = if quick { 10_000u64 } else { 50_000 };
@@ -343,13 +357,60 @@ pub fn e6_space(quick: bool) -> Table {
                 seed: SEED,
             },
         );
-        let after = trie.allocated_nodes();
+        trie.collect_garbage();
+        let cumulative = trie.allocated_nodes();
+        let live = trie.live_nodes();
         table.row(&[
+            "lockfree-trie".to_string(),
             format!("2^{e}"),
             initial.to_string(),
-            after.to_string(),
+            cumulative.to_string(),
+            live.to_string(),
+            trie.reclaimed_nodes().to_string(),
             ops.to_string(),
-            format!("{:.3}", (after - initial) as f64 / ops as f64),
+            format!("{:.3}", (live as f64 - initial as f64) / ops as f64),
+        ]);
+    }
+    // Baseline rows (same op count, pointer-structure universe = key range).
+    let u = 1u64 << exponents[0];
+    let cfg = RunConfig {
+        threads: 2,
+        ops_per_thread: ops / 2,
+        universe: u,
+        mix: OpMix::UPDATE_HEAVY,
+        keys: KeyDist::Uniform,
+        seed: SEED,
+    };
+    {
+        let list = HarrisListSet::new();
+        driver::run(&list, &cfg);
+        list.collect_garbage();
+        let (cumulative, live) = list.node_counts();
+        table.row(&[
+            "harris-list".to_string(),
+            format!("2^{}", exponents[0]),
+            "2".to_string(),
+            cumulative.to_string(),
+            live.to_string(),
+            (cumulative - live).to_string(),
+            ops.to_string(),
+            format!("{:.3}", live as f64 / ops as f64),
+        ]);
+    }
+    {
+        let skip = LockFreeSkipList::new();
+        driver::run(&skip, &cfg);
+        skip.collect_garbage();
+        let (cumulative, live) = skip.node_counts();
+        table.row(&[
+            "lockfree-skiplist".to_string(),
+            format!("2^{}", exponents[0]),
+            "2".to_string(),
+            cumulative.to_string(),
+            live.to_string(),
+            (cumulative - live).to_string(),
+            ops.to_string(),
+            format!("{:.3}", live as f64 / ops as f64),
         ]);
     }
     table
@@ -538,11 +599,30 @@ mod tests {
     }
 
     #[test]
-    fn e6_counts_grow_with_universe() {
+    fn e6_reports_bounded_live_alongside_cumulative() {
         let table = e6_space(true);
         let rows = table.rows();
-        let initial: Vec<u64> = rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        let trie_rows: Vec<_> = rows.iter().filter(|r| r[0] == "lockfree-trie").collect();
+        // Θ(u) initial footprint still grows with the universe …
+        let initial: Vec<u64> = trie_rows.iter().map(|r| r[2].parse().unwrap()).collect();
         assert!(initial.windows(2).all(|w| w[0] < w[1]));
+        for r in &trie_rows {
+            let initial: u64 = r[2].parse().unwrap();
+            let cumulative: u64 = r[3].parse().unwrap();
+            let live: u64 = r[4].parse().unwrap();
+            let reclaimed: u64 = r[5].parse().unwrap();
+            // … cumulative exceeds it (updates happened), accounting adds up,
+            // and the steady-state footprint sits well below cumulative.
+            assert!(cumulative > initial);
+            assert_eq!(cumulative - reclaimed, live);
+            assert!(
+                live < initial + (cumulative - initial),
+                "reclamation must free some superseded nodes"
+            );
+        }
+        // Baseline rows report through the same accounting.
+        assert!(rows.iter().any(|r| r[0] == "harris-list"));
+        assert!(rows.iter().any(|r| r[0] == "lockfree-skiplist"));
     }
 
     #[test]

@@ -17,12 +17,23 @@
 //! separate list cells from payloads and make [`AnnounceList::remove_all`]
 //! unlink every cell carrying the payload (each helper inserts at most one,
 //! so this is bounded by the helping degree).
+//!
+//! # Memory reclamation
+//!
+//! Cells are allocated through an epoch-aware [`Registry`] and **retired at
+//! the moment they are physically unlinked** (each cell is unlinked by
+//! exactly one successful CAS, so retirement is unique). Unlink sites run in
+//! `find`, `remove_all`, iteration, and [`AnnounceList::advance_publishing`];
+//! all of them therefore require the caller to hold an epoch [`Guard`].
+//! Cells still linked when the list drops (the two sentinels, plus any
+//! left-over announcements from abandoned operations) are freed by walking
+//! the physical chain in `Drop`.
 
 use core::fmt;
-use core::marker::PhantomData;
 
+use lftrie_primitives::epoch::{self, Guard};
 use lftrie_primitives::marked::{AtomicMarkedPtr, MarkedPtr};
-use lftrie_primitives::registry::Registry;
+use lftrie_primitives::registry::{Reclaim, Registry};
 use lftrie_primitives::swcursor::PublishedKey;
 use lftrie_primitives::{NEG_INF, POS_INF};
 
@@ -54,6 +65,10 @@ pub struct Cell<P> {
     payload: *mut P,
     next: AtomicMarkedPtr<Cell<P>>,
 }
+
+/// Unlinked cells are unreachable for new pins as soon as the unlink CAS
+/// lands, so plain grace-period reclamation suffices.
+impl<P> Reclaim for Cell<P> {}
 
 impl<P> Cell<P> {
     /// The cell's key (a universe key, or a sentinel `±∞`).
@@ -87,13 +102,15 @@ impl<P> fmt::Debug for Cell<P> {
 ///
 /// ```
 /// use lftrie_lists::announce::{AnnounceList, Direction};
+/// use lftrie_primitives::epoch;
 ///
 /// let uall: AnnounceList<u64> = AnnounceList::new(Direction::Ascending);
+/// let guard = epoch::pin();
 /// let mut a = 7u64;
 /// let mut b = 3u64;
-/// uall.insert(7, &mut a);
-/// uall.insert(3, &mut b);
-/// let keys: Vec<i64> = uall.iter().map(|(k, _)| k).collect();
+/// uall.insert(7, &mut a, &guard);
+/// uall.insert(3, &mut b, &guard);
+/// let keys: Vec<i64> = uall.iter(&guard).map(|(k, _)| k).collect();
 /// assert_eq!(keys, vec![3, 7]);
 /// ```
 pub struct AnnounceList<P> {
@@ -111,7 +128,7 @@ impl<P> fmt::Debug for AnnounceList<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AnnounceList")
             .field("direction", &self.direction)
-            .field("len", &self.iter().count())
+            .field("len", &self.len())
             .finish()
     }
 }
@@ -154,23 +171,43 @@ impl<P> AnnounceList<P> {
         self.direction
     }
 
+    /// Unlinks `cur` from `pred` (both loaded unmarked, `cur` marked since),
+    /// retiring the cell on success. Returns `false` if the window moved.
+    #[inline]
+    fn unlink(
+        &self,
+        pred: *mut Cell<P>,
+        cur: *mut Cell<P>,
+        cur_next: *mut Cell<P>,
+        guard: &Guard<'_>,
+    ) -> bool {
+        let expected = MarkedPtr::new(cur, false);
+        let replacement = MarkedPtr::new(cur_next, false);
+        if unsafe { (*pred).next.compare_exchange(expected, replacement) } {
+            // Exactly one CAS detaches each cell (cells are never re-linked),
+            // so this retire runs once per cell.
+            unsafe { self.cells.retire(cur, guard) };
+            true
+        } else {
+            false
+        }
+    }
+
     /// Finds the insertion window for `key`: returns `(pred, succ)` where
     /// `pred` is the last unmarked cell not strictly after `key` and `succ`
-    /// its unmarked successor. Physically unlinks marked cells on the way
-    /// (Michael-style helping).
-    fn find(&self, key: i64) -> (*mut Cell<P>, *mut Cell<P>) {
+    /// its unmarked successor. Physically unlinks (and retires) marked cells
+    /// on the way (Michael-style helping).
+    fn find(&self, key: i64, guard: &Guard<'_>) -> (*mut Cell<P>, *mut Cell<P>) {
         'retry: loop {
             let mut pred = self.head;
-            // Safety: cells live until the registry drops with the list.
+            // Safety: linked cells stay allocated while we hold the guard.
             let mut cur = unsafe { (*pred).next.load() }.ptr();
             loop {
                 debug_assert!(!cur.is_null(), "tail sentinel is never passed");
                 let cur_next = unsafe { (*cur).next.load() };
                 if cur_next.is_marked() {
                     // cur is logically deleted: unlink it from pred.
-                    let expected = MarkedPtr::new(cur, false);
-                    let replacement = MarkedPtr::new(cur_next.ptr(), false);
-                    if !unsafe { (*pred).next.compare_exchange(expected, replacement) } {
+                    if !self.unlink(pred, cur, cur_next.ptr(), guard) {
                         continue 'retry;
                     }
                     cur = cur_next.ptr();
@@ -186,14 +223,14 @@ impl<P> AnnounceList<P> {
 
     /// Inserts a new cell announcing `payload` under `key`, after all equal
     /// keys. Returns the cell.
-    pub fn insert(&self, key: i64, payload: *mut P) -> *mut Cell<P> {
+    pub fn insert(&self, key: i64, payload: *mut P, guard: &Guard<'_>) -> *mut Cell<P> {
         let cell = self.cells.alloc(Cell {
             key,
             payload,
             next: AtomicMarkedPtr::null(),
         });
         loop {
-            let (pred, succ) = self.find(key);
+            let (pred, succ) = self.find(key, guard);
             unsafe { (*cell).next.store(MarkedPtr::new(succ, false)) };
             let expected = MarkedPtr::new(succ, false);
             let new = MarkedPtr::new(cell, false);
@@ -208,7 +245,7 @@ impl<P> AnnounceList<P> {
     ///
     /// Removal must be exhaustive because helpers may have announced the same
     /// payload again after the owner's removal (paper lines 130/136).
-    pub fn remove_all(&self, key: i64, payload: *mut P) -> usize {
+    pub fn remove_all(&self, key: i64, payload: *mut P, guard: &Guard<'_>) -> usize {
         let mut removed = 0;
         'retry: loop {
             let mut pred = self.head;
@@ -216,9 +253,7 @@ impl<P> AnnounceList<P> {
             loop {
                 let cur_next = unsafe { (*cur).next.load() };
                 if cur_next.is_marked() {
-                    let expected = MarkedPtr::new(cur, false);
-                    let replacement = MarkedPtr::new(cur_next.ptr(), false);
-                    if !unsafe { (*pred).next.compare_exchange(expected, replacement) } {
+                    if !self.unlink(pred, cur, cur_next.ptr(), guard) {
                         continue 'retry;
                     }
                     cur = cur_next.ptr();
@@ -247,13 +282,15 @@ impl<P> AnnounceList<P> {
     /// Read-only iterator over unmarked cells in list order (sentinels
     /// excluded), yielding `(key, payload)`.
     ///
-    /// The iterator follows live `next` pointers without helping; cells
-    /// concurrently removed may or may not be yielded, exactly like the
-    /// paper's traversals (the caller re-validates with `FirstActivated`).
-    pub fn iter(&self) -> Iter<'_, P> {
+    /// The iterator follows live `next` pointers; cells concurrently removed
+    /// may or may not be yielded, exactly like the paper's traversals (the
+    /// caller re-validates with `FirstActivated`). Dead cells encountered on
+    /// the way are unlinked and retired, which is why the guard is required.
+    pub fn iter<'g>(&'g self, guard: &'g Guard<'_>) -> Iter<'g, P> {
         Iter {
             cur: self.head,
-            _list: PhantomData,
+            list: self,
+            guard,
         }
     }
 
@@ -262,23 +299,24 @@ impl<P> AnnounceList<P> {
     /// standing in for the paper's atomic copy (line 262; DESIGN.md D3).
     ///
     /// Logically-deleted cells in front of the cursor are physically
-    /// unlinked before the hop (when `cur` itself is live): without this,
-    /// workloads whose keys trend monotonically never route an insertion or
-    /// removal scan past the dead region, the physical chain grows without
-    /// bound, and every traversal pays O(dead) — the paper's lists stay
-    /// O(contention) precisely because traversals help clean up.
+    /// unlinked (and retired) before the hop (when `cur` itself is live):
+    /// without this, workloads whose keys trend monotonically never route an
+    /// insertion or removal scan past the dead region, the physical chain
+    /// grows without bound, and every traversal pays O(dead) — the paper's
+    /// lists stay O(contention) precisely because traversals help clean up.
     ///
     /// Returns the destination cell (possibly the tail sentinel, whose key is
     /// `−∞`).
     ///
     /// # Safety
     ///
-    /// `cur` must be a cell of this list (whose cells live until the list is
-    /// dropped) and must not be the tail sentinel.
+    /// `cur` must be a cell of this list that was reached under `guard` (or
+    /// an outer guard of the same pin) and must not be the tail sentinel.
     pub unsafe fn advance_publishing(
         &self,
         cur: *mut Cell<P>,
         position: &PublishedKey,
+        guard: &Guard<'_>,
     ) -> *mut Cell<P> {
         loop {
             let cur_link = unsafe { (*cur).next.load() };
@@ -288,9 +326,7 @@ impl<P> AnnounceList<P> {
             if next_link.is_marked() && !cur_link.is_marked() {
                 // `next` is logically deleted and `cur` is live: unlink it
                 // and retry (on CAS failure the window changed; re-read).
-                let expected = MarkedPtr::new(next, false);
-                let replacement = MarkedPtr::new(next_link.ptr(), false);
-                let _ = unsafe { (*cur).next.compare_exchange(expected, replacement) };
+                let _ = self.unlink(cur, next, next_link.ptr(), guard);
                 continue;
             }
             // Validated copy: publish, then confirm the source is unchanged.
@@ -303,15 +339,17 @@ impl<P> AnnounceList<P> {
     }
 
     /// Number of live (unmarked, non-sentinel) cells; O(n), for tests and
-    /// diagnostics.
+    /// diagnostics (pins internally).
     pub fn len(&self) -> usize {
-        self.iter().count()
+        let guard = epoch::pin();
+        self.iter(&guard).count()
     }
 
     /// Number of physically linked non-sentinel cells, marked included —
     /// the quantity the traversal-side unlinking keeps bounded (tests and
-    /// diagnostics; O(n)).
+    /// diagnostics; O(n); pins internally).
     pub fn physical_len(&self) -> usize {
+        let _guard = epoch::pin();
         let mut n = 0usize;
         let mut cur = self.head;
         loop {
@@ -324,16 +362,42 @@ impl<P> AnnounceList<P> {
         }
     }
 
-    /// True if no live cells are present.
+    /// True if no live cells are present (pins internally).
     pub fn is_empty(&self) -> bool {
-        self.iter().next().is_none()
+        let guard = epoch::pin();
+        self.iter(&guard).next().is_none()
+    }
+
+    /// Runs quiescent reclamation sweeps on the cell registry (tests and
+    /// teardown paths).
+    pub fn flush_reclamation(&self) {
+        self.cells.flush();
+    }
+
+    /// `(cumulative, live)` cell allocation counts (space accounting).
+    pub fn cell_counts(&self) -> (usize, usize) {
+        (self.cells.allocated(), self.cells.live())
+    }
+}
+
+impl<P> Drop for AnnounceList<P> {
+    fn drop(&mut self) {
+        // Free every still-linked cell (sentinels included). Unlinked cells
+        // were retired at their unlink and are freed by the registry.
+        let mut cur = self.head;
+        while !cur.is_null() {
+            let next = unsafe { (*cur).next.load() }.ptr();
+            unsafe { self.cells.dealloc(cur) };
+            cur = next;
+        }
     }
 }
 
 /// Iterator over `(key, payload)` pairs; see [`AnnounceList::iter`].
 pub struct Iter<'a, P> {
     cur: *mut Cell<P>,
-    _list: PhantomData<&'a AnnounceList<P>>,
+    list: &'a AnnounceList<P>,
+    guard: &'a Guard<'a>,
 }
 
 impl<'a, P> Iterator for Iter<'a, P> {
@@ -354,9 +418,9 @@ impl<'a, P> Iterator for Iter<'a, P> {
                 // Dead cell: help unlink it (only from a live predecessor)
                 // so monotone workloads cannot grow the physical chain.
                 if !cur_link.is_marked() {
-                    let expected = MarkedPtr::new(cell, false);
-                    let replacement = MarkedPtr::new(cell_next.ptr(), false);
-                    let _ = unsafe { (*self.cur).next.compare_exchange(expected, replacement) };
+                    let _ = self
+                        .list
+                        .unlink(self.cur, cell, cell_next.ptr(), self.guard);
                     continue; // re-read the (possibly repaired) link
                 }
                 self.cur = cell; // dead predecessor: just walk through
@@ -374,15 +438,17 @@ mod tests {
     use std::sync::Arc;
 
     fn keys<P>(list: &AnnounceList<P>) -> Vec<i64> {
-        list.iter().map(|(k, _)| k).collect()
+        let guard = epoch::pin();
+        list.iter(&guard).map(|(k, _)| k).collect()
     }
 
     #[test]
     fn ascending_orders_keys() {
         let list: AnnounceList<u64> = AnnounceList::new(Direction::Ascending);
+        let guard = epoch::pin();
         let mut payloads: Vec<u64> = (0..6).collect();
         for (i, k) in [5i64, 1, 3, 2, 4, 0].iter().enumerate() {
-            list.insert(*k, &mut payloads[i]);
+            list.insert(*k, &mut payloads[i], &guard);
         }
         assert_eq!(keys(&list), vec![0, 1, 2, 3, 4, 5]);
     }
@@ -390,9 +456,10 @@ mod tests {
     #[test]
     fn descending_orders_keys() {
         let list: AnnounceList<u64> = AnnounceList::new(Direction::Descending);
+        let guard = epoch::pin();
         let mut payloads: Vec<u64> = (0..6).collect();
         for (i, k) in [5i64, 1, 3, 2, 4, 0].iter().enumerate() {
-            list.insert(*k, &mut payloads[i]);
+            list.insert(*k, &mut payloads[i], &guard);
         }
         assert_eq!(keys(&list), vec![5, 4, 3, 2, 1, 0]);
     }
@@ -401,13 +468,14 @@ mod tests {
     fn duplicates_inserted_after_equals_fifo() {
         for dir in [Direction::Ascending, Direction::Descending] {
             let list: AnnounceList<u64> = AnnounceList::new(dir);
+            let guard = epoch::pin();
             let mut a = 1u64;
             let mut b = 2u64;
             let mut c = 3u64;
-            list.insert(7, &mut a);
-            list.insert(7, &mut b);
-            list.insert(7, &mut c);
-            let payloads: Vec<*mut u64> = list.iter().map(|(_, p)| p).collect();
+            list.insert(7, &mut a, &guard);
+            list.insert(7, &mut b, &guard);
+            list.insert(7, &mut c, &guard);
+            let payloads: Vec<*mut u64> = list.iter(&guard).map(|(_, p)| p).collect();
             assert_eq!(
                 payloads,
                 vec![&mut a as *mut u64, &mut b as *mut u64, &mut c as *mut u64],
@@ -419,27 +487,29 @@ mod tests {
     #[test]
     fn remove_all_removes_every_cell_of_payload() {
         let list: AnnounceList<u64> = AnnounceList::new(Direction::Ascending);
+        let guard = epoch::pin();
         let mut a = 1u64;
         let mut b = 2u64;
         // Simulate helper duplication: payload `a` announced twice.
-        list.insert(4, &mut a);
-        list.insert(4, &mut b);
-        list.insert(4, &mut a);
+        list.insert(4, &mut a, &guard);
+        list.insert(4, &mut b, &guard);
+        list.insert(4, &mut a, &guard);
         assert_eq!(list.len(), 3);
-        assert_eq!(list.remove_all(4, &mut a), 2);
-        let payloads: Vec<*mut u64> = list.iter().map(|(_, p)| p).collect();
+        assert_eq!(list.remove_all(4, &mut a, &guard), 2);
+        let payloads: Vec<*mut u64> = list.iter(&guard).map(|(_, p)| p).collect();
         assert_eq!(payloads, vec![&mut b as *mut u64]);
-        assert_eq!(list.remove_all(4, &mut a), 0, "idempotent");
+        assert_eq!(list.remove_all(4, &mut a, &guard), 0, "idempotent");
     }
 
     #[test]
     fn sentinels_bound_traversal() {
         let list: AnnounceList<u64> = AnnounceList::new(Direction::Descending);
+        let guard = epoch::pin();
         assert!(list.is_empty());
         let head = list.head();
         assert_eq!(unsafe { (*head).key() }, POS_INF);
         let cursor = PublishedKey::new(POS_INF);
-        let tail = unsafe { list.advance_publishing(head, &cursor) };
+        let tail = unsafe { list.advance_publishing(head, &cursor, &guard) };
         assert_eq!(unsafe { (*tail).key() }, NEG_INF);
         assert_eq!(cursor.load(), NEG_INF);
     }
@@ -447,15 +517,16 @@ mod tests {
     #[test]
     fn advance_publishing_walks_and_publishes_each_key() {
         let list: AnnounceList<u64> = AnnounceList::new(Direction::Descending);
+        let guard = epoch::pin();
         let mut payloads: Vec<u64> = (0..3).collect();
-        list.insert(10, &mut payloads[0]);
-        list.insert(20, &mut payloads[1]);
-        list.insert(30, &mut payloads[2]);
+        list.insert(10, &mut payloads[0], &guard);
+        list.insert(20, &mut payloads[1], &guard);
+        list.insert(30, &mut payloads[2], &guard);
         let cursor = PublishedKey::new(POS_INF);
         let mut cell = list.head();
         let mut seen = Vec::new();
         loop {
-            cell = unsafe { list.advance_publishing(cell, &cursor) };
+            cell = unsafe { list.advance_publishing(cell, &cursor, &guard) };
             let k = unsafe { (*cell).key() };
             assert_eq!(cursor.load(), k, "published key tracks the cursor");
             if k == NEG_INF {
@@ -476,15 +547,19 @@ mod tests {
         let mut payload = 7u64;
         let p: *mut u64 = &mut payload;
         for round in 0..10_000i64 {
-            list.insert(round, p);
-            assert_eq!(list.remove_all(round, p), 1);
+            let guard = epoch::pin();
+            list.insert(round, p, &guard);
+            assert_eq!(list.remove_all(round, p, &guard), 1);
+            drop(guard);
             if round % 256 == 0 {
                 // A traversal with the published cursor cleans as it goes.
+                let guard = epoch::pin();
                 let cursor = PublishedKey::new(POS_INF);
                 let mut cell = list.head();
                 while unsafe { (*cell).key() } != lftrie_primitives::NEG_INF {
-                    cell = unsafe { list.advance_publishing(cell, &cursor) };
+                    cell = unsafe { list.advance_publishing(cell, &cursor, &guard) };
                 }
+                drop(guard);
                 assert!(
                     list.physical_len() <= 2,
                     "dead cells accumulated: {} at round {round}",
@@ -493,21 +568,32 @@ mod tests {
             }
         }
         // Plain iteration cleans too.
-        let _ = list.iter().count();
+        let guard = epoch::pin();
+        let _ = list.iter(&guard).count();
+        drop(guard);
         assert!(list.physical_len() <= 2);
         assert!(list.is_empty());
+        // Unlinked cells really get freed once the epochs turn over.
+        list.flush_reclamation();
+        let (allocated, live) = list.cell_counts();
+        assert!(allocated >= 10_000);
+        assert!(
+            live <= 64,
+            "unlinked cells must be reclaimed, {live} still live"
+        );
     }
 
     #[test]
     fn iterator_unlinks_dead_cells() {
         let list: AnnounceList<u64> = AnnounceList::new(Direction::Ascending);
+        let guard = epoch::pin();
         let mut a = 1u64;
         for k in 0..100 {
-            list.insert(100 - k, &mut a); // descending keys in ascending list
-            list.remove_all(100 - k, &mut a);
+            list.insert(100 - k, &mut a, &guard); // descending keys in ascending list
+            list.remove_all(100 - k, &mut a, &guard);
         }
         assert!(list.physical_len() > 0 || list.is_empty());
-        let _ = list.iter().count();
+        let _ = list.iter(&guard).count();
         assert!(
             list.physical_len() <= 1,
             "iter() must unlink dead cells, found {}",
@@ -524,15 +610,16 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let mut payloads: Vec<u64> = (0..64).collect();
                 for round in 0..64u64 {
+                    let guard = epoch::pin();
                     let key = ((t * 64 + round) % 16) as i64;
                     let p: *mut u64 = &mut payloads[round as usize];
-                    list.insert(key, p);
+                    list.insert(key, p, &guard);
                     // Interleave a second announcement of the same payload
                     // (helper behaviour), then remove all of them.
                     if round % 3 == 0 {
-                        list.insert(key, p);
+                        list.insert(key, p, &guard);
                     }
-                    assert!(list.remove_all(key, p) >= 1);
+                    assert!(list.remove_all(key, p, &guard) >= 1);
                 }
             }));
         }
@@ -550,8 +637,9 @@ mod tests {
             let list = Arc::clone(&list);
             handles.push(std::thread::spawn(move || {
                 let mut payloads: Vec<u64> = (0..128).collect();
+                let guard = epoch::pin();
                 for (i, payload) in payloads.iter_mut().enumerate() {
-                    list.insert(((t * 131 + i as u64 * 17) % 97) as i64, payload);
+                    list.insert(((t * 131 + i as u64 * 17) % 97) as i64, payload, &guard);
                 }
             }));
         }

@@ -10,19 +10,23 @@
 //! | P-ALL (predecessor announcements) | [`pall`] | unsorted LIFO with removal |
 //! | per-predecessor `notifyList` | [`pushstack`] | insert-only, guarded push |
 //!
-//! All lists are lock-free, separate their cells from the announced payloads
-//! (so helper re-announcements are harmless; DESIGN.md D2), and reclaim cells
-//! in bulk when dropped (DESIGN.md D4).
+//! All lists are lock-free and separate their cells from the announced
+//! payloads (so helper re-announcements are harmless; DESIGN.md D2). Cells
+//! are epoch-reclaimed as they are unlinked — mutating traversals therefore
+//! take an [`lftrie_primitives::epoch::Guard`] — and whatever is still
+//! linked is freed when the list drops (DESIGN.md D4).
 //!
 //! # Examples
 //!
 //! ```
 //! use lftrie_lists::announce::{AnnounceList, Direction};
+//! use lftrie_primitives::epoch;
 //!
 //! let ruall: AnnounceList<()> = AnnounceList::new(Direction::Descending);
-//! ruall.insert(5, std::ptr::null_mut());
-//! ruall.insert(9, std::ptr::null_mut());
-//! let keys: Vec<i64> = ruall.iter().map(|(k, _)| k).collect();
+//! let guard = epoch::pin();
+//! ruall.insert(5, std::ptr::null_mut(), &guard);
+//! ruall.insert(9, std::ptr::null_mut(), &guard);
+//! let keys: Vec<i64> = ruall.iter(&guard).map(|(k, _)| k).collect();
 //! assert_eq!(keys, vec![9, 5]);
 //! ```
 

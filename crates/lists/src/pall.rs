@@ -12,18 +12,30 @@
 //!
 //! Head insertion gives exactly the recency order those traversals need:
 //! from any cell, `next` leads to strictly older announcements.
+//!
+//! # Memory reclamation
+//!
+//! Like [`crate::announce`], cells live in an epoch-aware [`Registry`] and
+//! are retired by the one successful CAS that physically unlinks them, so
+//! every mutating entry point takes an epoch [`Guard`]. The predecessor
+//! *payloads* are owned by the trie, which retires them right after
+//! [`PallList::remove`] returns (by then the announcement is unreachable for
+//! newly pinned threads).
 
 use core::fmt;
-use core::marker::PhantomData;
 
+use lftrie_primitives::epoch::{self, Guard};
 use lftrie_primitives::marked::{AtomicMarkedPtr, MarkedPtr};
-use lftrie_primitives::registry::Registry;
+use lftrie_primitives::registry::{Reclaim, Registry};
 
 /// One P-ALL cell announcing a predecessor node `P`.
 pub struct PallCell<P> {
     payload: *mut P,
     next: AtomicMarkedPtr<PallCell<P>>,
 }
+
+/// Unlinked P-ALL cells are unreachable for new pins immediately.
+impl<P> Reclaim for PallCell<P> {}
 
 impl<P> PallCell<P> {
     /// The announced predecessor node (null on the head sentinel).
@@ -47,17 +59,19 @@ impl<P> fmt::Debug for PallCell<P> {
 ///
 /// ```
 /// use lftrie_lists::pall::PallList;
+/// use lftrie_primitives::epoch;
 ///
 /// let pall: PallList<u64> = PallList::new();
+/// let guard = epoch::pin();
 /// let mut a = 1u64;
 /// let mut b = 2u64;
-/// let ca = pall.insert(&mut a);
-/// let cb = pall.insert(&mut b);
+/// let ca = pall.insert(&mut a, &guard);
+/// let cb = pall.insert(&mut b, &guard);
 /// // Newest first:
-/// let seen: Vec<*mut u64> = pall.iter().map(|c| unsafe { (*c).payload() }).collect();
+/// let seen: Vec<*mut u64> = pall.iter(&guard).map(|c| unsafe { (*c).payload() }).collect();
 /// assert_eq!(seen, vec![&mut b as *mut u64, &mut a as *mut u64]);
-/// unsafe { pall.remove(cb) };
-/// assert_eq!(pall.iter().count(), 1);
+/// unsafe { pall.remove(cb, &guard) };
+/// assert_eq!(pall.iter(&guard).count(), 1);
 /// # let _ = ca;
 /// ```
 pub struct PallList<P> {
@@ -72,7 +86,7 @@ unsafe impl<P: Send + Sync> Sync for PallList<P> {}
 impl<P> fmt::Debug for PallList<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PallList")
-            .field("len", &self.iter().count())
+            .field("len", &self.len())
             .finish()
     }
 }
@@ -96,7 +110,7 @@ impl<P> PallList<P> {
 
     /// Announces `payload` at the head (paper line 209). Returns the cell,
     /// which the caller later passes to [`PallList::remove`].
-    pub fn insert(&self, payload: *mut P) -> *mut PallCell<P> {
+    pub fn insert(&self, payload: *mut P, _guard: &Guard<'_>) -> *mut PallCell<P> {
         let cell = self.cells.alloc(PallCell {
             payload,
             next: AtomicMarkedPtr::null(),
@@ -116,14 +130,14 @@ impl<P> PallList<P> {
     }
 
     /// Removes a previously inserted cell: marks it (logical delete), then
-    /// unlinks it.
+    /// unlinks it. The cell is retired by whichever thread performs the
+    /// physical unlink.
     ///
     /// # Safety
     ///
     /// `cell` must have been returned by [`PallList::insert`] on this list,
-    /// and each inserted cell may be removed at most once (cells stay
-    /// allocated until the list drops, so the pointer itself remains valid).
-    pub unsafe fn remove(&self, cell: *mut PallCell<P>) {
+    /// and each inserted cell may be removed at most once.
+    pub unsafe fn remove(&self, cell: *mut PallCell<P>, guard: &Guard<'_>) {
         // Logical delete: set the mark on cell.next.
         loop {
             let next = unsafe { (*cell).next.load() };
@@ -135,11 +149,11 @@ impl<P> PallList<P> {
             }
         }
         // Physical unlink: scan from the head, detaching marked cells.
-        self.unlink_marked();
+        self.unlink_marked(guard);
     }
 
-    /// Detaches every marked cell reachable from the head.
-    fn unlink_marked(&self) {
+    /// Detaches (and retires) every marked cell reachable from the head.
+    fn unlink_marked(&self, guard: &Guard<'_>) {
         'retry: loop {
             let mut pred = self.head;
             let mut cur = unsafe { (*pred).next.load() }.ptr();
@@ -151,6 +165,8 @@ impl<P> PallList<P> {
                     if !unsafe { (*pred).next.compare_exchange(expected, replacement) } {
                         continue 'retry;
                     }
+                    // The successful unlink CAS is unique per cell.
+                    unsafe { self.cells.retire(cur, guard) };
                     cur = cur_next.ptr();
                 } else {
                     pred = cur;
@@ -162,39 +178,79 @@ impl<P> PallList<P> {
     }
 
     /// Iterates over live cells, newest announcement first.
-    pub fn iter(&self) -> PallIter<'_, P> {
+    pub fn iter<'g>(&self, guard: &'g Guard<'_>) -> PallIter<'g, P> {
         PallIter {
             cur: self.head,
-            _list: PhantomData,
+            _guard: guard,
         }
     }
 
     /// Iterates over the live cells strictly older than `cell` — the
     /// traversal of lines 210–214 (the sequence `Q` before prepending).
     ///
-    /// `cell` must have been returned by [`PallList::insert`] on this list.
-    pub fn iter_after(&self, cell: *mut PallCell<P>) -> PallIter<'_, P> {
+    /// `cell` must have been returned by [`PallList::insert`] on this list
+    /// and reached under `guard` (or an outer pin of the same thread).
+    pub fn iter_after<'g>(&self, cell: *mut PallCell<P>, guard: &'g Guard<'_>) -> PallIter<'g, P> {
         PallIter {
             cur: cell,
-            _list: PhantomData,
+            _guard: guard,
         }
     }
 
-    /// Number of live cells; O(n), for tests and diagnostics.
+    /// Number of live cells; O(n), for tests and diagnostics (pins
+    /// internally).
     pub fn len(&self) -> usize {
-        self.iter().count()
+        let guard = epoch::pin();
+        self.iter(&guard).count()
     }
 
-    /// True if no predecessor operation is announced.
+    /// True if no predecessor operation is announced (pins internally).
     pub fn is_empty(&self) -> bool {
-        self.iter().next().is_none()
+        let guard = epoch::pin();
+        self.iter(&guard).next().is_none()
+    }
+
+    /// Visits every physically linked cell (marked or not), newest first —
+    /// the owning structure's teardown uses this to free payloads of cells
+    /// that were never removed (e.g. abandoned operations). Requires
+    /// exclusive access.
+    pub fn for_each_linked(&mut self, mut f: impl FnMut(*mut P, bool)) {
+        let mut cur = unsafe { (*self.head).next.load() }.ptr();
+        while !cur.is_null() {
+            let link = unsafe { (*cur).next.load() };
+            f(unsafe { (*cur).payload }, link.is_marked());
+            cur = link.ptr();
+        }
+    }
+
+    /// Runs quiescent reclamation sweeps on the cell registry.
+    pub fn flush_reclamation(&self) {
+        self.cells.flush();
+    }
+
+    /// `(cumulative, live)` cell allocation counts (space accounting).
+    pub fn cell_counts(&self) -> (usize, usize) {
+        (self.cells.allocated(), self.cells.live())
+    }
+}
+
+impl<P> Drop for PallList<P> {
+    fn drop(&mut self) {
+        // Free the sentinel and any still-linked cells; unlinked cells were
+        // retired and are freed by the registry's own Drop.
+        let mut cur = self.head;
+        while !cur.is_null() {
+            let next = unsafe { (*cur).next.load() }.ptr();
+            unsafe { self.cells.dealloc(cur) };
+            cur = next;
+        }
     }
 }
 
 /// Iterator over live P-ALL cells; see [`PallList::iter`].
 pub struct PallIter<'a, P> {
     cur: *mut PallCell<P>,
-    _list: PhantomData<&'a PallList<P>>,
+    _guard: &'a Guard<'a>,
 }
 
 impl<'a, P> Iterator for PallIter<'a, P> {
@@ -222,42 +278,56 @@ mod tests {
     #[test]
     fn lifo_order() {
         let pall: PallList<u64> = PallList::new();
+        let guard = epoch::pin();
         let mut xs: Vec<u64> = (0..5).collect();
         for x in xs.iter_mut() {
-            pall.insert(x);
+            pall.insert(x, &guard);
         }
-        let seen: Vec<u64> = pall.iter().map(|c| unsafe { *(*c).payload() }).collect();
+        let seen: Vec<u64> = pall
+            .iter(&guard)
+            .map(|c| unsafe { *(*c).payload() })
+            .collect();
         assert_eq!(seen, vec![4, 3, 2, 1, 0]);
     }
 
     #[test]
     fn iter_after_sees_only_older() {
         let pall: PallList<u64> = PallList::new();
+        let guard = epoch::pin();
         let mut a = 1u64;
         let mut b = 2u64;
         let mut c = 3u64;
-        pall.insert(&mut a);
-        let cb = pall.insert(&mut b);
-        pall.insert(&mut c);
+        pall.insert(&mut a, &guard);
+        let cb = pall.insert(&mut b, &guard);
+        pall.insert(&mut c, &guard);
         let older: Vec<u64> = pall
-            .iter_after(cb)
+            .iter_after(cb, &guard)
             .map(|cell| unsafe { *(*cell).payload() })
             .collect();
         assert_eq!(older, vec![1], "only announcements older than b");
     }
 
     #[test]
-    fn remove_unlinks() {
+    fn remove_unlinks_and_reclaims() {
         let pall: PallList<u64> = PallList::new();
         let mut a = 1u64;
         let mut b = 2u64;
-        let ca = pall.insert(&mut a);
-        let cb = pall.insert(&mut b);
-        unsafe { pall.remove(ca) };
-        let seen: Vec<u64> = pall.iter().map(|c| unsafe { *(*c).payload() }).collect();
+        let guard = epoch::pin();
+        let ca = pall.insert(&mut a, &guard);
+        let cb = pall.insert(&mut b, &guard);
+        unsafe { pall.remove(ca, &guard) };
+        let seen: Vec<u64> = pall
+            .iter(&guard)
+            .map(|c| unsafe { *(*c).payload() })
+            .collect();
         assert_eq!(seen, vec![2]);
-        unsafe { pall.remove(cb) };
+        unsafe { pall.remove(cb, &guard) };
         assert!(pall.is_empty());
+        drop(guard);
+        pall.flush_reclamation();
+        let (allocated, live) = pall.cell_counts();
+        assert_eq!(allocated, 3); // sentinel + two cells
+        assert_eq!(live, 1, "only the sentinel survives");
     }
 
     #[test]
@@ -266,13 +336,14 @@ mod tests {
         // concurrently removed; iter_after must still reach older live cells
         // through the marked cell's next pointer.
         let pall: PallList<u64> = PallList::new();
+        let guard = epoch::pin();
         let mut a = 1u64;
         let mut b = 2u64;
-        let ca = pall.insert(&mut a);
-        let cb = pall.insert(&mut b);
-        unsafe { pall.remove(cb) };
+        let ca = pall.insert(&mut a, &guard);
+        let cb = pall.insert(&mut b, &guard);
+        unsafe { pall.remove(cb, &guard) };
         let older: Vec<u64> = pall
-            .iter_after(cb)
+            .iter_after(cb, &guard)
             .map(|cell| unsafe { *(*cell).payload() })
             .collect();
         assert_eq!(older, vec![1]);
@@ -288,9 +359,10 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let mut slot = 7u64;
                 for _ in 0..500 {
-                    let c = pall.insert(&mut slot);
-                    let _ = pall.iter().count();
-                    unsafe { pall.remove(c) };
+                    let guard = epoch::pin();
+                    let c = pall.insert(&mut slot, &guard);
+                    let _ = pall.iter(&guard).count();
+                    unsafe { pall.remove(c, &guard) };
                 }
             }));
         }
@@ -298,5 +370,33 @@ mod tests {
             h.join().unwrap();
         }
         assert!(pall.is_empty());
+        pall.flush_reclamation();
+        let (allocated, live) = pall.cell_counts();
+        assert_eq!(allocated, 2001);
+        assert!(
+            live <= 257,
+            "removed announcements must be reclaimed, {live} live"
+        );
+    }
+
+    #[test]
+    fn for_each_linked_reports_marks() {
+        let mut pall: PallList<u64> = PallList::new();
+        let guard = epoch::pin();
+        let mut a = 1u64;
+        let mut b = 2u64;
+        pall.insert(&mut a, &guard);
+        let cb = pall.insert(&mut b, &guard);
+        // Mark b without physically unlinking (logical delete only).
+        loop {
+            let next = unsafe { (*cb).next.load() };
+            if unsafe { (*cb).next.compare_exchange(next, next.with_mark()) } {
+                break;
+            }
+        }
+        drop(guard);
+        let mut seen = Vec::new();
+        pall.for_each_linked(|p, marked| seen.push((unsafe { *p }, marked)));
+        assert_eq!(seen, vec![(2, true), (1, false)]);
     }
 }

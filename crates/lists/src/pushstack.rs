@@ -7,6 +7,12 @@
 //! is still first-activated, aborting the send otherwise. The list is never
 //! removed from — predecessor operations only read it — so a simple
 //! registry-backed Treiber-style push suffices.
+//!
+//! Because nothing is ever unlinked, no per-node epoch retirement is needed:
+//! the stack frees its chain when it drops. Its lifetime is that of the
+//! owning predecessor node, which *is* epoch-reclaimed by the trie — so a
+//! notify list's memory is bounded by its predecessor operation's lifetime
+//! instead of the structure's.
 
 use core::fmt;
 use core::marker::PhantomData;
@@ -119,6 +125,19 @@ impl<T> PushStack<T> {
     /// True if nothing has been pushed (or every push's guard failed).
     pub fn is_empty(&self) -> bool {
         self.head.load(Ordering::SeqCst).is_null()
+    }
+}
+
+impl<T> Drop for PushStack<T> {
+    fn drop(&mut self) {
+        // Exclusive access: free the whole chain. Nodes are never unlinked
+        // during the stack's life, so every allocation is reachable here.
+        let mut cur = *self.head.get_mut();
+        while !cur.is_null() {
+            let next = unsafe { (*cur).next };
+            unsafe { self.nodes.dealloc(cur) };
+            cur = next;
+        }
     }
 }
 

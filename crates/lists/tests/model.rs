@@ -6,6 +6,7 @@
 use lftrie_lists::announce::{AnnounceList, Direction};
 use lftrie_lists::pall::PallList;
 use lftrie_lists::pushstack::PushStack;
+use lftrie_primitives::epoch;
 use proptest::prelude::*;
 
 #[derive(Debug, Clone, Copy)]
@@ -33,13 +34,14 @@ fn check_announce_model(direction: Direction, ops: &[AnnounceOp]) {
     let ptrs: Vec<*mut u64> = slots.iter_mut().map(|s| s as *mut u64).collect();
 
     let list: AnnounceList<u64> = AnnounceList::new(direction);
+    let guard = epoch::pin();
     // Model: Vec of (key, payload_id) kept in list order.
     let mut model: Vec<(i64, usize)> = Vec::new();
 
     for &op in ops {
         match op {
             AnnounceOp::Insert { key, payload_id } => {
-                list.insert(key, ptrs[payload_id]);
+                list.insert(key, ptrs[payload_id], &guard);
                 // Insert after every equal key, before the first
                 // strictly-after key.
                 let pos = model
@@ -52,14 +54,14 @@ fn check_announce_model(direction: Direction, ops: &[AnnounceOp]) {
                 model.insert(pos, (key, payload_id));
             }
             AnnounceOp::RemoveAll { key, payload_id } => {
-                let removed = list.remove_all(key, ptrs[payload_id]);
+                let removed = list.remove_all(key, ptrs[payload_id], &guard);
                 let before = model.len();
                 model.retain(|&(k, p)| !(k == key && p == payload_id));
                 assert_eq!(removed, before - model.len(), "removal count");
             }
         }
         let got: Vec<(i64, usize)> = list
-            .iter()
+            .iter(&guard)
             .map(|(k, p)| {
                 let id = ptrs.iter().position(|&q| q == p).unwrap();
                 (k, id)
@@ -97,22 +99,23 @@ proptest! {
     fn pall_matches_stack_with_removal(ops in proptest::collection::vec((proptest::bool::ANY, 0usize..6), 1..120)) {
         let mut slots: Vec<u64> = (0..200).collect();
         let pall: PallList<u64> = PallList::new();
+        let guard = epoch::pin();
         // Model: newest-first vec of (slot_index, cell); cells tracked for removal.
         let mut live: Vec<(usize, *mut lftrie_lists::pall::PallCell<u64>)> = Vec::new();
         let mut next_slot = 0usize;
         for (ins, pick) in ops {
             if ins && next_slot < slots.len() {
                 let p: *mut u64 = &mut slots[next_slot];
-                let cell = pall.insert(p);
+                let cell = pall.insert(p, &guard);
                 live.insert(0, (next_slot, cell));
                 next_slot += 1;
             } else if !live.is_empty() {
                 let idx = pick % live.len();
                 let (_, cell) = live.remove(idx);
-                unsafe { pall.remove(cell) };
+                unsafe { pall.remove(cell, &guard) };
             }
             let got: Vec<u64> = pall
-                .iter()
+                .iter(&guard)
                 .map(|c| unsafe { *(*c).payload() })
                 .collect();
             let expected: Vec<u64> = live.iter().map(|&(s, _)| s as u64).collect();

@@ -10,8 +10,12 @@
 //!   construction (`MinWrite` via a single `fetch_and`).
 //! * [`marked`] — word-sized atomic pointers with an embedded mark bit, the
 //!   substrate for Harris-style lock-free linked lists.
-//! * [`registry`] — a lock-free allocation registry providing deferred bulk
-//!   reclamation (the model assumes garbage collection; see DESIGN.md D4).
+//! * [`epoch`] — epoch-based reclamation (global epoch, per-thread
+//!   participants, pinning guards): the stand-in for the garbage collector
+//!   the paper's model assumes.
+//! * [`registry`] — the epoch-aware allocation registry through which every
+//!   node is allocated, retired, and accounted (bounded garbage under
+//!   churn; see DESIGN.md D4 and the module docs).
 //! * [`swcursor`] — the single-writer published cursor substituting for the
 //!   atomic-copy primitive (DESIGN.md D3).
 //! * [`steps`] — optional step-count instrumentation used to reproduce the
@@ -33,6 +37,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod epoch;
 pub mod keys;
 pub mod marked;
 pub mod minreg;

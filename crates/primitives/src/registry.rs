@@ -1,74 +1,372 @@
-//! Lock-free allocation registry with deferred bulk reclamation.
+//! Epoch-aware allocation registry with bounded-garbage reclamation.
 //!
 //! The paper's model assumes garbage collection: update nodes stay reachable
 //! from long-lived shared fields (`t.dNodePtr` can reference an old DEL node
-//! indefinitely; a DEL node's `delPredNode` keeps a predecessor node and its
-//! notify list readable after the `Delete` completes). Precise concurrent
-//! reclamation is therefore impossible without reference counting — see
-//! DESIGN.md D4. Instead, every node is allocated through a [`Registry`]
-//! that records the raw pointer in a lock-free queue and frees *everything at
-//! once* when the owning structure is dropped.
+//! indefinitely; an INS node's `target` keeps a DEL node readable long after
+//! the `Delete` completes). The original reproduction therefore deferred
+//! *every* free to structure drop — sound, but resident memory grew with the
+//! total number of updates ever performed.
 //!
-//! This is sound (no use-after-free, no ABA from address reuse) and makes the
-//! space experiment (E6) straightforward: [`Registry::allocated`] is exactly
-//! the number of nodes a garbage collector would have been handed.
+//! This module replaces that arena with a [`Registry`] handle over
+//! [epoch-based reclamation](crate::epoch):
+//!
+//! * [`Registry::alloc`] boxes a node and counts it (the cumulative count is
+//!   still exactly "what a garbage collector would have been handed" — the
+//!   E6 metric).
+//! * [`Registry::retire`] hands a node back once it is unlinked from shared
+//!   memory. The node is stamped with the current epoch and freed only after
+//!   three global-epoch advances (see the grace-period discussion in
+//!   [`crate::epoch`]), so every thread pinned at retirement has unpinned
+//!   first.
+//! * Types whose nodes can outlive their unlink through *long-lived shared
+//!   fields* implement [`Reclaim`]: [`Reclaim::ready_to_reclaim`] keeps a
+//!   retired node parked in a pending set while such references remain (the
+//!   trie counts `dNodePtr` installs and `target` edges), and
+//!   [`Reclaim::on_reclaim`] runs right before the free to release
+//!   references the node itself holds.
+//! * [`Registry::dealloc`] frees a node immediately — for never-published
+//!   nodes and for the owning structure's `Drop`, which enumerates its
+//!   still-linked nodes (the registry no longer tracks them individually).
+//!
+//! Under steady-state churn the unreclaimed node count is
+//! `O(threads² + deferred references + live set)`, independent of the total
+//! number of updates — `tests/memory_bound.rs` asserts exactly this.
 
-use core::sync::atomic::{AtomicUsize, Ordering};
+use core::marker::PhantomData;
+use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
-use crossbeam::queue::SegQueue;
+use crate::epoch::{Domain, Guard};
 
-/// Records every allocation of `T`; frees them all on drop.
+/// Epochs a retired node must age before it can be freed. See
+/// [`crate::epoch`] for why this is 3 and not the textbook 2.
+const GRACE_EPOCHS: u64 = 3;
+
+/// Retires per registry between amortized garbage sweeps.
+const RETIRES_PER_SWEEP: usize = 32;
+
+/// Reclamation protocol for nodes retired through a [`Registry`].
+///
+/// The default implementation suits nodes that are unreachable as soon as
+/// they are unlinked (list cells, baseline nodes). Types with long-lived
+/// shared references override both hooks; the registry re-checks
+/// `ready_to_reclaim` immediately before every free, so a reference acquired
+/// while the node sat in limbo (e.g. a late `target` edge) reliably defers
+/// it again.
+pub trait Reclaim {
+    /// May the node be freed now? Called with the node still allocated.
+    ///
+    /// Must only transition `false → true` "eventually stably": once it
+    /// returns `true` and no thread pinned before the retirement is still
+    /// active, it must not flip back (new references to retired nodes can
+    /// only be created by such pinned threads).
+    fn ready_to_reclaim(&self) -> bool {
+        true
+    }
+
+    /// Runs immediately before the node is freed on the reclamation path
+    /// (not on bulk teardown, where referenced peers may already be gone).
+    /// Used to drop reference counts this node holds on other nodes.
+    fn on_reclaim(&self) {}
+}
+
+/// One parked piece of garbage (type-erased).
+struct GarbageNode {
+    ptr: *mut u8,
+    /// Epoch at (re-)stamping time; freed once `global ≥ epoch + GRACE`.
+    epoch: u64,
+    ready: unsafe fn(*const u8) -> bool,
+    /// `free(ptr, run_hook)`; `run_hook = false` on bulk teardown.
+    free: unsafe fn(*mut u8, bool),
+    next: *mut GarbageNode,
+}
+
+unsafe fn ready_impl<T: Reclaim>(ptr: *const u8) -> bool {
+    unsafe { (*(ptr as *const T)).ready_to_reclaim() }
+}
+
+unsafe fn free_impl<T: Reclaim>(ptr: *mut u8, run_hook: bool) {
+    let ptr = ptr as *mut T;
+    if run_hook {
+        unsafe { (*ptr).on_reclaim() };
+    }
+    drop(unsafe { Box::from_raw(ptr) });
+}
+
+/// A Treiber stack of garbage nodes: lock-free push, single-consumer drain.
+struct GarbageStack {
+    head: AtomicPtr<GarbageNode>,
+}
+
+impl GarbageStack {
+    const fn new() -> Self {
+        Self {
+            head: AtomicPtr::new(core::ptr::null_mut()),
+        }
+    }
+
+    fn push(&self, node: Box<GarbageNode>) {
+        let node = Box::into_raw(node);
+        loop {
+            let head = self.head.load(Ordering::SeqCst);
+            unsafe { (*node).next = head };
+            if self
+                .head
+                .compare_exchange(head, node, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Detaches the whole chain (callers iterate it exclusively).
+    fn take_all(&self) -> *mut GarbageNode {
+        self.head.swap(core::ptr::null_mut(), Ordering::SeqCst)
+    }
+}
+
+/// Epoch-aware allocation handle: every node of a lock-free structure is
+/// allocated, retired, and accounted through one of these.
 ///
 /// # Examples
 ///
 /// ```
-/// use lftrie_primitives::registry::Registry;
+/// use lftrie_primitives::epoch;
+/// use lftrie_primitives::registry::{Reclaim, Registry};
 ///
-/// let reg: Registry<String> = Registry::new();
-/// let p = reg.alloc(String::from("node"));
-/// // p is valid until `reg` is dropped:
-/// assert_eq!(unsafe { &*p }, "node");
-/// assert_eq!(reg.allocated(), 1);
+/// struct Cell(u64);
+/// impl Reclaim for Cell {}
+///
+/// let reg: Registry<Cell> = Registry::new();
+/// let p = reg.alloc(Cell(7));
+/// assert_eq!(reg.live(), 1);
+///
+/// // ... p is published, used, then unlinked from shared memory ...
+/// let guard = epoch::pin();
+/// unsafe { reg.retire(p, &guard) };
+/// drop(guard);
+///
+/// reg.flush(); // a few quiescent sweeps age the garbage out
+/// assert_eq!(reg.live(), 0);
+/// assert_eq!(reg.allocated(), 1); // cumulative count is unchanged
 /// ```
-#[derive(Debug)]
 pub struct Registry<T> {
-    slots: SegQueue<*mut T>,
+    domain: &'static Domain,
+    /// Cumulative allocations (the GC-model E6 metric).
     allocated: AtomicUsize,
+    /// Nodes freed so far (reclaimed, deallocated, or teardown-freed).
+    reclaimed: AtomicUsize,
+    /// Epoch-stamped garbage awaiting its grace period.
+    limbo: GarbageStack,
+    /// Retired garbage whose `ready_to_reclaim` gate was still closed.
+    pending: GarbageStack,
+    retired_since_sweep: AtomicUsize,
+    sweeping: AtomicBool,
+    /// Epoch observed at the end of the last full sweep (`u64::MAX` before
+    /// the first). While the epoch is parked — e.g. a long-pinned reader —
+    /// nothing new can become freeable, so sweeps bail out in O(1) instead
+    /// of re-walking the whole backlog on every amortized sweep.
+    last_swept_epoch: AtomicU64,
+    _owns: PhantomData<T>,
 }
 
-// Safety: the registry owns heap allocations of T and only ever hands out raw
-// pointers; it can move between / be shared across threads whenever T can.
+// Safety: the registry owns heap allocations of T and only ever hands out
+// raw pointers; garbage chains are plain owned memory.
 unsafe impl<T: Send> Send for Registry<T> {}
 unsafe impl<T: Send + Sync> Sync for Registry<T> {}
 
 impl<T> Registry<T> {
-    /// Creates an empty registry.
+    /// Creates an empty registry on the global epoch domain.
     pub fn new() -> Self {
+        Self::new_in(Domain::global())
+    }
+
+    /// Creates an empty registry on a specific epoch domain (tests drive
+    /// leaked private domains deterministically).
+    pub fn new_in(domain: &'static Domain) -> Self {
         Self {
-            slots: SegQueue::new(),
+            domain,
             allocated: AtomicUsize::new(0),
+            reclaimed: AtomicUsize::new(0),
+            limbo: GarbageStack::new(),
+            pending: GarbageStack::new(),
+            retired_since_sweep: AtomicUsize::new(0),
+            sweeping: AtomicBool::new(false),
+            last_swept_epoch: AtomicU64::new(u64::MAX),
+            _owns: PhantomData,
         }
     }
 
-    /// Heap-allocates `value` and registers it for reclamation at drop time.
-    ///
-    /// The returned pointer is valid (and its referent immovable) until the
-    /// registry is dropped.
+    /// Heap-allocates `value`. The pointer is valid (and its referent
+    /// immovable) until the node is retired and reclaimed, deallocated, or
+    /// the owning structure tears down.
     pub fn alloc(&self, value: T) -> *mut T {
         let ptr = Box::into_raw(Box::new(value));
-        self.slots.push(ptr);
         self.allocated.fetch_add(1, Ordering::Relaxed);
         ptr
     }
 
-    /// Total number of allocations performed over the registry's lifetime.
+    /// Total number of allocations performed over the registry's lifetime —
+    /// exactly what a garbage collector would have been handed (E6).
     pub fn allocated(&self) -> usize {
         self.allocated.load(Ordering::Relaxed)
     }
 
-    /// True if nothing has been allocated yet.
+    /// Nodes freed so far (epoch reclamation plus explicit deallocation).
+    pub fn reclaimed(&self) -> usize {
+        self.reclaimed.load(Ordering::Relaxed)
+    }
+
+    /// Currently resident nodes: `allocated − reclaimed`. Under churn this
+    /// stays bounded (the memory-bound suite's metric); under the old
+    /// drop-only arena it equalled `allocated`.
+    pub fn live(&self) -> usize {
+        self.allocated().saturating_sub(self.reclaimed())
+    }
+
+    /// True if nothing is currently resident.
     pub fn is_empty(&self) -> bool {
-        self.allocated() == 0
+        self.live() == 0
+    }
+
+    /// The epoch domain this registry retires into.
+    pub fn domain(&self) -> &'static Domain {
+        self.domain
+    }
+
+    /// Retires a node: it will be freed after the epoch grace period, once
+    /// its [`Reclaim::ready_to_reclaim`] gate opens.
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` came from [`Registry::alloc`] on this registry and is retired
+    ///   at most once, and never also passed to [`Registry::dealloc`].
+    /// * The node is already unlinked: no thread that pins *after* this call
+    ///   can reach `ptr` through shared memory, except transiently through
+    ///   helper re-publication windows opened by threads pinned *before* it
+    ///   (the grace period absorbs those), or through long-lived fields whose
+    ///   holders keep `ready_to_reclaim` returning `false`.
+    /// * `guard` pins the registry's domain (callers are necessarily pinned:
+    ///   they just unlinked the node from shared memory).
+    pub unsafe fn retire(&self, ptr: *mut T, guard: &Guard<'_>)
+    where
+        T: Reclaim,
+    {
+        debug_assert!(
+            core::ptr::eq(guard.domain(), self.domain),
+            "guard pins a different epoch domain than the registry's"
+        );
+        let node = Box::new(GarbageNode {
+            ptr: ptr.cast(),
+            epoch: self.domain.epoch(),
+            ready: ready_impl::<T>,
+            free: free_impl::<T>,
+            next: core::ptr::null_mut(),
+        });
+        if unsafe { (*ptr).ready_to_reclaim() } {
+            self.limbo.push(node);
+        } else {
+            self.pending.push(node);
+        }
+        if self.retired_since_sweep.fetch_add(1, Ordering::Relaxed) % RETIRES_PER_SWEEP
+            == RETIRES_PER_SWEEP - 1
+        {
+            self.collect();
+        }
+    }
+
+    /// Frees a node immediately, without the epoch grace period.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` came from [`Registry::alloc`] on this registry, was never
+    /// retired, and is reachable by no other thread — either it was never
+    /// published, or the caller has exclusive access to the owning structure
+    /// (teardown).
+    pub unsafe fn dealloc(&self, ptr: *mut T) {
+        drop(unsafe { Box::from_raw(ptr) });
+        self.reclaimed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One garbage sweep: re-examines deferred nodes, tries to advance the
+    /// epoch, and frees limbo nodes whose grace period elapsed and whose
+    /// readiness gate is (still) open. Lock-free; concurrent callers simply
+    /// skip the sweep.
+    pub fn collect(&self) {
+        if self.sweeping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Attempt up to GRACE advances: each one individually re-proves
+        // that every pinned participant has caught up, so at quiescent
+        // moments a single sweep ages garbage all the way out instead of
+        // one epoch per sweep.
+        let mut global = self.domain.epoch();
+        for _ in 0..GRACE_EPOCHS {
+            let next = self.domain.try_advance();
+            if next == global {
+                break;
+            }
+            global = next;
+        }
+        // Deferred nodes whose gate opened re-enter limbo stamped *now*
+        // (conservative: their unlink is older than this epoch). The pending
+        // set is drained on every sweep — its size is bounded by the gates
+        // themselves (≤ one DEL per occupied dNodePtr slot, live `target`
+        // edges, in-flight operations), not by the retire history, and a
+        // prompt restamp starts the grace clock as early as possible.
+        let mut cur = self.pending.take_all();
+        let now = global;
+        while !cur.is_null() {
+            let mut node = unsafe { Box::from_raw(cur) };
+            cur = node.next;
+            node.next = core::ptr::null_mut();
+            if unsafe { (node.ready)(node.ptr) } {
+                node.epoch = now;
+                self.limbo.push(node);
+            } else {
+                self.pending.push(node);
+            }
+        }
+
+        // The limbo pile, by contrast, grows with every retire and nothing
+        // in it can become freeable while the epoch is parked (stamps are
+        // monotone, eligibility needs `global ≥ stamp + GRACE`): skip the
+        // O(backlog) re-walk until the epoch moves. This is what keeps a
+        // long-pinned reader from turning the writers' amortized sweeps
+        // into quadratic work.
+        if self.last_swept_epoch.load(Ordering::SeqCst) == global {
+            self.sweeping.store(false, Ordering::SeqCst);
+            return;
+        }
+
+        let mut cur = self.limbo.take_all();
+        while !cur.is_null() {
+            let mut node = unsafe { Box::from_raw(cur) };
+            cur = node.next;
+            node.next = core::ptr::null_mut();
+            // The readiness re-check matters: a thread pinned since before
+            // the retirement may have taken a new long-lived reference
+            // (e.g. a `target` edge) while the node aged in limbo.
+            if node.epoch + GRACE_EPOCHS <= global && unsafe { (node.ready)(node.ptr) } {
+                unsafe { (node.free)(node.ptr, true) };
+                self.reclaimed.fetch_add(1, Ordering::Relaxed);
+            } else if unsafe { (node.ready)(node.ptr) } {
+                self.limbo.push(node);
+            } else {
+                self.pending.push(node);
+            }
+        }
+        self.last_swept_epoch.store(global, Ordering::SeqCst);
+        self.sweeping.store(false, Ordering::SeqCst);
+    }
+
+    /// Runs enough quiescent sweeps to age out everything retired so far
+    /// (assuming no concurrent pins). Tests and teardown paths use this to
+    /// observe the steady-state footprint.
+    pub fn flush(&self) {
+        for _ in 0..(2 * GRACE_EPOCHS as usize + 2) {
+            self.collect();
+        }
     }
 }
 
@@ -80,68 +378,202 @@ impl<T> Default for Registry<T> {
 
 impl<T> Drop for Registry<T> {
     fn drop(&mut self) {
-        while let Some(ptr) = self.slots.pop() {
-            // Safety: each pointer was produced by Box::into_raw in `alloc`
-            // and is popped exactly once.
-            unsafe { drop(Box::from_raw(ptr)) };
+        // Bulk teardown: free whatever is still parked. Hooks are skipped —
+        // peers they would touch may already have been freed by the owning
+        // structure's own Drop.
+        for stack in [&self.pending, &self.limbo] {
+            let mut cur = stack.take_all();
+            while !cur.is_null() {
+                let node = unsafe { Box::from_raw(cur) };
+                cur = node.next;
+                unsafe { (node.free)(node.ptr, false) };
+                self.reclaimed.fetch_add(1, Ordering::Relaxed);
+            }
         }
+    }
+}
+
+impl<T> core::fmt::Debug for Registry<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Registry")
+            .field("allocated", &self.allocated())
+            .field("reclaimed", &self.reclaimed())
+            .field("live", &self.live())
+            .finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::epoch;
     use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
     use std::sync::Arc;
 
-    static DROPS: StdAtomicUsize = StdAtomicUsize::new(0);
+    fn leaked_domain() -> &'static Domain {
+        Box::leak(Box::new(Domain::new()))
+    }
 
-    struct CountsDrops;
+    struct CountsDrops(Arc<StdAtomicUsize>);
+    impl Reclaim for CountsDrops {}
     impl Drop for CountsDrops {
         fn drop(&mut self) {
-            DROPS.fetch_add(1, StdOrdering::SeqCst);
+            self.0.fetch_add(1, StdOrdering::SeqCst);
         }
     }
 
     #[test]
-    fn frees_everything_on_drop() {
-        DROPS.store(0, StdOrdering::SeqCst);
+    fn retired_nodes_age_out_after_grace_period() {
+        let domain = leaked_domain();
+        let handle = domain.register();
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let reg: Registry<CountsDrops> = Registry::new_in(domain);
+
+        let blocker = domain.register();
+        let blocker_guard = blocker.pin(); // parks the epoch at most one ahead
+        let p = reg.alloc(CountsDrops(Arc::clone(&drops)));
+        let guard = handle.pin();
+        unsafe { reg.retire(p, &guard) };
+        drop(guard);
+
+        reg.collect();
+        reg.collect();
+        assert_eq!(
+            drops.load(StdOrdering::SeqCst),
+            0,
+            "the grace period cannot elapse while a pre-retirement pin lives"
+        );
+        drop(blocker_guard);
+        reg.flush();
+        assert_eq!(drops.load(StdOrdering::SeqCst), 1);
+        assert_eq!(reg.live(), 0);
+        assert_eq!(reg.allocated(), 1);
+        assert_eq!(reg.reclaimed(), 1);
+    }
+
+    #[test]
+    fn pinned_guard_blocks_reclamation() {
+        let domain = leaked_domain();
+        let retirer = domain.register();
+        let reader = domain.register();
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let reg: Registry<CountsDrops> = Registry::new_in(domain);
+
+        let reader_guard = reader.pin(); // pinned before the retirement
+        let p = reg.alloc(CountsDrops(Arc::clone(&drops)));
+        let g = retirer.pin();
+        unsafe { reg.retire(p, &g) };
+        drop(g);
+
+        reg.flush();
+        assert_eq!(
+            drops.load(StdOrdering::SeqCst),
+            0,
+            "a guard from before the retirement must block the free"
+        );
+        drop(reader_guard);
+        reg.flush();
+        assert_eq!(drops.load(StdOrdering::SeqCst), 1);
+    }
+
+    struct Gated {
+        open: Arc<AtomicBool>,
+    }
+    impl Reclaim for Gated {
+        fn ready_to_reclaim(&self) -> bool {
+            self.open.load(Ordering::SeqCst)
+        }
+    }
+
+    #[test]
+    fn deferred_nodes_wait_for_their_gate() {
+        let domain = leaked_domain();
+        let handle = domain.register();
+        let reg: Registry<Gated> = Registry::new_in(domain);
+        let open = Arc::new(AtomicBool::new(false));
+        let p = reg.alloc(Gated {
+            open: Arc::clone(&open),
+        });
+        let g = handle.pin();
+        unsafe { reg.retire(p, &g) };
+        drop(g);
+
+        reg.flush();
+        assert_eq!(reg.live(), 1, "gate closed: node must survive any sweep");
+        open.store(true, Ordering::SeqCst);
+        reg.flush();
+        assert_eq!(reg.live(), 0);
+    }
+
+    #[test]
+    fn dealloc_frees_unpublished_nodes_immediately() {
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let reg: Registry<CountsDrops> = Registry::new();
+        let p = reg.alloc(CountsDrops(Arc::clone(&drops)));
+        unsafe { reg.dealloc(p) };
+        assert_eq!(drops.load(StdOrdering::SeqCst), 1);
+        assert_eq!(reg.live(), 0);
+    }
+
+    #[test]
+    fn registry_drop_frees_parked_garbage() {
+        let domain = leaked_domain();
+        let handle = domain.register();
+        let drops = Arc::new(StdAtomicUsize::new(0));
         {
-            let reg = Registry::new();
+            let reg: Registry<CountsDrops> = Registry::new_in(domain);
+            let g = handle.pin();
             for _ in 0..100 {
-                reg.alloc(CountsDrops);
+                let p = reg.alloc(CountsDrops(Arc::clone(&drops)));
+                unsafe { reg.retire(p, &g) };
             }
-            assert_eq!(reg.allocated(), 100);
-            assert_eq!(DROPS.load(StdOrdering::SeqCst), 0);
+            drop(g);
+            assert_eq!(drops.load(StdOrdering::SeqCst), 0);
         }
-        assert_eq!(DROPS.load(StdOrdering::SeqCst), 100);
+        assert_eq!(drops.load(StdOrdering::SeqCst), 100);
     }
 
     #[test]
-    fn pointers_stable_across_later_allocs() {
-        let reg = Registry::new();
-        let first = reg.alloc(7u64);
-        for i in 0..1000u64 {
-            reg.alloc(i);
-        }
-        assert_eq!(unsafe { *first }, 7);
-    }
-
-    #[test]
-    fn concurrent_allocation_is_counted() {
-        let reg = Arc::new(Registry::new());
+    fn churn_keeps_live_count_bounded() {
+        // The registry-level version of tests/memory_bound.rs: sustained
+        // retire traffic from several threads must not accumulate.
+        let reg: Arc<Registry<CountsDrops>> = Arc::new(Registry::new());
+        let drops = Arc::new(StdAtomicUsize::new(0));
         let mut handles = Vec::new();
         for _ in 0..4 {
             let reg = Arc::clone(&reg);
+            let drops = Arc::clone(&drops);
             handles.push(std::thread::spawn(move || {
-                for i in 0..250u64 {
-                    reg.alloc(i);
+                for _ in 0..5_000 {
+                    let p = reg.alloc(CountsDrops(Arc::clone(&drops)));
+                    let g = epoch::pin();
+                    unsafe { reg.retire(p, &g) };
                 }
             }));
         }
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(reg.allocated(), 1000);
+        reg.flush();
+        assert_eq!(reg.allocated(), 20_000);
+        assert!(
+            reg.live() <= 4 * RETIRES_PER_SWEEP,
+            "steady-state garbage must be bounded, found {} live",
+            reg.live()
+        );
+    }
+
+    #[test]
+    fn pointers_stable_until_reclaimed() {
+        struct Plain(u64);
+        impl Reclaim for Plain {}
+        let reg: Registry<Plain> = Registry::new();
+        let first = reg.alloc(Plain(7));
+        for i in 0..1000u64 {
+            let p = reg.alloc(Plain(i));
+            unsafe { reg.dealloc(p) };
+        }
+        assert_eq!(unsafe { (*first).0 }, 7);
+        unsafe { reg.dealloc(first) };
     }
 }

@@ -1,0 +1,227 @@
+//! Property tests for the epoch-reclamation subsystem: arbitrary
+//! pin/repin/unpin/retire/sweep schedules over a private domain, checked
+//! against the safety invariant that makes [`lftrie_primitives::epoch`]'s
+//! guards meaningful:
+//!
+//! > no node is freed while any participant is still pinned at an epoch
+//! > less than or equal to the node's retire epoch
+//!
+//! (the implementation is stricter — a free needs three advances past the
+//! retire epoch — but this is the property unsafe readers rely on), plus
+//! liveness (a quiescent flush reclaims everything), limbo-bag rotation,
+//! and the readiness gate of deferred retirement.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use lftrie_primitives::epoch::{Domain, Guard, Handle};
+use lftrie_primitives::registry::{Reclaim, Registry};
+use proptest::prelude::*;
+
+const PARTICIPANTS: usize = 3;
+
+/// A payload that records when it is dropped (freed).
+struct Tracked {
+    freed: Arc<AtomicBool>,
+    gate: Option<Arc<AtomicBool>>,
+}
+
+impl Reclaim for Tracked {
+    fn ready_to_reclaim(&self) -> bool {
+        self.gate.as_ref().is_none_or(|g| g.load(Ordering::SeqCst))
+    }
+}
+
+impl Drop for Tracked {
+    fn drop(&mut self) {
+        self.freed.store(true, Ordering::SeqCst);
+    }
+}
+
+/// One step of a schedule: `(op, participant index)`.
+fn schedules() -> impl Strategy<Value = Vec<(u8, usize)>> {
+    proptest::collection::vec((0u8..6, 0usize..PARTICIPANTS), 1..150)
+}
+
+struct Sim {
+    domain: &'static Domain,
+    handles: Vec<Handle<'static>>,
+    /// Outstanding outermost guard per participant, with its pin epoch.
+    guards: Vec<Option<(Guard<'static>, u64)>>,
+    reg: Registry<Tracked>,
+    /// `(retire_epoch, freed_flag)` for every retired item.
+    items: Vec<(u64, Arc<AtomicBool>)>,
+}
+
+impl Sim {
+    fn new() -> Self {
+        let domain: &'static Domain = Box::leak(Box::new(Domain::new()));
+        let handles: Vec<Handle<'static>> = (0..PARTICIPANTS).map(|_| domain.register()).collect();
+        Sim {
+            domain,
+            guards: (0..PARTICIPANTS).map(|_| None).collect(),
+            reg: Registry::new_in(domain),
+            items: Vec::new(),
+            handles,
+        }
+    }
+
+    fn retire_one(&mut self, idx: usize, gate: Option<Arc<AtomicBool>>) -> Arc<AtomicBool> {
+        let freed = Arc::new(AtomicBool::new(false));
+        let p = self.reg.alloc(Tracked {
+            freed: Arc::clone(&freed),
+            gate,
+        });
+        let g = self.handles[idx].pin();
+        let retire_epoch = self.domain.epoch();
+        unsafe { self.reg.retire(p, &g) };
+        self.items.push((retire_epoch, Arc::clone(&freed)));
+        freed
+    }
+
+    /// The safety invariant, checked after every step (the stub's
+    /// `prop_assert!` panics with the replay seed attached).
+    fn check_invariant(&self) {
+        for (retire_epoch, freed) in &self.items {
+            if freed.load(Ordering::SeqCst) {
+                for slot in self.guards.iter().flatten() {
+                    let (_, pin_epoch) = slot;
+                    assert!(
+                        pin_epoch > retire_epoch,
+                        "item retired at epoch {retire_epoch} was freed while a \
+                         participant is still pinned at epoch {pin_epoch}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn no_item_freed_under_a_pre_retirement_pin(ops in schedules()) {
+        let mut sim = Sim::new();
+        for (op, idx) in ops {
+            match op {
+                // Pin (outermost only; nesting is covered below).
+                0 => {
+                    if sim.guards[idx].is_none() {
+                        let g = sim.handles[idx].pin();
+                        let e = g.epoch();
+                        sim.guards[idx] = Some((g, e));
+                    }
+                }
+                // Unpin.
+                1 => {
+                    sim.guards[idx] = None;
+                }
+                // Retire a fresh item through a transient guard.
+                2 => {
+                    sim.retire_one(idx, None);
+                }
+                // Sweep.
+                3 => sim.reg.collect(),
+                // Bare epoch advance.
+                4 => {
+                    sim.domain.try_advance();
+                }
+                // Repin: the guard catches up; its recorded epoch must only
+                // ever grow.
+                _ => {
+                    if let Some((g, e)) = sim.guards[idx].as_mut() {
+                        let before = *e;
+                        g.repin();
+                        *e = g.epoch();
+                        prop_assert!(*e >= before, "repin must never move backwards");
+                    }
+                }
+            }
+            sim.check_invariant();
+            // The global epoch is monotone and every pinned participant is
+            // within one epoch of it.
+            for slot in sim.guards.iter().flatten() {
+                let (_, pin_epoch) = slot;
+                prop_assert!(*pin_epoch <= sim.domain.epoch());
+            }
+        }
+        // Liveness: once every guard drops, a flush reclaims everything.
+        sim.guards.clear();
+        sim.reg.flush();
+        for (i, (_, freed)) in sim.items.iter().enumerate() {
+            prop_assert!(freed.load(Ordering::SeqCst), "item {i} never reclaimed");
+        }
+        prop_assert_eq!(sim.reg.live(), 0);
+    }
+
+    #[test]
+    fn limbo_bags_rotate_with_the_epoch(batch_sizes in proptest::collection::vec(1usize..8, 1..12)) {
+        // Retire a batch per epoch; verify garbage from old epochs drains
+        // as the epoch advances while the *current* window's items may
+        // persist until three further advances.
+        let mut sim = Sim::new();
+        let mut total = 0usize;
+        for batch in batch_sizes {
+            for _ in 0..batch {
+                sim.retire_one(0, None);
+                total += 1;
+            }
+            sim.domain.try_advance();
+        }
+        sim.reg.flush();
+        prop_assert_eq!(sim.reg.reclaimed(), total, "quiescent flush drains every bag");
+        prop_assert_eq!(sim.reg.allocated(), total);
+    }
+
+    #[test]
+    fn deferred_items_wait_for_their_gate(gate_mask in proptest::collection::vec(proptest::bool::ANY, 1..20)) {
+        let mut sim = Sim::new();
+        let mut gated = Vec::new();
+        for &open_later in &gate_mask {
+            let gate = Arc::new(AtomicBool::new(false));
+            let freed = sim.retire_one(0, Some(Arc::clone(&gate)));
+            gated.push((gate, freed, open_later));
+        }
+        sim.reg.flush();
+        for (_, freed, _) in &gated {
+            prop_assert!(!freed.load(Ordering::SeqCst), "gate closed: must not free");
+        }
+        // Open a subset; only that subset may be reclaimed.
+        for (gate, _, open) in &gated {
+            if *open {
+                gate.store(true, Ordering::SeqCst);
+            }
+        }
+        sim.reg.flush();
+        for (i, (_, freed, open)) in gated.iter().enumerate() {
+            prop_assert_eq!(
+                freed.load(Ordering::SeqCst), *open,
+                "item {} freed={} but gate open={}", i, freed.load(Ordering::SeqCst), open
+            );
+        }
+    }
+
+    #[test]
+    fn nested_pins_share_the_epoch_and_release_last(depth in 2usize..6) {
+        let sim = Sim::new();
+        let mut guards = Vec::new();
+        for _ in 0..depth {
+            guards.push(sim.handles[0].pin());
+        }
+        let e = guards[0].epoch();
+        for g in &guards {
+            prop_assert_eq!(g.epoch(), e, "nested guards announce one epoch");
+        }
+        // While pinned at e, the domain can advance at most once past it.
+        sim.domain.try_advance();
+        sim.domain.try_advance();
+        prop_assert!(sim.domain.epoch() <= e + 1);
+        while guards.len() > 1 {
+            guards.pop();
+            prop_assert_eq!(sim.domain.pinned_participants(), 1, "still pinned");
+        }
+        guards.clear();
+        prop_assert_eq!(sim.domain.pinned_participants(), 0);
+    }
+}

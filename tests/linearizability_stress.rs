@@ -293,6 +293,115 @@ fn relaxed_trie_satisfies_relaxed_specification() {
     }
 }
 
+/// Reclamation stress (ISSUE 3): readers deliberately hold an epoch guard
+/// across long batches of queries while writers churn a small key set at
+/// maximum supersession rate. The pinned guards force retired update nodes
+/// to age in limbo exactly while the readers still traverse them — any
+/// premature free is a use-after-free the checker (or the allocator)
+/// catches; any lost linearization shows up as a condition-1/2 violation.
+/// Scale with `LFTRIE_STRESS_ITERS` for the heavy CI lane.
+#[test]
+fn guard_holding_readers_stay_linearizable_under_churn() {
+    let universe = 64u64;
+    let writers = 2usize;
+    let readers = 2usize;
+    let iters = stress_iters(3_000);
+    let batch = 128u64; // queries per held guard
+
+    let clock = Arc::new(AtomicU64::new(0));
+    let lf = Arc::new(LockFreeBinaryTrie::new(universe));
+
+    let mut writer_handles = Vec::new();
+    for w in 0..writers {
+        let clock = Arc::clone(&clock);
+        let lf = Arc::clone(&lf);
+        writer_handles.push(std::thread::spawn(move || {
+            let mut events = Vec::new();
+            let mut state = 0x5851F42D4C957F2Du64 ^ (w as u64) << 17;
+            for _ in 0..iters {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                // Tiny hot set inside the stripe: maximal retire traffic.
+                let key = ((state >> 33) % 8) * writers as u64 + w as u64;
+                let insert = (state >> 13) & 1 == 0;
+                let start = clock.fetch_add(1, Ordering::SeqCst);
+                let s_modifying = if insert {
+                    lf.insert(key)
+                } else {
+                    lf.remove(key)
+                };
+                let end = clock.fetch_add(1, Ordering::SeqCst);
+                if s_modifying {
+                    events.push(UpdateEvent {
+                        key,
+                        kind: if insert { Kind::Ins } else { Kind::Del },
+                        start,
+                        end,
+                    });
+                }
+            }
+            events
+        }));
+    }
+
+    let mut reader_handles = Vec::new();
+    for r in 0..readers {
+        let clock = Arc::clone(&clock);
+        let lf = Arc::clone(&lf);
+        reader_handles.push(std::thread::spawn(move || {
+            let mut events = Vec::new();
+            let mut state = (r as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut remaining = iters;
+            while remaining > 0 {
+                // Hold one outer guard across a long traversal batch: every
+                // node retired during the batch must survive until we drop
+                // it, and results must still linearize.
+                let outer = lftrie::primitives::epoch::pin();
+                for _ in 0..batch.min(remaining) {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let y = 1 + (state >> 33) % (universe - 1);
+                    let start = clock.fetch_add(1, Ordering::SeqCst);
+                    let result = lf.predecessor(y);
+                    let end = clock.fetch_add(1, Ordering::SeqCst);
+                    events.push(PredEvent {
+                        y,
+                        result,
+                        start,
+                        end,
+                    });
+                }
+                drop(outer);
+                remaining = remaining.saturating_sub(batch);
+            }
+            events
+        }));
+    }
+
+    let mut updates = Vec::new();
+    for h in writer_handles {
+        updates.extend(h.join().unwrap());
+    }
+    let mut preds = Vec::new();
+    for h in reader_handles {
+        preds.extend(h.join().unwrap());
+    }
+    let out = StressOutput {
+        updates,
+        preds,
+        bottoms: 0,
+    };
+    check(&out, universe, false);
+
+    // The held guards only ever delayed reclamation; once everyone is done
+    // the backlog must drain back to a bounded footprint.
+    lf.collect_garbage();
+    let live = lf.live_nodes();
+    assert!(
+        live <= 4 * universe as usize + 512,
+        "guard-holding readers must not unbound memory: {live} live of {} cumulative",
+        lf.allocated_nodes()
+    );
+}
+
 #[test]
 fn sequential_clock_sanity() {
     // The checker itself: a key inserted before and deleted after a query

@@ -134,6 +134,79 @@ fn alternating_phases_of_growth_and_shrink() {
     }
 }
 
+/// Reclamation stress (ISSUE 3): readers park on one epoch guard for a
+/// whole churn phase, traversing continuously, while writers supersede the
+/// same keys as fast as they can. No use-after-free may occur (the guard
+/// keeps every node the readers can see alive), quiescent consistency must
+/// hold afterwards, and — once the guards drop — the reclamation backlog
+/// must drain to a bounded footprint.
+#[test]
+fn phase_long_reader_guards_never_see_freed_nodes() {
+    let universe = 32u64;
+    let iters = stress_iters(5_000);
+    let trie = Arc::new(LockFreeBinaryTrie::new(universe));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..2u64)
+        .map(|r| {
+            let trie = Arc::clone(&trie);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                // One guard for the entire phase: the strongest laggard a
+                // correct EBR must tolerate.
+                let _outer = lftrie::primitives::epoch::pin();
+                let mut state = r | 1;
+                let mut checked = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let y = (state >> 33) % universe;
+                    if let Some(k) = trie.predecessor(y.max(1)) {
+                        assert!(k < y.max(1), "predecessor returned a non-smaller key");
+                    }
+                    std::hint::black_box(trie.contains(y));
+                    checked += 1;
+                }
+                checked
+            })
+        })
+        .collect();
+
+    let writers: Vec<_> = (0..2u64)
+        .map(|t| {
+            let trie = Arc::clone(&trie);
+            std::thread::spawn(move || {
+                let mut state = t.wrapping_mul(0xD1B54A32D192ED03) | 1;
+                for _ in 0..iters {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let k = (state >> 33) % 8; // hot set: maximal supersession
+                    if state % 2 == 0 {
+                        trie.insert(k);
+                    } else {
+                        trie.remove(k);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    for r in readers {
+        assert!(r.join().unwrap() > 0, "readers must have made progress");
+    }
+
+    assert_quiescent_consistency(&trie, universe);
+    trie.collect_garbage();
+    let live = trie.live_nodes();
+    assert!(
+        live <= 4 * universe as usize + 512,
+        "backlog must drain once the phase-long guards drop: {live} live of {}",
+        trie.allocated_nodes()
+    );
+}
+
 #[test]
 fn search_is_exact_between_phases() {
     // Search's linearization is a single read; after any quiescent phase it
