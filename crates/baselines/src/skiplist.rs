@@ -48,8 +48,10 @@ impl Reclaim for Node {
     }
 }
 
-/// Shared reference to an arena node; sound because the registry keeps every
-/// node alive for the lifetime of the list.
+/// Shared reference to a registry node; sound only while the caller holds an
+/// epoch [`Guard`](lftrie_primitives::epoch::Guard) pinned since the pointer
+/// was read from shared memory — retired towers are freed after the grace
+/// period, and only the `links` gate keeps still-linked towers alive past it.
 #[inline]
 fn nref<'a>(ptr: *mut Node) -> &'a Node {
     debug_assert!(!ptr.is_null());

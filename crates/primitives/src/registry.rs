@@ -32,6 +32,7 @@
 //! `O(threads² + deferred references + live set)`, independent of the total
 //! number of updates — `tests/memory_bound.rs` asserts exactly this.
 
+use core::cell::Cell;
 use core::marker::PhantomData;
 use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
@@ -106,22 +107,64 @@ impl GarbageStack {
 
     fn push(&self, node: Box<GarbageNode>) {
         let node = Box::into_raw(node);
+        unsafe { (*node).next = core::ptr::null_mut() };
+        self.push_chain(node);
+    }
+
+    /// Detaches the whole chain (callers iterate it exclusively).
+    fn take_all(&self) -> *mut GarbageNode {
+        self.head.swap(core::ptr::null_mut(), Ordering::SeqCst)
+    }
+
+    /// Re-attaches a detached chain (nodes still linked through `next`).
+    fn push_chain(&self, chain: *mut GarbageNode) {
+        if chain.is_null() {
+            return;
+        }
+        let mut tail = chain;
+        while !unsafe { (*tail).next }.is_null() {
+            tail = unsafe { (*tail).next };
+        }
         loop {
             let head = self.head.load(Ordering::SeqCst);
-            unsafe { (*node).next = head };
+            unsafe { (*tail).next = head };
             if self
                 .head
-                .compare_exchange(head, node, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(head, chain, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
                 return;
             }
         }
     }
+}
 
-    /// Detaches the whole chain (callers iterate it exclusively).
-    fn take_all(&self) -> *mut GarbageNode {
-        self.head.swap(core::ptr::null_mut(), Ordering::SeqCst)
+/// Scope guard for [`Registry::collect`]: clears the `sweeping` flag and
+/// re-attaches the not-yet-examined remainder of a detached garbage chain on
+/// every exit path. Sweeps run user code ([`Reclaim`] hooks, node `Drop`s);
+/// without this guard a single panic in one of them would leave `sweeping`
+/// stuck `true` — silently disabling reclamation on the registry forever —
+/// and leak the rest of the detached chain.
+struct SweepGuard<'a, T> {
+    reg: &'a Registry<T>,
+    /// Detached chain not yet examined by the current drain loop.
+    rest: Cell<*mut GarbageNode>,
+    /// Which stack `rest` was detached from (and is re-attached to).
+    rest_is_limbo: Cell<bool>,
+}
+
+impl<T> Drop for SweepGuard<'_, T> {
+    fn drop(&mut self) {
+        let chain = self.rest.get();
+        if !chain.is_null() {
+            let stack = if self.rest_is_limbo.get() {
+                &self.reg.limbo
+            } else {
+                &self.reg.pending
+            };
+            stack.push_chain(chain);
+        }
+        self.reg.sweeping.store(false, Ordering::SeqCst);
     }
 }
 
@@ -296,6 +339,15 @@ impl<T> Registry<T> {
         if self.sweeping.swap(true, Ordering::SeqCst) {
             return;
         }
+        // Everything below runs user code (`Reclaim` hooks, node `Drop`s);
+        // the guard clears `sweeping` and re-attaches the unexamined chain
+        // remainder on every exit path, panics included. A panicking hook
+        // loses at most the one node it panicked on, never the sweeper.
+        let sweep = SweepGuard {
+            reg: self,
+            rest: Cell::new(core::ptr::null_mut()),
+            rest_is_limbo: Cell::new(false),
+        };
         // Attempt up to GRACE advances: each one individually re-proves
         // that every pinned participant has caught up, so at quiescent
         // moments a single sweep ages garbage all the way out instead of
@@ -308,20 +360,36 @@ impl<T> Registry<T> {
             }
             global = next;
         }
-        // Deferred nodes whose gate opened re-enter limbo stamped *now*
-        // (conservative: their unlink is older than this epoch). The pending
-        // set is drained on every sweep — its size is bounded by the gates
+        // Deferred nodes whose gate opened re-enter limbo. The pending set
+        // is drained on every sweep — its size is bounded by the gates
         // themselves (≤ one DEL per occupied dNodePtr slot, live `target`
         // edges, in-flight operations), not by the retire history, and a
         // prompt restamp starts the grace clock as early as possible.
-        let mut cur = self.pending.take_all();
-        let now = global;
-        while !cur.is_null() {
+        sweep.rest.set(self.pending.take_all());
+        loop {
+            let cur = sweep.rest.get();
+            if cur.is_null() {
+                break;
+            }
+            // Probe the gate before detaching the node, so a panicking hook
+            // leaves it on the re-attached chain instead of leaking it.
+            let ready = unsafe { ((*cur).ready)((*cur).ptr) };
             let mut node = unsafe { Box::from_raw(cur) };
-            cur = node.next;
+            sweep.rest.set(node.next);
             node.next = core::ptr::null_mut();
-            if unsafe { (node.ready)(node.ptr) } {
-                node.epoch = now;
+            if ready {
+                // Restamp with a fresh epoch read taken *after* the gate
+                // opened. The sweeper holds no pin, so the global epoch can
+                // run ahead of the `global` snapshot while this loop runs: a
+                // reader pinned at epoch E may have captured the gated
+                // pointer just before the gate opened, and stamping with the
+                // stale snapshot (possibly ≤ E − 2) would free the node
+                // while that reader still dereferences it. The capture
+                // happened before the gate-opening store this probe
+                // observed, so the reader's pin precedes this read and the
+                // fresh stamp is ≥ E — the reader now blocks the advance to
+                // `stamp + GRACE` until it unpins.
+                node.epoch = self.domain.epoch();
                 self.limbo.push(node);
             } else {
                 self.pending.push(node);
@@ -335,29 +403,36 @@ impl<T> Registry<T> {
         // long-pinned reader from turning the writers' amortized sweeps
         // into quadratic work.
         if self.last_swept_epoch.load(Ordering::SeqCst) == global {
-            self.sweeping.store(false, Ordering::SeqCst);
-            return;
+            return; // `sweep` clears the flag
         }
 
-        let mut cur = self.limbo.take_all();
-        while !cur.is_null() {
-            let mut node = unsafe { Box::from_raw(cur) };
-            cur = node.next;
-            node.next = core::ptr::null_mut();
+        sweep.rest_is_limbo.set(true);
+        sweep.rest.set(self.limbo.take_all());
+        loop {
+            let cur = sweep.rest.get();
+            if cur.is_null() {
+                break;
+            }
             // The readiness re-check matters: a thread pinned since before
             // the retirement may have taken a new long-lived reference
             // (e.g. a `target` edge) while the node aged in limbo.
-            if node.epoch + GRACE_EPOCHS <= global && unsafe { (node.ready)(node.ptr) } {
+            let ready = unsafe { ((*cur).ready)((*cur).ptr) };
+            let mut node = unsafe { Box::from_raw(cur) };
+            sweep.rest.set(node.next);
+            node.next = core::ptr::null_mut();
+            if ready && node.epoch + GRACE_EPOCHS <= global {
+                // `global` is a snapshot from before the drains, so this
+                // comparison only under-approximates eligibility — safe.
                 unsafe { (node.free)(node.ptr, true) };
                 self.reclaimed.fetch_add(1, Ordering::Relaxed);
-            } else if unsafe { (node.ready)(node.ptr) } {
+            } else if ready {
                 self.limbo.push(node);
             } else {
                 self.pending.push(node);
             }
         }
         self.last_swept_epoch.store(global, Ordering::SeqCst);
-        self.sweeping.store(false, Ordering::SeqCst);
+        drop(sweep);
     }
 
     /// Runs enough quiescent sweeps to age out everything retired so far
@@ -502,6 +577,115 @@ mod tests {
         assert_eq!(reg.live(), 1, "gate closed: node must survive any sweep");
         open.store(true, Ordering::SeqCst);
         reg.flush();
+        assert_eq!(reg.live(), 0);
+    }
+
+    /// A gated node whose `ready_to_reclaim`, on its first open-gate call,
+    /// simulates the race from the restamp soundness argument: the global
+    /// epoch advances (other threads' amortized `try_advance`) and a reader
+    /// pins at the *new* epoch, having captured the gated pointer just
+    /// before the gate opened.
+    struct CapturingGate {
+        open: Arc<AtomicBool>,
+        domain: &'static Domain,
+        armed: core::cell::Cell<bool>,
+        reader: std::rc::Rc<std::cell::RefCell<Option<Guard<'static>>>>,
+    }
+    impl Reclaim for CapturingGate {
+        fn ready_to_reclaim(&self) -> bool {
+            if !self.open.load(Ordering::SeqCst) {
+                return false;
+            }
+            if self.armed.get() {
+                self.armed.set(false);
+                self.domain.try_advance();
+                self.domain.try_advance();
+                // The guard co-owns the participant slot, so it keeps the
+                // pin alive after the handle drops.
+                let h = self.domain.register();
+                *self.reader.borrow_mut() = Some(h.pin());
+            }
+            true
+        }
+    }
+
+    #[test]
+    fn restamp_after_gate_opens_uses_fresh_epoch() {
+        // Regression: the pending→limbo restamp must not reuse the epoch
+        // snapshot taken before the drain. The sweeper holds no pin, so the
+        // global epoch can run ahead mid-drain; a reader pinned at the new
+        // epoch that captured the gated pointer just before the gate opened
+        // would not block a stale stamp's grace period — use-after-free.
+        let domain = leaked_domain();
+        let handle = domain.register();
+        let reg: Registry<CapturingGate> = Registry::new_in(domain);
+        let open = Arc::new(AtomicBool::new(false));
+        let reader = std::rc::Rc::new(std::cell::RefCell::new(None));
+        let p = reg.alloc(CapturingGate {
+            open: Arc::clone(&open),
+            domain,
+            armed: core::cell::Cell::new(true),
+            reader: std::rc::Rc::clone(&reader),
+        });
+        let g = handle.pin();
+        unsafe { reg.retire(p, &g) }; // gate closed → parked in pending
+        drop(g);
+
+        open.store(true, Ordering::SeqCst);
+        reg.collect(); // drain runs the hook: epoch advances, reader pins
+        assert!(reader.borrow().is_some(), "hook must have pinned a reader");
+        reg.flush();
+        assert_eq!(
+            reg.live(),
+            1,
+            "a stale restamp frees the node under the reader's pin"
+        );
+        reader.borrow_mut().take(); // reader unpins
+        reg.flush();
+        assert_eq!(reg.live(), 0);
+    }
+
+    struct PanicOnce {
+        armed: Arc<AtomicBool>,
+    }
+    impl Reclaim for PanicOnce {
+        fn ready_to_reclaim(&self) -> bool {
+            if self.armed.swap(false, Ordering::SeqCst) {
+                panic!("reclaim hook panicked");
+            }
+            true
+        }
+    }
+
+    #[test]
+    fn panicking_hook_neither_wedges_nor_leaks_the_sweeper() {
+        // Regression: a panic in a user hook mid-sweep must clear `sweeping`
+        // and re-attach the unexamined chain remainder — not disable
+        // reclamation on the registry forever and leak the backlog.
+        let domain = leaked_domain();
+        let handle = domain.register();
+        let reg: Registry<PanicOnce> = Registry::new_in(domain);
+        let flags: Vec<Arc<AtomicBool>> =
+            (0..3).map(|_| Arc::new(AtomicBool::new(false))).collect();
+        let g = handle.pin();
+        for f in &flags {
+            let p = reg.alloc(PanicOnce {
+                armed: Arc::clone(f),
+            });
+            unsafe { reg.retire(p, &g) };
+        }
+        drop(g);
+        // Arm the middle of the (LIFO) limbo chain after the retire-time
+        // checks, so the sweep frees one node, panics on the second, and
+        // must hand the rest back.
+        flags[1].store(true, Ordering::SeqCst);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| reg.collect()));
+        assert!(result.is_err(), "the hook panic must propagate");
+        assert_eq!(reg.reclaimed(), 1, "nodes before the panic were freed");
+        // `sweeping` is clear and the chain is back: once the hook stops
+        // panicking, everything still ages out.
+        reg.flush();
+        assert_eq!(reg.reclaimed(), 3);
         assert_eq!(reg.live(), 0);
     }
 
