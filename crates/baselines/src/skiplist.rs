@@ -320,7 +320,12 @@ impl LockFreeSkipList {
 impl LockFreeSkipList {
     /// `(cumulative, live)` node allocation counts (E6 space accounting).
     pub fn node_counts(&self) -> (usize, usize) {
-        (self.nodes.allocated(), self.nodes.live())
+        (self.nodes.created(), self.nodes.live())
+    }
+
+    /// Full allocation statistics (fresh vs recycled vs resident).
+    pub fn alloc_stats(&self) -> lftrie_primitives::registry::AllocStats {
+        self.nodes.stats()
     }
 
     /// Runs quiescent reclamation sweeps on the node registry.
@@ -365,7 +370,7 @@ impl ConcurrentOrderedSet for LockFreeSkipList {
 impl core::fmt::Debug for LockFreeSkipList {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("LockFreeSkipList")
-            .field("allocated", &self.nodes.allocated())
+            .field("created", &self.nodes.created())
             .field("live", &self.nodes.live())
             .finish()
     }

@@ -1,0 +1,226 @@
+//! Allocation behaviour under sustained insert/delete churn: throughput of
+//! the hot update path next to the registry counters that prove the
+//! per-thread pools keep it off the allocator —
+//! `cargo bench -p lftrie-bench --bench alloc_churn`.
+//!
+//! Two claims are on display (ISSUE 4):
+//!
+//! * **Throughput** — `churn_warm/*` measures insert+delete pairs per
+//!   iteration after the pools are primed, for the lock-free trie, the
+//!   relaxed trie, and the two lock-free baselines sharing the registry
+//!   machinery.
+//! * **Zero fresh allocations** — after each warm benchmark the counter
+//!   report prints `fresh` (heap boxes), `recycled` (pool hits), and
+//!   `resident` (heap memory, pools included) for every registry the
+//!   structure owns. Warm `fresh` deltas should be zero; the asserted
+//!   version of that claim lives in `tests/alloc_plateau.rs`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lftrie_baselines::{HarrisListSet, LockFreeSkipList};
+use lftrie_core::{LockFreeBinaryTrie, RelaxedBinaryTrie};
+use lftrie_primitives::registry::AllocStats;
+
+const UNIVERSE: u64 = 1 << 10;
+/// Hot-set width: small enough for maximal per-key supersession churn.
+const SPAN: u64 = 64;
+const WARMUP_OPS: u64 = 20_000;
+
+fn churn(mut op: impl FnMut(u64, bool), n: u64, seed: u64) {
+    let mut state = seed | 1;
+    for _ in 0..n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        op((state >> 33) % SPAN, state.is_multiple_of(2));
+    }
+}
+
+fn report(structure: &str, registry: &str, warm: AllocStats, end: AllocStats) {
+    println!(
+        "    [{structure}/{registry}] fresh {} (+{} warm), recycled +{}, \
+         created +{}, resident {}",
+        end.fresh,
+        end.fresh - warm.fresh,
+        end.recycled - warm.recycled,
+        end.created - warm.created,
+        end.resident,
+    );
+}
+
+fn bench_trie_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn_warm");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    // Lock-free trie: update nodes + pred nodes + three cell registries.
+    let trie = LockFreeBinaryTrie::new(UNIVERSE);
+    churn(
+        |k, ins| {
+            if ins {
+                trie.insert(k);
+            } else {
+                trie.remove(k);
+            }
+        },
+        WARMUP_OPS,
+        7,
+    );
+    trie.collect_garbage();
+    let warm_nodes = trie.node_alloc_stats();
+    let warm_preds = trie.pred_alloc_stats();
+    let mut state = 1u64;
+    group.bench_function("lockfree-trie", |b| {
+        b.iter(|| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = (state >> 33) % SPAN;
+            trie.insert(k);
+            trie.remove(k);
+        })
+    });
+    report(
+        "lockfree-trie",
+        "update-nodes",
+        warm_nodes,
+        trie.node_alloc_stats(),
+    );
+    report(
+        "lockfree-trie",
+        "pred-nodes",
+        warm_preds,
+        trie.pred_alloc_stats(),
+    );
+
+    // Relaxed trie: update nodes only.
+    let relaxed = RelaxedBinaryTrie::new(UNIVERSE);
+    churn(
+        |k, ins| {
+            if ins {
+                relaxed.insert(k);
+            } else {
+                relaxed.remove(k);
+            }
+        },
+        WARMUP_OPS,
+        11,
+    );
+    relaxed.collect_garbage();
+    let warm = relaxed.node_alloc_stats();
+    let mut state = 3u64;
+    group.bench_function("relaxed-trie", |b| {
+        b.iter(|| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = (state >> 33) % SPAN;
+            relaxed.insert(k);
+            relaxed.remove(k);
+        })
+    });
+    report(
+        "relaxed-trie",
+        "update-nodes",
+        warm,
+        relaxed.node_alloc_stats(),
+    );
+
+    // Baselines through the same pooled registry.
+    let list = HarrisListSet::new();
+    churn(
+        |k, ins| {
+            if ins {
+                list.insert(k);
+            } else {
+                list.remove(k);
+            }
+        },
+        WARMUP_OPS,
+        13,
+    );
+    list.collect_garbage();
+    let warm = list.alloc_stats();
+    let mut state = 5u64;
+    group.bench_function("harris-list", |b| {
+        b.iter(|| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = (state >> 33) % SPAN;
+            list.insert(k);
+            list.remove(k);
+        })
+    });
+    report("harris-list", "nodes", warm, list.alloc_stats());
+
+    let skip = LockFreeSkipList::new();
+    churn(
+        |k, ins| {
+            if ins {
+                skip.insert(k);
+            } else {
+                skip.remove(k);
+            }
+        },
+        WARMUP_OPS,
+        17,
+    );
+    skip.collect_garbage();
+    let warm = skip.alloc_stats();
+    let mut state = 9u64;
+    group.bench_function("lockfree-skiplist", |b| {
+        b.iter(|| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = (state >> 33) % SPAN;
+            skip.insert(k);
+            skip.remove(k);
+        })
+    });
+    report("lockfree-skiplist", "towers", warm, skip.alloc_stats());
+
+    group.finish();
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    // The latency effect of the pools: identical churn on a cold structure
+    // (every node a fresh heap box) vs a warmed one (every node recycled).
+    let mut group = c.benchmark_group("trie_insert_delete");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400));
+
+    let cold = LockFreeBinaryTrie::new(UNIVERSE);
+    let mut state = 1u64;
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = (state >> 33) % UNIVERSE; // wide span: little reuse
+            cold.insert(k);
+            cold.remove(k);
+        })
+    });
+
+    let warm = LockFreeBinaryTrie::new(UNIVERSE);
+    churn(
+        |k, ins| {
+            if ins {
+                warm.insert(k);
+            } else {
+                warm.remove(k);
+            }
+        },
+        WARMUP_OPS,
+        23,
+    );
+    warm.collect_garbage();
+    let mut state = 1u64;
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = (state >> 33) % SPAN;
+            warm.insert(k);
+            warm.remove(k);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trie_churn, bench_cold_vs_warm);
+criterion_main!(benches);

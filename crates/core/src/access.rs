@@ -201,10 +201,19 @@ impl TrieCore {
         unsafe { self.nodes.dealloc(node) };
     }
 
-    /// Number of update nodes ever allocated (dummies included) — the E6
-    /// "GC model" space metric.
+    /// Number of update nodes ever created (dummies included) — the E6
+    /// "GC model" space metric. With allocation pooling this counts
+    /// *logical* allocations; most are served from recycled slots
+    /// (see [`TrieCore::node_alloc_stats`]).
     pub(crate) fn allocated_nodes(&self) -> usize {
-        self.nodes.allocated()
+        self.nodes.created()
+    }
+
+    /// Full allocation statistics of the update-node registry: fresh heap
+    /// boxes vs pool hits vs resident memory. The warm-churn plateau test
+    /// and the alloc-churn bench read these.
+    pub(crate) fn node_alloc_stats(&self) -> lftrie_primitives::registry::AllocStats {
+        self.nodes.stats()
     }
 
     /// Update nodes currently resident: `allocated − reclaimed`. The
@@ -284,6 +293,57 @@ mod tests {
             let node = unsafe { &*d };
             assert_eq!(node.key() as u64, layout.leftmost_key(t));
             assert_eq!(node.kind(), Kind::Del);
+        }
+    }
+
+    #[test]
+    fn recycled_update_nodes_are_restamped_with_fresh_seq() {
+        // The never-reused-id invariant of NotifyRecord must survive
+        // allocation pooling: a recycled UpdateNode slot aliases a dead
+        // node's *address*, so identity tests (paper lines 222/225/227/239)
+        // go through `seq` — which `alloc_node` must restamp on every
+        // (re)allocation, recycled or fresh.
+        let core = TrieCore::new(4);
+        let old = core.alloc_node(UpdateNode::new_ins(
+            2,
+            Status::Active,
+            core::ptr::null_mut(),
+            core.b(),
+        ));
+        let old_seq = unsafe { (*old).seq };
+        assert!(old_seq > 0);
+        unsafe { (*old).set_completed() }; // open the reclamation gate
+        {
+            let guard = lftrie_primitives::epoch::pin();
+            unsafe { core.retire_node(old, &guard) };
+        }
+        // Sweep until the slot comes back out of the pool (bounded retries:
+        // concurrently pinned tests in this process can delay aging).
+        let mut probes = Vec::new();
+        let mut reused = None;
+        for _ in 0..64 {
+            core.flush_reclamation();
+            let p = core.alloc_node(UpdateNode::new_ins(
+                2,
+                Status::Active,
+                core::ptr::null_mut(),
+                core.b(),
+            ));
+            if p == old {
+                reused = Some(p);
+                break;
+            }
+            probes.push(p);
+        }
+        let p = reused.expect("the retired node's slot should be recycled within a few sweeps");
+        let new_seq = unsafe { (*p).seq };
+        assert_ne!(new_seq, old_seq, "a recycled node must carry a fresh id");
+        assert!(new_seq > old_seq, "seq ids are monotone, never reused");
+        let stats = core.node_alloc_stats();
+        assert!(stats.recycled >= 1, "the reuse must come from the pool");
+        unsafe { core.dealloc_node(p) };
+        for q in probes {
+            unsafe { core.dealloc_node(q) };
         }
     }
 

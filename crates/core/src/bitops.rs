@@ -38,17 +38,17 @@ pub fn popcount(x: u64) -> u32 {
 /// offset at height `h` — a subtree of height `h` spans `low_mask(h) + 1`
 /// keys.
 ///
+/// Branchless (this sits inside `key_range` on every trie walk): the
+/// shift-then-subtract runs in `u128` so the `h = 64` edge needs no
+/// special case.
+///
 /// # Panics
 ///
 /// Panics if `h > 64`.
 #[inline]
 pub fn low_mask(h: u32) -> u64 {
     assert!(h <= 64, "mask width exceeds the word size");
-    if h == 64 {
-        u64::MAX
-    } else {
-        (1u64 << h) - 1
-    }
+    ((1u128 << h) - 1) as u64
 }
 
 /// Position of the least-significant set bit, or `None` for 0. For a node
@@ -89,6 +89,7 @@ pub fn branch_bit(x: u64, y: u64) -> Option<u32> {
 /// For an internal node the key comes from `t.dNodePtr` (a DEL node whose key
 /// lies in `U_t`); for a leaf it is the leaf's own key — the paper seeds leaf
 /// `dNodePtr`s with the key's dummy, which resolves identically.
+#[inline]
 pub(crate) fn interpreted_bit<A: LatestAccess>(core: &TrieCore, acc: &A, t: NodeIndex) -> bool {
     let layout = core.layout();
     let key = if layout.is_leaf(t) {
@@ -114,6 +115,7 @@ pub(crate) fn interpreted_bit<A: LatestAccess>(core: &TrieCore, acc: &A, t: Node
 
 /// One iteration of `InsertBinaryTrie`'s loop (lines 40–46) at node `t`.
 /// Returns `false` if the operation must return (line 44).
+#[inline]
 pub(crate) fn insert_binary_trie_step<A: LatestAccess>(
     core: &TrieCore,
     acc: &A,
@@ -173,6 +175,7 @@ pub(crate) enum DeleteStep {
 
 /// One iteration of `DeleteBinaryTrie`'s loop (lines 61–72), starting from
 /// child node `t` (never the root).
+#[inline]
 pub(crate) fn delete_binary_trie_step<A: LatestAccess>(
     core: &TrieCore,
     acc: &A,

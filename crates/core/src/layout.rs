@@ -129,10 +129,14 @@ impl Layout {
     }
 
     /// Depth (root = 0, leaves = `b`).
+    ///
+    /// Branchless: `height` (and through it `InterpretedBit`) calls this on
+    /// every level of every trie walk, so the index-0 check is a debug
+    /// assertion rather than an `Option` round-trip with a panic branch.
     #[inline]
     pub fn depth(&self, node: NodeIndex) -> u32 {
-        debug_assert!(node >= Self::ROOT);
-        crate::bitops::last_set(node).expect("node index 0 is not in the trie")
+        debug_assert!(node >= Self::ROOT, "node index 0 is not in the trie");
+        63 - node.leading_zeros()
     }
 
     /// Height (`b − depth`; leaves = 0, root = `b`), the quantity stored in
@@ -160,6 +164,7 @@ impl Layout {
     }
 
     /// Iterates the path from `start` (inclusive) up to the root (inclusive).
+    #[inline]
     pub fn path_to_root(&self, start: NodeIndex) -> PathToRoot {
         PathToRoot { cur: Some(start) }
     }
@@ -174,6 +179,7 @@ pub struct PathToRoot {
 impl Iterator for PathToRoot {
     type Item = NodeIndex;
 
+    #[inline]
     fn next(&mut self) -> Option<NodeIndex> {
         let cur = self.cur?;
         self.cur = if cur == Layout::ROOT {

@@ -366,6 +366,12 @@ impl RelaxedBinaryTrie {
         self.core.live_nodes()
     }
 
+    /// Allocation statistics of the update-node registry (fresh heap boxes
+    /// vs recycled pool hits vs resident memory).
+    pub fn node_alloc_stats(&self) -> lftrie_primitives::registry::AllocStats {
+        self.core.node_alloc_stats()
+    }
+
     /// Runs quiescent reclamation sweeps on the node registry.
     pub fn collect_garbage(&self) {
         self.core.flush_reclamation();

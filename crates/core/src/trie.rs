@@ -24,7 +24,7 @@ use core::sync::atomic::{AtomicU64, Ordering};
 use lftrie_lists::announce::AnnounceList;
 use lftrie_lists::pall::PallList;
 use lftrie_primitives::epoch::{self, Guard};
-use lftrie_primitives::registry::Registry;
+use lftrie_primitives::registry::{AllocStats, Registry};
 use lftrie_primitives::{Key, NEG_INF, NO_PRED, POS_INF};
 
 use crate::access::{LatestAccess, TrieCore};
@@ -909,7 +909,31 @@ impl LockFreeBinaryTrie {
 
     /// Predecessor-node accounting: `(cumulative, live)`.
     pub fn pred_node_counts(&self) -> (usize, usize) {
-        (self.preds.allocated(), self.preds.live())
+        (self.preds.created(), self.preds.live())
+    }
+
+    /// Allocation statistics of the update-node registry: fresh heap boxes
+    /// vs recycled pool hits vs resident memory. Under warm steady-state
+    /// churn `fresh` plateaus — every update node is served from a pool —
+    /// which `tests/memory_bound.rs` asserts and `benches/alloc_churn.rs`
+    /// reports.
+    pub fn node_alloc_stats(&self) -> AllocStats {
+        self.core.node_alloc_stats()
+    }
+
+    /// Allocation statistics of the predecessor-node registry.
+    pub fn pred_alloc_stats(&self) -> AllocStats {
+        self.preds.stats()
+    }
+
+    /// Allocation statistics of the three auxiliary-list cell registries:
+    /// `(U-ALL, RU-ALL, P-ALL)`.
+    pub fn cell_alloc_stats(&self) -> (AllocStats, AllocStats, AllocStats) {
+        (
+            self.uall.cell_stats(),
+            self.ruall.cell_stats(),
+            self.pall.cell_stats(),
+        )
     }
 
     /// Runs quiescent reclamation sweeps on every registry this trie owns

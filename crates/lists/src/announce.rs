@@ -376,7 +376,13 @@ impl<P> AnnounceList<P> {
 
     /// `(cumulative, live)` cell allocation counts (space accounting).
     pub fn cell_counts(&self) -> (usize, usize) {
-        (self.cells.allocated(), self.cells.live())
+        (self.cells.created(), self.cells.live())
+    }
+
+    /// Full allocation statistics of the cell registry (fresh vs recycled
+    /// vs resident — the alloc-churn bench reads these).
+    pub fn cell_stats(&self) -> lftrie_primitives::registry::AllocStats {
+        self.cells.stats()
     }
 }
 

@@ -12,13 +12,17 @@
 //! the stack frees its chain when it drops. Its lifetime is that of the
 //! owning predecessor node, which *is* epoch-reclaimed by the trie — so a
 //! notify list's memory is bounded by its predecessor operation's lifetime
-//! instead of the structure's.
+//! instead of the structure's. Nodes are plain boxes rather than registry
+//! allocations: a registry (with its per-thread recycling pools) is
+//! per-structure machinery, and a push stack is born and dies with a single
+//! predecessor operation — threading one through every notify list would
+//! cost a pool claim per operation for a list that is usually empty.
 
 use core::fmt;
 use core::marker::PhantomData;
 use core::sync::atomic::{AtomicPtr, Ordering};
 
-use lftrie_primitives::registry::Registry;
+use crossbeam::utils::CachePadded;
 use lftrie_primitives::steps;
 
 struct Node<T> {
@@ -39,12 +43,16 @@ struct Node<T> {
 /// assert_eq!(stack.iter().copied().collect::<Vec<_>>(), vec![1]);
 /// ```
 pub struct PushStack<T> {
-    head: AtomicPtr<Node<T>>,
-    nodes: Registry<Node<T>>,
+    /// Padded: the head is the only contended word of the stack, and a
+    /// predecessor node packs it right next to its other announcement
+    /// fields.
+    head: CachePadded<AtomicPtr<Node<T>>>,
 }
 
-// Safety: nodes are owned by the registry; values are only shared by
-// reference after publication.
+// Safety: nodes are heap boxes owned exclusively by the stack — published
+// ones are reachable only through `head` and freed solely by `Drop` (which
+// takes `&mut self`), unpublished ones die on their creating thread — and
+// values are only shared by reference after the publishing CAS.
 unsafe impl<T: Send> Send for PushStack<T> {}
 unsafe impl<T: Send + Sync> Sync for PushStack<T> {}
 
@@ -66,8 +74,7 @@ impl<T> PushStack<T> {
     /// Creates an empty stack.
     pub fn new() -> Self {
         Self {
-            head: AtomicPtr::new(core::ptr::null_mut()),
-            nodes: Registry::new(),
+            head: CachePadded::new(AtomicPtr::new(core::ptr::null_mut())),
         }
     }
 
@@ -78,15 +85,17 @@ impl<T> PushStack<T> {
     /// (paper lines 157–161). Returns `false` — without linking the value —
     /// as soon as `guard` returns `false`.
     pub fn push_with(&self, value: T, mut guard: impl FnMut() -> bool) -> bool {
-        let node = self.nodes.alloc(Node {
+        let node = Box::into_raw(Box::new(Node {
             value,
             next: core::ptr::null_mut(),
-        });
+        }));
         loop {
             steps::on_read();
             let head = self.head.load(Ordering::SeqCst); // L158
             unsafe { (*node).next = head }; // L159
             if !guard() {
+                // Never published: the node (and its value) die here.
+                drop(unsafe { Box::from_raw(node) });
                 return false; // L160
             }
             steps::on_cas();
@@ -134,9 +143,8 @@ impl<T> Drop for PushStack<T> {
         // during the stack's life, so every allocation is reachable here.
         let mut cur = *self.head.get_mut();
         while !cur.is_null() {
-            let next = unsafe { (*cur).next };
-            unsafe { self.nodes.dealloc(cur) };
-            cur = next;
+            let node = unsafe { Box::from_raw(cur) };
+            cur = node.next;
         }
     }
 }

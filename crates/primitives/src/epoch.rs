@@ -61,6 +61,8 @@
 use core::marker::PhantomData;
 use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 
+use crossbeam::utils::CachePadded;
+
 /// How often (in pins per participant) the pin fast path tries to advance
 /// the global epoch.
 const PINS_PER_ADVANCE: u64 = 32;
@@ -69,8 +71,12 @@ const PINS_PER_ADVANCE: u64 = 32;
 /// count is bounded by the peak number of concurrent threads), and recycled
 /// through the `in_use` flag when a thread exits.
 pub struct Participant {
-    /// `(epoch << 1) | pinned`.
-    state: AtomicU64,
+    /// `(epoch << 1) | pinned`. Cache-padded: every pin writes this word
+    /// and every `try_advance` reads all of them, so two participants'
+    /// announcements sharing a line would false-share the hottest store in
+    /// the system (the padding also line-aligns the whole slot, keeping the
+    /// owner-local `nest`/`pins` fields off other slots' lines).
+    state: CachePadded<AtomicU64>,
     /// Re-entrant pin depth; written only by the owning thread.
     nest: AtomicU64,
     /// Pins performed by this participant (drives amortized advancing).
@@ -88,7 +94,7 @@ pub struct Participant {
 impl Participant {
     const fn new() -> Self {
         Self {
-            state: AtomicU64::new(0),
+            state: CachePadded::new(AtomicU64::new(0)),
             nest: AtomicU64::new(0),
             pins: AtomicU64::new(0),
             in_use: AtomicBool::new(true),
@@ -113,7 +119,11 @@ impl Participant {
 /// [`pin`]; tests construct private domains (leaking them for `'static`
 /// lifetime) to drive pin/advance schedules deterministically.
 pub struct Domain {
-    epoch: AtomicU64,
+    /// The global epoch, padded onto its own cache line: every pin
+    /// validates against it and every advance CASes it, so it must not
+    /// share a line with the participant-list head (mutated on
+    /// registration) or whatever the domain is embedded next to.
+    epoch: CachePadded<AtomicU64>,
     participants: AtomicPtr<Participant>,
 }
 
@@ -121,7 +131,7 @@ impl Domain {
     /// Creates an empty domain. `const` so it can back a `static`.
     pub const fn new() -> Self {
         Self {
-            epoch: AtomicU64::new(0),
+            epoch: CachePadded::new(AtomicU64::new(0)),
             participants: AtomicPtr::new(core::ptr::null_mut()),
         }
     }

@@ -15,7 +15,9 @@
 //!   the paper's model assumes.
 //! * [`registry`] — the epoch-aware allocation registry through which every
 //!   node is allocated, retired, and accounted (bounded garbage under
-//!   churn; see DESIGN.md D4 and the module docs).
+//!   churn; see DESIGN.md D4 and the module docs). Per-thread node pools
+//!   recycle reclaimed nodes, so warm steady-state churn allocates
+//!   nothing.
 //! * [`swcursor`] — the single-writer published cursor substituting for the
 //!   atomic-copy primitive (DESIGN.md D3).
 //! * [`steps`] — optional step-count instrumentation used to reproduce the

@@ -1,40 +1,82 @@
-//! Epoch-aware allocation registry with bounded-garbage reclamation.
+//! Epoch-aware allocation registry with bounded-garbage reclamation and
+//! per-thread node pools.
 //!
 //! The paper's model assumes garbage collection: update nodes stay reachable
 //! from long-lived shared fields (`t.dNodePtr` can reference an old DEL node
 //! indefinitely; an INS node's `target` keeps a DEL node readable long after
 //! the `Delete` completes). The original reproduction therefore deferred
 //! *every* free to structure drop — sound, but resident memory grew with the
-//! total number of updates ever performed.
+//! total number of updates ever performed. PR 3 replaced that arena with
+//! epoch-based reclamation; this revision removes the *allocator* from the
+//! steady-state churn path entirely:
 //!
-//! This module replaces that arena with a [`Registry`] handle over
-//! [epoch-based reclamation](crate::epoch):
+//! * Every node is heap-allocated **once**, with an intrusive pool header
+//!   (chain link + epoch stamp) in front of the value. [`Registry::retire`]
+//!   therefore allocates nothing: it threads the node onto the calling
+//!   thread's *retire bag* through the embedded link.
+//! * Each `(thread, registry)` pair owns a **local pool** — a retire bag
+//!   plus a free list of recycled nodes. [`Registry::alloc`] pops the free
+//!   list (refilling from a shared stock in batches) before it ever touches
+//!   the heap, so warm steady-state churn performs **zero** heap
+//!   allocations per operation. `benches/alloc_churn.rs` and
+//!   `tests/memory_bound.rs` assert exactly this via the
+//!   [`Registry::allocated`] (fresh heap boxes) vs [`Registry::recycled`]
+//!   (pool hits) counters.
+//! * Retire bags flush to the shared limbo in batches — on overflow
+//!   ([`BAG_CAP`]) and at the start of every sweep — so the shared Treiber
+//!   stacks are touched once per batch instead of once per retire. Pools
+//!   released by exited threads are *stolen* by later sweeps, so their
+//!   garbage keeps aging without them.
+//! * Reclamation itself is unchanged from PR 3: a node is freed (now:
+//!   recycled) only after three global-epoch advances past its stamp (see
+//!   [`crate::epoch`]) and once its type's [`Reclaim::ready_to_reclaim`]
+//!   gate opens, with [`Reclaim::on_reclaim`] running right before the
+//!   value is dropped.
 //!
-//! * [`Registry::alloc`] boxes a node and counts it (the cumulative count is
-//!   still exactly "what a garbage collector would have been handed" — the
-//!   E6 metric).
-//! * [`Registry::retire`] hands a node back once it is unlinked from shared
-//!   memory. The node is stamped with the current epoch and freed only after
-//!   three global-epoch advances (see the grace-period discussion in
-//!   [`crate::epoch`]), so every thread pinned at retirement has unpinned
-//!   first.
-//! * Types whose nodes can outlive their unlink through *long-lived shared
-//!   fields* implement [`Reclaim`]: [`Reclaim::ready_to_reclaim`] keeps a
-//!   retired node parked in a pending set while such references remain (the
-//!   trie counts `dNodePtr` installs and `target` edges), and
-//!   [`Reclaim::on_reclaim`] runs right before the free to release
-//!   references the node itself holds.
-//! * [`Registry::dealloc`] frees a node immediately — for never-published
-//!   nodes and for the owning structure's `Drop`, which enumerates its
-//!   still-linked nodes (the registry no longer tracks them individually).
+//! # Bag flushing and the grace-period stamp
+//!
+//! Bags extend the restamp-soundness argument from the PR 3 review fix.
+//! A node can sit in a bag for many epochs while its gate is closed (a DEL
+//! parked in a `dNodePtr` slot); when the gate finally opens, a reader
+//! pinned at the *current* epoch may have captured the pointer just before
+//! the gate-opening store. Stamping the limbo entry with the (ancient)
+//! retire-time epoch would let its grace period elapse under that reader's
+//! pin. The flush therefore stamps with a **fresh epoch read taken after
+//! the readiness probe**: the capture happened before the gate-opening
+//! store the probe observed, so the reader's pin precedes the read, the
+//! stamp is at least the reader's pin epoch, and the reader blocks the
+//! advance to `stamp + GRACE` until it unpins.
+//! `bag_flush_stamps_after_gate_probe` is the regression test.
+//!
+//! # Counters
+//!
+//! All counters are statistics (Relaxed orderings; nothing synchronizes
+//! through them):
+//!
+//! * [`Registry::allocated`] — fresh heap allocations. Plateaus once churn
+//!   is warm: the whole point of the pools.
+//! * [`Registry::recycled`] — allocations served from a free list.
+//! * [`Registry::created`] — `allocated + recycled`: the cumulative node
+//!   series a garbage collector would have been handed (the E6 metric,
+//!   previously reported by `allocated`).
+//! * [`Registry::reclaimed`] — values destroyed (reclaimed, deallocated, or
+//!   teardown-freed). `live = created − reclaimed` is the value-resident
+//!   count the memory-bound suite asserts on.
+//! * [`Registry::resident`] — heap-resident node memory, *pools included*
+//!   (`allocated − freed-to-heap`); bounded by `live` plus the pool caps.
 //!
 //! Under steady-state churn the unreclaimed node count is
-//! `O(threads² + deferred references + live set)`, independent of the total
-//! number of updates — `tests/memory_bound.rs` asserts exactly this.
+//! `O(threads² + deferred references + live set + pool caps)`, independent
+//! of the total number of updates — `tests/memory_bound.rs` asserts
+//! exactly this.
 
-use core::cell::Cell;
+use core::cell::{Cell, RefCell};
 use core::marker::PhantomData;
+use core::mem::{offset_of, ManuallyDrop};
 use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::collections::HashMap;
+
+use crossbeam::utils::CachePadded;
 
 use crate::epoch::{Domain, Guard};
 
@@ -42,8 +84,19 @@ use crate::epoch::{Domain, Guard};
 /// [`crate::epoch`] for why this is 3 and not the textbook 2.
 const GRACE_EPOCHS: u64 = 3;
 
-/// Retires per registry between amortized garbage sweeps.
-const RETIRES_PER_SWEEP: usize = 32;
+/// Retires a thread buffers in its local bag before flushing them to the
+/// shared limbo (and sweeping). Doubles as the amortized sweep cadence the
+/// old `RETIRES_PER_SWEEP` provided.
+const BAG_CAP: usize = 32;
+
+/// Recycled nodes a thread parks on its local free list; overflow goes to
+/// the shared stock.
+const LOCAL_FREE_CAP: usize = 64;
+
+/// Approximate cap on the shared recycle stock; beyond it, aged-out nodes
+/// go back to the heap so a one-off burst cannot pin its high-water mark in
+/// the pools forever.
+const SHARED_FREE_CAP: usize = 1024;
 
 /// Reclamation protocol for nodes retired through a [`Registry`].
 ///
@@ -70,85 +123,241 @@ pub trait Reclaim {
     fn on_reclaim(&self) {}
 }
 
-/// One parked piece of garbage (type-erased).
-struct GarbageNode {
-    ptr: *mut u8,
-    /// Epoch at (re-)stamping time; freed once `global ≥ epoch + GRACE`.
-    epoch: u64,
-    ready: unsafe fn(*const u8) -> bool,
-    /// `free(ptr, run_hook)`; `run_hook = false` on bulk teardown.
-    free: unsafe fn(*mut u8, bool),
-    next: *mut GarbageNode,
+/// Allocation statistics snapshot of one [`Registry`] (see
+/// [`Registry::stats`]). All fields are Relaxed-loaded counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Fresh heap allocations (plateaus once churn is warm).
+    pub fresh: usize,
+    /// Allocations served from a recycle pool.
+    pub recycled: usize,
+    /// Cumulative logical allocations: `fresh + recycled` (the E6 series).
+    pub created: usize,
+    /// Values destroyed so far (reclaimed, deallocated, teardown-freed).
+    pub reclaimed: usize,
+    /// Value-resident nodes: `created − reclaimed`.
+    pub live: usize,
+    /// Heap-resident nodes, pooled free nodes included: `fresh − freed`.
+    pub resident: usize,
 }
 
-unsafe fn ready_impl<T: Reclaim>(ptr: *const u8) -> bool {
-    unsafe { (*(ptr as *const T)).ready_to_reclaim() }
+/// One pooled allocation: the intrusive garbage/free-list header followed by
+/// the payload. `repr(C)` so the payload pointer handed to callers converts
+/// back to the node with a constant offset.
+#[repr(C)]
+struct PoolNode<T> {
+    /// Chain link threading the node through whichever container owns it
+    /// exclusively right now: a local free list or retire bag (owner
+    /// thread), a shared stack segment (the pushing thread until the CAS
+    /// lands, then the draining sweeper).
+    next: Cell<*mut PoolNode<T>>,
+    /// Grace-period stamp; freed once `global ≥ epoch + GRACE`. Written at
+    /// retire (fallback path) and re-written at every bag flush and
+    /// pending→limbo transfer (see the module docs).
+    epoch: Cell<u64>,
+    /// The payload. Dropped exactly once on the reclaim/dealloc/teardown
+    /// paths; the emptied slot is then recycled or returned to the heap.
+    value: ManuallyDrop<T>,
 }
 
-unsafe fn free_impl<T: Reclaim>(ptr: *mut u8, run_hook: bool) {
-    let ptr = ptr as *mut T;
-    if run_hook {
-        unsafe { (*ptr).on_reclaim() };
+impl<T> PoolNode<T> {
+    fn new_boxed(value: T) -> *mut PoolNode<T> {
+        Box::into_raw(Box::new(PoolNode {
+            next: Cell::new(core::ptr::null_mut()),
+            epoch: Cell::new(0),
+            value: ManuallyDrop::new(value),
+        }))
     }
-    drop(unsafe { Box::from_raw(ptr) });
+
+    /// The payload pointer handed to registry callers.
+    #[inline]
+    fn value_ptr(node: *mut PoolNode<T>) -> *mut T {
+        unsafe { &raw mut (*node).value }.cast()
+    }
+
+    /// Recovers the node from a payload pointer returned by
+    /// [`PoolNode::value_ptr`].
+    #[inline]
+    fn from_value(ptr: *mut T) -> *mut PoolNode<T> {
+        unsafe { ptr.cast::<u8>().sub(offset_of!(PoolNode<T>, value)).cast() }
+    }
 }
 
-/// A Treiber stack of garbage nodes: lock-free push, single-consumer drain.
-struct GarbageStack {
-    head: AtomicPtr<GarbageNode>,
+/// A Treiber stack of pool nodes: lock-free push, single-consumer drain.
+/// The head is cache-padded: limbo, pending, and free-stock heads would
+/// otherwise share lines with each other and the counters.
+struct GarbageStack<T> {
+    head: CachePadded<AtomicPtr<PoolNode<T>>>,
 }
 
-impl GarbageStack {
+impl<T> GarbageStack<T> {
     const fn new() -> Self {
         Self {
-            head: AtomicPtr::new(core::ptr::null_mut()),
+            head: CachePadded::new(AtomicPtr::new(core::ptr::null_mut())),
         }
     }
 
-    fn push(&self, node: Box<GarbageNode>) {
-        let node = Box::into_raw(node);
-        unsafe { (*node).next = core::ptr::null_mut() };
-        self.push_chain(node);
+    fn push(&self, node: *mut PoolNode<T>) {
+        self.push_span(node, node);
     }
 
-    /// Detaches the whole chain (callers iterate it exclusively).
-    fn take_all(&self) -> *mut GarbageNode {
-        self.head.swap(core::ptr::null_mut(), Ordering::SeqCst)
-    }
-
-    /// Re-attaches a detached chain (nodes still linked through `next`).
-    fn push_chain(&self, chain: *mut GarbageNode) {
-        if chain.is_null() {
-            return;
-        }
-        let mut tail = chain;
-        while !unsafe { (*tail).next }.is_null() {
-            tail = unsafe { (*tail).next };
-        }
+    /// Pushes a pre-linked chain whose first and last nodes are known —
+    /// O(1), the batch operation bag flushes rely on.
+    fn push_span(&self, first: *mut PoolNode<T>, last: *mut PoolNode<T>) {
+        debug_assert!(!first.is_null() && !last.is_null());
         loop {
             let head = self.head.load(Ordering::SeqCst);
-            unsafe { (*tail).next = head };
+            unsafe { (*last).next.set(head) };
             if self
                 .head
-                .compare_exchange(head, chain, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(head, first, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
                 return;
             }
         }
     }
+
+    /// Re-attaches a detached chain of unknown length (sweep-guard
+    /// remainder), walking to its tail first.
+    fn push_chain(&self, chain: *mut PoolNode<T>) {
+        if chain.is_null() {
+            return;
+        }
+        let mut tail = chain;
+        while !unsafe { (*tail).next.get() }.is_null() {
+            tail = unsafe { (*tail).next.get() };
+        }
+        self.push_span(chain, tail);
+    }
+
+    /// Detaches the whole chain (callers iterate it exclusively).
+    fn take_all(&self) -> *mut PoolNode<T> {
+        self.head.swap(core::ptr::null_mut(), Ordering::SeqCst)
+    }
 }
 
-/// Scope guard for [`Registry::collect`]: clears the `sweeping` flag and
-/// re-attaches the not-yet-examined remainder of a detached garbage chain on
-/// every exit path. Sweeps run user code ([`Reclaim`] hooks, node `Drop`s);
-/// without this guard a single panic in one of them would leave `sweeping`
-/// stuck `true` — silently disabling reclamation on the registry forever —
-/// and leak the rest of the detached chain.
+/// One `(thread, registry)` pool: a free list of recycled nodes plus a
+/// retire bag, both owner-exclusive intrusive chains. Cache-padded so two
+/// threads' pools never share a line.
+///
+/// Ownership protocol: `claimed` grants exclusive access to the `Cell`
+/// fields — held by the using thread for its lifetime, taken transiently by
+/// a sweeping thread to *steal* the chains of a released pool, and ignored
+/// by `Registry::drop`, whose `&mut self` exclusivity already guarantees no
+/// owner is mid-operation. The allocation itself is freed by whoever drops
+/// the last of two references (the registry's, released in `Drop`, and the
+/// claiming thread's, released when the thread's pool cache drops); by
+/// then the registry has emptied both chains.
+struct LocalPool<T> {
+    /// Exclusive ownership of the `Cell` fields (see above).
+    claimed: AtomicBool,
+    /// References keeping the allocation alive: the registry plus the
+    /// claiming thread. The last one out frees the (already emptied) pool.
+    refs: AtomicUsize,
+    /// Set by `Registry::drop`; tells thread caches the entry is prunable
+    /// and that chains are no longer theirs to inherit.
+    registry_dead: AtomicBool,
+    /// Recycled nodes ready for reuse (values already dropped).
+    free: Cell<*mut PoolNode<T>>,
+    free_len: Cell<usize>,
+    /// Retired nodes awaiting a batch flush (values alive; FIFO so flush
+    /// probes oldest-first).
+    bag_head: Cell<*mut PoolNode<T>>,
+    bag_tail: Cell<*mut PoolNode<T>>,
+    bag_len: Cell<usize>,
+    /// Next pool in the registry's list (written once at publication).
+    next: AtomicPtr<CachePadded<LocalPool<T>>>,
+}
+
+impl<T> LocalPool<T> {
+    fn new_claimed() -> Self {
+        Self {
+            claimed: AtomicBool::new(true),
+            refs: AtomicUsize::new(2), // the registry + the claiming thread
+            registry_dead: AtomicBool::new(false),
+            free: Cell::new(core::ptr::null_mut()),
+            free_len: Cell::new(0),
+            bag_head: Cell::new(core::ptr::null_mut()),
+            bag_tail: Cell::new(core::ptr::null_mut()),
+            bag_len: Cell::new(0),
+            next: AtomicPtr::new(core::ptr::null_mut()),
+        }
+    }
+}
+
+/// Drops one reference on a pool; the last owner frees the allocation.
+/// Chains are empty by then: the registry emptied them in `Drop` (it is
+/// necessarily dead when the thread-side reference is the last one, and
+/// the registry's own release happens in `Drop` after emptying).
+unsafe fn unref_pool<T>(pool: *mut CachePadded<LocalPool<T>>) {
+    if unsafe { (&*pool).refs.fetch_sub(1, Ordering::SeqCst) } == 1 {
+        debug_assert!(unsafe { (&*pool).free.get().is_null() });
+        debug_assert!(unsafe { (&*pool).bag_head.get().is_null() });
+        drop(unsafe { Box::from_raw(pool) });
+    }
+}
+
+/// Thread-exit release of a cached pool: give up `Cell` ownership so a
+/// later sweep can steal the chains (or a new thread can inherit them),
+/// then drop the thread's reference. Never touches the registry — it may
+/// already be gone.
+unsafe fn release_pool<T>(pool: *mut ()) {
+    let pool = pool.cast::<CachePadded<LocalPool<T>>>();
+    unsafe { (&*pool).claimed.store(false, Ordering::SeqCst) };
+    unsafe { unref_pool(pool) };
+}
+
+unsafe fn pool_is_dead<T>(pool: *mut ()) -> bool {
+    unsafe {
+        (&*pool.cast::<CachePadded<LocalPool<T>>>())
+            .registry_dead
+            .load(Ordering::SeqCst)
+    }
+}
+
+/// One thread's cached pool claim (type-erased; `release`/`dead` are the
+/// monomorphized accessors).
+struct CacheEntry {
+    pool: *mut (),
+    release: unsafe fn(*mut ()),
+    dead: unsafe fn(*mut ()) -> bool,
+}
+
+/// Per-thread map from registry id to claimed pool. Registry ids are never
+/// reused, so a stale entry can never be looked up by a new registry; dead
+/// entries are pruned on the next cache miss and at thread exit.
+struct PoolCache {
+    entries: HashMap<u64, CacheEntry>,
+}
+
+impl Drop for PoolCache {
+    fn drop(&mut self) {
+        for (_, e) in self.entries.drain() {
+            unsafe { (e.release)(e.pool) };
+        }
+    }
+}
+
+thread_local! {
+    static POOLS: RefCell<PoolCache> = RefCell::new(PoolCache {
+        entries: HashMap::new(),
+    });
+}
+
+/// Source of never-reused registry ids (the thread-cache keys).
+static REGISTRY_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Scope guard for [`Registry::collect`] drains: clears the `sweeping` flag
+/// and re-attaches the not-yet-examined remainder of a detached garbage
+/// chain on every exit path. Sweeps run user code ([`Reclaim`] hooks, node
+/// `Drop`s); without this guard a single panic in one of them would leave
+/// `sweeping` stuck `true` — silently disabling reclamation on the registry
+/// forever — and leak the rest of the detached chain.
 struct SweepGuard<'a, T> {
     reg: &'a Registry<T>,
     /// Detached chain not yet examined by the current drain loop.
-    rest: Cell<*mut GarbageNode>,
+    rest: Cell<*mut PoolNode<T>>,
     /// Which stack `rest` was detached from (and is re-attached to).
     rest_is_limbo: Cell<bool>,
 }
@@ -166,6 +375,40 @@ impl<T> Drop for SweepGuard<'_, T> {
         }
         self.reg.sweeping.store(false, Ordering::SeqCst);
     }
+}
+
+/// Scope guard for bag flushes: the readiness probes are user code, so a
+/// panic mid-flush must not leak the unexamined remainder or the
+/// partially-built batches. Everything lands in `pending` on unwind — the
+/// always-safe destination, since pending→limbo transfers restamp.
+struct FlushGuard<'a, T> {
+    reg: &'a Registry<T>,
+    rest: Cell<*mut PoolNode<T>>,
+    ready: Cell<*mut PoolNode<T>>,
+    deferred: Cell<*mut PoolNode<T>>,
+}
+
+impl<T> Drop for FlushGuard<'_, T> {
+    fn drop(&mut self) {
+        for cell in [&self.rest, &self.ready, &self.deferred] {
+            self.reg
+                .pending
+                .push_chain(cell.replace(core::ptr::null_mut()));
+        }
+    }
+}
+
+/// Statistics counters, grouped on one padded line away from the stack
+/// heads. Relaxed throughout — nothing synchronizes through them.
+struct Counters {
+    /// Fresh heap allocations.
+    fresh: AtomicUsize,
+    /// Allocations served from a free list.
+    recycled: AtomicUsize,
+    /// Values destroyed (reclaimed, deallocated, teardown-freed).
+    reclaimed: AtomicUsize,
+    /// Nodes returned to the heap.
+    freed: AtomicUsize,
 }
 
 /// Epoch-aware allocation handle: every node of a lock-free structure is
@@ -191,18 +434,33 @@ impl<T> Drop for SweepGuard<'_, T> {
 ///
 /// reg.flush(); // a few quiescent sweeps age the garbage out
 /// assert_eq!(reg.live(), 0);
-/// assert_eq!(reg.allocated(), 1); // cumulative count is unchanged
+/// assert_eq!(reg.allocated(), 1); // one heap allocation was ever made
+///
+/// // A warm registry recycles instead of allocating:
+/// let q = reg.alloc(Cell(8));
+/// assert_eq!(reg.allocated(), 1, "served from the pool");
+/// assert_eq!(reg.recycled(), 1);
+/// assert_eq!(reg.created(), 2); // the cumulative (E6) series still grows
+/// unsafe { reg.dealloc(q) };
 /// ```
 pub struct Registry<T> {
     domain: &'static Domain,
-    /// Cumulative allocations (the GC-model E6 metric).
-    allocated: AtomicUsize,
-    /// Nodes freed so far (reclaimed, deallocated, or teardown-freed).
-    reclaimed: AtomicUsize,
+    /// Never-reused id keying the per-thread pool caches.
+    id: u64,
+    counters: CachePadded<Counters>,
     /// Epoch-stamped garbage awaiting its grace period.
-    limbo: GarbageStack,
+    limbo: GarbageStack<T>,
     /// Retired garbage whose `ready_to_reclaim` gate was still closed.
-    pending: GarbageStack,
+    pending: GarbageStack<T>,
+    /// Shared stock of recycled nodes (values dropped), refilled by sweeps
+    /// and drained in batches into local free lists.
+    free: GarbageStack<T>,
+    /// Approximate size of `free` (enforces [`SHARED_FREE_CAP`]).
+    free_len: AtomicUsize,
+    /// All pools ever created for this registry (claimed or released).
+    pools: AtomicPtr<CachePadded<LocalPool<T>>>,
+    /// Fallback-path retires since the last sweep (the pooled path sweeps
+    /// on every bag flush instead).
     retired_since_sweep: AtomicUsize,
     sweeping: AtomicBool,
     /// Epoch observed at the end of the last full sweep (`u64::MAX` before
@@ -214,7 +472,9 @@ pub struct Registry<T> {
 }
 
 // Safety: the registry owns heap allocations of T and only ever hands out
-// raw pointers; garbage chains are plain owned memory.
+// raw pointers; garbage chains and pools are plain owned memory whose
+// `Cell` fields are guarded by the `claimed`/`sweeping` exclusivity
+// protocol described on `LocalPool`.
 unsafe impl<T: Send> Send for Registry<T> {}
 unsafe impl<T: Send + Sync> Sync for Registry<T> {}
 
@@ -229,10 +489,18 @@ impl<T> Registry<T> {
     pub fn new_in(domain: &'static Domain) -> Self {
         Self {
             domain,
-            allocated: AtomicUsize::new(0),
-            reclaimed: AtomicUsize::new(0),
+            id: REGISTRY_IDS.fetch_add(1, Ordering::Relaxed),
+            counters: CachePadded::new(Counters {
+                fresh: AtomicUsize::new(0),
+                recycled: AtomicUsize::new(0),
+                reclaimed: AtomicUsize::new(0),
+                freed: AtomicUsize::new(0),
+            }),
             limbo: GarbageStack::new(),
             pending: GarbageStack::new(),
+            free: GarbageStack::new(),
+            free_len: AtomicUsize::new(0),
+            pools: AtomicPtr::new(core::ptr::null_mut()),
             retired_since_sweep: AtomicUsize::new(0),
             sweeping: AtomicBool::new(false),
             last_swept_epoch: AtomicU64::new(u64::MAX),
@@ -240,45 +508,190 @@ impl<T> Registry<T> {
         }
     }
 
-    /// Heap-allocates `value`. The pointer is valid (and its referent
-    /// immovable) until the node is retired and reclaimed, deallocated, or
-    /// the owning structure tears down.
+    // ------------------------------------------------------------------
+    // Pool plumbing
+    // ------------------------------------------------------------------
+
+    /// The calling thread's pool for this registry, claiming or creating
+    /// one on first use. `None` only during thread teardown (the cache's
+    /// destructor already ran); callers then fall back to the shared path.
+    #[inline]
+    fn pool(&self) -> Option<*mut CachePadded<LocalPool<T>>> {
+        POOLS
+            .try_with(|cache| {
+                let mut cache = cache.borrow_mut();
+                if let Some(e) = cache.entries.get(&self.id) {
+                    return e.pool.cast::<CachePadded<LocalPool<T>>>();
+                }
+                // Miss (once per registry per thread): prune entries of
+                // dropped registries so the map tracks live registries only.
+                cache.entries.retain(|_, e| unsafe {
+                    if (e.dead)(e.pool) {
+                        (e.release)(e.pool);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                let pool = self.claim_or_create_pool();
+                cache.entries.insert(
+                    self.id,
+                    CacheEntry {
+                        pool: pool.cast(),
+                        release: release_pool::<T>,
+                        dead: pool_is_dead::<T>,
+                    },
+                );
+                pool
+            })
+            .ok()
+    }
+
+    /// The calling thread's pool if it already claimed one — sweeps use
+    /// this so a thread that only collects never grows a pool.
+    #[inline]
+    fn existing_pool(&self) -> Option<*mut CachePadded<LocalPool<T>>> {
+        POOLS
+            .try_with(|cache| {
+                cache
+                    .borrow()
+                    .entries
+                    .get(&self.id)
+                    .map(|e| e.pool.cast::<CachePadded<LocalPool<T>>>())
+            })
+            .ok()
+            .flatten()
+    }
+
+    /// Claims a released pool (inheriting its chains) or publishes a fresh
+    /// one. Only reachable through a live `&self`, so the registry
+    /// reference is implicit.
+    fn claim_or_create_pool(&self) -> *mut CachePadded<LocalPool<T>> {
+        let mut cur = self.pools.load(Ordering::SeqCst);
+        while !cur.is_null() {
+            let p = unsafe { &**cur };
+            if !p.claimed.load(Ordering::SeqCst)
+                && p.claimed
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                p.refs.fetch_add(1, Ordering::SeqCst);
+                return cur;
+            }
+            cur = p.next.load(Ordering::SeqCst);
+        }
+        let pool = Box::into_raw(Box::new(CachePadded::new(LocalPool::new_claimed())));
+        let pool_ref: &LocalPool<T> = unsafe { &*pool };
+        loop {
+            let head = self.pools.load(Ordering::SeqCst);
+            pool_ref.next.store(head, Ordering::SeqCst);
+            if self
+                .pools
+                .compare_exchange(head, pool, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return pool;
+            }
+        }
+    }
+
+    /// Pops a recycled node from the local free list, refilling it from the
+    /// shared stock in a batch when empty. Returns null if both are dry.
+    ///
+    /// # Safety
+    ///
+    /// The caller owns `pool`'s `Cell`s (it claimed the pool).
+    unsafe fn pop_free(&self, pool: &LocalPool<T>) -> *mut PoolNode<T> {
+        let node = pool.free.get();
+        if !node.is_null() {
+            pool.free.set(unsafe { (*node).next.get() });
+            pool.free_len.set(pool.free_len.get() - 1);
+            return node;
+        }
+        // Refill: take the whole shared stock, keep one node plus up to
+        // LOCAL_FREE_CAP, push the remainder back. Swap-everything keeps
+        // the stack single-consumer (no ABA-prone concurrent pops).
+        let chain = self.free.take_all();
+        if chain.is_null() {
+            return core::ptr::null_mut();
+        }
+        let mut taken = 1usize;
+        let mut kept = 0usize;
+        let mut cur = unsafe { (*chain).next.get() };
+        let mut local_head: *mut PoolNode<T> = core::ptr::null_mut();
+        while !cur.is_null() && kept < LOCAL_FREE_CAP {
+            let next = unsafe { (*cur).next.get() };
+            unsafe { (*cur).next.set(local_head) };
+            local_head = cur;
+            kept += 1;
+            taken += 1;
+            cur = next;
+        }
+        if !cur.is_null() {
+            self.free.push_chain(cur);
+        }
+        pool.free.set(local_head);
+        pool.free_len.set(kept);
+        self.free_len.fetch_sub(taken, Ordering::Relaxed);
+        chain
+    }
+
+    /// Parks an emptied node (value already dropped) for reuse: local free
+    /// list, then shared stock, then back to the heap once both caps are
+    /// met. `pool` is the caller's claimed pool, if any.
+    unsafe fn recycle_node(
+        &self,
+        node: *mut PoolNode<T>,
+        pool: Option<*mut CachePadded<LocalPool<T>>>,
+    ) {
+        if let Some(pool) = pool {
+            let pool = unsafe { &**pool };
+            if pool.free_len.get() < LOCAL_FREE_CAP {
+                unsafe { (*node).next.set(pool.free.get()) };
+                pool.free.set(node);
+                pool.free_len.set(pool.free_len.get() + 1);
+                return;
+            }
+        }
+        if self.free_len.load(Ordering::Relaxed) < SHARED_FREE_CAP {
+            self.free_len.fetch_add(1, Ordering::Relaxed);
+            self.free.push(node);
+            return;
+        }
+        self.counters.freed.fetch_add(1, Ordering::Relaxed);
+        drop(unsafe { Box::from_raw(node) });
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation API
+    // ------------------------------------------------------------------
+
+    /// Allocates `value`, recycling a pooled node when one is available and
+    /// touching the heap only when the pools are dry. The pointer is valid
+    /// (and its referent immovable) until the node is retired and
+    /// reclaimed, deallocated, or the owning structure tears down.
+    #[inline]
     pub fn alloc(&self, value: T) -> *mut T {
-        let ptr = Box::into_raw(Box::new(value));
-        self.allocated.fetch_add(1, Ordering::Relaxed);
-        ptr
+        if let Some(pool) = self.pool() {
+            // Safety: the pool is claimed by this thread.
+            let node = unsafe { self.pop_free(&**pool) };
+            if !node.is_null() {
+                self.counters.recycled.fetch_add(1, Ordering::Relaxed);
+                // Safety: the slot's previous value was dropped when the
+                // node was recycled; plain write, no double drop.
+                unsafe { core::ptr::write(&raw mut (*node).value, ManuallyDrop::new(value)) };
+                return PoolNode::value_ptr(node);
+            }
+        }
+        self.counters.fresh.fetch_add(1, Ordering::Relaxed);
+        PoolNode::value_ptr(PoolNode::new_boxed(value))
     }
 
-    /// Total number of allocations performed over the registry's lifetime —
-    /// exactly what a garbage collector would have been handed (E6).
-    pub fn allocated(&self) -> usize {
-        self.allocated.load(Ordering::Relaxed)
-    }
-
-    /// Nodes freed so far (epoch reclamation plus explicit deallocation).
-    pub fn reclaimed(&self) -> usize {
-        self.reclaimed.load(Ordering::Relaxed)
-    }
-
-    /// Currently resident nodes: `allocated − reclaimed`. Under churn this
-    /// stays bounded (the memory-bound suite's metric); under the old
-    /// drop-only arena it equalled `allocated`.
-    pub fn live(&self) -> usize {
-        self.allocated().saturating_sub(self.reclaimed())
-    }
-
-    /// True if nothing is currently resident.
-    pub fn is_empty(&self) -> bool {
-        self.live() == 0
-    }
-
-    /// The epoch domain this registry retires into.
-    pub fn domain(&self) -> &'static Domain {
-        self.domain
-    }
-
-    /// Retires a node: it will be freed after the epoch grace period, once
-    /// its [`Reclaim::ready_to_reclaim`] gate opens.
+    /// Retires a node: it will be freed (recycled) after the epoch grace
+    /// period, once its [`Reclaim::ready_to_reclaim`] gate opens. Performs
+    /// **no allocation**: the node is threaded onto the calling thread's
+    /// retire bag through its intrusive header, and bags flush to the
+    /// shared limbo in batches (on overflow and at sweeps).
     ///
     /// # Safety
     ///
@@ -291,6 +704,7 @@ impl<T> Registry<T> {
     ///   holders keep `ready_to_reclaim` returning `false`.
     /// * `guard` pins the registry's domain (callers are necessarily pinned:
     ///   they just unlinked the node from shared memory).
+    #[inline]
     pub unsafe fn retire(&self, ptr: *mut T, guard: &Guard<'_>)
     where
         T: Reclaim,
@@ -299,26 +713,40 @@ impl<T> Registry<T> {
             core::ptr::eq(guard.domain(), self.domain),
             "guard pins a different epoch domain than the registry's"
         );
-        let node = Box::new(GarbageNode {
-            ptr: ptr.cast(),
-            epoch: self.domain.epoch(),
-            ready: ready_impl::<T>,
-            free: free_impl::<T>,
-            next: core::ptr::null_mut(),
-        });
-        if unsafe { (*ptr).ready_to_reclaim() } {
-            self.limbo.push(node);
+        let node = PoolNode::from_value(ptr);
+        unsafe { (*node).next.set(core::ptr::null_mut()) };
+        unsafe { (*node).epoch.set(self.domain.epoch()) };
+        if let Some(pool) = self.pool() {
+            let pool = unsafe { &**pool };
+            let tail = pool.bag_tail.get();
+            if tail.is_null() {
+                pool.bag_head.set(node);
+            } else {
+                unsafe { (*tail).next.set(node) };
+            }
+            pool.bag_tail.set(node);
+            pool.bag_len.set(pool.bag_len.get() + 1);
+            if pool.bag_len.get() >= BAG_CAP {
+                self.flush_bag(pool);
+                self.collect();
+            }
         } else {
-            self.pending.push(node);
-        }
-        if self.retired_since_sweep.fetch_add(1, Ordering::Relaxed) % RETIRES_PER_SWEEP
-            == RETIRES_PER_SWEEP - 1
-        {
-            self.collect();
+            // Thread-teardown fallback: the pool cache is gone, push
+            // straight to the shared stacks (still no allocation — the
+            // header is intrusive either way).
+            if unsafe { (*ptr).ready_to_reclaim() } {
+                self.limbo.push(node);
+            } else {
+                self.pending.push(node);
+            }
+            if self.retired_since_sweep.fetch_add(1, Ordering::Relaxed) % BAG_CAP == BAG_CAP - 1 {
+                self.collect();
+            }
         }
     }
 
-    /// Frees a node immediately, without the epoch grace period.
+    /// Frees a node immediately, without the epoch grace period; the
+    /// emptied slot is recycled into the pools.
     ///
     /// # Safety
     ///
@@ -327,15 +755,128 @@ impl<T> Registry<T> {
     /// published, or the caller has exclusive access to the owning structure
     /// (teardown).
     pub unsafe fn dealloc(&self, ptr: *mut T) {
-        drop(unsafe { Box::from_raw(ptr) });
-        self.reclaimed.fetch_add(1, Ordering::Relaxed);
+        let node = PoolNode::from_value(ptr);
+        unsafe { core::ptr::drop_in_place(ptr) };
+        self.counters.reclaimed.fetch_add(1, Ordering::Relaxed);
+        unsafe { self.recycle_node(node, self.existing_pool()) };
     }
 
-    /// One garbage sweep: re-examines deferred nodes, tries to advance the
-    /// epoch, and frees limbo nodes whose grace period elapsed and whose
-    /// readiness gate is (still) open. Lock-free; concurrent callers simply
-    /// skip the sweep.
-    pub fn collect(&self) {
+    // ------------------------------------------------------------------
+    // Sweeping
+    // ------------------------------------------------------------------
+
+    /// Flushes `pool`'s retire bag to the shared stacks, splitting by the
+    /// readiness gate. Gate-open nodes are stamped with a **fresh epoch
+    /// read taken after the probes** (module docs: a retire-time stamp can
+    /// be epochs stale by now, and a reader pinned since may have captured
+    /// the pointer just before its gate opened).
+    ///
+    /// # Safety expectations
+    ///
+    /// The caller owns `pool`'s `Cell`s. Panic-safe: a panicking probe
+    /// sends every unprocessed node to `pending`, whose drain restamps.
+    fn flush_bag(&self, pool: &LocalPool<T>)
+    where
+        T: Reclaim,
+    {
+        let chain = pool.bag_head.get();
+        if chain.is_null() {
+            return;
+        }
+        pool.bag_head.set(core::ptr::null_mut());
+        pool.bag_tail.set(core::ptr::null_mut());
+        pool.bag_len.set(0);
+        let flush = FlushGuard {
+            reg: self,
+            rest: Cell::new(chain),
+            ready: Cell::new(core::ptr::null_mut()),
+            deferred: Cell::new(core::ptr::null_mut()),
+        };
+        loop {
+            let cur = flush.rest.get();
+            if cur.is_null() {
+                break;
+            }
+            // The probe runs user code; detach `cur` only after it returns
+            // so a panic leaves the node on the re-routed remainder.
+            let ready = unsafe { (*PoolNode::value_ptr(cur)).ready_to_reclaim() };
+            flush.rest.set(unsafe { (*cur).next.get() });
+            let dst = if ready { &flush.ready } else { &flush.deferred };
+            unsafe { (*cur).next.set(dst.get()) };
+            dst.set(cur);
+        }
+        // Fresh stamp *after* every gate probe above (see the module docs).
+        let stamp = self.domain.epoch();
+        let ready = flush.ready.replace(core::ptr::null_mut());
+        if !ready.is_null() {
+            let mut tail = ready;
+            loop {
+                unsafe { (*tail).epoch.set(stamp) };
+                let next = unsafe { (*tail).next.get() };
+                if next.is_null() {
+                    break;
+                }
+                tail = next;
+            }
+            self.limbo.push_span(ready, tail);
+        }
+        self.pending
+            .push_chain(flush.deferred.replace(core::ptr::null_mut()));
+        // `flush` drops with empty cells: nothing to re-route.
+    }
+
+    /// Steals the chains of pools released by exited threads, so their
+    /// garbage keeps aging and their free stock returns to circulation.
+    fn steal_released_pools(&self)
+    where
+        T: Reclaim,
+    {
+        /// Releases a transient steal claim on every exit path: the bag
+        /// flush probes user gates, and a panic there must not leave the
+        /// pool permanently claimed by no thread (its free stock stranded,
+        /// the slot unclaimable until registry drop).
+        struct ClaimGuard<'a>(&'a AtomicBool);
+        impl Drop for ClaimGuard<'_> {
+            fn drop(&mut self) {
+                self.0.store(false, Ordering::SeqCst);
+            }
+        }
+
+        let mut cur = self.pools.load(Ordering::SeqCst);
+        while !cur.is_null() {
+            let p = unsafe { &**cur };
+            if !p.claimed.load(Ordering::SeqCst)
+                && p.claimed
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                // Transient claim: we own the cells until the guard drops.
+                let claim = ClaimGuard(&p.claimed);
+                self.flush_bag(p);
+                let mut f = p.free.get();
+                p.free.set(core::ptr::null_mut());
+                p.free_len.set(0);
+                while !f.is_null() {
+                    let next = unsafe { (*f).next.get() };
+                    // Values already dropped: straight back into stock.
+                    unsafe { self.recycle_node(f, None) };
+                    f = next;
+                }
+                drop(claim);
+            }
+            cur = p.next.load(Ordering::SeqCst);
+        }
+    }
+
+    /// One garbage sweep: flushes the caller's retire bag, steals released
+    /// pools, re-examines deferred nodes, tries to advance the epoch, and
+    /// recycles limbo nodes whose grace period elapsed and whose readiness
+    /// gate is (still) open. Lock-free; concurrent callers simply skip the
+    /// sweep.
+    pub fn collect(&self)
+    where
+        T: Reclaim,
+    {
         if self.sweeping.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -348,6 +889,14 @@ impl<T> Registry<T> {
             rest: Cell::new(core::ptr::null_mut()),
             rest_is_limbo: Cell::new(false),
         };
+        // Batch the buffered retires in before advancing, so this sweep
+        // already ages them: the caller's own bag first, then the bags (and
+        // free stock) of pools whose threads have exited.
+        let own_pool = self.existing_pool();
+        if let Some(pool) = own_pool {
+            self.flush_bag(unsafe { &**pool });
+        }
+        self.steal_released_pools();
         // Attempt up to GRACE advances: each one individually re-proves
         // that every pinned participant has caught up, so at quiescent
         // moments a single sweep ages garbage all the way out instead of
@@ -373,10 +922,9 @@ impl<T> Registry<T> {
             }
             // Probe the gate before detaching the node, so a panicking hook
             // leaves it on the re-attached chain instead of leaking it.
-            let ready = unsafe { ((*cur).ready)((*cur).ptr) };
-            let mut node = unsafe { Box::from_raw(cur) };
-            sweep.rest.set(node.next);
-            node.next = core::ptr::null_mut();
+            let ready = unsafe { (*PoolNode::value_ptr(cur)).ready_to_reclaim() };
+            sweep.rest.set(unsafe { (*cur).next.get() });
+            unsafe { (*cur).next.set(core::ptr::null_mut()) };
             if ready {
                 // Restamp with a fresh epoch read taken *after* the gate
                 // opened. The sweeper holds no pin, so the global epoch can
@@ -389,10 +937,10 @@ impl<T> Registry<T> {
                 // observed, so the reader's pin precedes this read and the
                 // fresh stamp is ≥ E — the reader now blocks the advance to
                 // `stamp + GRACE` until it unpins.
-                node.epoch = self.domain.epoch();
-                self.limbo.push(node);
+                unsafe { (*cur).epoch.set(self.domain.epoch()) };
+                self.limbo.push(cur);
             } else {
-                self.pending.push(node);
+                self.pending.push(cur);
             }
         }
 
@@ -416,19 +964,23 @@ impl<T> Registry<T> {
             // The readiness re-check matters: a thread pinned since before
             // the retirement may have taken a new long-lived reference
             // (e.g. a `target` edge) while the node aged in limbo.
-            let ready = unsafe { ((*cur).ready)((*cur).ptr) };
-            let mut node = unsafe { Box::from_raw(cur) };
-            sweep.rest.set(node.next);
-            node.next = core::ptr::null_mut();
-            if ready && node.epoch + GRACE_EPOCHS <= global {
+            let ready = unsafe { (*PoolNode::value_ptr(cur)).ready_to_reclaim() };
+            sweep.rest.set(unsafe { (*cur).next.get() });
+            unsafe { (*cur).next.set(core::ptr::null_mut()) };
+            if ready && unsafe { (*cur).epoch.get() } + GRACE_EPOCHS <= global {
                 // `global` is a snapshot from before the drains, so this
                 // comparison only under-approximates eligibility — safe.
-                unsafe { (node.free)(node.ptr, true) };
-                self.reclaimed.fetch_add(1, Ordering::Relaxed);
+                let vp = PoolNode::value_ptr(cur);
+                unsafe { (*vp).on_reclaim() };
+                unsafe { core::ptr::drop_in_place(vp) };
+                self.counters.reclaimed.fetch_add(1, Ordering::Relaxed);
+                // The emptied slot goes back into circulation instead of to
+                // the allocator — the whole point of the pools.
+                unsafe { self.recycle_node(cur, own_pool) };
             } else if ready {
-                self.limbo.push(node);
+                self.limbo.push(cur);
             } else {
-                self.pending.push(node);
+                self.pending.push(cur);
             }
         }
         self.last_swept_epoch.store(global, Ordering::SeqCst);
@@ -438,10 +990,79 @@ impl<T> Registry<T> {
     /// Runs enough quiescent sweeps to age out everything retired so far
     /// (assuming no concurrent pins). Tests and teardown paths use this to
     /// observe the steady-state footprint.
-    pub fn flush(&self) {
+    pub fn flush(&self)
+    where
+        T: Reclaim,
+    {
         for _ in 0..(2 * GRACE_EPOCHS as usize + 2) {
             self.collect();
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Counters
+    // ------------------------------------------------------------------
+
+    /// Fresh heap allocations performed so far. Under warm steady-state
+    /// churn this **plateaus** — every allocation is served from a pool —
+    /// which `tests/alloc_plateau.rs` and `benches/alloc_churn.rs` assert.
+    pub fn allocated(&self) -> usize {
+        self.counters.fresh.load(Ordering::Relaxed)
+    }
+
+    /// Allocations served from a recycle pool instead of the heap.
+    pub fn recycled(&self) -> usize {
+        self.counters.recycled.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative logical allocations (`allocated + recycled`) over the
+    /// registry's lifetime — exactly what a garbage collector would have
+    /// been handed (the E6 metric).
+    pub fn created(&self) -> usize {
+        self.allocated() + self.recycled()
+    }
+
+    /// Values destroyed so far (epoch reclamation, explicit deallocation,
+    /// and teardown).
+    pub fn reclaimed(&self) -> usize {
+        self.counters.reclaimed.load(Ordering::Relaxed)
+    }
+
+    /// Value-resident nodes: `created − reclaimed`. Under churn this stays
+    /// bounded (the memory-bound suite's metric); under the old drop-only
+    /// arena it equalled the cumulative count.
+    pub fn live(&self) -> usize {
+        self.created().saturating_sub(self.reclaimed())
+    }
+
+    /// Heap-resident nodes, pooled free nodes included:
+    /// `allocated − freed`. Exceeds [`Registry::live`] by at most the pool
+    /// caps (local free lists, the shared stock, and in-flight bags).
+    pub fn resident(&self) -> usize {
+        self.allocated()
+            .saturating_sub(self.counters.freed.load(Ordering::Relaxed))
+    }
+
+    /// A consistent-enough snapshot of every counter (Relaxed loads).
+    pub fn stats(&self) -> AllocStats {
+        AllocStats {
+            fresh: self.allocated(),
+            recycled: self.recycled(),
+            created: self.created(),
+            reclaimed: self.reclaimed(),
+            live: self.live(),
+            resident: self.resident(),
+        }
+    }
+
+    /// True if no value is currently resident.
+    pub fn is_empty(&self) -> bool {
+        self.live() == 0
+    }
+
+    /// The epoch domain this registry retires into.
+    pub fn domain(&self) -> &'static Domain {
+        self.domain
     }
 }
 
@@ -453,17 +1074,55 @@ impl<T> Default for Registry<T> {
 
 impl<T> Drop for Registry<T> {
     fn drop(&mut self) {
-        // Bulk teardown: free whatever is still parked. Hooks are skipped —
-        // peers they would touch may already have been freed by the owning
-        // structure's own Drop.
-        for stack in [&self.pending, &self.limbo] {
-            let mut cur = stack.take_all();
+        // Bulk teardown. `&mut self` guarantees no thread is mid-operation
+        // on this registry, so the pools' `Cell` chains are safe to empty
+        // regardless of their `claimed` flags (a live owning thread will
+        // never dereference its cached pool for this registry again — the
+        // id is dead — except to release it, which touches only atomics).
+        // Hooks are skipped: peers they would touch may already have been
+        // freed by the owning structure's own Drop.
+        unsafe fn free_garbage_chain<T>(reg: &Registry<T>, mut cur: *mut PoolNode<T>) {
             while !cur.is_null() {
-                let node = unsafe { Box::from_raw(cur) };
-                cur = node.next;
-                unsafe { (node.free)(node.ptr, false) };
-                self.reclaimed.fetch_add(1, Ordering::Relaxed);
+                let next = unsafe { (*cur).next.get() };
+                unsafe { core::ptr::drop_in_place(PoolNode::value_ptr(cur)) };
+                reg.counters.reclaimed.fetch_add(1, Ordering::Relaxed);
+                reg.counters.freed.fetch_add(1, Ordering::Relaxed);
+                drop(unsafe { Box::from_raw(cur) });
+                cur = next;
             }
+        }
+        /// Frees a chain of emptied (already-dropped) recycle nodes.
+        unsafe fn free_empty_chain<T>(reg: &Registry<T>, mut cur: *mut PoolNode<T>) {
+            while !cur.is_null() {
+                let next = unsafe { (*cur).next.get() };
+                reg.counters.freed.fetch_add(1, Ordering::Relaxed);
+                drop(unsafe { Box::from_raw(cur) });
+                cur = next;
+            }
+        }
+
+        unsafe { free_garbage_chain(self, self.pending.take_all()) };
+        unsafe { free_garbage_chain(self, self.limbo.take_all()) };
+        unsafe { free_empty_chain(self, self.free.take_all()) };
+
+        let mut cur = self.pools.load(Ordering::SeqCst);
+        while !cur.is_null() {
+            let p = unsafe { &**cur };
+            let next = p.next.load(Ordering::SeqCst);
+            let bag = p.bag_head.get();
+            p.bag_head.set(core::ptr::null_mut());
+            p.bag_tail.set(core::ptr::null_mut());
+            p.bag_len.set(0);
+            unsafe { free_garbage_chain(self, bag) };
+            let free = p.free.get();
+            p.free.set(core::ptr::null_mut());
+            p.free_len.set(0);
+            unsafe { free_empty_chain(self, free) };
+            p.registry_dead.store(true, Ordering::SeqCst);
+            // Drop the registry's reference; a thread still caching the
+            // pool frees it when its cache prunes (or the thread exits).
+            unsafe { unref_pool(cur) };
+            cur = next;
         }
     }
 }
@@ -472,6 +1131,8 @@ impl<T> core::fmt::Debug for Registry<T> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Registry")
             .field("allocated", &self.allocated())
+            .field("recycled", &self.recycled())
+            .field("created", &self.created())
             .field("reclaimed", &self.reclaimed())
             .field("live", &self.live())
             .finish()
@@ -551,6 +1212,40 @@ mod tests {
         assert_eq!(drops.load(StdOrdering::SeqCst), 1);
     }
 
+    #[test]
+    fn no_recycle_under_pre_retirement_pin() {
+        // The pooled flavour of the invariant above: a node must never
+        // re-enter a free list (and be handed out again) while a thread
+        // pinned from before its retirement could still dereference it.
+        let domain = leaked_domain();
+        let handle = domain.register();
+        let reader = domain.register();
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let reg: Registry<CountsDrops> = Registry::new_in(domain);
+
+        let reader_guard = reader.pin();
+        let p = reg.alloc(CountsDrops(Arc::clone(&drops)));
+        let g = handle.pin();
+        unsafe { reg.retire(p, &g) };
+        drop(g);
+
+        reg.flush();
+        assert_eq!(reg.recycled(), 0, "nothing may recycle under the pin");
+        let q = reg.alloc(CountsDrops(Arc::clone(&drops)));
+        assert_eq!(reg.recycled(), 0, "allocation under the pin must be fresh");
+        assert_ne!(q, p, "the retired node's slot must not be reused yet");
+
+        drop(reader_guard);
+        reg.flush();
+        assert_eq!(drops.load(StdOrdering::SeqCst), 1);
+        // Now the aged-out slot is stock: the next allocation reuses it.
+        let r = reg.alloc(CountsDrops(Arc::clone(&drops)));
+        assert_eq!(reg.recycled(), 1);
+        assert_eq!(r, p, "the aged-out slot is recycled");
+        unsafe { reg.dealloc(q) };
+        unsafe { reg.dealloc(r) };
+    }
+
     struct Gated {
         open: Arc<AtomicBool>,
     }
@@ -576,6 +1271,42 @@ mod tests {
         reg.flush();
         assert_eq!(reg.live(), 1, "gate closed: node must survive any sweep");
         open.store(true, Ordering::SeqCst);
+        reg.flush();
+        assert_eq!(reg.live(), 0);
+    }
+
+    #[test]
+    fn bag_flush_stamps_after_gate_probe() {
+        // Regression for the bag flavour of the restamp-soundness bug: a
+        // gated node can sit in a retire bag for many epochs; when the gate
+        // finally opens, a reader pinned at the *current* epoch may have
+        // captured the pointer just before the gate-opening store. A flush
+        // that forwarded the retire-time stamp would free the node under
+        // that reader (its pin does not block `retire_stamp + GRACE`); the
+        // flush must stamp with a fresh read taken after the probe.
+        let domain = leaked_domain();
+        let handle = domain.register();
+        let reg: Registry<Gated> = Registry::new_in(domain);
+        let open = Arc::new(AtomicBool::new(false));
+        let p = reg.alloc(Gated {
+            open: Arc::clone(&open),
+        });
+        let g = handle.pin();
+        unsafe { reg.retire(p, &g) }; // bagged with the epoch-0 stamp
+        drop(g);
+        for _ in 0..4 {
+            domain.try_advance();
+        }
+        let reader = domain.register();
+        let reader_guard = reader.pin(); // "captured the pointer" at epoch 4
+        open.store(true, Ordering::SeqCst);
+        reg.flush(); // flushes the bag; a stale stamp would free here
+        assert_eq!(
+            reg.live(),
+            1,
+            "a retire-time stamp frees the node under the reader's pin"
+        );
+        drop(reader_guard);
         reg.flush();
         assert_eq!(reg.live(), 0);
     }
@@ -611,11 +1342,12 @@ mod tests {
 
     #[test]
     fn restamp_after_gate_opens_uses_fresh_epoch() {
-        // Regression: the pending→limbo restamp must not reuse the epoch
-        // snapshot taken before the drain. The sweeper holds no pin, so the
-        // global epoch can run ahead mid-drain; a reader pinned at the new
-        // epoch that captured the gated pointer just before the gate opened
-        // would not block a stale stamp's grace period — use-after-free.
+        // Regression: neither the bag flush nor the pending→limbo transfer
+        // may reuse an epoch snapshot taken before the gate probe. The
+        // sweeper holds no pin, so the global epoch can run ahead
+        // mid-drain; a reader pinned at the new epoch that captured the
+        // gated pointer just before the gate opened would not block a
+        // stale stamp's grace period — use-after-free.
         let domain = leaked_domain();
         let handle = domain.register();
         let reg: Registry<CapturingGate> = Registry::new_in(domain);
@@ -628,11 +1360,11 @@ mod tests {
             reader: std::rc::Rc::clone(&reader),
         });
         let g = handle.pin();
-        unsafe { reg.retire(p, &g) }; // gate closed → parked in pending
+        unsafe { reg.retire(p, &g) }; // gate closed → bagged
         drop(g);
 
         open.store(true, Ordering::SeqCst);
-        reg.collect(); // drain runs the hook: epoch advances, reader pins
+        reg.collect(); // flush probes the gate: epoch advances, reader pins
         assert!(reader.borrow().is_some(), "hook must have pinned a reader");
         reg.flush();
         assert_eq!(
@@ -660,8 +1392,10 @@ mod tests {
     #[test]
     fn panicking_hook_neither_wedges_nor_leaks_the_sweeper() {
         // Regression: a panic in a user hook mid-sweep must clear `sweeping`
-        // and re-attach the unexamined chain remainder — not disable
-        // reclamation on the registry forever and leak the backlog.
+        // and re-route the unexamined chain remainder — not disable
+        // reclamation on the registry forever and leak the backlog. With
+        // retire bags the panic now fires inside the bag flush, whose guard
+        // re-routes everything to `pending`.
         let domain = leaked_domain();
         let handle = domain.register();
         let reg: Registry<PanicOnce> = Registry::new_in(domain);
@@ -675,18 +1409,71 @@ mod tests {
             unsafe { reg.retire(p, &g) };
         }
         drop(g);
-        // Arm the middle of the (LIFO) limbo chain after the retire-time
-        // checks, so the sweep frees one node, panics on the second, and
-        // must hand the rest back.
+        // Arm the middle of the (FIFO) bag, so the flush probes one node,
+        // panics on the second, and must hand the rest back.
         flags[1].store(true, Ordering::SeqCst);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| reg.collect()));
         assert!(result.is_err(), "the hook panic must propagate");
-        assert_eq!(reg.reclaimed(), 1, "nodes before the panic were freed");
-        // `sweeping` is clear and the chain is back: once the hook stops
+        assert_eq!(reg.live(), 3, "nothing may leak across the panic");
+        // `sweeping` is clear and the chains are back: once the hook stops
         // panicking, everything still ages out.
         reg.flush();
         assert_eq!(reg.reclaimed(), 3);
         assert_eq!(reg.live(), 0);
+    }
+
+    #[test]
+    fn panicking_probe_during_steal_releases_the_pool_claim() {
+        // Regression: stealing a released pool probes user gates inside the
+        // bag flush; a panic there must release the transient claim. A
+        // stuck claim would strand the orphan pool's free stock and make
+        // the slot unclaimable until registry drop.
+        let domain = leaked_domain();
+        let reg: Arc<Registry<PanicOnce>> = Arc::new(Registry::new_in(domain));
+        let armed = Arc::new(AtomicBool::new(false));
+        // A thread leaves a released pool behind with one bagged node (P,
+        // armed to panic) and one recycled slot (A) on its free list.
+        let (p_addr, a_addr) = {
+            let reg = Arc::clone(&reg);
+            let armed = Arc::clone(&armed);
+            std::thread::spawn(move || {
+                let handle = domain.register();
+                let p = reg.alloc(PanicOnce { armed });
+                let g = handle.pin();
+                unsafe { reg.retire(p, &g) };
+                drop(g);
+                let a = reg.alloc(PanicOnce {
+                    armed: Arc::new(AtomicBool::new(false)),
+                });
+                unsafe { reg.dealloc(a) }; // recycled into the local free list
+                (p as usize, a as usize)
+            })
+            .join()
+            .unwrap()
+        };
+        armed.store(true, Ordering::SeqCst);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| reg.collect()));
+        assert!(result.is_err(), "the armed probe must panic the steal");
+        // The claim is back: later sweeps re-steal the pool, age P out, and
+        // return A's slot to the shared stock — so the next two allocations
+        // are both served from recycled memory.
+        reg.flush();
+        let x = reg.alloc(PanicOnce {
+            armed: Arc::new(AtomicBool::new(false)),
+        });
+        let y = reg.alloc(PanicOnce {
+            armed: Arc::new(AtomicBool::new(false)),
+        });
+        assert_eq!(
+            reg.recycled(),
+            2,
+            "a wedged claim strands the orphan pool's slots: {} recycled",
+            reg.recycled()
+        );
+        let got = [x as usize, y as usize];
+        assert!(got.contains(&p_addr) && got.contains(&a_addr));
+        unsafe { reg.dealloc(x) };
+        unsafe { reg.dealloc(y) };
     }
 
     #[test]
@@ -697,6 +1484,22 @@ mod tests {
         unsafe { reg.dealloc(p) };
         assert_eq!(drops.load(StdOrdering::SeqCst), 1);
         assert_eq!(reg.live(), 0);
+    }
+
+    #[test]
+    fn dealloc_recycles_the_slot() {
+        // Losing a publication CAS is a hot path under contention: the
+        // speculative node must go back into the pool, not to the heap.
+        let reg: Registry<CountsDrops> = Registry::new();
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let p = reg.alloc(CountsDrops(Arc::clone(&drops)));
+        unsafe { reg.dealloc(p) };
+        let q = reg.alloc(CountsDrops(Arc::clone(&drops)));
+        assert_eq!(q, p, "the deallocated slot is reused");
+        assert_eq!(reg.allocated(), 1);
+        assert_eq!(reg.recycled(), 1);
+        assert_eq!(reg.created(), 2);
+        unsafe { reg.dealloc(q) };
     }
 
     #[test]
@@ -718,9 +1521,36 @@ mod tests {
     }
 
     #[test]
-    fn churn_keeps_live_count_bounded() {
+    fn released_pools_are_stolen_by_sweeps() {
+        // A thread that retires and exits must not strand its bagged
+        // garbage until registry drop: the next sweep (from any thread)
+        // steals the released pool's chains.
+        let domain = leaked_domain();
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let reg: Arc<Registry<CountsDrops>> = Arc::new(Registry::new_in(domain));
+        {
+            let reg = Arc::clone(&reg);
+            let drops = Arc::clone(&drops);
+            std::thread::spawn(move || {
+                let handle = domain.register();
+                let p = reg.alloc(CountsDrops(drops));
+                let g = handle.pin();
+                unsafe { reg.retire(p, &g) };
+            })
+            .join()
+            .unwrap();
+        }
+        assert_eq!(drops.load(StdOrdering::SeqCst), 0, "still bagged");
+        reg.flush(); // main thread steals the released pool's bag
+        assert_eq!(drops.load(StdOrdering::SeqCst), 1);
+        assert_eq!(reg.live(), 0);
+    }
+
+    #[test]
+    fn churn_keeps_live_count_bounded_and_allocation_plateaus() {
         // The registry-level version of tests/memory_bound.rs: sustained
-        // retire traffic from several threads must not accumulate.
+        // retire traffic from several threads must not accumulate — and
+        // once warm, must stop allocating.
         let reg: Arc<Registry<CountsDrops>> = Arc::new(Registry::new());
         let drops = Arc::new(StdAtomicUsize::new(0));
         let mut handles = Vec::new();
@@ -739,11 +1569,58 @@ mod tests {
             h.join().unwrap();
         }
         reg.flush();
-        assert_eq!(reg.allocated(), 20_000);
+        assert_eq!(reg.created(), 20_000);
         assert!(
-            reg.live() <= 4 * RETIRES_PER_SWEEP,
+            reg.live() <= 4 * BAG_CAP,
             "steady-state garbage must be bounded, found {} live",
             reg.live()
+        );
+        assert!(
+            reg.recycled() > 0,
+            "sustained churn must hit the recycle pools at least sometimes"
+        );
+        assert!(
+            reg.resident() <= reg.live() + 5 * (LOCAL_FREE_CAP + BAG_CAP) + SHARED_FREE_CAP,
+            "pooled stock must respect its caps: {} resident",
+            reg.resident()
+        );
+    }
+
+    #[test]
+    fn warm_quiescent_churn_stops_allocating() {
+        // The zero-allocation claim, deterministically: on a private domain
+        // with one thread, a warmed-up registry serves every allocation
+        // from its pools — `allocated()` (fresh heap boxes) plateaus while
+        // the logical series keeps growing.
+        let domain = leaked_domain();
+        let handle = domain.register();
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let reg: Registry<CountsDrops> = Registry::new_in(domain);
+        let churn = |n: usize| {
+            for _ in 0..n {
+                let p = reg.alloc(CountsDrops(Arc::clone(&drops)));
+                let g = handle.pin();
+                unsafe { reg.retire(p, &g) };
+                drop(g);
+            }
+        };
+        churn(512);
+        reg.flush(); // age the warm-up garbage into the free pools
+        let warm = reg.stats();
+        assert!(warm.fresh <= 512);
+
+        churn(4_096);
+        let after = reg.stats();
+        assert_eq!(
+            after.fresh, warm.fresh,
+            "warm steady-state churn must not touch the heap"
+        );
+        assert_eq!(after.created, warm.created + 4_096);
+        assert!(after.recycled >= warm.recycled + 4_096);
+        assert!(
+            after.resident <= LOCAL_FREE_CAP + BAG_CAP + SHARED_FREE_CAP + after.live,
+            "resident memory (pools included) stays capped: {}",
+            after.resident
         );
     }
 

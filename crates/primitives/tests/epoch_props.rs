@@ -48,7 +48,8 @@ struct Sim {
     handles: Vec<Handle<'static>>,
     /// Outstanding outermost guard per participant, with its pin epoch.
     guards: Vec<Option<(Guard<'static>, u64)>>,
-    reg: Registry<Tracked>,
+    /// `Arc` so schedules can retire from scratch threads (pool stealing).
+    reg: Arc<Registry<Tracked>>,
     /// `(retire_epoch, freed_flag)` for every retired item.
     items: Vec<(u64, Arc<AtomicBool>)>,
 }
@@ -60,7 +61,7 @@ impl Sim {
         Sim {
             domain,
             guards: (0..PARTICIPANTS).map(|_| None).collect(),
-            reg: Registry::new_in(domain),
+            reg: Arc::new(Registry::new_in(domain)),
             items: Vec::new(),
             handles,
         }
@@ -171,7 +172,10 @@ proptest! {
         }
         sim.reg.flush();
         prop_assert_eq!(sim.reg.reclaimed(), total, "quiescent flush drains every bag");
-        prop_assert_eq!(sim.reg.allocated(), total);
+        // `created` is the cumulative logical series; `allocated` (fresh
+        // heap boxes) may be smaller — recycling can kick in mid-schedule.
+        prop_assert_eq!(sim.reg.created(), total);
+        prop_assert!(sim.reg.allocated() <= total);
     }
 
     #[test]
@@ -200,6 +204,93 @@ proptest! {
                 "item {} freed={} but gate open={}", i, freed.load(Ordering::SeqCst), open
             );
         }
+    }
+
+    #[test]
+    fn pooled_schedules_preserve_safety_and_accounting(ops in proptest::collection::vec((0u8..7, 0usize..PARTICIPANTS), 1..120)) {
+        // The pooled registry under arbitrary alloc / dealloc / retire /
+        // sweep / pin schedules — including retires from threads that exit
+        // immediately (their bags land in a *released pool* that later
+        // sweeps must steal). Checks the safety invariant after every step
+        // plus the counter algebra the pools introduce.
+        let mut sim = Sim::new();
+        let mut total_created = 0usize;
+        for (op, idx) in ops {
+            match op {
+                0 => {
+                    if sim.guards[idx].is_none() {
+                        let g = sim.handles[idx].pin();
+                        let e = g.epoch();
+                        sim.guards[idx] = Some((g, e));
+                    }
+                }
+                1 => {
+                    sim.guards[idx] = None;
+                }
+                2 => {
+                    sim.retire_one(idx, None);
+                    total_created += 1;
+                }
+                // Speculative-node path: alloc, never publish, dealloc —
+                // recycles immediately, no grace period.
+                3 => {
+                    let freed = Arc::new(AtomicBool::new(false));
+                    let p = sim.reg.alloc(Tracked {
+                        freed: Arc::clone(&freed),
+                        gate: None,
+                    });
+                    unsafe { sim.reg.dealloc(p) };
+                    total_created += 1;
+                    prop_assert!(freed.load(Ordering::SeqCst), "dealloc drops the value now");
+                }
+                4 => sim.reg.collect(),
+                5 => {
+                    sim.domain.try_advance();
+                }
+                // Retire from a thread that exits right away: its pool is
+                // released with the node still bagged; only sweep-side
+                // stealing can ever age it out.
+                _ => {
+                    let reg = Arc::clone(&sim.reg);
+                    let domain = sim.domain;
+                    let freed = Arc::new(AtomicBool::new(false));
+                    let thread_freed = Arc::clone(&freed);
+                    let retire_epoch = std::thread::spawn(move || {
+                        let handle = domain.register();
+                        let g = handle.pin();
+                        let e = domain.epoch();
+                        let p = reg.alloc(Tracked {
+                            freed: thread_freed,
+                            gate: None,
+                        });
+                        unsafe { reg.retire(p, &g) };
+                        e
+                    })
+                    .join()
+                    .unwrap();
+                    sim.items.push((retire_epoch, freed));
+                    total_created += 1;
+                }
+            }
+            sim.check_invariant();
+            // Counter algebra: the logical series splits into fresh heap
+            // boxes and pool hits; destruction never outruns creation; the
+            // heap-resident count never exceeds what was heap-allocated.
+            let s = sim.reg.stats();
+            prop_assert_eq!(s.created, s.fresh + s.recycled);
+            prop_assert_eq!(s.created, total_created);
+            prop_assert!(s.reclaimed <= s.created);
+            prop_assert!(s.resident <= s.fresh);
+            prop_assert_eq!(s.live, s.created - s.reclaimed);
+        }
+        // Liveness: once every guard drops, a flush reclaims everything —
+        // including bags stranded in released pools.
+        sim.guards.clear();
+        sim.reg.flush();
+        for (i, (_, freed)) in sim.items.iter().enumerate() {
+            prop_assert!(freed.load(Ordering::SeqCst), "item {i} never reclaimed");
+        }
+        prop_assert_eq!(sim.reg.live(), 0);
     }
 
     #[test]

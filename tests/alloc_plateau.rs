@@ -1,0 +1,84 @@
+//! The zero-allocation plateau: after a warm-up phase, sustained
+//! insert/delete churn performs **zero** fresh heap allocations — every
+//! node comes out of the registry's recycle pools (ISSUE 4's acceptance
+//! test; see the "Allocation pooling" section of the README).
+//!
+//! This lives in its own test binary on purpose: the plateau is *exact*
+//! only when nothing else pins the global epoch domain. The sibling
+//! `memory_bound` suite runs tests that hold guards across whole churn
+//! phases; sharing a process with them would park the epoch, stall aging,
+//! drain the pools, and fault the plateau with scheduler noise. Cargo runs
+//! test binaries sequentially, so a dedicated binary is a dedicated
+//! process.
+
+use lftrie::core::LockFreeBinaryTrie;
+
+#[test]
+fn warm_churn_allocates_zero_fresh_nodes() {
+    // The tentpole claim of the pooled registry, end to end through the
+    // trie: after a warm-up phase, sustained insert/delete churn performs
+    // **zero** fresh heap allocations — update nodes, predecessor nodes,
+    // and all three auxiliary-list cell types are served entirely from the
+    // recycle pools, while the logical (E6) series keeps growing.
+    // Single-threaded so the pipeline (bags + epoch window) is
+    // deterministic and the plateau is exact.
+    let universe = 32u64;
+    let span = 8u64;
+    let trie = LockFreeBinaryTrie::new(universe);
+    let churn = |n: u64| {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = (state >> 33) % span;
+            if state.is_multiple_of(2) {
+                trie.insert(k);
+            } else {
+                trie.remove(k);
+            }
+        }
+    };
+    churn(6_000);
+    // Over-provision the pools: churn under a held pin so nothing ages —
+    // the node population inflates by the whole in-flight window — then
+    // release and flush, turning that entire surplus into free-pool stock.
+    // This is the warm-up-with-headroom a real deployment gets for free
+    // from its bursty start; without it, the steady phase's single deepest
+    // pipeline moment can exceed the warm phase's by a node or two.
+    {
+        let pin = lftrie::primitives::epoch::pin();
+        churn(2_000);
+        drop(pin);
+    }
+    trie.collect_garbage(); // age the warm-up garbage into the free pools
+    let warm_nodes = trie.node_alloc_stats();
+    let warm_preds = trie.pred_alloc_stats();
+    let (warm_uall, warm_ruall, warm_pall) = trie.cell_alloc_stats();
+
+    churn(6_000);
+    let nodes = trie.node_alloc_stats();
+    let preds = trie.pred_alloc_stats();
+    let (uall, ruall, pall) = trie.cell_alloc_stats();
+
+    assert_eq!(
+        nodes.fresh,
+        warm_nodes.fresh,
+        "warm update-node churn must not touch the heap \
+         ({} created since warm-up)",
+        nodes.created - warm_nodes.created
+    );
+    assert_eq!(preds.fresh, warm_preds.fresh, "predecessor nodes too");
+    assert_eq!(uall.fresh, warm_uall.fresh, "U-ALL cells too");
+    assert_eq!(ruall.fresh, warm_ruall.fresh, "RU-ALL cells too");
+    assert_eq!(pall.fresh, warm_pall.fresh, "P-ALL cells too");
+
+    // The plateau is meaningful only if the post-warm-up phase really
+    // churned: the logical series must keep growing, served from pools.
+    assert!(
+        nodes.created >= warm_nodes.created + 2_000,
+        "steady phase produced too few update nodes: {} → {}",
+        warm_nodes.created,
+        nodes.created
+    );
+    assert!(nodes.recycled > warm_nodes.recycled);
+    assert!(preds.created > warm_preds.created);
+}

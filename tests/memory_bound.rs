@@ -101,6 +101,30 @@ fn sustained_churn_has_bounded_live_nodes() {
         pred_live <= 512,
         "predecessor nodes must be reclaimed: {pred_live} live of {pred_allocated}"
     );
+
+    // With allocation pooling, *heap-resident* memory (recycle pools
+    // included) must obey the same shape: live nodes plus the pool caps
+    // (per-thread free lists and bags, plus the shared stock), never the
+    // cumulative series.
+    let stats = trie.node_alloc_stats();
+    assert_eq!(stats.created, allocated, "created is the cumulative series");
+    assert!(
+        stats.resident <= ceiling(universe) + pool_allowance(threads as usize),
+        "heap-resident nodes (pools included) must stay bounded: {} resident of {} created",
+        stats.resident,
+        stats.created
+    );
+    assert!(
+        stats.fresh < stats.created,
+        "some allocations must have been served from the pools"
+    );
+}
+
+/// Per-registry pool allowance: each thread's local free list (64) and
+/// retire bag (32) plus the shared recycle stock (1024), with slack for the
+/// main thread's sweeps.
+fn pool_allowance(threads: usize) -> usize {
+    (threads + 1) * (64 + 32) + 1024
 }
 
 #[test]

@@ -1,6 +1,90 @@
 //! Vendored stand-in for the `crossbeam` facade crate (no crates.io access
 //! in the build environment). Implements only the subset the workspace
-//! uses: [`queue::SegQueue`].
+//! uses: [`queue::SegQueue`] and [`utils::CachePadded`].
+
+pub mod utils {
+    //! Utilities for concurrent programming.
+
+    /// Pads and aligns a value to the length of a cache line, so that two
+    /// `CachePadded` values never share one — the classic false-sharing fix
+    /// for hot atomics that sit next to each other in memory (epoch
+    /// participant slots, garbage-stack heads, statistics counters).
+    ///
+    /// 128 bytes covers both the 64-byte line of x86-64 (where the spatial
+    /// prefetcher pulls lines in pairs) and the 128-byte line of apple
+    /// silicon; the real crate picks per-arch values, this stand-in just
+    /// uses the safe upper bound everywhere.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use core::sync::atomic::AtomicU64;
+    /// use crossbeam::utils::CachePadded;
+    ///
+    /// let counter = CachePadded::new(AtomicU64::new(0));
+    /// assert_eq!(core::mem::align_of_val(&counter), 128);
+    /// counter.store(7, core::sync::atomic::Ordering::Relaxed);
+    /// ```
+    #[derive(Debug, Default)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Pads and aligns `value` to the cache-line length.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Returns the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> core::ops::Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> core::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn padded_values_do_not_share_a_line() {
+            let pair = [CachePadded::new(0u8), CachePadded::new(0u8)];
+            let a = &pair[0] as *const _ as usize;
+            let b = &pair[1] as *const _ as usize;
+            assert!(b - a >= 128, "adjacent padded values must be a line apart");
+            assert_eq!(a % 128, 0);
+        }
+
+        #[test]
+        fn deref_reaches_the_inner_value() {
+            let mut padded = CachePadded::new(41u32);
+            *padded += 1;
+            assert_eq!(*padded, 42);
+            assert_eq!(padded.into_inner(), 42);
+        }
+    }
+}
 
 pub mod queue {
     //! Concurrent queues.
@@ -16,9 +100,9 @@ pub mod queue {
     /// not FIFO. Unlike the real crate, [`pop`](SegQueue::pop) takes
     /// `&mut self`: a concurrent-`pop` Treiber stack needs safe memory
     /// reclamation (a popper can read a node another popper just freed),
-    /// and the in-tree caller (`lftrie_primitives::registry`) only drains
-    /// at drop time where exclusivity is free. Code that needs concurrent
-    /// pops fails to compile instead of hitting use-after-free.
+    /// and the workspace only ever drains with exclusive access. Code that
+    /// needs concurrent pops fails to compile instead of hitting
+    /// use-after-free.
     pub struct SegQueue<T> {
         head: AtomicPtr<Node<T>>,
         len: core::sync::atomic::AtomicUsize,
