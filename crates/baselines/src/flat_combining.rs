@@ -1,7 +1,7 @@
 //! A flat-combining binary trie: the universal-construction comparator.
 //!
 //! The paper's introduction (§1) positions the lock-free trie against what
-//! universal constructions achieve: Fatourou–Kallimanis–Kanellou [25] give
+//! universal constructions achieve: Fatourou–Kallimanis–Kanellou \[25\] give
 //! wait-free structures where operations *announce themselves in an
 //! announcement array and are executed in ordered batches*, costing
 //! `O(N + c̄(op) · log u)` per operation on a binary trie. Flat combining
@@ -30,11 +30,12 @@ const OP_INSERT: u8 = 1;
 const OP_REMOVE: u8 = 2;
 const OP_CONTAINS: u8 = 3;
 const OP_PRED: u8 = 4;
+const OP_SUCC: u8 = 5;
 /// Set by the combiner once the result field is valid.
-const OP_DONE: u8 = 5;
+const OP_DONE: u8 = 6;
 /// Slot reserved by a publisher that has not yet written its op code
 /// (threads can hash to the same slot; the claim CAS arbitrates).
-const OP_CLAIMED: u8 = 6;
+const OP_CLAIMED: u8 = 7;
 
 /// One slot of the announcement array.
 #[derive(Debug)]
@@ -78,7 +79,7 @@ pub struct FlatCombiningBinaryTrie {
 
 impl FlatCombiningBinaryTrie {
     /// Creates an empty set over `{0, …, universe−1}` (at most
-    /// [`MAX_THREADS`] = 64 concurrent publisher slots).
+    /// `MAX_THREADS` = 64 concurrent publisher slots).
     pub fn new(universe: u64) -> Self {
         Self {
             records: (0..MAX_THREADS).map(|_| Record::new()).collect(),
@@ -145,7 +146,7 @@ impl FlatCombiningBinaryTrie {
     fn combine(&self, trie: &mut SeqBinaryTrie) {
         for rec in self.records.iter() {
             let op = rec.op.load(Ordering::SeqCst);
-            if !(OP_INSERT..=OP_PRED).contains(&op) {
+            if !(OP_INSERT..=OP_SUCC).contains(&op) {
                 continue;
             }
             let key = rec.key.load(Ordering::SeqCst) as u64;
@@ -154,6 +155,7 @@ impl FlatCombiningBinaryTrie {
                 OP_REMOVE => i64::from(trie.remove(key)),
                 OP_CONTAINS => i64::from(trie.contains(key)),
                 OP_PRED => trie.predecessor(key).map(|k| k as i64).unwrap_or(-1),
+                OP_SUCC => trie.successor(key).map(|k| k as i64).unwrap_or(-1),
                 _ => unreachable!(),
             };
             rec.result.store(result, Ordering::SeqCst);
@@ -174,6 +176,12 @@ impl ConcurrentOrderedSet for FlatCombiningBinaryTrie {
     }
     fn predecessor(&self, y: u64) -> Option<u64> {
         match self.submit(OP_PRED, y as i64) {
+            -1 => None,
+            k => Some(k as u64),
+        }
+    }
+    fn successor(&self, y: u64) -> Option<u64> {
+        match self.submit(OP_SUCC, y as i64) {
             -1 => None,
             k => Some(k as u64),
         }

@@ -1,6 +1,6 @@
 //! A Harris lock-free sorted linked-list set with predecessor queries.
 //!
-//! The simplest lock-free ordered set (§3's starting point, [31]): O(n)
+//! The simplest lock-free ordered set (§3's starting point, \[31\]): O(n)
 //! operations, which is exactly the degenerate behaviour the skip trie paper
 //! warns about and the binary trie avoids. Included as the low end of the
 //! E4 comparison and as a second oracle for the list substrate.
@@ -167,6 +167,23 @@ impl HarrisListSet {
         }
         best
     }
+
+    /// Smallest key greater than `y`, or `None` (read-only traversal).
+    pub fn successor(&self, y: u64) -> Option<u64> {
+        let y = y as i64;
+        let _guard = epoch::pin();
+        let mut cur = unsafe { (*self.head).next.load() }.ptr();
+        loop {
+            let key = unsafe { (*cur).key };
+            if key == POS_INF {
+                return None;
+            }
+            if key > y && !unsafe { (*cur).next.load() }.is_marked() {
+                return Some(key as u64);
+            }
+            cur = unsafe { (*cur).next.load() }.ptr();
+        }
+    }
 }
 
 impl HarrisListSet {
@@ -211,6 +228,9 @@ impl ConcurrentOrderedSet for HarrisListSet {
     }
     fn predecessor(&self, y: u64) -> Option<u64> {
         HarrisListSet::predecessor(self, y)
+    }
+    fn successor(&self, y: u64) -> Option<u64> {
+        HarrisListSet::successor(self, y)
     }
     fn name(&self) -> &'static str {
         "harris-list"

@@ -65,6 +65,14 @@ impl ConcurrentOrderedSet for MutexBinaryTrie {
     fn predecessor(&self, y: u64) -> Option<u64> {
         self.inner.lock().predecessor(y)
     }
+    fn successor(&self, y: u64) -> Option<u64> {
+        self.inner.lock().successor(y)
+    }
+    fn range(&self, lo: u64, hi: u64) -> Vec<u64> {
+        // One critical section: an atomic snapshot (the blocking trade E9
+        // measures against the lock-free per-step scan).
+        self.inner.lock().range(lo, hi)
+    }
     fn name(&self) -> &'static str {
         "mutex-trie"
     }
@@ -98,6 +106,12 @@ impl ConcurrentOrderedSet for RwLockBinaryTrie {
     fn predecessor(&self, y: u64) -> Option<u64> {
         self.inner.read().predecessor(y)
     }
+    fn successor(&self, y: u64) -> Option<u64> {
+        self.inner.read().successor(y)
+    }
+    fn range(&self, lo: u64, hi: u64) -> Vec<u64> {
+        self.inner.read().range(lo, hi)
+    }
     fn name(&self) -> &'static str {
         "rwlock-trie"
     }
@@ -129,6 +143,22 @@ impl ConcurrentOrderedSet for CoarseBTreeSet {
     fn predecessor(&self, y: u64) -> Option<u64> {
         self.inner.lock().range(..y).next_back().copied()
     }
+    fn successor(&self, y: u64) -> Option<u64> {
+        // Excluded bound instead of `y + 1..`: this baseline has no
+        // universe cap, so `y = u64::MAX` must yield `None`, not overflow.
+        use std::ops::Bound;
+        self.inner
+            .lock()
+            .range((Bound::Excluded(y), Bound::Unbounded))
+            .next()
+            .copied()
+    }
+    fn range(&self, lo: u64, hi: u64) -> Vec<u64> {
+        if lo > hi {
+            return Vec::new();
+        }
+        self.inner.lock().range(lo..=hi).copied().collect()
+    }
     fn name(&self) -> &'static str {
         "mutex-btreeset"
     }
@@ -145,8 +175,12 @@ mod tests {
         assert!(set.insert(9));
         assert_eq!(set.predecessor(9), Some(5));
         assert_eq!(set.predecessor(5), None);
+        assert_eq!(set.successor(5), Some(9));
+        assert_eq!(set.successor(9), None);
+        assert_eq!(set.range(0, 15), vec![5, 9]);
         assert!(set.remove(5));
         assert_eq!(set.predecessor(9), None);
+        assert_eq!(set.range(0, 15), vec![9]);
         assert!(set.contains(9));
     }
 
@@ -155,6 +189,16 @@ mod tests {
         exercise(&MutexBinaryTrie::new(16));
         exercise(&RwLockBinaryTrie::new(16));
         exercise(&CoarseBTreeSet::new());
+    }
+
+    #[test]
+    fn btreeset_successor_at_key_domain_top_is_none() {
+        // The BTreeSet baseline has no universe cap, so the top of the key
+        // domain itself must answer cleanly instead of overflowing `y + 1`.
+        let set = CoarseBTreeSet::new();
+        set.insert(u64::MAX);
+        assert_eq!(set.successor(u64::MAX), None);
+        assert_eq!(set.successor(u64::MAX - 1), Some(u64::MAX));
     }
 
     #[test]

@@ -183,6 +183,64 @@ impl SeqBinaryTrie {
         Some(t - (1u64 << self.b))
     }
 
+    /// The smallest key in the set greater than `y` (the mirror of
+    /// [`SeqBinaryTrie::predecessor`], with `None` for "no successor").
+    /// O(log u).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y ≥ universe`.
+    pub fn successor(&self, y: u64) -> Option<u64> {
+        self.check(y);
+        let mut t = self.leaf(y);
+        // Ascend until t is a left child whose right sibling is 1.
+        loop {
+            if t == 1 {
+                return None;
+            }
+            if t & 1 == 0 && self.bit(t ^ 1) {
+                break;
+            }
+            t >>= 1;
+        }
+        // Descend the leftmost 1-path from the right sibling.
+        let mut t = t ^ 1;
+        while t < (1u64 << self.b) {
+            t = if self.bit(2 * t) {
+                2 * t
+            } else {
+                debug_assert!(self.bit(2 * t + 1), "internal 1-bit must have a 1-child");
+                2 * t + 1
+            };
+        }
+        Some(t - (1u64 << self.b))
+    }
+
+    /// The keys in `[lo, hi]` ascending, by repeated successor descents
+    /// (O(k log u) for k results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo ≥ universe`.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return out;
+        }
+        if self.contains(lo) {
+            out.push(lo);
+        }
+        let mut cur = lo;
+        while let Some(k) = self.successor(cur) {
+            if k > hi {
+                break;
+            }
+            out.push(k);
+            cur = k;
+        }
+        out
+    }
+
     /// Iterates the keys in ascending order (O(u); diagnostic).
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
         (0..self.universe).filter(move |&x| self.contains(x))
@@ -228,11 +286,12 @@ mod tests {
         for _ in 0..50_000 {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             let x = (state >> 33) % universe;
-            match state % 4 {
+            match state % 5 {
                 0 => assert_eq!(t.insert(x), model.insert(x)),
                 1 => assert_eq!(t.remove(x), model.remove(&x)),
                 2 => assert_eq!(t.contains(x), model.contains(&x)),
-                _ => assert_eq!(t.predecessor(x), model.range(..x).next_back().copied()),
+                3 => assert_eq!(t.predecessor(x), model.range(..x).next_back().copied()),
+                _ => assert_eq!(t.successor(x), model.range(x + 1..).next().copied()),
             }
             assert_eq!(t.len(), model.len());
         }
@@ -245,6 +304,9 @@ mod tests {
             t.insert(x);
         }
         assert_eq!(t.predecessor(4), Some(3));
+        assert_eq!(t.successor(3), Some(4));
+        assert_eq!(t.successor(4), None);
         assert_eq!(t.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.range(1, 3), vec![1, 2, 3]);
     }
 }

@@ -1,9 +1,10 @@
 //! The common interface every evaluated structure implements.
 
-use lftrie_core::{LockFreeBinaryTrie, RelaxedBinaryTrie, RelaxedPred};
+use lftrie_core::{LockFreeBinaryTrie, RelaxedBinaryTrie, RelaxedPred, RelaxedSucc};
 
-/// A concurrent dynamic set over `{0, …, u−1}` with predecessor queries —
-/// the abstract data type of the paper (§1).
+/// A concurrent dynamic set over `{0, …, u−1}` with ordered queries —
+/// the abstract data type of the paper (§1), completed with the successor
+/// and range-scan side.
 ///
 /// All methods take `&self`; implementations must be safe for concurrent use.
 pub trait ConcurrentOrderedSet: Send + Sync {
@@ -16,6 +17,34 @@ pub trait ConcurrentOrderedSet: Send + Sync {
     fn contains(&self, x: u64) -> bool;
     /// Largest key smaller than `y`, or `None` (the paper's −1).
     fn predecessor(&self, y: u64) -> Option<u64>;
+    /// Smallest key greater than `y`, or `None` (the successor extension).
+    fn successor(&self, y: u64) -> Option<u64>;
+    /// The keys in `[lo, hi]` in ascending order.
+    ///
+    /// The default implementation chains `contains`/`successor` steps, so
+    /// for lock-free structures the scan is a *per-step* snapshot (each step
+    /// individually linearizable, the whole scan not atomic — see the trie's
+    /// `range` docs). Lock-based structures override this with a scan under
+    /// a single critical section, which *is* an atomic snapshot; the
+    /// scan-throughput experiment (E9) measures exactly this trade.
+    fn range(&self, lo: u64, hi: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return out;
+        }
+        if self.contains(lo) {
+            out.push(lo);
+        }
+        let mut cur = lo;
+        while let Some(k) = self.successor(cur) {
+            if k > hi {
+                break;
+            }
+            out.push(k);
+            cur = k;
+        }
+        out
+    }
     /// Short display name for reports.
     fn name(&self) -> &'static str;
 }
@@ -33,13 +62,22 @@ impl ConcurrentOrderedSet for LockFreeBinaryTrie {
     fn predecessor(&self, y: u64) -> Option<u64> {
         LockFreeBinaryTrie::predecessor(self, y)
     }
+    fn successor(&self, y: u64) -> Option<u64> {
+        LockFreeBinaryTrie::successor(self, y)
+    }
+    fn range(&self, lo: u64, hi: u64) -> Vec<u64> {
+        if lo > hi {
+            return Vec::new();
+        }
+        LockFreeBinaryTrie::range(self, lo..=hi)
+    }
     fn name(&self) -> &'static str {
         "lockfree-trie"
     }
 }
 
-/// Best-effort adapter for the relaxed trie: `predecessor` maps the
-/// non-linearizable `⊥` answer to `None`.
+/// Best-effort adapter for the relaxed trie: `predecessor`/`successor` map
+/// the non-linearizable `⊥` answer to `None`.
 ///
 /// Only meaningful in throughput experiments that tolerate relaxed
 /// semantics (E5 measures how often `⊥` actually occurs).
@@ -57,6 +95,12 @@ impl ConcurrentOrderedSet for RelaxedBinaryTrie {
         match RelaxedBinaryTrie::predecessor(self, y) {
             RelaxedPred::Found(k) => Some(k),
             RelaxedPred::NoneSmaller | RelaxedPred::Interference => None,
+        }
+    }
+    fn successor(&self, y: u64) -> Option<u64> {
+        match RelaxedBinaryTrie::successor(self, y) {
+            RelaxedSucc::Found(k) => Some(k),
+            RelaxedSucc::NoneGreater | RelaxedSucc::Interference => None,
         }
     }
     fn name(&self) -> &'static str {

@@ -1,7 +1,7 @@
 //! A lock-free skip list with predecessor queries.
 //!
 //! The paper's related work (§3) compares against skip-list-based designs
-//! (Fomitchev–Ruppert [28], the skip trie [41]); this baseline is the
+//! (Fomitchev–Ruppert \[28\], the skip trie \[41\]); this baseline is the
 //! classic Herlihy–Shavit lock-free skip list: per-level Harris lists with a
 //! shared tower per key, logical deletion by marking, physical unlinking
 //! during `find`. `Search` and `Predecessor` are O(log n) *expected* —
@@ -315,6 +315,31 @@ impl LockFreeSkipList {
         }
         best
     }
+
+    /// Smallest key greater than `y`, or `None`: descend to the last tower
+    /// with key `≤ y`, then take the first unmarked bottom-level node after
+    /// it. O(log n) expected.
+    pub fn successor(&self, y: u64) -> Option<u64> {
+        let y = y as i64;
+        let _guard = epoch::pin();
+        let mut pred = self.head;
+        for level in (0..MAX_HEIGHT).rev() {
+            let mut cur = nref(pred).next[level].load().ptr();
+            while nref(cur).key <= y {
+                pred = cur;
+                cur = nref(cur).next[level].load().ptr();
+            }
+        }
+        // Every bottom-level node after `pred` has key > y.
+        let mut cur = nref(pred).next[0].load().ptr();
+        while nref(cur).key != POS_INF {
+            if !nref(cur).next[0].load().is_marked() {
+                return Some(nref(cur).key as u64);
+            }
+            cur = nref(cur).next[0].load().ptr();
+        }
+        None
+    }
 }
 
 impl LockFreeSkipList {
@@ -361,6 +386,9 @@ impl ConcurrentOrderedSet for LockFreeSkipList {
     }
     fn predecessor(&self, y: u64) -> Option<u64> {
         LockFreeSkipList::predecessor(self, y)
+    }
+    fn successor(&self, y: u64) -> Option<u64> {
+        LockFreeSkipList::successor(self, y)
     }
     fn name(&self) -> &'static str {
         "lockfree-skiplist"

@@ -23,15 +23,19 @@ enum Op {
     Remove(u64),
     Contains(u64),
     Predecessor(u64),
+    Successor(u64),
+    Range(u64, u64),
 }
 
 fn ops() -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
-        (0u8..4, 0..UNIVERSE).prop_map(|(kind, key)| match kind {
+        (0u8..6, 0..UNIVERSE, 0..UNIVERSE).prop_map(|(kind, key, key2)| match kind {
             0 => Op::Insert(key),
             1 => Op::Remove(key),
             2 => Op::Contains(key),
-            _ => Op::Predecessor(key),
+            3 => Op::Predecessor(key),
+            4 => Op::Successor(key),
+            _ => Op::Range(key.min(key2), key.max(key2)),
         }),
         1..300,
     )
@@ -48,6 +52,16 @@ fn check(set: &dyn ConcurrentOrderedSet, trace: &[Op]) {
                 set.predecessor(k),
                 model.range(..k).next_back().copied(),
                 "predecessor {k} @{i}"
+            ),
+            Op::Successor(k) => assert_eq!(
+                set.successor(k),
+                model.range(k + 1..).next().copied(),
+                "successor {k} @{i}"
+            ),
+            Op::Range(lo, hi) => assert_eq!(
+                set.range(lo, hi),
+                model.range(lo..=hi).copied().collect::<Vec<_>>(),
+                "range {lo}..={hi} @{i}"
             ),
         }
     }
@@ -99,6 +113,15 @@ proptest! {
                 Op::Contains(k) => prop_assert_eq!(trie.contains(k), model.contains(&k)),
                 Op::Predecessor(k) => {
                     prop_assert_eq!(trie.predecessor(k), model.range(..k).next_back().copied())
+                }
+                Op::Successor(k) => {
+                    prop_assert_eq!(trie.successor(k), model.range(k + 1..).next().copied())
+                }
+                Op::Range(lo, hi) => {
+                    prop_assert_eq!(
+                        trie.range(lo, hi),
+                        model.range(lo..=hi).copied().collect::<Vec<_>>()
+                    )
                 }
             }
         }

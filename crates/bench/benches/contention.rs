@@ -28,6 +28,7 @@ fn bench_structure<S: ConcurrentOrderedSet>(
                     mix: OpMix::UPDATE_HEAVY,
                     keys: KeyDist::Uniform,
                     seed: 42,
+                    scan_width: lftrie_harness::workload::DEFAULT_SCAN_WIDTH,
                 };
                 let res = run(&set, &cfg);
                 // Normalize to "time for `iters` ops per thread".
@@ -76,6 +77,7 @@ fn bench_hotspot(c: &mut Criterion) {
                         mix: OpMix::UPDATE_HEAVY,
                         keys: KeyDist::HOT_90_10,
                         seed: 42,
+                        scan_width: lftrie_harness::workload::DEFAULT_SCAN_WIDTH,
                     };
                     run(&set, &cfg).elapsed
                 })

@@ -1,0 +1,103 @@
+//! Ordered range-scan latencies across every structure (the bench-side
+//! companion of experiment E9): `cargo bench -p lftrie-bench --bench scans`.
+//!
+//! Three groups:
+//!
+//! * `range_narrow_solo` / `range_wide_solo` — quiescent `range(a..=b)`
+//!   scans at widths 32 and 1024 over a 30%-dense universe;
+//! * `iter_from_solo` — the trie's native iterator taking a fixed number of
+//!   certified successor steps.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lftrie_baselines::{
+    CoarseBTreeSet, ConcurrentOrderedSet, FlatCombiningBinaryTrie, HarrisListSet, LockFreeSkipList,
+    MutexBinaryTrie, RwLockBinaryTrie,
+};
+use lftrie_core::{LockFreeBinaryTrie, RelaxedBinaryTrie};
+
+const UNIVERSE: u64 = 1 << 14;
+
+fn structures() -> Vec<Box<dyn ConcurrentOrderedSet>> {
+    vec![
+        Box::new(LockFreeBinaryTrie::new(UNIVERSE)),
+        Box::new(RelaxedBinaryTrie::new(UNIVERSE)),
+        Box::new(MutexBinaryTrie::new(UNIVERSE)),
+        Box::new(RwLockBinaryTrie::new(UNIVERSE)),
+        Box::new(CoarseBTreeSet::new()),
+        Box::new(FlatCombiningBinaryTrie::new(UNIVERSE)),
+        Box::new(LockFreeSkipList::new()),
+        Box::new(HarrisListSet::new()),
+    ]
+}
+
+fn prefill(set: &dyn ConcurrentOrderedSet, stride: u64) {
+    for k in (0..UNIVERSE).step_by(stride as usize) {
+        set.insert(k);
+    }
+}
+
+fn stride_for(set: &dyn ConcurrentOrderedSet) -> u64 {
+    // Harris list is O(n) per successor step: keep its content small.
+    if set.name() == "harris-list" {
+        64
+    } else {
+        3
+    }
+}
+
+fn bench_width(c: &mut Criterion, group_name: &str, width: u64) {
+    let mut group = c.benchmark_group(group_name);
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for set in structures() {
+        prefill(set.as_ref(), stride_for(set.as_ref()));
+        let mut lo = 0u64;
+        group.bench_function(set.name(), |b| {
+            b.iter(|| {
+                lo = (lo + 12_289) % (UNIVERSE - width);
+                std::hint::black_box(set.range(lo, lo + width - 1))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_narrow(c: &mut Criterion) {
+    bench_width(c, "range_narrow_solo", 32);
+}
+
+fn bench_range_wide(c: &mut Criterion) {
+    bench_width(c, "range_wide_solo", 1024);
+}
+
+fn bench_iter_from(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iter_from_solo");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let trie = LockFreeBinaryTrie::new(UNIVERSE);
+    for k in (0..UNIVERSE).step_by(3) {
+        trie.insert(k);
+    }
+    let mut start = 0u64;
+    group.bench_function("lockfree-trie/64-steps", |b| {
+        b.iter(|| {
+            start = (start + 12_289) % UNIVERSE;
+            std::hint::black_box(trie.iter_from(start).take(64).count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_range_narrow,
+    bench_range_wide,
+    bench_iter_from
+);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! `RelaxedPredecessor` (paper §4.4, lines 22–90).
 //!
 //! Comments carry the paper's pseudocode line numbers. The routines are
-//! generic over [`LatestAccess`], which is how §5 swaps in the latest-list
+//! generic over `LatestAccess`, which is how §5 swaps in the latest-list
 //! implementations of `FindLatest`/`FirstActivated` without touching these
 //! algorithms.
 //!

@@ -45,4 +45,4 @@ pub mod relaxed;
 pub mod trie;
 
 pub use relaxed::{LatestInfo, RelaxedBinaryTrie, RelaxedPred, RelaxedSucc};
-pub use trie::LockFreeBinaryTrie;
+pub use trie::{IterFrom, LockFreeBinaryTrie};

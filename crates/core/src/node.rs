@@ -19,7 +19,7 @@ use lftrie_primitives::minreg::{AndMinRegister, MinRegister};
 use lftrie_primitives::registry::Reclaim;
 use lftrie_primitives::steps;
 use lftrie_primitives::swcursor::PublishedKey;
-use lftrie_primitives::{NO_PRED, POS_INF};
+use lftrie_primitives::{NEG_INF, NO_PRED, NO_SUCC, POS_INF};
 
 /// `type` field of an update node: INS or DEL (Figure 4 line 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +44,11 @@ pub enum Status {
 
 /// Sentinel for "delPred2 not yet written" (`⊥` in Figure 6 line 104).
 pub(crate) const DELPRED2_UNSET: i64 = i64::MIN;
+
+/// Sentinel for "delSucc2 not yet written" (the successor mirror of
+/// [`DELPRED2_UNSET`]; legitimate values are universe keys or
+/// [`NO_SUCC`], both `> NEG_INF`).
+pub(crate) const DELSUCC2_UNSET: i64 = i64::MIN;
 
 /// An INS or DEL update node (Figures 4 and 6).
 ///
@@ -95,6 +100,14 @@ pub struct UpdateNode {
     del_pred: AtomicI64,
     /// DEL: `⊥ →` result of the second embedded predecessor (line 104).
     del_pred2: AtomicI64,
+    /// DEL: successor node of the first embedded successor (the left/right
+    /// mirror of `del_pred_node`; successor extension).
+    del_succ_node: AtomicPtr<SuccNode>,
+    /// DEL: result of the first embedded successor (mirror of `del_pred`).
+    del_succ: AtomicI64,
+    /// DEL: `⊥ →` result of the second embedded successor (mirror of
+    /// `del_pred2`).
+    del_succ2: AtomicI64,
 }
 
 // Safety: every field is either immutable after publication or atomic; raw
@@ -159,6 +172,9 @@ impl UpdateNode {
             del_pred_node: AtomicPtr::new(core::ptr::null_mut()),
             del_pred: AtomicI64::new(NO_PRED),
             del_pred2: AtomicI64::new(DELPRED2_UNSET),
+            del_succ_node: AtomicPtr::new(core::ptr::null_mut()),
+            del_succ: AtomicI64::new(NO_SUCC),
+            del_succ2: AtomicI64::new(DELSUCC2_UNSET),
         }
     }
 
@@ -336,6 +352,51 @@ impl UpdateNode {
         steps::on_write();
         self.del_pred2.store(key, Ordering::SeqCst);
     }
+
+    #[inline]
+    pub(crate) fn del_succ_node(&self) -> *mut SuccNode {
+        steps::on_read();
+        self.del_succ_node.load(Ordering::SeqCst)
+    }
+
+    /// Writes the immutable `delSuccNode` before the node is published
+    /// (mirror of line 189).
+    #[inline]
+    pub(crate) fn init_del_succ_node(&self, node: *mut SuccNode) {
+        self.del_succ_node.store(node, Ordering::SeqCst);
+    }
+
+    #[inline]
+    pub(crate) fn del_succ(&self) -> i64 {
+        steps::on_read();
+        self.del_succ.load(Ordering::SeqCst)
+    }
+
+    /// Writes the immutable `delSucc` before the node is published (mirror
+    /// of line 188).
+    #[inline]
+    pub(crate) fn init_del_succ(&self, key: i64) {
+        self.del_succ.store(key, Ordering::SeqCst);
+    }
+
+    /// Reads `delSucc2`; `None` until the second embedded successor's result
+    /// is recorded.
+    #[inline]
+    pub(crate) fn del_succ2(&self) -> Option<i64> {
+        steps::on_read();
+        match self.del_succ2.load(Ordering::SeqCst) {
+            DELSUCC2_UNSET => None,
+            v => Some(v),
+        }
+    }
+
+    /// `dNode.delSucc2 ← delSucc2` (mirror of line 201); written once.
+    #[inline]
+    pub(crate) fn set_del_succ2(&self, key: i64) {
+        debug_assert_ne!(key, DELSUCC2_UNSET);
+        steps::on_write();
+        self.del_succ2.store(key, Ordering::SeqCst);
+    }
 }
 
 impl Reclaim for UpdateNode {
@@ -405,12 +466,19 @@ pub(crate) struct NotifyRecord {
     /// DEL notifiers: `delPred2`, final by the time any DEL notifies
     /// (line 201 precedes line 203); [`DELPRED2_UNSET`] on INS notifiers.
     pub del_pred2: i64,
-    /// Id of the INS node with the largest key `< pNode.key` the notifier
-    /// saw in the U-ALL (line 112); 0 is `⊥`.
-    pub max_seq: u64,
-    /// That node's key ([`NO_PRED`] when `max_seq` is 0).
-    pub max_key: i64,
-    /// The receiver's `RuallPosition.key` at send time (line 113).
+    /// DEL notifiers: `delSucc2` (the successor mirror, final for the same
+    /// reason); [`DELSUCC2_UNSET`] on INS notifiers.
+    pub del_succ2: i64,
+    /// Id of the extremal INS node the notifier saw in its full traversal
+    /// (line 112): for a predecessor receiver, the largest key
+    /// `< pNode.key`; for a successor receiver, the *smallest* key
+    /// `> sNode.key`. 0 is `⊥`.
+    pub ext_seq: u64,
+    /// That node's key ([`NO_PRED`] / [`NO_SUCC`] when `ext_seq` is 0).
+    pub ext_key: i64,
+    /// The receiver's published traversal position at send time (line 113):
+    /// `RuallPosition` for predecessor receivers, `UallPosition` for
+    /// successor receivers.
     pub notify_threshold: i64,
 }
 
@@ -468,6 +536,68 @@ impl core::fmt::Debug for PredNode {
     }
 }
 
+/// A successor node in the S-ALL: the left/right mirror of [`PredNode`]
+/// (successor extension; no paper counterpart).
+///
+/// Where a predecessor operation traverses the RU-ALL descending from `+∞`
+/// publishing `RuallPosition`, a successor operation traverses the U-ALL
+/// ascending from `−∞` publishing `uall_position` — so its cursor starts at
+/// [`NEG_INF`] and ends at [`POS_INF`], and notify-threshold comparisons
+/// flip direction.
+pub struct SuccNode {
+    /// Immutable input key `y`.
+    pub(crate) key: i64,
+    /// Insert-only list of notifications (mirror of Figure 6 line 107).
+    pub(crate) notify_list: PushStack<NotifyRecord>,
+    /// Published U-ALL traversal position; initially the `−∞` sentinel's
+    /// key. Written by the owner via the validated-copy protocol.
+    pub(crate) uall_position: PublishedKey,
+    /// The S-ALL cell this node was announced with, for removal.
+    sall_cell: AtomicPtr<PallCell<SuccNode>>,
+}
+
+// Safety: as for PredNode.
+unsafe impl Send for SuccNode {}
+unsafe impl Sync for SuccNode {}
+
+/// Successor nodes are retired only after their S-ALL announcement is
+/// removed; the one long-lived path to them (`dNode.delSuccNode`) is only
+/// followed for DEL nodes found announced in the successor operation's own
+/// published U-ALL traversal — impossible for threads pinning after the
+/// owning `Delete` de-announced. The mirror of [`PredNode`]'s argument, so
+/// the plain grace period suffices and no readiness gate is needed.
+impl Reclaim for SuccNode {}
+
+impl SuccNode {
+    /// Creates the announcement record for a `SuccHelper(y)` instance.
+    pub(crate) fn new(key: i64) -> Self {
+        Self {
+            key,
+            notify_list: PushStack::new(),
+            uall_position: PublishedKey::new(NEG_INF),
+            sall_cell: AtomicPtr::new(core::ptr::null_mut()),
+        }
+    }
+
+    pub(crate) fn sall_cell(&self) -> *mut PallCell<SuccNode> {
+        self.sall_cell.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_sall_cell(&self, cell: *mut PallCell<SuccNode>) {
+        self.sall_cell.store(cell, Ordering::SeqCst);
+    }
+}
+
+impl core::fmt::Debug for SuccNode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SuccNode")
+            .field("key", &self.key)
+            .field("uall_position", &self.uall_position.load())
+            .field("notifications", &self.notify_list.len())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,6 +647,25 @@ mod tests {
         assert_eq!(d.del_pred2(), None);
         d.set_del_pred2(-1);
         assert_eq!(d.del_pred2(), Some(-1));
+    }
+
+    #[test]
+    fn del_succ2_transitions_from_unset() {
+        let d = UpdateNode::new_del(5, Status::Inactive, core::ptr::null_mut(), 4);
+        assert_eq!(d.del_succ(), NO_SUCC, "delSucc defaults to no-successor");
+        assert_eq!(d.del_succ2(), None);
+        d.set_del_succ2(NO_SUCC);
+        assert_eq!(d.del_succ2(), Some(NO_SUCC));
+    }
+
+    #[test]
+    fn succ_node_cursor_starts_at_neg_inf() {
+        // The S-ALL mirror of the `RuallPosition`-starts-at-+∞ invariant:
+        // the published U-ALL cursor must start at the −∞ head sentinel so
+        // pre-traversal notifications fail every threshold comparison.
+        let s = SuccNode::new(9);
+        assert_eq!(s.uall_position.load(), NEG_INF);
+        assert!(s.sall_cell().is_null());
     }
 
     #[test]

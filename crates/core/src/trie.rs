@@ -18,6 +18,30 @@
 //!   traversal returns ⊥.
 //!
 //! Pseudocode line numbers (91–269) are cited throughout.
+//!
+//! # Successor extension
+//!
+//! The paper gives `Predecessor` only; this implementation completes the
+//! ordered-set API with a linearizable `successor(y)` built as the exact
+//! left/right mirror of the predecessor machinery:
+//!
+//! * an **S-ALL** (successor announcement list, the mirror of the P-ALL)
+//!   holding `SuccNode`s, which recycle through the same epoch-aware
+//!   registry/pool pipeline as predecessor nodes;
+//! * successor operations traverse the **U-ALL** ascending from `−∞` with a
+//!   published cursor (`SuccNode::uall_position`, mirroring
+//!   `RuallPosition`), and the RU-ALL plainly for keys `> y` (mirroring
+//!   `TraverseUall(y)`);
+//! * updates notify announced successor operations with the same
+//!   value-snapshot records, stamping the receiver's published U-ALL
+//!   position as the threshold; every threshold comparison flips direction;
+//! * every `Delete` additionally embeds two successor operations whose
+//!   results (`delSucc`, `delSucc2`) drive the mirrored ⊥-recovery
+//!   computation when `RelaxedSuccessor` is obstructed.
+//!
+//! On top of `successor`, [`LockFreeBinaryTrie::iter_from`] and
+//! [`LockFreeBinaryTrie::range`] provide ordered scans by repeated
+//! certified successor steps (see their docs for the snapshot semantics).
 
 use core::sync::atomic::{AtomicU64, Ordering};
 
@@ -25,11 +49,13 @@ use lftrie_lists::announce::AnnounceList;
 use lftrie_lists::pall::PallList;
 use lftrie_primitives::epoch::{self, Guard};
 use lftrie_primitives::registry::{AllocStats, Registry};
-use lftrie_primitives::{Key, NEG_INF, NO_PRED, POS_INF};
+use lftrie_primitives::{Key, NEG_INF, NO_PRED, NO_SUCC, POS_INF};
 
 use crate::access::{LatestAccess, TrieCore};
 use crate::bitops;
-use crate::node::{Kind, NotifyRecord, PredNode, Status, UpdateNode, DELPRED2_UNSET};
+use crate::node::{
+    Kind, NotifyRecord, PredNode, Status, SuccNode, UpdateNode, DELPRED2_UNSET, DELSUCC2_UNSET,
+};
 
 /// An update-node identity + key snapshot taken from a [`NotifyRecord`]:
 /// what the predecessor computation keeps of a notifier without ever
@@ -41,13 +67,15 @@ struct NotifyCand {
 }
 
 /// One element of the recovery sequence `L` (lines 231–243): again a pure
-/// value snapshot of a notify record.
+/// value snapshot of a notify record. `del_pred2` feeds the predecessor
+/// recovery's edges, `del_succ2` the mirrored successor recovery's.
 #[derive(Debug, Clone, Copy)]
 struct RecoverEntry {
     seq: u64,
     key: i64,
     kind: Kind,
     del_pred2: i64,
+    del_succ2: i64,
 }
 
 /// The unique id of a live update node (helper for identity tests between
@@ -75,6 +103,8 @@ fn seq_of(node: *mut UpdateNode) -> u64 {
 /// assert!(set.contains(311));
 /// assert_eq!(set.predecessor(311), Some(100));
 /// assert_eq!(set.predecessor(100), None);
+/// assert_eq!(set.successor(100), Some(311));
+/// assert_eq!(set.range(0..=311), vec![100, 311]);
 /// set.remove(100);
 /// assert_eq!(set.predecessor(311), None);
 /// ```
@@ -87,13 +117,22 @@ pub struct LockFreeBinaryTrie {
     ruall: AnnounceList<UpdateNode>,
     /// P-ALL: predecessor announcements (§5.1).
     pall: PallList<PredNode>,
+    /// S-ALL: successor announcements (the mirror of the P-ALL; successor
+    /// extension).
+    sall: PallList<SuccNode>,
     /// Epoch-aware registry owning every predecessor node (DESIGN.md D4);
     /// nodes are retired when their operation withdraws its announcement.
     preds: Registry<PredNode>,
+    /// Epoch-aware registry owning every successor node; same lifecycle as
+    /// `preds`.
+    succs: Registry<SuccNode>,
     /// Diagnostic tallies (experiment E5/E7): how often `predecessor` used
     /// the relaxed traversal vs. the ⊥-recovery path.
     relaxed_bottoms: AtomicU64,
     recoveries: AtomicU64,
+    /// The same tallies for `successor` (mirror paths).
+    relaxed_succ_bottoms: AtomicU64,
+    succ_recoveries: AtomicU64,
 }
 
 impl LatestAccess for LockFreeBinaryTrie {
@@ -139,9 +178,13 @@ impl LockFreeBinaryTrie {
             uall: AnnounceList::new(lftrie_lists::Direction::Ascending),
             ruall: AnnounceList::new(lftrie_lists::Direction::Descending),
             pall: PallList::new(),
+            sall: PallList::new(),
             preds: Registry::new(),
+            succs: Registry::new(),
             relaxed_bottoms: AtomicU64::new(0),
             recoveries: AtomicU64::new(0),
+            relaxed_succ_bottoms: AtomicU64::new(0),
+            succ_recoveries: AtomicU64::new(0),
         }
     }
 
@@ -236,17 +279,24 @@ impl LockFreeBinaryTrie {
         (ins, del) // L145
     }
 
-    /// `NotifyPredOps(uNode)` (lines 146–155): send a notification about
-    /// `uNode` to every announced predecessor operation.
-    fn notify_pred_ops(&self, u_node: *mut UpdateNode, guard: &Guard<'_>) {
+    /// `NotifyPredOps(uNode)` (lines 146–155) plus its successor mirror:
+    /// send a notification about `uNode` to every announced predecessor
+    /// *and* successor operation. One full U-ALL traversal (L147,
+    /// `TraverseUall(∞)`) yields the INS set both extremum computations
+    /// read.
+    fn notify_query_ops(&self, u_node: *mut UpdateNode, guard: &Guard<'_>) {
         let (ins, _del) = self.traverse_uall(POS_INF, guard); // L147: TraverseUall(∞)
         let u = unsafe { &*u_node };
-        // DEL nodes notify only after line 201, so delPred2 is final and can
-        // be snapshotted into the (pointer-free) record.
-        let del_pred2 = if u.kind() == Kind::Del {
-            u.del_pred2().unwrap_or(DELPRED2_UNSET)
+        // DEL nodes notify only after line 201 (and its successor mirror),
+        // so delPred2/delSucc2 are final and can be snapshotted into the
+        // (pointer-free) record.
+        let (del_pred2, del_succ2) = if u.kind() == Kind::Del {
+            (
+                u.del_pred2().unwrap_or(DELPRED2_UNSET),
+                u.del_succ2().unwrap_or(DELSUCC2_UNSET),
+            )
         } else {
-            DELPRED2_UNSET
+            (DELPRED2_UNSET, DELSUCC2_UNSET)
         };
         for p_cell in self.pall.iter(guard) {
             // L148
@@ -263,16 +313,46 @@ impl LockFreeBinaryTrie {
                 .filter(|&i| unsafe { (*i).key() } < p.key)
                 .max_by_key(|&i| unsafe { (*i).key() }); // L153
             let record = NotifyRecord {
-                key: u.key(),                               // L151
-                kind: u.kind(),                             // (line 220's read)
-                seq: u.seq,                                 // L152, by identity
-                del_pred2,                                  // (line 245's read)
-                max_seq: update_node_max.map_or(0, seq_of), // L153
-                max_key: update_node_max.map_or(NO_PRED, |i| unsafe { (*i).key() }),
+                key: u.key(),   // L151
+                kind: u.kind(), // (line 220's read)
+                seq: u.seq,     // L152, by identity
+                del_pred2,      // (line 245's read)
+                del_succ2,
+                ext_seq: update_node_max.map_or(0, seq_of), // L153
+                ext_key: update_node_max.map_or(NO_PRED, |i| unsafe { (*i).key() }),
                 notify_threshold: p.ruall_position.load(), // L154
             };
             // L155 + SendNotification (lines 156–161): guarded push.
             if !p
+                .notify_list
+                .push_with(record, || self.first_activated(u_node))
+            {
+                return;
+            }
+        }
+        for s_cell in self.sall.iter(guard) {
+            // Mirror of L148–155 for announced successor operations.
+            let s_node = unsafe { (*s_cell).payload() };
+            let s = unsafe { &*s_node };
+            if !self.first_activated(u_node) {
+                return;
+            }
+            let update_node_min = ins
+                .iter()
+                .copied()
+                .filter(|&i| unsafe { (*i).key() } > s.key)
+                .min_by_key(|&i| unsafe { (*i).key() });
+            let record = NotifyRecord {
+                key: u.key(),
+                kind: u.kind(),
+                seq: u.seq,
+                del_pred2,
+                del_succ2,
+                ext_seq: update_node_min.map_or(0, seq_of),
+                ext_key: update_node_min.map_or(NO_SUCC, |i| unsafe { (*i).key() }),
+                notify_threshold: s.uall_position.load(),
+            };
+            if !s
                 .notify_list
                 .push_with(record, || self.first_activated(u_node))
             {
@@ -324,6 +404,78 @@ impl LockFreeBinaryTrie {
             }
         }
         (ins, del) // L269
+    }
+
+    /// Mirror of `TraverseUall(x)` for successor operations: update nodes
+    /// with key `> y` that are first-activated, split into `(I, D)` by
+    /// kind, collected from the RU-ALL (which walks descending, so the
+    /// `key > y` region is its prefix).
+    fn traverse_ruall_above(
+        &self,
+        y: i64,
+        guard: &Guard<'_>,
+    ) -> (Vec<*mut UpdateNode>, Vec<*mut UpdateNode>) {
+        let mut ins = Vec::new();
+        let mut del = Vec::new();
+        for (key, u_node) in self.ruall.iter(guard) {
+            if key <= y {
+                break;
+            }
+            let u = unsafe { &*u_node };
+            if u.status() != Status::Inactive && self.first_activated(u_node) {
+                let bucket = if u.kind() == Kind::Ins {
+                    &mut ins
+                } else {
+                    &mut del
+                };
+                if !bucket.contains(&u_node) {
+                    bucket.push(u_node);
+                }
+            }
+        }
+        (ins, del)
+    }
+
+    /// Mirror of `TraverseRUall(pNode)` (lines 257–269): walk the **U-ALL**
+    /// ascending from its `−∞` head, publishing the position key in the
+    /// successor node's cursor, collecting first-activated nodes with key
+    /// `> y`.
+    fn traverse_uall_publishing(
+        &self,
+        s_node: *mut SuccNode,
+        guard: &Guard<'_>,
+    ) -> (Vec<*mut UpdateNode>, Vec<*mut UpdateNode>) {
+        let s = unsafe { &*s_node };
+        let y = s.key;
+        let mut ins = Vec::new();
+        let mut del = Vec::new();
+        let mut cell = self.uall.head(); // −∞ sentinel
+        loop {
+            // Atomic-copy step (validated publication, DESIGN.md D3).
+            // Safety: `cell` starts at this list's head sentinel and each hop
+            // returns another cell of the same list; the POS_INF break below
+            // stops the walk before the tail is passed back in.
+            cell = unsafe { self.uall.advance_publishing(cell, &s.uall_position, guard) };
+            let key = unsafe { (*cell).key() };
+            if key == POS_INF {
+                break; // tail sentinel reached; payload is null
+            }
+            if key > y {
+                let u_node = unsafe { (*cell).payload() };
+                let u = unsafe { &*u_node };
+                if u.status() != Status::Inactive && self.first_activated(u_node) {
+                    let bucket = if u.kind() == Kind::Ins {
+                        &mut ins
+                    } else {
+                        &mut del
+                    };
+                    if !bucket.contains(&u_node) {
+                        bucket.push(u_node);
+                    }
+                }
+            }
+        }
+        (ins, del)
     }
 
     // ------------------------------------------------------------------
@@ -387,7 +539,7 @@ impl LockFreeBinaryTrie {
                                                   // drain (`UpdateNode::ready_to_reclaim`).
         unsafe { self.core.retire_node(d_node, guard) };
         bitops::insert_binary_trie(&self.core, self, i_node); // L176
-        self.notify_pred_ops(i_node, guard); // L177
+        self.notify_query_ops(i_node, guard); // L177 (+ successor mirror)
         unsafe { (*i_node).set_completed() }; // L178
         self.deannounce(i_node, guard); // L179
         true // L180
@@ -407,9 +559,11 @@ impl LockFreeBinaryTrie {
             return false; // L183: x not in S
         }
         // L184: first embedded predecessor (its announcement stays in the
-        // P-ALL until this Delete returns).
+        // P-ALL until this Delete returns), plus the mirrored first embedded
+        // successor in the S-ALL.
         let (del_pred, p_node1) = self.pred_helper(x, guard);
-        // L185–189: new inactive DEL node recording the embedded result.
+        let (del_succ, s_node1) = self.succ_helper(x, guard);
+        // L185–189: new inactive DEL node recording the embedded results.
         let d_node = self.core.alloc_node(UpdateNode::new_del(
             x,
             Status::Inactive,
@@ -419,13 +573,16 @@ impl LockFreeBinaryTrie {
         unsafe {
             (*d_node).init_del_pred(del_pred); // L188
             (*d_node).init_del_pred_node(p_node1); // L189
+            (*d_node).init_del_succ(del_succ); // mirror of L188
+            (*d_node).init_del_succ_node(s_node1); // mirror of L189
             (*i_node).clear_latest_next(); // L190
         }
-        self.notify_pred_ops(i_node, guard); // L191: help previous Insert notify
+        self.notify_query_ops(i_node, guard); // L191: help previous Insert notify
         if !self.core.cas_latest(x, i_node, d_node) {
             // L192 failed: dNode was never published.
             self.help_activate(self.core.latest_head(x), guard); // L193
             self.remove_pred_node(p_node1, guard); // L194
+            self.remove_succ_node(s_node1, guard);
             unsafe { self.core.dealloc_node(d_node) };
             return false; // L195
         }
@@ -440,15 +597,19 @@ impl LockFreeBinaryTrie {
                                                   // iNode is off the latest[x] list: retire it (freed once its own
                                                   // Insert completed and target references drain).
         unsafe { self.core.retire_node(i_node, guard) };
-        // L200–201: second embedded predecessor.
+        // L200–201: second embedded predecessor, and its successor mirror.
         let (del_pred2, p_node2) = self.pred_helper(x, guard);
         unsafe { (*d_node).set_del_pred2(del_pred2) };
+        let (del_succ2, s_node2) = self.succ_helper(x, guard);
+        unsafe { (*d_node).set_del_succ2(del_succ2) };
         bitops::delete_binary_trie(&self.core, self, d_node); // L202
-        self.notify_pred_ops(d_node, guard); // L203
+        self.notify_query_ops(d_node, guard); // L203 (+ successor mirror)
         unsafe { (*d_node).set_completed() }; // L204
         self.deannounce(d_node, guard); // L205
         self.remove_pred_node(p_node1, guard); // L206
         self.remove_pred_node(p_node2, guard);
+        self.remove_succ_node(s_node1, guard);
+        self.remove_succ_node(s_node2, guard);
         true
     }
 
@@ -484,6 +645,89 @@ impl LockFreeBinaryTrie {
         // `pred_helper`, and each PredNode is de-announced exactly once.
         unsafe { self.pall.remove(cell, guard) };
         unsafe { self.preds.retire(p_node, guard) };
+    }
+
+    /// `Successor(y)`: the smallest key in the set greater than `y`, or
+    /// `None`. Linearizable — the exact mirror of `Predecessor` (lines
+    /// 253–256).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y ≥ universe`.
+    pub fn successor(&self, y: Key) -> Option<Key> {
+        let y = self.check_key(y);
+        let guard = &epoch::pin();
+        let (succ, s_node) = self.succ_helper(y, guard);
+        self.remove_succ_node(s_node, guard);
+        if succ == NO_SUCC {
+            None
+        } else {
+            Some(succ as Key)
+        }
+    }
+
+    /// An ordered iterator over the keys `≥ start`, produced by repeated
+    /// linearizable [`LockFreeBinaryTrie::successor`] steps.
+    ///
+    /// **Snapshot semantics:** each step is individually linearizable, but
+    /// the scan as a whole is *not* an atomic snapshot. The yielded sequence
+    /// is strictly increasing, every yielded key was in the set at its
+    /// step's linearization point, and every key that is in the set
+    /// throughout the entire scan (and `≥ start`) is yielded; keys
+    /// concurrently inserted or removed may or may not appear.
+    ///
+    /// # Panics
+    ///
+    /// Panics (on the first `next()`) if `start ≥ universe`.
+    pub fn iter_from(&self, start: Key) -> IterFrom<'_> {
+        IterFrom {
+            trie: self,
+            state: IterState::CheckStart(start),
+        }
+    }
+
+    /// Collects the keys in `range` in ascending order, by repeated
+    /// certified successor steps ([`LockFreeBinaryTrie::iter_from`]'s
+    /// per-step snapshot semantics apply). The upper bound is clamped to
+    /// the universe.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lftrie_core::LockFreeBinaryTrie;
+    ///
+    /// let set = LockFreeBinaryTrie::new(64);
+    /// for k in [3, 17, 40, 41] {
+    ///     set.insert(k);
+    /// }
+    /// assert_eq!(set.range(3..=40), vec![3, 17, 40]);
+    /// assert_eq!(set.range(4..=16), Vec::<u64>::new());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range start is `≥ universe` (consistently with
+    /// [`LockFreeBinaryTrie::successor`] — an out-of-universe start is a
+    /// caller bug, not an empty scan).
+    pub fn range(&self, range: core::ops::RangeInclusive<Key>) -> Vec<Key> {
+        let (lo, hi) = (*range.start(), *range.end());
+        self.check_key(lo);
+        let hi = hi.min(self.universe - 1);
+        if lo > hi {
+            return Vec::new();
+        }
+        self.iter_from(lo).take_while(|&k| k <= hi).collect()
+    }
+
+    /// Withdraws a successor node's announcement and retires it (the mirror
+    /// of [`LockFreeBinaryTrie::remove_pred_node`]; see [`SuccNode`]'s
+    /// `Reclaim` impl for why the plain grace period suffices).
+    fn remove_succ_node(&self, s_node: *mut SuccNode, guard: &Guard<'_>) {
+        let cell = unsafe { (*s_node).sall_cell() };
+        // Safety: the cell was stored into the SuccNode by the `insert` in
+        // `succ_helper`, and each SuccNode is de-announced exactly once.
+        unsafe { self.sall.remove(cell, guard) };
+        unsafe { self.succs.retire(s_node, guard) };
     }
 
     // ------------------------------------------------------------------
@@ -548,12 +792,12 @@ impl LockFreeBinaryTrie {
             if record.notify_threshold == NEG_INF
                 && !i_ruall.iter().any(|&u| seq_of(u) == record.seq)
                 && !d_ruall.iter().any(|&u| seq_of(u) == record.seq)
-                && record.max_seq != 0
-                && !i_notify.iter().any(|c| c.seq == record.max_seq)
+                && record.ext_seq != 0
+                && !i_notify.iter().any(|c| c.seq == record.ext_seq)
             {
                 i_notify.push(NotifyCand {
-                    seq: record.max_seq,
-                    key: record.max_key,
+                    seq: record.ext_seq,
+                    key: record.ext_key,
                 });
             }
         }
@@ -627,6 +871,7 @@ impl LockFreeBinaryTrie {
                             key: record.key,
                             kind: record.kind,
                             del_pred2: record.del_pred2,
+                            del_succ2: record.del_succ2,
                         },
                     );
                 }
@@ -650,6 +895,7 @@ impl LockFreeBinaryTrie {
                         key: record.key,
                         kind: record.kind,
                         del_pred2: record.del_pred2,
+                        del_succ2: record.del_succ2,
                     },
                 ); // L240–241
             }
@@ -712,6 +958,241 @@ impl LockFreeBinaryTrie {
 
         // L251: max R; the paper proves R is non-empty here.
         r_set.into_iter().max().unwrap_or(NO_PRED)
+    }
+
+    // ------------------------------------------------------------------
+    // SuccHelper (the left/right mirror of lines 207–252)
+    // ------------------------------------------------------------------
+
+    /// `SuccHelper(y)`: computes the candidate return values and returns the
+    /// smallest, along with the still-announced successor node. Every
+    /// comparison of `PredHelper` flips direction; the published traversal
+    /// runs over the U-ALL (ascending) instead of the RU-ALL.
+    fn succ_helper(&self, y: i64, guard: &Guard<'_>) -> (i64, *mut SuccNode) {
+        // Mirror of L208–209: announce in the S-ALL.
+        let s_node = self.succs.alloc(SuccNode::new(y));
+        let s_cell = self.sall.insert(s_node, guard);
+        unsafe { (*s_node).set_sall_cell(s_cell) };
+
+        // Mirror of L210–214: Q = successor announcements older than ours,
+        // oldest-first.
+        let q: Vec<*mut SuccNode> = {
+            let mut q: Vec<*mut SuccNode> = self
+                .sall
+                .iter_after(s_cell, guard)
+                .map(|c| unsafe { (*c).payload() })
+                .collect();
+            q.reverse();
+            q
+        };
+
+        let (i_pub, d_pub) = self.traverse_uall_publishing(s_node, guard); // mirror of L215
+        let r0 = bitops::relaxed_successor(&self.core, self, y); // mirror of L216
+        let (i_plain, d_plain) = self.traverse_ruall_above(y, guard); // mirror of L217
+
+        // Mirror of L218–227: collect notifications. The published cursor
+        // ascends from −∞ to +∞, so every threshold comparison flips: an
+        // update is taken from its notification exactly when the traversal's
+        // position had already passed its key region at send time.
+        let mut i_notify: Vec<NotifyCand> = Vec::new();
+        let mut d_notify: Vec<NotifyCand> = Vec::new();
+        let s = unsafe { &*s_node };
+        for record in s.notify_list.iter() {
+            // Notify nodes with key > y only.
+            if record.key <= y {
+                continue;
+            }
+            if record.kind == Kind::Ins {
+                // Mirror of L220–222.
+                if record.notify_threshold >= record.key
+                    && !i_notify.iter().any(|c| c.seq == record.seq)
+                {
+                    i_notify.push(NotifyCand {
+                        seq: record.seq,
+                        key: record.key,
+                    });
+                }
+            } else if record.notify_threshold > record.key
+                && !d_notify.iter().any(|c| c.seq == record.seq)
+            {
+                // Mirror of L223–225.
+                d_notify.push(NotifyCand {
+                    seq: record.seq,
+                    key: record.key,
+                });
+            }
+            // Mirror of L226–227: accept the notifier's updateNodeMin when
+            // the notification arrived after our U-ALL traversal finished
+            // (position at the +∞ tail) and the notifier itself was not
+            // seen during that traversal.
+            if record.notify_threshold == POS_INF
+                && !i_pub.iter().any(|&u| seq_of(u) == record.seq)
+                && !d_pub.iter().any(|&u| seq_of(u) == record.seq)
+                && record.ext_seq != 0
+                && !i_notify.iter().any(|c| c.seq == record.ext_seq)
+            {
+                i_notify.push(NotifyCand {
+                    seq: record.ext_seq,
+                    key: record.ext_key,
+                });
+            }
+        }
+
+        // Mirror of L228: r1 = min key over
+        // Iplain ∪ Inotify ∪ (Dplain − Dpub) ∪ (Dnotify − Dpub).
+        let mut r1 = NO_SUCC;
+        for &u in i_plain.iter() {
+            r1 = r1.min(unsafe { (*u).key() });
+        }
+        for c in &i_notify {
+            r1 = r1.min(c.key);
+        }
+        for &u in d_plain.iter() {
+            if !d_pub.contains(&u) {
+                r1 = r1.min(unsafe { (*u).key() });
+            }
+        }
+        for c in &d_notify {
+            if !d_pub.iter().any(|&u| seq_of(u) == c.seq) {
+                r1 = r1.min(c.key);
+            }
+        }
+
+        // Mirror of L229–251: the relaxed traversal failed — recover from
+        // embedded successor results.
+        let r0_val = match r0 {
+            Some(NO_PRED) => NO_SUCC, // RelaxedSuccessor's "none greater"
+            Some(v) => v,
+            None => {
+                self.relaxed_succ_bottoms.fetch_add(1, Ordering::Relaxed);
+                if d_pub.is_empty() {
+                    NO_SUCC // only r1 constrains the answer (§5.2 mirrored)
+                } else {
+                    self.succ_recoveries.fetch_add(1, Ordering::Relaxed);
+                    self.recover_from_embedded_succ(y, s_node, &q, &d_pub)
+                }
+            }
+        };
+        (r0_val.min(r1), s_node)
+    }
+
+    /// Mirror of lines 231–251: Definition 5.1's graph computation with
+    /// `delSucc2` edges (which strictly *increase* the key) over the notify
+    /// lists of this operation and of the oldest relevant embedded
+    /// successor.
+    fn recover_from_embedded_succ(
+        &self,
+        y: i64,
+        s_node: *mut SuccNode,
+        q: &[*mut SuccNode],
+        d_pub: &[*mut UpdateNode],
+    ) -> i64 {
+        // Mirror of L232: successor nodes of the first embedded successors
+        // of Dpub's deletes.
+        let succ_nodes: Vec<*mut SuccNode> = d_pub
+            .iter()
+            .map(|&d| unsafe { (*d).del_succ_node() })
+            .collect();
+
+        // Mirror of L231–236: L1 from the *earliest announced* such node we
+        // saw in Q (Q is oldest-first, so the first match). Entries are
+        // value snapshots of the records — nothing here dereferences a
+        // notifier.
+        let mut l1: Vec<RecoverEntry> = Vec::new();
+        if let Some(&earliest) = q.iter().find(|&&sn| succ_nodes.contains(&sn)) {
+            for record in unsafe { &*earliest }.notify_list.iter() {
+                if record.key > y && !l1.iter().any(|e| e.seq == record.seq) {
+                    l1.insert(
+                        0,
+                        RecoverEntry {
+                            seq: record.seq,
+                            key: record.key,
+                            kind: record.kind,
+                            del_pred2: record.del_pred2,
+                            del_succ2: record.del_succ2,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Mirror of L237–241: L2 from our own notify list; also remove from
+        // L1 every update node that notified us.
+        let mut l2: Vec<RecoverEntry> = Vec::new();
+        for record in unsafe { &*s_node }.notify_list.iter() {
+            if record.key <= y {
+                continue;
+            }
+            l1.retain(|e| e.seq != record.seq);
+            if record.notify_threshold <= record.key && !l2.iter().any(|e| e.seq == record.seq) {
+                l2.insert(
+                    0,
+                    RecoverEntry {
+                        seq: record.seq,
+                        key: record.key,
+                        kind: record.kind,
+                        del_pred2: record.del_pred2,
+                        del_succ2: record.del_succ2,
+                    },
+                );
+            }
+        }
+
+        // Mirror of L242: L = L1 · L2.
+        let mut l: Vec<RecoverEntry> = l1;
+        l.extend(l2);
+
+        // Mirror of L243: drop DEL nodes that are not the last update node
+        // in L with their key.
+        let l: Vec<RecoverEntry> = l
+            .iter()
+            .enumerate()
+            .filter(|&(i, e)| e.kind == Kind::Ins || !l[i + 1..].iter().any(|v| v.key == e.key))
+            .map(|(_, &e)| e)
+            .collect();
+
+        // Mirror of L244–246: edges key(dNode) → dNode.delSucc2 for DEL
+        // nodes in L. Each vertex has ≤ 1 outgoing edge and every edge
+        // strictly *increases* the key, so chains terminate.
+        let mut edges: Vec<(i64, i64)> = Vec::new();
+        for e in &l {
+            if e.kind == Kind::Del {
+                // A DEL node only notifies after its delSucc2 was set, so
+                // the snapshot is always present (§5.2 mirrored).
+                debug_assert_ne!(e.del_succ2, DELSUCC2_UNSET, "DEL in L without delSucc2");
+                if e.del_succ2 != DELSUCC2_UNSET {
+                    edges.push((e.key, e.del_succ2));
+                }
+            }
+        }
+        let out_edge = |v: i64| edges.iter().find(|&&(u, _)| u == v).map(|&(_, w)| w);
+
+        // Mirror of L247–248: X = delSucc results of Dpub ∪ keys of INS
+        // nodes in L.
+        let mut x_set: Vec<i64> = d_pub.iter().map(|&d| unsafe { (*d).del_succ() }).collect();
+        for e in &l {
+            if e.kind == Kind::Ins {
+                x_set.push(e.key);
+            }
+        }
+
+        // Mirror of L249: R = sinks of T_L reachable from X (edges strictly
+        // increase, so following out-edges terminates at the sink).
+        let mut r_set: Vec<i64> = Vec::new();
+        for &start in &x_set {
+            let mut v = start;
+            while let Some(next) = out_edge(v) {
+                debug_assert!(next > v, "delSucc2 edges must increase (Def. 5.1 mirrored)");
+                v = next;
+            }
+            r_set.push(v);
+        }
+
+        // Mirror of L250: deleted keys (per Dpub) cannot be answers.
+        r_set.retain(|&w| !d_pub.iter().any(|&d| unsafe { (*d).key() } == w));
+
+        // Mirror of L251: min R.
+        r_set.into_iter().min().unwrap_or(NO_SUCC)
     }
 
     // ------------------------------------------------------------------
@@ -830,6 +1311,7 @@ impl LockFreeBinaryTrie {
             return false;
         }
         let (del_pred, p_node1) = self.pred_helper(x, guard); // L184
+        let (del_succ, s_node1) = self.succ_helper(x, guard);
         let d_node = self.core.alloc_node(UpdateNode::new_del(
             x,
             Status::Inactive,
@@ -839,12 +1321,15 @@ impl LockFreeBinaryTrie {
         unsafe {
             (*d_node).init_del_pred(del_pred); // L188
             (*d_node).init_del_pred_node(p_node1); // L189
+            (*d_node).init_del_succ(del_succ);
+            (*d_node).init_del_succ_node(s_node1);
             (*i_node).clear_latest_next(); // L190
         }
-        self.notify_pred_ops(i_node, guard); // L191
+        self.notify_query_ops(i_node, guard); // L191
         if !self.core.cas_latest(x, i_node, d_node) {
             self.help_activate(self.core.latest_head(x), guard);
             self.remove_pred_node(p_node1, guard);
+            self.remove_succ_node(s_node1, guard);
             unsafe { self.core.dealloc_node(d_node) };
             return false;
         }
@@ -857,9 +1342,13 @@ impl LockFreeBinaryTrie {
         unsafe { (*d_node).clear_latest_next() }; // L199
         let (del_pred2, _p_node2) = self.pred_helper(x, guard); // L200
         unsafe { (*d_node).set_del_pred2(del_pred2) }; // L201
-                                                       // … and abandoned here (no L202–206): the displaced iNode, both
-                                                       // embedded predecessor nodes, and dNode's announcements all leak,
-                                                       // exactly as if the deleting thread had crashed.
+        let (del_succ2, _s_node2) = self.succ_helper(x, guard);
+        unsafe { (*d_node).set_del_succ2(del_succ2) };
+        // … and abandoned here (no L202–206): the displaced iNode, the
+        // embedded predecessor *and* successor nodes, and dNode's
+        // announcements all leak, exactly as if the deleting thread had
+        // crashed — which forces both the predecessor and the successor
+        // ⊥-recovery computations on later queries crossing this subtree.
         true
     }
 
@@ -882,10 +1371,25 @@ impl LockFreeBinaryTrie {
         )
     }
 
-    /// Number of live announcements `(U-ALL, RU-ALL, P-ALL)` — all zero at
-    /// quiescence (Figure 5 shape checks).
-    pub fn announcement_lens(&self) -> (usize, usize, usize) {
-        (self.uall.len(), self.ruall.len(), self.pall.len())
+    /// The successor mirror of [`LockFreeBinaryTrie::traversal_stats`]:
+    /// `(relaxed-⊥ occurrences, recovery-path runs)` across all `successor`
+    /// calls so far.
+    pub fn succ_traversal_stats(&self) -> (u64, u64) {
+        (
+            self.relaxed_succ_bottoms.load(Ordering::Relaxed),
+            self.succ_recoveries.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of live announcements `(U-ALL, RU-ALL, P-ALL, S-ALL)` — all
+    /// zero at quiescence (Figure 5 shape checks).
+    pub fn announcement_lens(&self) -> (usize, usize, usize, usize) {
+        (
+            self.uall.len(),
+            self.ruall.len(),
+            self.pall.len(),
+            self.sall.len(),
+        )
     }
 
     /// Total update nodes allocated over the trie's lifetime (the paper's
@@ -912,6 +1416,11 @@ impl LockFreeBinaryTrie {
         (self.preds.created(), self.preds.live())
     }
 
+    /// Successor-node accounting: `(cumulative, live)`.
+    pub fn succ_node_counts(&self) -> (usize, usize) {
+        (self.succs.created(), self.succs.live())
+    }
+
     /// Allocation statistics of the update-node registry: fresh heap boxes
     /// vs recycled pool hits vs resident memory. Under warm steady-state
     /// churn `fresh` plateaus — every update node is served from a pool —
@@ -926,35 +1435,100 @@ impl LockFreeBinaryTrie {
         self.preds.stats()
     }
 
-    /// Allocation statistics of the three auxiliary-list cell registries:
-    /// `(U-ALL, RU-ALL, P-ALL)`.
-    pub fn cell_alloc_stats(&self) -> (AllocStats, AllocStats, AllocStats) {
+    /// Allocation statistics of the successor-node registry.
+    pub fn succ_alloc_stats(&self) -> AllocStats {
+        self.succs.stats()
+    }
+
+    /// Allocation statistics of the four auxiliary-list cell registries:
+    /// `(U-ALL, RU-ALL, P-ALL, S-ALL)`.
+    pub fn cell_alloc_stats(&self) -> (AllocStats, AllocStats, AllocStats, AllocStats) {
         (
             self.uall.cell_stats(),
             self.ruall.cell_stats(),
             self.pall.cell_stats(),
+            self.sall.cell_stats(),
         )
     }
 
     /// Runs quiescent reclamation sweeps on every registry this trie owns
-    /// (update nodes, predecessor nodes, announcement/P-ALL cells): after a
-    /// few epoch turns, everything retired and unreferenced is freed. Called
-    /// by tests and the space experiment before sampling `live_nodes`.
+    /// (update nodes, predecessor/successor nodes, announcement-list
+    /// cells): after a few epoch turns, everything retired and unreferenced
+    /// is freed. Called by tests and the space experiment before sampling
+    /// `live_nodes`.
     pub fn collect_garbage(&self) {
         self.core.flush_reclamation();
         self.preds.flush();
+        self.succs.flush();
         self.uall.flush_reclamation();
         self.ruall.flush_reclamation();
         self.pall.flush_reclamation();
+        self.sall.flush_reclamation();
+    }
+}
+
+/// State machine of [`LockFreeBinaryTrie::iter_from`].
+enum IterState {
+    /// Next `next()` call must first test membership of the start key.
+    CheckStart(Key),
+    /// Keys `≤ .0` have been reported; continue with `successor(.0)`.
+    After(Key),
+    /// The scan walked off the top of the set.
+    Done,
+}
+
+/// Ordered iterator over a [`LockFreeBinaryTrie`]'s keys; see
+/// [`LockFreeBinaryTrie::iter_from`] for the per-step snapshot semantics.
+pub struct IterFrom<'a> {
+    trie: &'a LockFreeBinaryTrie,
+    state: IterState,
+}
+
+impl Iterator for IterFrom<'_> {
+    type Item = Key;
+
+    fn next(&mut self) -> Option<Key> {
+        loop {
+            match self.state {
+                IterState::CheckStart(start) => {
+                    self.state = IterState::After(start);
+                    if self.trie.contains(start) {
+                        return Some(start);
+                    }
+                }
+                IterState::After(cur) => match self.trie.successor(cur) {
+                    Some(k) => {
+                        self.state = IterState::After(k);
+                        return Some(k);
+                    }
+                    None => {
+                        self.state = IterState::Done;
+                        return None;
+                    }
+                },
+                IterState::Done => return None,
+            }
+        }
+    }
+}
+
+impl core::fmt::Debug for IterFrom<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let state = match self.state {
+            IterState::CheckStart(k) => ("check-start", k),
+            IterState::After(k) => ("after", k),
+            IterState::Done => ("done", 0),
+        };
+        f.debug_struct("IterFrom").field("state", &state).finish()
     }
 }
 
 impl Drop for LockFreeBinaryTrie {
     fn drop(&mut self) {
-        // Free predecessor nodes still announced at teardown (abandoned /
-        // stalled operations): their cells are still linked in the P-ALL.
-        // De-announced predecessor nodes were retired and are freed by the
-        // `preds` registry's own Drop; marked-but-linked cells' payloads
+        // Free predecessor/successor nodes still announced at teardown
+        // (abandoned / stalled operations): their cells are still linked in
+        // the P-ALL / S-ALL. De-announced nodes were retired and are freed
+        // by their registry's own Drop; marked-but-linked cells' payloads
         // were retired too, so only unmarked cells carry live payloads.
         let preds = &self.preds;
         self.pall.for_each_linked(|p_node, marked| {
@@ -962,17 +1536,24 @@ impl Drop for LockFreeBinaryTrie {
                 unsafe { preds.dealloc(p_node) };
             }
         });
+        let succs = &self.succs;
+        self.sall.for_each_linked(|s_node, marked| {
+            if !marked && !s_node.is_null() {
+                unsafe { succs.dealloc(s_node) };
+            }
+        });
     }
 }
 
 impl core::fmt::Debug for LockFreeBinaryTrie {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        let (uall, ruall, pall) = self.announcement_lens();
+        let (uall, ruall, pall, sall) = self.announcement_lens();
         f.debug_struct("LockFreeBinaryTrie")
             .field("universe", &self.universe)
             .field("uall", &uall)
             .field("ruall", &ruall)
             .field("pall", &pall)
+            .field("sall", &sall)
             .field("allocated_nodes", &self.allocated_nodes())
             .finish()
     }
@@ -1024,7 +1605,7 @@ mod tests {
         for y in 0..32 {
             let _ = t.predecessor(y);
         }
-        assert_eq!(t.announcement_lens(), (0, 0, 0));
+        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
     }
 
     #[test]
@@ -1045,7 +1626,7 @@ mod tests {
                 _ => assert_eq!(t.predecessor(x), model_pred(&model, x), "pred {x} @{step}"),
             }
         }
-        assert_eq!(t.announcement_lens(), (0, 0, 0));
+        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
     }
 
     #[test]
@@ -1056,7 +1637,7 @@ mod tests {
         // Deleting 9 runs PredHelper(9) twice; both should see 3.
         assert!(t.remove(9));
         assert_eq!(t.predecessor(10), Some(3));
-        assert_eq!(t.announcement_lens(), (0, 0, 0));
+        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
     }
 
     #[test]
@@ -1089,7 +1670,7 @@ mod tests {
                 assert_eq!(t.contains(x), model.contains(&x), "key {x}");
             }
         }
-        assert_eq!(t.announcement_lens(), (0, 0, 0));
+        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
     }
 
     #[test]
@@ -1132,6 +1713,126 @@ mod tests {
         }
     }
 
+    fn model_succ(model: &BTreeSet<u64>, y: u64) -> Option<u64> {
+        model.range(y + 1..).next().copied()
+    }
+
+    #[test]
+    fn basic_successor_and_range() {
+        let t = LockFreeBinaryTrie::new(64);
+        assert_eq!(t.successor(0), None);
+        for k in [3u64, 17, 40, 41, 63] {
+            assert!(t.insert(k));
+        }
+        assert_eq!(t.successor(0), Some(3));
+        assert_eq!(t.successor(3), Some(17));
+        assert_eq!(t.successor(40), Some(41));
+        assert_eq!(t.successor(63), None);
+        assert_eq!(t.range(0..=63), vec![3, 17, 40, 41, 63]);
+        assert_eq!(t.range(17..=41), vec![17, 40, 41]);
+        assert_eq!(t.range(18..=39), Vec::<u64>::new());
+        let (lo, hi) = (5u64, 3u64); // inverted bounds: empty scan
+        assert_eq!(t.range(lo..=hi), Vec::<u64>::new());
+        assert_eq!(t.iter_from(41).collect::<Vec<_>>(), vec![41, 63]);
+        t.remove(40);
+        assert_eq!(t.successor(17), Some(41));
+        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn range_clamps_to_universe() {
+        let t = LockFreeBinaryTrie::new(16);
+        t.insert(14);
+        t.insert(15);
+        assert_eq!(t.range(0..=u64::MAX), vec![14, 15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn range_start_outside_universe_panics() {
+        let t = LockFreeBinaryTrie::new(16);
+        let _ = t.range(16..=20);
+    }
+
+    #[test]
+    fn sequential_random_successor_matches_btreeset() {
+        let universe = 128u64;
+        let t = LockFreeBinaryTrie::new(universe);
+        let mut model = BTreeSet::new();
+        let mut state = 0x452821E638D01377u64;
+        for step in 0..20_000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = (state >> 33) % universe;
+            match state % 4 {
+                0 => assert_eq!(t.insert(x), model.insert(x), "insert {x} @{step}"),
+                1 => assert_eq!(t.remove(x), model.remove(&x), "remove {x} @{step}"),
+                2 => assert_eq!(t.successor(x), model_succ(&model, x), "succ {x} @{step}"),
+                _ => {
+                    let hi = (x + 16).min(universe - 1);
+                    let expected: Vec<u64> = model.range(x..=hi).copied().collect();
+                    assert_eq!(t.range(x..=hi), expected, "range {x}..={hi} @{step}");
+                }
+            }
+        }
+        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn successor_remains_exact_under_update_contention() {
+        // The mirror of the predecessor contention test: writers toggle
+        // noise keys *below* a fixed key; successor queries from above the
+        // noise floor must always see the fixed key.
+        let t = Arc::new(LockFreeBinaryTrie::new(256));
+        t.insert(200); // fixed
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::SeqCst) {
+                        let k = 50 + ((w * 31 + i * 7) % 64);
+                        t.insert(k);
+                        t.remove(k);
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..10_000 {
+            // Noise tops out at 113 < 150: it must never affect the query.
+            assert_eq!(t.successor(150), Some(200));
+        }
+        // Queries below the noise must return a noise key or 200.
+        for _ in 0..10_000 {
+            match t.successor(10) {
+                Some(k) => assert!(k == 200 || (50..114).contains(&k), "got {k}"),
+                None => panic!("200 is always present"),
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+        for w in writers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn delete_runs_embedded_successors() {
+        let t = LockFreeBinaryTrie::new(16);
+        t.insert(3);
+        t.insert(9);
+        // Deleting 3 runs SuccHelper(3) twice; both should see 9.
+        assert!(t.remove(3));
+        assert_eq!(t.successor(1), Some(9));
+        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+        let (_, succ_live) = t.succ_node_counts();
+        t.collect_garbage();
+        assert!(succ_live <= 4, "succ nodes drain at quiescence");
+    }
+
     #[test]
     fn racing_inserts_of_same_key_one_wins() {
         let t = Arc::new(LockFreeBinaryTrie::new(8));
@@ -1147,6 +1848,6 @@ mod tests {
             .sum();
         assert_eq!(total, 1, "exactly one S-modifying insert");
         assert!(t.contains(5));
-        assert_eq!(t.announcement_lens(), (0, 0, 0));
+        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
     }
 }

@@ -5,6 +5,7 @@
 
 use lftrie_core::bitops::{branch_bit, first_set, last_set, low_mask, popcount};
 use lftrie_core::layout::Layout;
+use lftrie_core::{LockFreeBinaryTrie, RelaxedBinaryTrie, RelaxedPred, RelaxedSucc};
 use proptest::prelude::*;
 
 /// Naive reference: count bits one at a time.
@@ -103,6 +104,58 @@ proptest! {
         prop_assert_eq!(hi - lo, low_mask(layout.height(node)));
         // lo has the height-many low bits clear.
         prop_assert_eq!(lo & low_mask(layout.height(node)), 0);
+    }
+
+    #[test]
+    fn relaxed_successor_is_the_mirror_of_relaxed_predecessor(
+        universe in 2u64..512,
+        keys in proptest::collection::vec(0u64..512, 0..40),
+        queries in proptest::collection::vec(0u64..512, 1..40),
+    ) {
+        // The successor traversal is defined as the left/right mirror of the
+        // predecessor traversal (swap left/right children, take the
+        // leftmost 1-path): on a quiescent trie over keys K ⊆ {0,…,u−1},
+        //     RelaxedSuccessor_K(y) = (u−1) − RelaxedPredecessor_K'((u−1)−y)
+        // where K' = { u−1−k : k ∈ K } is the mirrored key set. Solo, both
+        // traversals are exact (no ⊥), so the identity must hold verbatim.
+        let trie = RelaxedBinaryTrie::new(universe);
+        let mirror = RelaxedBinaryTrie::new(universe);
+        for &k in keys.iter().filter(|&&k| k < universe) {
+            trie.insert(k);
+            mirror.insert(universe - 1 - k);
+        }
+        for &y in queries.iter().filter(|&&y| y < universe) {
+            let succ = trie.successor(y);
+            let mirrored_pred = mirror.predecessor(universe - 1 - y);
+            let expected = match mirrored_pred {
+                RelaxedPred::Found(p) => RelaxedSucc::Found(universe - 1 - p),
+                RelaxedPred::NoneSmaller => RelaxedSucc::NoneGreater,
+                RelaxedPred::Interference => RelaxedSucc::Interference,
+            };
+            prop_assert_eq!(succ, expected, "universe {} query {}", universe, y);
+        }
+    }
+
+    #[test]
+    fn lockfree_successor_satisfies_the_same_mirror_identity(
+        universe in 2u64..256,
+        keys in proptest::collection::vec(0u64..256, 0..24),
+        queries in proptest::collection::vec(0u64..256, 1..24),
+    ) {
+        // The linearizable wrapper must preserve the traversal-level mirror
+        // identity at quiescence (its announcement machinery adds nothing
+        // when no operation is concurrent).
+        let trie = LockFreeBinaryTrie::new(universe);
+        let mirror = LockFreeBinaryTrie::new(universe);
+        for &k in keys.iter().filter(|&&k| k < universe) {
+            trie.insert(k);
+            mirror.insert(universe - 1 - k);
+        }
+        for &y in queries.iter().filter(|&&y| y < universe) {
+            let succ = trie.successor(y);
+            let expected = mirror.predecessor(universe - 1 - y).map(|p| universe - 1 - p);
+            prop_assert_eq!(succ, expected, "universe {} query {}", universe, y);
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ fn main() {
                     let mut n = 0u64;
                     while !stop.load(Ordering::Relaxed) {
                         let k = rng.gen_range(0..universe);
-                        match rng.gen_range(0..10) {
+                        match rng.gen_range(0..12) {
                             0..=2 => {
                                 trie.insert(k);
                             }
@@ -55,10 +55,27 @@ fn main() {
                             6 => {
                                 std::hint::black_box(trie.contains(k));
                             }
-                            _ => {
+                            7..=8 => {
                                 if let Some(p) = trie.predecessor(k.max(1)) {
                                     assert!(p < k.max(1), "pred returned ≥ query");
                                 }
+                            }
+                            9..=10 => {
+                                if let Some(s) = trie.successor(k) {
+                                    assert!(s > k, "succ returned ≤ query");
+                                }
+                            }
+                            _ => {
+                                let hi = (k + 32).min(universe - 1);
+                                let scan = trie.range(k..=hi);
+                                assert!(
+                                    scan.windows(2).all(|w| w[0] < w[1]),
+                                    "scan not strictly increasing"
+                                );
+                                assert!(
+                                    scan.iter().all(|&x| x >= k && x <= hi),
+                                    "scan escaped its bounds"
+                                );
                             }
                         }
                         n += 1;
@@ -82,10 +99,18 @@ fn main() {
                 eprintln!("round {round}: predecessor({y}) = {got:?}, expected {expected:?}");
                 std::process::exit(1);
             }
+            let expected_succ = present.iter().find(|&&k| k > y).copied();
+            let got_succ = trie.successor(y);
+            if got_succ != expected_succ {
+                eprintln!(
+                    "round {round}: successor({y}) = {got_succ:?}, expected {expected_succ:?}"
+                );
+                std::process::exit(1);
+            }
         }
-        let (uall, ruall, pall) = trie.announcement_lens();
-        if (uall, ruall, pall) != (0, 0, 0) {
-            eprintln!("round {round}: announcements leaked: {uall}/{ruall}/{pall}");
+        let (uall, ruall, pall, sall) = trie.announcement_lens();
+        if (uall, ruall, pall, sall) != (0, 0, 0, 0) {
+            eprintln!("round {round}: announcements leaked: {uall}/{ruall}/{pall}/{sall}");
             std::process::exit(1);
         }
         let (bottoms, recoveries) = trie.traversal_stats();

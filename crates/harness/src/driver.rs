@@ -30,6 +30,9 @@ pub struct RunConfig {
     pub keys: KeyDist,
     /// Base RNG seed.
     pub seed: u64,
+    /// Key span of generated `Range` scans (ignored by mixes without a
+    /// range share).
+    pub scan_width: u64,
 }
 
 /// Result of one measured run.
@@ -64,7 +67,8 @@ pub fn run<S: ConcurrentOrderedSet + ?Sized>(set: &S, cfg: &RunConfig) -> RunRes
             let set: &S = set;
             scope.spawn(move || {
                 let mut stream =
-                    OpStream::with_dist(cfg.mix, cfg.keys, cfg.universe, cfg.seed, t as u64);
+                    OpStream::with_dist(cfg.mix, cfg.keys, cfg.universe, cfg.seed, t as u64)
+                        .with_scan_width(cfg.scan_width);
                 barrier.wait();
                 steps::reset();
                 for _ in 0..cfg.ops_per_thread {
@@ -162,6 +166,7 @@ mod tests {
             mix: OpMix::BALANCED,
             keys: KeyDist::Uniform,
             seed: 3,
+            scan_width: crate::workload::DEFAULT_SCAN_WIDTH,
         };
         let res = run(&set, &cfg);
         assert_eq!(res.total_ops, 1000);
@@ -179,6 +184,7 @@ mod tests {
                 mix: OpMix::UPDATE_HEAVY,
                 keys: KeyDist::Uniform,
                 seed: 11,
+                scan_width: crate::workload::DEFAULT_SCAN_WIDTH,
             };
             run(&set, &cfg);
             (0..128).filter(|&x| set.contains(x)).collect::<Vec<_>>()

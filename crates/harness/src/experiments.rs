@@ -139,6 +139,7 @@ pub fn e3_contention_steps(quick: bool) -> Table {
                     mix,
                     keys: KeyDist::Uniform,
                     seed: SEED,
+                    scan_width: crate::workload::DEFAULT_SCAN_WIDTH,
                 },
             );
             table.row(&[
@@ -177,6 +178,7 @@ pub fn e4_throughput(quick: bool) -> Vec<Table> {
                         mix,
                         keys: KeyDist::Uniform,
                         seed: SEED,
+                        scan_width: crate::workload::DEFAULT_SCAN_WIDTH,
                     },
                 )
                 .mops
@@ -355,6 +357,7 @@ pub fn e6_space(quick: bool) -> Table {
                 mix: OpMix::UPDATE_HEAVY,
                 keys: KeyDist::Uniform,
                 seed: SEED,
+                scan_width: crate::workload::DEFAULT_SCAN_WIDTH,
             },
         );
         trie.collect_garbage();
@@ -380,6 +383,7 @@ pub fn e6_space(quick: bool) -> Table {
         mix: OpMix::UPDATE_HEAVY,
         keys: KeyDist::Uniform,
         seed: SEED,
+        scan_width: crate::workload::DEFAULT_SCAN_WIDTH,
     };
     {
         let list = HarrisListSet::new();
@@ -577,6 +581,115 @@ pub fn e8_latency(quick: bool) -> Table {
     table
 }
 
+/// E9 — ordered range scans: throughput and tail latency of `range(a..=b)`
+/// vs scan width and update share, across the trie and every baseline.
+///
+/// The lock-free trie pays one certified successor step per reported key
+/// (per-step snapshot); the lock-based structures scan under one critical
+/// section (atomic snapshot, but a blocking one) — this experiment
+/// quantifies that trade.
+pub fn e9_scan(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E9: range-scan throughput/latency vs width and update share",
+        &[
+            "structure",
+            "width",
+            "update %",
+            "scans/s",
+            "keys/scan",
+            "p50 ns",
+            "p99 ns",
+        ],
+    );
+    let universe = 1u64 << 12;
+    let small_universe = 1u64 << 9; // Harris list is O(n) per step
+    let scans = if quick { 400usize } else { 2_000 };
+    let widths: &[u64] = if quick { &[16, 256] } else { &[16, 256, 2048] };
+
+    let mut run_scan =
+        |name: String, set: &dyn ConcurrentOrderedSet, u: u64, width: u64, update_pct: u32| {
+            prefill(set, u, 0.3, SEED);
+            let stop = std::sync::atomic::AtomicBool::new(false);
+            let mut lat = Vec::with_capacity(scans);
+            let mut keys_total = 0u64;
+            let updaters = if update_pct == 0 { 0 } else { 2u64 };
+            let scanned = std::thread::scope(|scope| {
+                for w in 0..updaters {
+                    let stop = &stop;
+                    let set: &dyn ConcurrentOrderedSet = set;
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(SEED ^ (w + 1));
+                        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            let k = rng.gen_range(0..u);
+                            if rng.gen_range(0..100u32) < update_pct {
+                                if rng.gen_bool(0.5) {
+                                    set.insert(k);
+                                } else {
+                                    set.remove(k);
+                                }
+                            } else {
+                                std::hint::black_box(set.contains(k));
+                            }
+                        }
+                    });
+                }
+                let mut rng = StdRng::seed_from_u64(SEED ^ 0xE9);
+                let t0 = std::time::Instant::now();
+                for _ in 0..scans {
+                    let lo = rng.gen_range(0..u);
+                    let hi = (lo + width - 1).min(u - 1);
+                    let s0 = std::time::Instant::now();
+                    let out = set.range(lo, hi);
+                    lat.push(s0.elapsed().as_nanos() as u64);
+                    keys_total += out.len() as u64;
+                    std::hint::black_box(out);
+                }
+                let elapsed = t0.elapsed();
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                elapsed
+            });
+            lat.sort_unstable();
+            let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+            table.row(&[
+                name,
+                width.to_string(),
+                update_pct.to_string(),
+                format!("{:.0}", scans as f64 / scanned.as_secs_f64()),
+                format!("{:.1}", keys_total as f64 / scans as f64),
+                pct(0.50).to_string(),
+                pct(0.99).to_string(),
+            ]);
+        };
+
+    for &width in widths {
+        for update_pct in [0u32, 50] {
+            let lft = LockFreeBinaryTrie::new(universe);
+            run_scan(lft.name().to_string(), &lft, universe, width, update_pct);
+            let rlx = RelaxedBinaryTrie::new(universe);
+            run_scan(rlx.name().to_string(), &rlx, universe, width, update_pct);
+            let mtx = MutexBinaryTrie::new(universe);
+            run_scan(mtx.name().to_string(), &mtx, universe, width, update_pct);
+            let rwl = RwLockBinaryTrie::new(universe);
+            run_scan(rwl.name().to_string(), &rwl, universe, width, update_pct);
+            let btr = CoarseBTreeSet::new();
+            run_scan(btr.name().to_string(), &btr, universe, width, update_pct);
+            let fcb = FlatCombiningBinaryTrie::new(universe);
+            run_scan(fcb.name().to_string(), &fcb, universe, width, update_pct);
+            let skl = LockFreeSkipList::new();
+            run_scan(skl.name().to_string(), &skl, universe, width, update_pct);
+            let har = HarrisListSet::new();
+            run_scan(
+                format!("{} (u=2^9)", har.name()),
+                &har,
+                small_universe,
+                width.min(small_universe),
+                update_pct,
+            );
+        }
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -623,6 +736,26 @@ mod tests {
         // Baseline rows report through the same accounting.
         assert!(rows.iter().any(|r| r[0] == "harris-list"));
         assert!(rows.iter().any(|r| r[0] == "lockfree-skiplist"));
+    }
+
+    #[test]
+    fn e9_scans_cover_every_structure_and_cell() {
+        let table = e9_scan(true);
+        let rows = table.rows();
+        // 8 structures × 2 widths × 2 update shares in quick mode.
+        assert_eq!(rows.len(), 8 * 2 * 2);
+        for r in rows {
+            let scans_per_s: f64 = r[3].parse().unwrap();
+            assert!(scans_per_s > 0.0, "{} produced no scans", r[0]);
+        }
+        // The prefilled density is 0.3, so wide quiescent scans must return
+        // a substantial fraction of their span.
+        let wide_quiescent = rows
+            .iter()
+            .find(|r| r[0] == "lockfree-trie" && r[1] == "256" && r[2] == "0")
+            .unwrap();
+        let keys_per_scan: f64 = wide_quiescent[4].parse().unwrap();
+        assert!(keys_per_scan > 30.0, "got {keys_per_scan} keys/scan");
     }
 
     #[test]

@@ -21,6 +21,11 @@ pub enum Op {
     Contains(u64),
     /// `Predecessor(key)`
     Predecessor(u64),
+    /// `Successor(key)`
+    Successor(u64),
+    /// `Range(lo, hi)` — an ordered scan of `[lo, hi]` (bounds already
+    /// clamped to the universe at generation time).
+    Range(u64, u64),
 }
 
 /// Percentages of each operation type (must sum to 100).
@@ -34,6 +39,11 @@ pub struct OpMix {
     pub contains: u32,
     /// % of `Predecessor`.
     pub predecessor: u32,
+    /// % of `Successor`.
+    pub successor: u32,
+    /// % of `Range` scans (width set by [`OpStream::with_scan_width`] /
+    /// [`crate::driver::RunConfig::scan_width`]).
+    pub range: u32,
 }
 
 impl OpMix {
@@ -43,6 +53,8 @@ impl OpMix {
         remove: 40,
         contains: 10,
         predecessor: 10,
+        successor: 0,
+        range: 0,
     };
     /// 10/10/70/10 — read-dominated (shows off O(1) search).
     pub const SEARCH_HEAVY: OpMix = OpMix {
@@ -50,6 +62,8 @@ impl OpMix {
         remove: 10,
         contains: 70,
         predecessor: 10,
+        successor: 0,
+        range: 0,
     };
     /// 20/20/10/50 — predecessor-dominated (the paper's headline op).
     pub const PRED_HEAVY: OpMix = OpMix {
@@ -57,6 +71,8 @@ impl OpMix {
         remove: 20,
         contains: 10,
         predecessor: 50,
+        successor: 0,
+        range: 0,
     };
     /// 25/25/25/25 — balanced.
     pub const BALANCED: OpMix = OpMix {
@@ -64,6 +80,28 @@ impl OpMix {
         remove: 25,
         contains: 25,
         predecessor: 25,
+        successor: 0,
+        range: 0,
+    };
+    /// 15/15/10/10/10/40 — scan-dominated (experiment E9): ordered range
+    /// scans racing a substantial update share.
+    pub const SCAN_HEAVY: OpMix = OpMix {
+        insert: 15,
+        remove: 15,
+        contains: 10,
+        predecessor: 10,
+        successor: 10,
+        range: 40,
+    };
+    /// 20/20/10/25/25/0 — the full ordered-query mix: predecessor and
+    /// successor in equal shares.
+    pub const ORDERED: OpMix = OpMix {
+        insert: 20,
+        remove: 20,
+        contains: 10,
+        predecessor: 25,
+        successor: 25,
+        range: 0,
     };
 
     /// A short identifier for reports.
@@ -73,12 +111,21 @@ impl OpMix {
             OpMix::SEARCH_HEAVY => "search-heavy",
             OpMix::PRED_HEAVY => "pred-heavy",
             OpMix::BALANCED => "balanced",
+            OpMix::SCAN_HEAVY => "scan-heavy",
+            OpMix::ORDERED => "ordered",
             _ => "custom",
         }
     }
 
-    fn weights(&self) -> [u32; 4] {
-        let w = [self.insert, self.remove, self.contains, self.predecessor];
+    fn weights(&self) -> [u32; 6] {
+        let w = [
+            self.insert,
+            self.remove,
+            self.contains,
+            self.predecessor,
+            self.successor,
+            self.range,
+        ];
         assert_eq!(w.iter().sum::<u32>(), 100, "OpMix must sum to 100");
         w
     }
@@ -132,7 +179,11 @@ pub struct OpStream {
     dist: WeightedIndex<u32>,
     universe: u64,
     keys: KeyDist,
+    scan_width: u64,
 }
+
+/// Default width (key span) of generated `Range` scans.
+pub const DEFAULT_SCAN_WIDTH: u64 = 64;
 
 impl OpStream {
     /// Creates the stream for `(seed, thread_id)` over `{0, …, universe−1}`
@@ -148,7 +199,14 @@ impl OpStream {
             dist: WeightedIndex::new(mix.weights()).expect("valid weights"),
             universe,
             keys,
+            scan_width: DEFAULT_SCAN_WIDTH,
         }
+    }
+
+    /// Sets the key span of generated `Range` scans (builder style).
+    pub fn with_scan_width(mut self, width: u64) -> Self {
+        self.scan_width = width.max(1);
+        self
     }
 
     /// Draws the next operation.
@@ -158,7 +216,13 @@ impl OpStream {
             0 => Op::Insert(key),
             1 => Op::Remove(key),
             2 => Op::Contains(key),
-            _ => Op::Predecessor(key),
+            3 => Op::Predecessor(key),
+            4 => Op::Successor(key),
+            _ => Op::Range(
+                key,
+                key.saturating_add(self.scan_width - 1)
+                    .min(self.universe - 1),
+            ),
         }
     }
 }
@@ -178,6 +242,12 @@ pub fn apply<S: ConcurrentOrderedSet + ?Sized>(set: &S, op: Op) -> Op {
         }
         Op::Predecessor(k) => {
             std::hint::black_box(set.predecessor(k));
+        }
+        Op::Successor(k) => {
+            std::hint::black_box(set.successor(k));
+        }
+        Op::Range(lo, hi) => {
+            std::hint::black_box(set.range(lo, hi));
         }
     }
     op
@@ -247,7 +317,12 @@ mod tests {
         let n = 20_000;
         for _ in 0..n {
             let k = match s.next_op() {
-                Op::Insert(k) | Op::Remove(k) | Op::Contains(k) | Op::Predecessor(k) => k,
+                Op::Insert(k)
+                | Op::Remove(k)
+                | Op::Contains(k)
+                | Op::Predecessor(k)
+                | Op::Successor(k)
+                | Op::Range(k, _) => k,
             };
             assert!(k < universe);
             if k < 100 {
@@ -263,9 +338,32 @@ mod tests {
         let mut s = OpStream::new(OpMix::UPDATE_HEAVY, 64, 9, 2);
         for _ in 0..1000 {
             let k = match s.next_op() {
-                Op::Insert(k) | Op::Remove(k) | Op::Contains(k) | Op::Predecessor(k) => k,
+                Op::Insert(k)
+                | Op::Remove(k)
+                | Op::Contains(k)
+                | Op::Predecessor(k)
+                | Op::Successor(k)
+                | Op::Range(k, _) => k,
             };
             assert!(k < 64);
         }
+    }
+
+    #[test]
+    fn scan_ops_have_clamped_bounds_and_requested_share() {
+        let universe = 512u64;
+        let mut s = OpStream::new(OpMix::SCAN_HEAVY, universe, 5, 0).with_scan_width(100);
+        let mut scans = 0u32;
+        let n = 10_000;
+        for _ in 0..n {
+            if let Op::Range(lo, hi) = s.next_op() {
+                scans += 1;
+                assert!(lo <= hi, "range bounds ordered");
+                assert!(hi < universe, "range clamped to the universe");
+                assert!(hi - lo < 100, "width bounded by the requested span");
+            }
+        }
+        // 40% ± 3 points.
+        assert!((3_700..=4_300).contains(&scans), "got {scans}");
     }
 }

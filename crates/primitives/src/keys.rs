@@ -29,6 +29,12 @@ pub const NEG_INF: i64 = i64::MIN;
 /// "No predecessor exists": the `−1` return value of the paper.
 pub const NO_PRED: i64 = -1;
 
+/// "No successor exists": the mirror of [`NO_PRED`] for the successor
+/// extension — strictly greater than every universe key (so it is the
+/// identity of `min` over candidate answers) yet below [`POS_INF`], which
+/// stays reserved for sentinel list cells.
+pub const NO_SUCC: i64 = MAX_UNIVERSE as i64;
+
 /// Converts a public key into the internal signed representation.
 ///
 /// # Panics
@@ -68,6 +74,7 @@ mod tests {
         const { assert!(NEG_INF < NO_PRED) };
         const { assert!(NO_PRED < 0) };
         const { assert!((MAX_UNIVERSE - 1) as i64 > 0) };
-        const { assert!(POS_INF > (MAX_UNIVERSE - 1) as i64) };
+        const { assert!(NO_SUCC > (MAX_UNIVERSE - 1) as i64) };
+        const { assert!(POS_INF > NO_SUCC) };
     }
 }

@@ -47,4 +47,4 @@ pub mod registry;
 pub mod steps;
 pub mod swcursor;
 
-pub use keys::{Key, MAX_UNIVERSE, NEG_INF, NO_PRED, POS_INF};
+pub use keys::{Key, MAX_UNIVERSE, NEG_INF, NO_PRED, NO_SUCC, POS_INF};

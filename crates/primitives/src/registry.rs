@@ -23,7 +23,7 @@
 //!   [`Registry::allocated`] (fresh heap boxes) vs [`Registry::recycled`]
 //!   (pool hits) counters.
 //! * Retire bags flush to the shared limbo in batches — on overflow
-//!   ([`BAG_CAP`]) and at the start of every sweep — so the shared Treiber
+//!   (`BAG_CAP`) and at the start of every sweep — so the shared Treiber
 //!   stacks are touched once per batch instead of once per retire. Pools
 //!   released by exited threads are *stolen* by later sweeps, so their
 //!   garbage keeps aging without them.

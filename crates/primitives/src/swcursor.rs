@@ -6,7 +6,7 @@
 //! read that field to decide the `notifyThreshold` they stamp on
 //! notifications; Figure 8 shows the non-atomic interleaving that breaks
 //! linearizability. The paper cites a single-writer O(1) atomic-copy
-//! construction from CAS [7].
+//! construction from CAS \[7\].
 //!
 //! We substitute a *validate-retry published cursor* (DESIGN.md D3): the
 //! single writer
@@ -25,7 +25,7 @@
 //!
 //! The retry loop is lock-free but not wait-free: a retry only happens when
 //! another operation completed an RU-ALL insertion, so system-wide progress
-//! is preserved; per-operation the O(1) bound of [7] degrades to O(#inserts).
+//! is preserved; per-operation the O(1) bound of \[7\] degrades to O(#inserts).
 
 use core::sync::atomic::{AtomicI64, Ordering};
 

@@ -86,9 +86,13 @@ fn main() {
     println!("orders placed:  {}", placed.load(Ordering::Relaxed));
     println!("orders matched: {}", matched.load(Ordering::Relaxed));
     println!("best remaining bid: {best:?}");
+    // Market-depth view: an ordered scan of the resting levels in the band.
+    let depth = bids.range(490_000..=510_000);
+    println!("resting levels in the quoted band: {}", depth.len());
+    assert!(depth.windows(2).all(|w| w[0] < w[1]));
     println!(
         "announcements at quiescence: {:?}",
         bids.announcement_lens()
     );
-    assert_eq!(bids.announcement_lens(), (0, 0, 0));
+    assert_eq!(bids.announcement_lens(), (0, 0, 0, 0));
 }

@@ -1,0 +1,76 @@
+//! The full ordered-set API: predecessor, successor, and range scans —
+//! including the mirror round-trip identity tying the two query directions
+//! together, and concurrent scans racing updates.
+//!
+//! ```text
+//! cargo run --release --example ordered_api
+//! ```
+
+use std::sync::Arc;
+
+use lftrie::core::LockFreeBinaryTrie;
+
+fn main() {
+    let universe = 1u64 << 16;
+    let set = Arc::new(LockFreeBinaryTrie::new(universe));
+
+    // A sparse key set.
+    let keys = [5u64, 119, 2_048, 2_049, 40_000, 65_535];
+    for &k in &keys {
+        set.insert(k);
+    }
+
+    // Predecessor and successor are exact mirrors around any probe …
+    assert_eq!(set.predecessor(2_048), Some(119));
+    assert_eq!(set.successor(2_048), Some(2_049));
+    assert_eq!(set.predecessor(5), None); // nothing smaller
+    assert_eq!(set.successor(65_535), None); // nothing greater
+
+    // … and round-trip through each other on present keys: stepping down
+    // then up (or up then down) from a key returns to it.
+    for &k in &keys {
+        if let Some(p) = set.predecessor(k) {
+            assert_eq!(set.successor(p), Some(k), "succ(pred({k})) round-trip");
+        }
+        if let Some(s) = set.successor(k) {
+            assert_eq!(set.predecessor(s), Some(k), "pred(succ({k})) round-trip");
+        }
+    }
+
+    // Ordered scans: a full dump and a window.
+    assert_eq!(set.iter_from(0).collect::<Vec<_>>(), keys);
+    assert_eq!(set.range(100..=3_000), vec![119, 2_048, 2_049]);
+    println!("quiescent ordered dump: {:?}", set.range(0..=universe - 1));
+
+    // Concurrent: scans race updates of everything around two stable keys.
+    // Every scan must stay sorted, in-bounds, and contain the stable keys.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let set = Arc::clone(&set);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let k = 10_000 + (i * 13) % 20_000;
+                set.insert(k);
+                set.remove(k);
+                i += 1;
+            }
+        })
+    };
+    let mut scans = 0u64;
+    let mut keys_seen = 0u64;
+    for _ in 0..2_000 {
+        let scan = set.range(2_000..=50_000);
+        assert!(scan.windows(2).all(|w| w[0] < w[1]), "scan stays sorted");
+        assert!(scan.contains(&2_048) && scan.contains(&40_000));
+        scans += 1;
+        keys_seen += scan.len() as u64;
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    writer.join().unwrap();
+
+    println!("{scans} concurrent scans, {keys_seen} keys reported — all sorted, all coherent");
+    println!("announcements at quiescence: {:?}", set.announcement_lens());
+    assert_eq!(set.announcement_lens(), (0, 0, 0, 0));
+}

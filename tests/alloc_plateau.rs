@@ -17,11 +17,13 @@ use lftrie::core::LockFreeBinaryTrie;
 fn warm_churn_allocates_zero_fresh_nodes() {
     // The tentpole claim of the pooled registry, end to end through the
     // trie: after a warm-up phase, sustained insert/delete churn performs
-    // **zero** fresh heap allocations — update nodes, predecessor nodes,
-    // and all three auxiliary-list cell types are served entirely from the
-    // recycle pools, while the logical (E6) series keeps growing.
-    // Single-threaded so the pipeline (bags + epoch window) is
-    // deterministic and the plateau is exact.
+    // **zero** fresh heap allocations — update nodes, predecessor *and*
+    // successor nodes, and all four auxiliary-list cell types are served
+    // entirely from the recycle pools, while the logical (E6) series keeps
+    // growing. Single-threaded so the pipeline (bags + epoch window) is
+    // deterministic and the plateau is exact. (Every delete embeds two
+    // successor helpers, so insert/delete churn exercises the S-ALL and
+    // the SuccNode registry without any explicit successor calls.)
     let universe = 32u64;
     let span = 8u64;
     let trie = LockFreeBinaryTrie::new(universe);
@@ -52,12 +54,14 @@ fn warm_churn_allocates_zero_fresh_nodes() {
     trie.collect_garbage(); // age the warm-up garbage into the free pools
     let warm_nodes = trie.node_alloc_stats();
     let warm_preds = trie.pred_alloc_stats();
-    let (warm_uall, warm_ruall, warm_pall) = trie.cell_alloc_stats();
+    let warm_succs = trie.succ_alloc_stats();
+    let (warm_uall, warm_ruall, warm_pall, warm_sall) = trie.cell_alloc_stats();
 
     churn(6_000);
     let nodes = trie.node_alloc_stats();
     let preds = trie.pred_alloc_stats();
-    let (uall, ruall, pall) = trie.cell_alloc_stats();
+    let succs = trie.succ_alloc_stats();
+    let (uall, ruall, pall, sall) = trie.cell_alloc_stats();
 
     assert_eq!(
         nodes.fresh,
@@ -67,9 +71,11 @@ fn warm_churn_allocates_zero_fresh_nodes() {
         nodes.created - warm_nodes.created
     );
     assert_eq!(preds.fresh, warm_preds.fresh, "predecessor nodes too");
+    assert_eq!(succs.fresh, warm_succs.fresh, "successor nodes too");
     assert_eq!(uall.fresh, warm_uall.fresh, "U-ALL cells too");
     assert_eq!(ruall.fresh, warm_ruall.fresh, "RU-ALL cells too");
     assert_eq!(pall.fresh, warm_pall.fresh, "P-ALL cells too");
+    assert_eq!(sall.fresh, warm_sall.fresh, "S-ALL cells too");
 
     // The plateau is meaningful only if the post-warm-up phase really
     // churned: the logical series must keep growing, served from pools.
@@ -81,4 +87,6 @@ fn warm_churn_allocates_zero_fresh_nodes() {
     );
     assert!(nodes.recycled > warm_nodes.recycled);
     assert!(preds.created > warm_preds.created);
+    assert!(succs.created > warm_succs.created);
+    assert!(sall.created > warm_sall.created);
 }

@@ -1,22 +1,31 @@
-//! Interval-based linearizability stress for `Predecessor` (DESIGN.md §6.3).
+//! Interval-based linearizability stress for `Predecessor`, `Successor`
+//! and range scans (DESIGN.md §6.3).
 //!
 //! Writer threads own disjoint key stripes (so each key's S-modifying
-//! history is program-ordered), predecessor threads query across stripes,
-//! and every operation is stamped with a global logical clock at invocation
-//! and response. The checker then validates *sound necessary conditions* of
-//! linearizability — any reported violation is a real bug:
+//! history is program-ordered), query threads issue predecessor/successor
+//! queries (and scans) across stripes, and every operation is stamped with
+//! a global logical clock at invocation and response. The checker then
+//! validates *sound necessary conditions* of linearizability — any
+//! reported violation is a real bug:
 //!
 //! 1. a returned key must be possibly-in-S somewhere inside the query's
 //!    window;
 //! 2. no key strictly between the result and the query may be
 //!    definitely-in-S throughout the window (for the linearizable trie), or
 //!    throughout-with-no-concurrent-update (for the relaxed trie's §4.1
-//!    specification).
+//!    specification, mirrored for successor).
+//!
+//! For a range scan, each key of the result obeys condition 1 (every
+//! successor step's window lies inside the scan's window), the result is
+//! strictly increasing within bounds, and any key definitely-in-S
+//! throughout the *whole* scan must appear: the chain of certified
+//! successor steps is strictly increasing, so the step that crosses such a
+//! key cannot jump over it.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use lftrie::core::{LockFreeBinaryTrie, RelaxedBinaryTrie, RelaxedPred};
+use lftrie::core::{LockFreeBinaryTrie, RelaxedBinaryTrie, RelaxedPred, RelaxedSucc};
 
 mod common;
 use common::stress_iters;
@@ -35,11 +44,19 @@ struct UpdateEvent {
     end: u64,
 }
 
+/// Direction of an ordered query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Pred,
+    Succ,
+}
+
 #[derive(Debug, Clone, Copy)]
-struct PredEvent {
+struct QueryEvent {
+    dir: Dir,
     y: u64,
-    /// `Some(key)`, `None` = no-predecessor; relaxed ⊥ is filtered out
-    /// before checking.
+    /// `Some(key)`, `None` = no-predecessor/-successor; relaxed ⊥ is
+    /// filtered out before checking.
     result: Option<u64>,
     start: u64,
     end: u64,
@@ -117,7 +134,7 @@ fn update_overlaps(updates: &[UpdateEvent], k: u64, s: u64, e: u64) -> bool {
 
 struct StressOutput {
     updates: Vec<UpdateEvent>,
-    preds: Vec<PredEvent>,
+    queries: Vec<QueryEvent>,
     bottoms: u64,
 }
 
@@ -184,20 +201,34 @@ fn run_stress(
             let mut state = seed ^ 0xABCD ^ (r as u64).wrapping_mul(0xDEAD_BEEF_CAFE);
             for _ in 0..queries_per_reader {
                 state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                let y = 1 + (state >> 33) % (universe - 1);
+                let dir = if (state >> 7) & 1 == 0 {
+                    Dir::Pred
+                } else {
+                    Dir::Succ
+                };
+                let y = match dir {
+                    Dir::Pred => 1 + (state >> 33) % (universe - 1),
+                    Dir::Succ => (state >> 33) % (universe - 1),
+                };
                 let start = clock.fetch_add(1, Ordering::SeqCst);
-                let result = if relaxed {
-                    match rx.predecessor(y) {
+                let result = match (relaxed, dir) {
+                    (true, Dir::Pred) => match rx.predecessor(y) {
                         RelaxedPred::Found(k) => Some(Some(k)),
                         RelaxedPred::NoneSmaller => Some(None),
                         RelaxedPred::Interference => None,
-                    }
-                } else {
-                    Some(lf.predecessor(y))
+                    },
+                    (true, Dir::Succ) => match rx.successor(y) {
+                        RelaxedSucc::Found(k) => Some(Some(k)),
+                        RelaxedSucc::NoneGreater => Some(None),
+                        RelaxedSucc::Interference => None,
+                    },
+                    (false, Dir::Pred) => Some(lf.predecessor(y)),
+                    (false, Dir::Succ) => Some(lf.successor(y)),
                 };
                 let end = clock.fetch_add(1, Ordering::SeqCst);
                 match result {
-                    Some(res) => events.push(PredEvent {
+                    Some(res) => events.push(QueryEvent {
+                        dir,
                         y,
                         result: res,
                         start,
@@ -214,59 +245,72 @@ fn run_stress(
     for h in writer_handles {
         updates.extend(h.join().unwrap());
     }
-    let mut preds = Vec::new();
+    let mut queries = Vec::new();
     let mut bottoms = 0;
     for h in reader_handles {
         let (evs, b) = h.join().unwrap();
-        preds.extend(evs);
+        queries.extend(evs);
         bottoms += b;
     }
     StressOutput {
         updates,
-        preds,
+        queries,
         bottoms,
     }
 }
 
 fn check(out: &StressOutput, universe: u64, relaxed: bool) {
     let eps = episodes_per_key(&out.updates, universe);
-    let mut checked = 0u64;
-    for p in &out.preds {
+    let mut checked_pred = 0u64;
+    let mut checked_succ = 0u64;
+    for p in &out.queries {
         // Condition 1: a returned key was possibly in S inside the window.
         if let Some(k) = p.result {
-            assert!(k < p.y, "pred({}) returned {k} ≥ query", p.y);
+            match p.dir {
+                Dir::Pred => assert!(k < p.y, "pred({}) returned {k} ≥ query", p.y),
+                Dir::Succ => assert!(k > p.y, "succ({}) returned {k} ≤ query", p.y),
+            }
             assert!(
                 possibly_in(&eps[k as usize], p.start, p.end),
-                "pred({}) returned {k}, which was never (possibly) present in [{}, {}]",
+                "{:?}({}) returned {k}, which was never (possibly) present in [{}, {}]",
+                p.dir,
                 p.y,
                 p.start,
                 p.end
             );
         }
-        // Condition 2: completeness against definitely-present keys.
-        let floor = p.result.map(|k| k + 1).unwrap_or(0);
-        for k2 in floor..p.y {
+        // Condition 2: completeness against definitely-present keys. The
+        // gap is (result, y) for predecessor, (y, result) for successor.
+        let (gap_lo, gap_hi) = match p.dir {
+            Dir::Pred => (p.result.map(|k| k + 1).unwrap_or(0), p.y),
+            Dir::Succ => (p.y + 1, p.result.unwrap_or(universe)),
+        };
+        for k2 in gap_lo..gap_hi {
             if definitely_in_throughout(&eps[k2 as usize], p.start, p.end) {
-                // The linearizable trie must have returned ≥ k2. The relaxed
-                // trie is excused only if an update with a key strictly
-                // between the result and the query overlapped the op (§4.1).
+                // The linearizable trie must have answered with a key at
+                // least as close as k2. The relaxed trie is excused only if
+                // an update with a key strictly between the result and the
+                // query overlapped the op (§4.1, mirrored for successor).
                 let excused = relaxed
-                    && (floor..p.y).any(|m| update_overlaps(&out.updates, m, p.start, p.end));
+                    && (gap_lo..gap_hi).any(|m| update_overlaps(&out.updates, m, p.start, p.end));
                 assert!(
                     excused,
-                    "pred({}) = {:?} missed key {k2}, definitely present throughout \
+                    "{:?}({}) = {:?} missed key {k2}, definitely present throughout \
                      [{}, {}] (relaxed = {relaxed})",
-                    p.y, p.result, p.start, p.end
+                    p.dir, p.y, p.result, p.start, p.end
                 );
             }
         }
-        checked += 1;
+        match p.dir {
+            Dir::Pred => checked_pred += 1,
+            Dir::Succ => checked_succ += 1,
+        }
     }
-    assert!(checked > 0);
+    assert!(checked_pred > 0 && checked_succ > 0);
 }
 
 #[test]
-fn lockfree_trie_predecessor_is_linearizable_under_stress() {
+fn lockfree_trie_ordered_queries_are_linearizable_under_stress() {
     let iters = stress_iters(4_000);
     for seed in [11, 42, 20240610] {
         let out = run_stress(false, 64, 2, 2, iters, iters, seed);
@@ -276,7 +320,7 @@ fn lockfree_trie_predecessor_is_linearizable_under_stress() {
 }
 
 #[test]
-fn lockfree_trie_predecessor_linearizable_wide_universe() {
+fn lockfree_trie_ordered_queries_linearizable_wide_universe() {
     // Wider universe exercises deep trie paths and the recovery machinery
     // less often but more meaningfully.
     let iters = stress_iters(4_000) / 2;
@@ -358,11 +402,23 @@ fn guard_holding_readers_stay_linearizable_under_churn() {
                 let outer = lftrie::primitives::epoch::pin();
                 for _ in 0..batch.min(remaining) {
                     state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    let y = 1 + (state >> 33) % (universe - 1);
+                    let dir = if (state >> 7) & 1 == 0 {
+                        Dir::Pred
+                    } else {
+                        Dir::Succ
+                    };
+                    let y = match dir {
+                        Dir::Pred => 1 + (state >> 33) % (universe - 1),
+                        Dir::Succ => (state >> 33) % (universe - 1),
+                    };
                     let start = clock.fetch_add(1, Ordering::SeqCst);
-                    let result = lf.predecessor(y);
+                    let result = match dir {
+                        Dir::Pred => lf.predecessor(y),
+                        Dir::Succ => lf.successor(y),
+                    };
                     let end = clock.fetch_add(1, Ordering::SeqCst);
-                    events.push(PredEvent {
+                    events.push(QueryEvent {
+                        dir,
                         y,
                         result,
                         start,
@@ -380,13 +436,13 @@ fn guard_holding_readers_stay_linearizable_under_churn() {
     for h in writer_handles {
         updates.extend(h.join().unwrap());
     }
-    let mut preds = Vec::new();
+    let mut queries = Vec::new();
     for h in reader_handles {
-        preds.extend(h.join().unwrap());
+        queries.extend(h.join().unwrap());
     }
     let out = StressOutput {
         updates,
-        preds,
+        queries,
         bottoms: 0,
     };
     check(&out, universe, false);
@@ -400,6 +456,141 @@ fn guard_holding_readers_stay_linearizable_under_churn() {
         "guard-holding readers must not unbound memory: {live} live of {} cumulative",
         lf.allocated_nodes()
     );
+}
+
+/// Range-scan histories against the interval model: writers churn striped
+/// keys (including the scans' own endpoints — endpoint inserts/removes race
+/// the scans by construction, since stripes cover every key), scanners
+/// record `(lo, hi, result, window)` events, and the checker validates the
+/// per-step snapshot contract of `range`:
+///
+/// * results are strictly increasing and within `[lo, hi]`;
+/// * every returned key was possibly in S inside the scan's window;
+/// * every key definitely in S throughout the whole window appears.
+#[test]
+fn lockfree_trie_range_scans_satisfy_the_interval_model() {
+    let universe = 64u64;
+    let writers = 2usize;
+    let scanners = 2usize;
+    let iters = stress_iters(3_000);
+    let scans = stress_iters(3_000) / 4;
+
+    let clock = Arc::new(AtomicU64::new(0));
+    let lf = Arc::new(LockFreeBinaryTrie::new(universe));
+
+    let mut writer_handles = Vec::new();
+    for w in 0..writers {
+        let clock = Arc::clone(&clock);
+        let lf = Arc::clone(&lf);
+        writer_handles.push(std::thread::spawn(move || {
+            let mut events = Vec::new();
+            let mut state = 0x853C49E6748FEA9Bu64 ^ (w as u64) << 21;
+            for _ in 0..iters {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let key = ((state >> 33) % (universe / writers as u64)) * writers as u64 + w as u64;
+                let insert = (state >> 13) & 1 == 0;
+                let start = clock.fetch_add(1, Ordering::SeqCst);
+                let s_modifying = if insert {
+                    lf.insert(key)
+                } else {
+                    lf.remove(key)
+                };
+                let end = clock.fetch_add(1, Ordering::SeqCst);
+                if s_modifying {
+                    events.push(UpdateEvent {
+                        key,
+                        kind: if insert { Kind::Ins } else { Kind::Del },
+                        start,
+                        end,
+                    });
+                }
+            }
+            events
+        }));
+    }
+
+    struct ScanEvent {
+        lo: u64,
+        hi: u64,
+        result: Vec<u64>,
+        start: u64,
+        end: u64,
+    }
+
+    let mut scanner_handles = Vec::new();
+    for r in 0..scanners {
+        let clock = Arc::clone(&clock);
+        let lf = Arc::clone(&lf);
+        scanner_handles.push(std::thread::spawn(move || {
+            let mut events = Vec::new();
+            let mut state = (r as u64).wrapping_mul(0x2545F4914F6CDD1D) | 1;
+            for _ in 0..scans {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let lo = (state >> 33) % universe;
+                let hi = (lo + 1 + (state >> 17) % 24).min(universe - 1);
+                let start = clock.fetch_add(1, Ordering::SeqCst);
+                let result = lf.range(lo..=hi);
+                let end = clock.fetch_add(1, Ordering::SeqCst);
+                events.push(ScanEvent {
+                    lo,
+                    hi,
+                    result,
+                    start,
+                    end,
+                });
+            }
+            events
+        }));
+    }
+
+    let mut updates = Vec::new();
+    for h in writer_handles {
+        updates.extend(h.join().unwrap());
+    }
+    let eps = episodes_per_key(&updates, universe);
+    let mut checked = 0u64;
+    for h in scanner_handles {
+        for s in h.join().unwrap() {
+            assert!(
+                s.result.windows(2).all(|w| w[0] < w[1]),
+                "range({}..={}) not strictly increasing: {:?}",
+                s.lo,
+                s.hi,
+                s.result
+            );
+            for &k in &s.result {
+                assert!(
+                    (s.lo..=s.hi).contains(&k),
+                    "range({}..={}) escaped its bounds: {k}",
+                    s.lo,
+                    s.hi
+                );
+                assert!(
+                    possibly_in(&eps[k as usize], s.start, s.end),
+                    "range({}..={}) returned {k}, never (possibly) present in [{}, {}]",
+                    s.lo,
+                    s.hi,
+                    s.start,
+                    s.end
+                );
+            }
+            for k2 in s.lo..=s.hi {
+                if definitely_in_throughout(&eps[k2 as usize], s.start, s.end) {
+                    assert!(
+                        s.result.contains(&k2),
+                        "range({}..={}) missed {k2}, definitely present throughout [{}, {}]: {:?}",
+                        s.lo,
+                        s.hi,
+                        s.start,
+                        s.end,
+                        s.result
+                    );
+                }
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked > 0);
 }
 
 #[test]

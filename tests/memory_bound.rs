@@ -51,15 +51,21 @@ fn sustained_churn_has_bounded_live_nodes() {
                 for _ in 0..iters {
                     state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
                     let k = (state >> 33) % key_span;
-                    match state % 4 {
+                    match state % 6 {
                         0 | 1 => {
                             trie.insert(k);
                         }
                         2 => {
                             trie.remove(k);
                         }
-                        _ => {
+                        3 => {
                             std::hint::black_box(trie.predecessor(k.max(1)));
+                        }
+                        4 => {
+                            std::hint::black_box(trie.successor(k));
+                        }
+                        _ => {
+                            std::hint::black_box(trie.range(k..=(k + 8).min(universe - 1)));
                         }
                     }
                 }
@@ -101,6 +107,32 @@ fn sustained_churn_has_bounded_live_nodes() {
         pred_live <= 512,
         "predecessor nodes must be reclaimed: {pred_live} live of {pred_allocated}"
     );
+
+    // The successor-side mirrors: every delete embeds two SuccHelper runs
+    // and every successor query announces one, so the S-ALL churns at the
+    // same rate as the P-ALL and must obey the same bound.
+    let (succ_allocated, succ_live) = trie.succ_node_counts();
+    assert!(
+        succ_allocated >= 2 * ceiling(universe),
+        "churn too small to exercise successor-node reclamation: {succ_allocated}"
+    );
+    assert!(
+        succ_live <= 512,
+        "successor nodes must be reclaimed: {succ_live} live of {succ_allocated}"
+    );
+    let (_, _, pall_cells, sall_cells) = trie.cell_alloc_stats();
+    for (name, cells) in [("P-ALL", &pall_cells), ("S-ALL", &sall_cells)] {
+        assert!(
+            cells.resident <= 512 + pool_allowance(threads as usize),
+            "{name} cells must stay bounded: {} resident of {} created",
+            cells.resident,
+            cells.created
+        );
+        assert!(
+            cells.created > cells.resident,
+            "{name} churn must have retired announcement cells"
+        );
+    }
 
     // With allocation pooling, *heap-resident* memory (recycle pools
     // included) must obey the same shape: live nodes plus the pool caps

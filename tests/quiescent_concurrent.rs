@@ -10,8 +10,8 @@ use lftrie::core::LockFreeBinaryTrie;
 mod common;
 use common::stress_iters;
 
-/// After quiescence, `predecessor` answers must match a fresh `contains`
-/// scan exactly.
+/// After quiescence, `predecessor`/`successor` answers and range scans must
+/// match a fresh `contains` scan exactly.
 fn assert_quiescent_consistency(trie: &LockFreeBinaryTrie, universe: u64) {
     let present: Vec<u64> = (0..universe).filter(|&x| trie.contains(x)).collect();
     for y in 0..universe {
@@ -21,10 +21,41 @@ fn assert_quiescent_consistency(trie: &LockFreeBinaryTrie, universe: u64) {
             expected,
             "quiescent predecessor({y}) disagrees with contains() scan"
         );
+        let expected_succ = present.iter().find(|&&k| k > y).copied();
+        assert_eq!(
+            trie.successor(y),
+            expected_succ,
+            "quiescent successor({y}) disagrees with contains() scan"
+        );
+    }
+    // Sampled windows plus the full span: scans must reproduce the
+    // contains() scan slice for slice.
+    let windows = [
+        (0, universe - 1),
+        (0, universe / 2),
+        (universe / 4, 3 * universe / 4),
+        (universe - 2, universe - 1),
+    ];
+    for (lo, hi) in windows {
+        let expected: Vec<u64> = present
+            .iter()
+            .copied()
+            .filter(|&k| (lo..=hi).contains(&k))
+            .collect();
+        assert_eq!(
+            trie.range(lo..=hi),
+            expected,
+            "quiescent range({lo}..={hi}) disagrees with contains() scan"
+        );
     }
     assert_eq!(
+        trie.iter_from(0).collect::<Vec<_>>(),
+        present,
+        "quiescent iter_from(0) disagrees with contains() scan"
+    );
+    assert_eq!(
         trie.announcement_lens(),
-        (0, 0, 0),
+        (0, 0, 0, 0),
         "announcement lists must drain at quiescence"
     );
 }
@@ -44,7 +75,7 @@ fn shared_key_hammering_settles_consistently() {
                 for _ in 0..iters {
                     state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
                     let k = (state >> 33) % universe;
-                    match state % 4 {
+                    match state % 6 {
                         0 => {
                             trie.insert(k);
                         }
@@ -54,8 +85,15 @@ fn shared_key_hammering_settles_consistently() {
                         2 => {
                             std::hint::black_box(trie.contains(k));
                         }
-                        _ => {
+                        3 => {
                             std::hint::black_box(trie.predecessor(k));
+                        }
+                        4 => {
+                            std::hint::black_box(trie.successor(k));
+                        }
+                        _ => {
+                            let hi = (k + 8).min(universe - 1);
+                            std::hint::black_box(trie.range(k..=hi));
                         }
                     }
                 }
@@ -123,6 +161,7 @@ fn alternating_phases_of_growth_and_shrink() {
                             trie.remove(k);
                         }
                         std::hint::black_box(trie.predecessor(k.max(1)));
+                        std::hint::black_box(trie.successor(k.min(universe - 2)));
                     }
                 })
             })
@@ -205,6 +244,59 @@ fn phase_long_reader_guards_never_see_freed_nodes() {
         "backlog must drain once the phase-long guards drop: {live} live of {}",
         trie.allocated_nodes()
     );
+}
+
+/// Scans racing inserts/removes of their own endpoints: writers toggle
+/// exactly the two bounds of the scanned window while a stable anchor key
+/// sits strictly inside it. Every scan must contain the anchor, stay inside
+/// its bounds and strictly increasing, and only ever report the endpoint
+/// keys (nothing else is ever inserted). Afterwards the structure must be
+/// quiescently consistent.
+#[test]
+fn scans_racing_their_endpoints_stay_coherent() {
+    let universe = 64u64;
+    let (lo, hi, anchor) = (10u64, 50u64, 30u64);
+    let iters = stress_iters(5_000);
+    let trie = Arc::new(LockFreeBinaryTrie::new(universe));
+    trie.insert(anchor);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let writers: Vec<_> = [lo, hi]
+        .into_iter()
+        .map(|endpoint| {
+            let trie = Arc::clone(&trie);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    trie.insert(endpoint);
+                    trie.remove(endpoint);
+                }
+            })
+        })
+        .collect();
+
+    for _ in 0..iters {
+        let scan = trie.range(lo..=hi);
+        assert!(
+            scan.windows(2).all(|w| w[0] < w[1]),
+            "scan not strictly increasing: {scan:?}"
+        );
+        assert!(
+            scan.contains(&anchor),
+            "scan lost the stable anchor {anchor}: {scan:?}"
+        );
+        for &k in &scan {
+            assert!(
+                k == anchor || k == lo || k == hi,
+                "scan invented key {k}: {scan:?}"
+            );
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    for w in writers {
+        w.join().unwrap();
+    }
+    assert_quiescent_consistency(&trie, universe);
 }
 
 #[test]

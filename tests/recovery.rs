@@ -102,6 +102,93 @@ fn multiple_stalled_deletes_compound() {
 }
 
 #[test]
+fn successor_recovery_uses_first_embedded_successor() {
+    // S = {5, 9}; Delete(5) stalls before clearing the bits. A successor
+    // query from below descends into 5's stale subtree, bottoms out, and
+    // must recover 9 from dNode5.delSucc.
+    let trie = LockFreeBinaryTrie::new(32);
+    trie.insert(5);
+    trie.insert(9);
+    assert!(trie.remove_stalled_before_trie_update(5));
+    assert!(!trie.contains(5), "the stalled delete is linearized");
+
+    assert_eq!(trie.successor(1), Some(9));
+    let (bottoms, recoveries) = trie.succ_traversal_stats();
+    assert!(bottoms >= 1, "the stale subtree must force at least one ⊥");
+    assert!(
+        recoveries >= 1,
+        "⊥ with a non-empty Dpub runs the successor recovery"
+    );
+}
+
+#[test]
+fn successor_recovery_follows_delsucc2_chain_to_none() {
+    // S = {5, 9}; Delete(5) stalls, then Delete(9) completes. The mirrored
+    // recovery graph is X = {9} with edge 9 → delSucc2(9) = no-successor,
+    // so the sink is "none" and the answer is None.
+    let trie = LockFreeBinaryTrie::new(32);
+    trie.insert(5);
+    trie.insert(9);
+    assert!(trie.remove_stalled_before_trie_update(5));
+    assert!(trie.remove(9));
+    assert_eq!(trie.successor(1), None);
+}
+
+#[test]
+fn successor_recovery_sees_keys_above_the_stale_subtree() {
+    // A larger key inserted *before* the stall is found even though the
+    // traversal cannot pass the stale region: S = {9, 20}, stale delete
+    // of 9.
+    let trie = LockFreeBinaryTrie::new(32);
+    trie.insert(9);
+    trie.insert(20);
+    trie.remove_stalled_before_trie_update(9);
+    assert_eq!(trie.successor(2), Some(20));
+    // Keys *below* the stale subtree are unaffected.
+    trie.insert(3);
+    assert_eq!(trie.successor(1), Some(3));
+}
+
+#[test]
+fn successor_sees_inserts_after_the_stall() {
+    let trie = LockFreeBinaryTrie::new(64);
+    trie.insert(9);
+    trie.remove_stalled_before_trie_update(9);
+    trie.insert(11); // above 9, fresh path
+    assert_eq!(trie.successor(2), Some(11));
+    trie.insert(7);
+    assert_eq!(trie.successor(2), Some(7));
+}
+
+#[test]
+fn multiple_stalled_deletes_compound_for_successor() {
+    // Two stale subtrees between the query and the answer.
+    let trie = LockFreeBinaryTrie::new(64);
+    trie.insert(20);
+    trie.insert(24);
+    trie.insert(40);
+    trie.remove_stalled_before_trie_update(20);
+    trie.remove_stalled_before_trie_update(24);
+    assert_eq!(trie.successor(3), Some(40));
+    assert_eq!(trie.successor(20), Some(40));
+    assert_eq!(trie.successor(40), None);
+}
+
+#[test]
+fn range_scans_cross_stale_subtrees_exactly() {
+    // A scan spanning a stalled delete's subtree must return exactly the
+    // live keys: the stalled key is linearized-deleted (excluded), keys on
+    // both sides are found through the recovery path.
+    let trie = LockFreeBinaryTrie::new(64);
+    for k in [3u64, 20, 24, 40] {
+        trie.insert(k);
+    }
+    trie.remove_stalled_before_trie_update(20);
+    assert_eq!(trie.range(0..=63), vec![3, 24, 40]);
+    assert_eq!(trie.range(20..=24), vec![24]);
+}
+
+#[test]
 fn queries_under_concurrent_load_with_stalls_stay_sound() {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;

@@ -1,6 +1,6 @@
 //! Property-based sequential equivalence: every structure in the workspace
 //! behaves exactly like `BTreeSet` over arbitrary operation sequences
-//! (DESIGN.md §6.1).
+//! (DESIGN.md §6.1) — including the ordered-query side (successor, range).
 
 use std::collections::BTreeSet;
 
@@ -8,7 +8,7 @@ use lftrie::baselines::{
     CoarseBTreeSet, ConcurrentOrderedSet, FlatCombiningBinaryTrie, HarrisListSet, LockFreeSkipList,
     MutexBinaryTrie, RwLockBinaryTrie, SeqBinaryTrie,
 };
-use lftrie::core::{LockFreeBinaryTrie, RelaxedBinaryTrie, RelaxedPred};
+use lftrie::core::{LockFreeBinaryTrie, RelaxedBinaryTrie, RelaxedPred, RelaxedSucc};
 use proptest::prelude::*;
 
 const UNIVERSE: u64 = 96;
@@ -19,15 +19,23 @@ enum Op {
     Remove(u64),
     Contains(u64),
     Predecessor(u64),
+    Successor(u64),
+    Range(u64, u64),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    (0u8..4, 0..UNIVERSE).prop_map(|(kind, key)| match kind {
+    (0u8..6, 0..UNIVERSE, 0..UNIVERSE).prop_map(|(kind, key, key2)| match kind {
         0 => Op::Insert(key),
         1 => Op::Remove(key),
         2 => Op::Contains(key),
-        _ => Op::Predecessor(key),
+        3 => Op::Predecessor(key),
+        4 => Op::Successor(key),
+        _ => Op::Range(key.min(key2), key.max(key2)),
     })
+}
+
+fn model_range(model: &BTreeSet<u64>, lo: u64, hi: u64) -> Vec<u64> {
+    model.range(lo..=hi).copied().collect()
 }
 
 fn check_against_model(set: &dyn ConcurrentOrderedSet, ops: &[Op]) {
@@ -44,6 +52,16 @@ fn check_against_model(set: &dyn ConcurrentOrderedSet, ops: &[Op]) {
                 model.range(..k).next_back().copied(),
                 "pred {k} @{i}"
             ),
+            Op::Successor(k) => assert_eq!(
+                set.successor(k),
+                model.range(k + 1..).next().copied(),
+                "succ {k} @{i}"
+            ),
+            Op::Range(lo, hi) => assert_eq!(
+                set.range(lo, hi),
+                model_range(&model, lo, hi),
+                "range {lo}..={hi} @{i}"
+            ),
         }
     }
 }
@@ -59,7 +77,8 @@ proptest! {
     #[test]
     fn relaxed_trie_matches_btreeset_solo(ops in proptest::collection::vec(op_strategy(), 1..400)) {
         // Single-threaded, the relaxed trie must be exact: ⊥ is only
-        // permitted under concurrent updates (§4.1).
+        // permitted under concurrent updates (§4.1, mirrored for the
+        // successor side).
         let trie = RelaxedBinaryTrie::new(UNIVERSE);
         let mut model = BTreeSet::new();
         for &op in &ops {
@@ -73,6 +92,20 @@ proptest! {
                         None => RelaxedPred::NoneSmaller,
                     };
                     prop_assert_eq!(trie.predecessor(k), expected);
+                }
+                Op::Successor(k) => {
+                    let expected = match model.range(k + 1..).next() {
+                        Some(&s) => RelaxedSucc::Found(s),
+                        None => RelaxedSucc::NoneGreater,
+                    };
+                    prop_assert_eq!(trie.successor(k), expected);
+                }
+                Op::Range(lo, hi) => {
+                    // Through the trait adapter (best-effort; exact solo).
+                    prop_assert_eq!(
+                        ConcurrentOrderedSet::range(&trie, lo, hi),
+                        model_range(&model, lo, hi)
+                    );
                 }
             }
         }
@@ -112,6 +145,12 @@ proptest! {
                 Op::Predecessor(k) => {
                     prop_assert_eq!(trie.predecessor(k), model.range(..k).next_back().copied())
                 }
+                Op::Successor(k) => {
+                    prop_assert_eq!(trie.successor(k), model.range(k + 1..).next().copied())
+                }
+                Op::Range(lo, hi) => {
+                    prop_assert_eq!(trie.range(lo, hi), model_range(&model, lo, hi))
+                }
             }
         }
         prop_assert_eq!(trie.len(), model.len());
@@ -132,6 +171,8 @@ proptest! {
                 Op::Remove(k) => { assert_eq!(a.remove(k), ConcurrentOrderedSet::remove(&b, k)); }
                 Op::Contains(k) => { assert_eq!(a.contains(k), ConcurrentOrderedSet::contains(&b, k)); }
                 Op::Predecessor(k) => { assert_eq!(a.predecessor(k), ConcurrentOrderedSet::predecessor(&b, k)); }
+                Op::Successor(k) => { assert_eq!(a.successor(k), ConcurrentOrderedSet::successor(&b, k)); }
+                Op::Range(lo, hi) => { assert_eq!(a.range(lo..=hi), ConcurrentOrderedSet::range(&b, lo, hi)); }
             }
         }
     }
