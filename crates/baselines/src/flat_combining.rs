@@ -31,11 +31,16 @@ const OP_REMOVE: u8 = 2;
 const OP_CONTAINS: u8 = 3;
 const OP_PRED: u8 = 4;
 const OP_SUCC: u8 = 5;
+/// Aggregates (the key field is ignored): combined like any other op, so a
+/// `min`/`max` costs one announcement round-trip, not a
+/// `contains` + `successor` pair.
+const OP_MIN: u8 = 6;
+const OP_MAX: u8 = 7;
 /// Set by the combiner once the result field is valid.
-const OP_DONE: u8 = 6;
+const OP_DONE: u8 = 8;
 /// Slot reserved by a publisher that has not yet written its op code
 /// (threads can hash to the same slot; the claim CAS arbitrates).
-const OP_CLAIMED: u8 = 7;
+const OP_CLAIMED: u8 = 9;
 
 /// One slot of the announcement array.
 #[derive(Debug)]
@@ -146,7 +151,7 @@ impl FlatCombiningBinaryTrie {
     fn combine(&self, trie: &mut SeqBinaryTrie) {
         for rec in self.records.iter() {
             let op = rec.op.load(Ordering::SeqCst);
-            if !(OP_INSERT..=OP_SUCC).contains(&op) {
+            if !(OP_INSERT..=OP_MAX).contains(&op) {
                 continue;
             }
             let key = rec.key.load(Ordering::SeqCst) as u64;
@@ -156,6 +161,8 @@ impl FlatCombiningBinaryTrie {
                 OP_CONTAINS => i64::from(trie.contains(key)),
                 OP_PRED => trie.predecessor(key).map(|k| k as i64).unwrap_or(-1),
                 OP_SUCC => trie.successor(key).map(|k| k as i64).unwrap_or(-1),
+                OP_MIN => trie.min().map(|k| k as i64).unwrap_or(-1),
+                OP_MAX => trie.max().map(|k| k as i64).unwrap_or(-1),
                 _ => unreachable!(),
             };
             rec.result.store(result, Ordering::SeqCst);
@@ -182,6 +189,18 @@ impl ConcurrentOrderedSet for FlatCombiningBinaryTrie {
     }
     fn successor(&self, y: u64) -> Option<u64> {
         match self.submit(OP_SUCC, y as i64) {
+            -1 => None,
+            k => Some(k as u64),
+        }
+    }
+    fn min(&self) -> Option<u64> {
+        match self.submit(OP_MIN, 0) {
+            -1 => None,
+            k => Some(k as u64),
+        }
+    }
+    fn max(&self) -> Option<u64> {
+        match self.submit(OP_MAX, 0) {
             -1 => None,
             k => Some(k as u64),
         }

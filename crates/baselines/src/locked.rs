@@ -70,8 +70,32 @@ impl ConcurrentOrderedSet for MutexBinaryTrie {
     }
     fn range(&self, lo: u64, hi: u64) -> Vec<u64> {
         // One critical section: an atomic snapshot (the blocking trade E9
-        // measures against the lock-free per-step scan).
+        // measures against the lock-free per-step scan). Aggregates and
+        // batches below are atomic for the same reason — one lock hold.
         self.inner.lock().range(lo, hi)
+    }
+    fn count_range(&self, lo: u64, hi: u64) -> usize {
+        self.inner.lock().count_range(lo, hi)
+    }
+    fn min(&self) -> Option<u64> {
+        self.inner.lock().min()
+    }
+    fn max(&self) -> Option<u64> {
+        self.inner.lock().max()
+    }
+    fn pop_min(&self) -> Option<u64> {
+        let mut g = self.inner.lock();
+        let m = g.min()?;
+        g.remove(m);
+        Some(m)
+    }
+    fn insert_all(&self, keys: &[u64]) -> usize {
+        let mut g = self.inner.lock();
+        keys.iter().filter(|&&k| g.insert(k)).count()
+    }
+    fn delete_all(&self, keys: &[u64]) -> usize {
+        let mut g = self.inner.lock();
+        keys.iter().filter(|&&k| g.remove(k)).count()
     }
     fn name(&self) -> &'static str {
         "mutex-trie"
@@ -111,6 +135,29 @@ impl ConcurrentOrderedSet for RwLockBinaryTrie {
     }
     fn range(&self, lo: u64, hi: u64) -> Vec<u64> {
         self.inner.read().range(lo, hi)
+    }
+    fn count_range(&self, lo: u64, hi: u64) -> usize {
+        self.inner.read().count_range(lo, hi)
+    }
+    fn min(&self) -> Option<u64> {
+        self.inner.read().min()
+    }
+    fn max(&self) -> Option<u64> {
+        self.inner.read().max()
+    }
+    fn pop_min(&self) -> Option<u64> {
+        let mut g = self.inner.write();
+        let m = g.min()?;
+        g.remove(m);
+        Some(m)
+    }
+    fn insert_all(&self, keys: &[u64]) -> usize {
+        let mut g = self.inner.write();
+        keys.iter().filter(|&&k| g.insert(k)).count()
+    }
+    fn delete_all(&self, keys: &[u64]) -> usize {
+        let mut g = self.inner.write();
+        keys.iter().filter(|&&k| g.remove(k)).count()
     }
     fn name(&self) -> &'static str {
         "rwlock-trie"
@@ -158,6 +205,29 @@ impl ConcurrentOrderedSet for CoarseBTreeSet {
             return Vec::new();
         }
         self.inner.lock().range(lo..=hi).copied().collect()
+    }
+    fn count_range(&self, lo: u64, hi: u64) -> usize {
+        if lo > hi {
+            return 0;
+        }
+        self.inner.lock().range(lo..=hi).count()
+    }
+    fn min(&self) -> Option<u64> {
+        self.inner.lock().first().copied()
+    }
+    fn max(&self) -> Option<u64> {
+        self.inner.lock().last().copied()
+    }
+    fn pop_min(&self) -> Option<u64> {
+        self.inner.lock().pop_first()
+    }
+    fn insert_all(&self, keys: &[u64]) -> usize {
+        let mut g = self.inner.lock();
+        keys.iter().filter(|&&k| g.insert(k)).count()
+    }
+    fn delete_all(&self, keys: &[u64]) -> usize {
+        let mut g = self.inner.lock();
+        keys.iter().filter(|&&k| g.remove(&k)).count()
     }
     fn name(&self) -> &'static str {
         "mutex-btreeset"

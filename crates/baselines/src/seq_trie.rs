@@ -217,11 +217,12 @@ impl SeqBinaryTrie {
     }
 
     /// The keys in `[lo, hi]` ascending, by repeated successor descents
-    /// (O(k log u) for k results).
+    /// (O(k log u) for k results). `lo > hi` is an empty scan (decided
+    /// before validating `lo`); bounds above the universe are harmless.
     ///
     /// # Panics
     ///
-    /// Panics if `lo ≥ universe`.
+    /// Panics if the range is non-empty (`lo ≤ hi`) and `lo ≥ universe`.
     pub fn range(&self, lo: u64, hi: u64) -> Vec<u64> {
         let mut out = Vec::new();
         if lo > hi {
@@ -239,6 +240,54 @@ impl SeqBinaryTrie {
             cur = k;
         }
         out
+    }
+
+    /// Number of keys in `[lo, hi]`: [`SeqBinaryTrie::range`] without
+    /// materializing the keys (same bounds contract).
+    pub fn count_range(&self, lo: u64, hi: u64) -> usize {
+        if lo > hi {
+            return 0;
+        }
+        let mut n = usize::from(self.contains(lo));
+        let mut cur = lo;
+        while let Some(k) = self.successor(cur) {
+            if k > hi {
+                break;
+            }
+            n += 1;
+            cur = k;
+        }
+        n
+    }
+
+    /// The smallest key, or `None` when empty: the leftmost 1-path descent
+    /// from the root. O(log u).
+    pub fn min(&self) -> Option<u64> {
+        if !self.bit(1) {
+            return None;
+        }
+        let mut t = 1u64;
+        while t < (1u64 << self.b) {
+            t = if self.bit(2 * t) { 2 * t } else { 2 * t + 1 };
+        }
+        Some(t - (1u64 << self.b))
+    }
+
+    /// The largest key, or `None` when empty: the rightmost 1-path descent
+    /// from the root. O(log u).
+    pub fn max(&self) -> Option<u64> {
+        if !self.bit(1) {
+            return None;
+        }
+        let mut t = 1u64;
+        while t < (1u64 << self.b) {
+            t = if self.bit(2 * t + 1) {
+                2 * t + 1
+            } else {
+                2 * t
+            };
+        }
+        Some(t - (1u64 << self.b))
     }
 
     /// Iterates the keys in ascending order (O(u); diagnostic).
@@ -294,6 +343,19 @@ mod tests {
                 _ => assert_eq!(t.successor(x), model.range(x + 1..).next().copied()),
             }
             assert_eq!(t.len(), model.len());
+            assert_eq!(t.min(), model.first().copied());
+            assert_eq!(t.max(), model.last().copied());
+        }
+    }
+
+    #[test]
+    fn count_range_matches_range_len() {
+        let mut t = SeqBinaryTrie::new(32);
+        for x in [0u64, 3, 4, 17, 31] {
+            t.insert(x);
+        }
+        for (lo, hi) in [(0, 31), (3, 17), (5, 5), (4, 4), (18, 2), (0, u64::MAX)] {
+            assert_eq!(t.count_range(lo, hi), t.range(lo, hi).len(), "[{lo}, {hi}]");
         }
     }
 

@@ -45,6 +45,53 @@ pub trait ConcurrentOrderedSet: Send + Sync {
         }
         out
     }
+    /// Number of keys in `[lo, hi]` (`0` when `lo > hi`). Same scan
+    /// semantics as [`ConcurrentOrderedSet::range`].
+    fn count_range(&self, lo: u64, hi: u64) -> usize {
+        self.range(lo, hi).len()
+    }
+    /// The smallest key, or `None` when the set is empty.
+    fn min(&self) -> Option<u64> {
+        if self.contains(0) {
+            Some(0)
+        } else {
+            self.successor(0)
+        }
+    }
+    /// The largest key, or `None` when the set is empty.
+    ///
+    /// The default walks `successor` to the top — O(n) steps; structures
+    /// with a cheap `predecessor` from a known upper bound override this.
+    fn max(&self) -> Option<u64> {
+        let mut cur = self.min()?;
+        while let Some(k) = self.successor(cur) {
+            cur = k;
+        }
+        Some(cur)
+    }
+    /// Removes and returns the smallest key (priority-queue `pop`), or
+    /// `None` when the set is empty at the minimum query's linearization
+    /// point. The default retries `min` + `remove` until the removal wins.
+    fn pop_min(&self) -> Option<u64> {
+        loop {
+            let m = self.min()?;
+            if self.remove(m) {
+                return Some(m);
+            }
+        }
+    }
+    /// Inserts every key in `keys`; returns how many calls were
+    /// S-modifying. Each insert linearizes individually — batching is an
+    /// amortization of per-call overhead, not an atomic multi-insert.
+    fn insert_all(&self, keys: &[u64]) -> usize {
+        keys.iter().filter(|&&k| self.insert(k)).count()
+    }
+    /// Removes every key in `keys`; returns how many calls were
+    /// S-modifying. Same per-key linearization as
+    /// [`ConcurrentOrderedSet::insert_all`].
+    fn delete_all(&self, keys: &[u64]) -> usize {
+        keys.iter().filter(|&&k| self.remove(k)).count()
+    }
     /// Short display name for reports.
     fn name(&self) -> &'static str;
 }
@@ -66,10 +113,25 @@ impl ConcurrentOrderedSet for LockFreeBinaryTrie {
         LockFreeBinaryTrie::successor(self, y)
     }
     fn range(&self, lo: u64, hi: u64) -> Vec<u64> {
-        if lo > hi {
-            return Vec::new();
-        }
         LockFreeBinaryTrie::range(self, lo..=hi)
+    }
+    fn count_range(&self, lo: u64, hi: u64) -> usize {
+        LockFreeBinaryTrie::count(self, lo..=hi)
+    }
+    fn min(&self) -> Option<u64> {
+        LockFreeBinaryTrie::min(self)
+    }
+    fn max(&self) -> Option<u64> {
+        LockFreeBinaryTrie::max(self)
+    }
+    fn pop_min(&self) -> Option<u64> {
+        LockFreeBinaryTrie::pop_min(self)
+    }
+    fn insert_all(&self, keys: &[u64]) -> usize {
+        LockFreeBinaryTrie::insert_all(self, keys)
+    }
+    fn delete_all(&self, keys: &[u64]) -> usize {
+        LockFreeBinaryTrie::delete_all(self, keys)
     }
     fn name(&self) -> &'static str {
         "lockfree-trie"

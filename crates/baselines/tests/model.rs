@@ -25,17 +25,36 @@ enum Op {
     Predecessor(u64),
     Successor(u64),
     Range(u64, u64),
+    CountRange(u64, u64),
+    Min,
+    Max,
+    PopMin,
+    /// `insert_all` of the derived batch [`batch_keys`] (base key `.0`).
+    InsertAll(u64),
+    /// `delete_all` of the same derived batch.
+    DeleteAll(u64),
+}
+
+/// The (deliberately duplicate-carrying) key batch derived from a base key.
+fn batch_keys(base: u64) -> [u64; 4] {
+    [base, (base + 7) % UNIVERSE, (base + 13) % UNIVERSE, base]
 }
 
 fn ops() -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
-        (0u8..6, 0..UNIVERSE, 0..UNIVERSE).prop_map(|(kind, key, key2)| match kind {
+        (0u8..12, 0..UNIVERSE, 0..UNIVERSE).prop_map(|(kind, key, key2)| match kind {
             0 => Op::Insert(key),
             1 => Op::Remove(key),
             2 => Op::Contains(key),
             3 => Op::Predecessor(key),
             4 => Op::Successor(key),
-            _ => Op::Range(key.min(key2), key.max(key2)),
+            5 => Op::Range(key.min(key2), key.max(key2)),
+            6 => Op::CountRange(key.min(key2), key.max(key2)),
+            7 => Op::Min,
+            8 => Op::Max,
+            9 => Op::PopMin,
+            10 => Op::InsertAll(key),
+            _ => Op::DeleteAll(key),
         }),
         1..300,
     )
@@ -63,12 +82,82 @@ fn check(set: &dyn ConcurrentOrderedSet, trace: &[Op]) {
                 model.range(lo..=hi).copied().collect::<Vec<_>>(),
                 "range {lo}..={hi} @{i}"
             ),
+            Op::CountRange(lo, hi) => assert_eq!(
+                set.count_range(lo, hi),
+                model.range(lo..=hi).count(),
+                "count_range {lo}..={hi} @{i}"
+            ),
+            Op::Min => assert_eq!(set.min(), model.first().copied(), "min @{i}"),
+            Op::Max => assert_eq!(set.max(), model.last().copied(), "max @{i}"),
+            Op::PopMin => assert_eq!(set.pop_min(), model.pop_first(), "pop_min @{i}"),
+            Op::InsertAll(base) => {
+                let keys = batch_keys(base);
+                let expect = keys.iter().filter(|&&k| model.insert(k)).count();
+                assert_eq!(set.insert_all(&keys), expect, "insert_all {keys:?} @{i}");
+            }
+            Op::DeleteAll(base) => {
+                let keys = batch_keys(base);
+                let expect = keys.iter().filter(|&&k| model.remove(&k)).count();
+                assert_eq!(set.delete_all(&keys), expect, "delete_all {keys:?} @{i}");
+            }
         }
     }
 }
 
+/// The shared bounds contract (satellite of the scan-v2 work): `lo > hi`
+/// is an empty scan decided *before* any validation, upper bounds above
+/// the key domain are clamped/harmless, and single-key ranges behave like
+/// membership tests — uniformly across every structure.
+fn check_edge_bounds(set: &dyn ConcurrentOrderedSet) {
+    let name = set.name();
+    assert!(set.insert(5) && set.insert(9), "{name}");
+
+    // Empty ranges, including one whose lo is outside every universe.
+    assert_eq!(set.range(9, 5), Vec::<u64>::new(), "{name}");
+    assert_eq!(set.count_range(9, 5), 0, "{name}");
+    assert_eq!(set.range(u64::MAX, 0), Vec::<u64>::new(), "{name}");
+    assert_eq!(set.count_range(u64::MAX, 0), 0, "{name}");
+
+    // Upper bounds past the key domain.
+    assert_eq!(set.range(0, u64::MAX), vec![5, 9], "{name}");
+    assert_eq!(set.count_range(0, u64::MAX), 2, "{name}");
+
+    // Single-key ranges.
+    assert_eq!(set.range(5, 5), vec![5], "{name}");
+    assert_eq!(set.range(6, 6), Vec::<u64>::new(), "{name}");
+    assert_eq!(set.count_range(9, 9), 1, "{name}");
+
+    // Aggregates and batches on the same tiny set.
+    assert_eq!(set.min(), Some(5), "{name}");
+    assert_eq!(set.max(), Some(9), "{name}");
+    assert_eq!(set.insert_all(&[5, 6, 7]), 2, "{name}");
+    assert_eq!(set.delete_all(&[6, 7, 8]), 2, "{name}");
+    assert_eq!(set.pop_min(), Some(5), "{name}");
+    assert_eq!(set.pop_min(), Some(9), "{name}");
+    assert_eq!(set.pop_min(), None, "{name}");
+    assert_eq!(set.min(), None, "{name}");
+    assert_eq!(set.max(), None, "{name}");
+    assert_eq!(set.range(0, u64::MAX), Vec::<u64>::new(), "{name}");
+}
+
+#[test]
+fn edge_bounds_are_uniform_across_structures() {
+    check_edge_bounds(&lftrie_core::LockFreeBinaryTrie::new(UNIVERSE));
+    check_edge_bounds(&MutexBinaryTrie::new(UNIVERSE));
+    check_edge_bounds(&RwLockBinaryTrie::new(UNIVERSE));
+    check_edge_bounds(&CoarseBTreeSet::new());
+    check_edge_bounds(&FlatCombiningBinaryTrie::new(UNIVERSE));
+    check_edge_bounds(&LockFreeSkipList::new());
+    check_edge_bounds(&HarrisListSet::new());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lockfree_trie_matches_model(trace in ops()) {
+        check(&lftrie_core::LockFreeBinaryTrie::new(UNIVERSE), &trace);
+    }
 
     #[test]
     fn mutex_trie_matches_model(trace in ops()) {
@@ -122,6 +211,28 @@ proptest! {
                         trie.range(lo, hi),
                         model.range(lo..=hi).copied().collect::<Vec<_>>()
                     )
+                }
+                Op::CountRange(lo, hi) => {
+                    prop_assert_eq!(trie.count_range(lo, hi), model.range(lo..=hi).count())
+                }
+                Op::Min => prop_assert_eq!(trie.min(), model.first().copied()),
+                Op::Max => prop_assert_eq!(trie.max(), model.last().copied()),
+                Op::PopMin => {
+                    let m = trie.min();
+                    if let Some(k) = m {
+                        trie.remove(k);
+                    }
+                    prop_assert_eq!(m, model.pop_first());
+                }
+                Op::InsertAll(base) => {
+                    for k in batch_keys(base) {
+                        prop_assert_eq!(trie.insert(k), model.insert(k));
+                    }
+                }
+                Op::DeleteAll(base) => {
+                    for k in batch_keys(base) {
+                        prop_assert_eq!(trie.remove(k), model.remove(&k));
+                    }
                 }
             }
         }

@@ -1,12 +1,18 @@
 //! Ordered range-scan latencies across every structure (the bench-side
 //! companion of experiment E9): `cargo bench -p lftrie-bench --bench scans`.
 //!
-//! Three groups:
+//! Groups:
 //!
 //! * `range_narrow_solo` / `range_wide_solo` — quiescent `range(a..=b)`
 //!   scans at widths 32 and 1024 over a 30%-dense universe;
 //! * `iter_from_solo` — the trie's native iterator taking a fixed number of
-//!   certified successor steps.
+//!   certified successor steps;
+//! * `scan_amortization` — v1 per-step scans (one announce/withdraw per
+//!   `successor` call) against v2 amortized scans (one announcement slid
+//!   across the whole scan) at widths 1, 8, 64 and 1024 (the bench-side
+//!   companion of experiment E10);
+//! * `aggregates_solo` — `count` / `min` / `max` / `pop_min` and the
+//!   batched `insert_all` / `delete_all`.
 
 use std::time::Duration;
 
@@ -94,10 +100,93 @@ fn bench_iter_from(c: &mut Criterion) {
     group.finish();
 }
 
+/// A width-`w` scan as v1 performed it: independent `successor` calls,
+/// each paying the full S-ALL announce/withdraw round-trip.
+fn scan_per_step(trie: &LockFreeBinaryTrie, lo: u64, hi: u64) -> usize {
+    let mut n = usize::from(ConcurrentOrderedSet::contains(trie, lo));
+    let mut cur = lo;
+    while cur < hi {
+        match LockFreeBinaryTrie::successor(trie, cur) {
+            Some(k) if k <= hi => {
+                n += 1;
+                cur = k;
+            }
+            _ => break,
+        }
+    }
+    n
+}
+
+fn bench_scan_amortization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_amortization");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let trie = LockFreeBinaryTrie::new(UNIVERSE);
+    for k in (0..UNIVERSE).step_by(3) {
+        trie.insert(k);
+    }
+    for width in [1u64, 8, 64, 1024] {
+        let mut lo = 0u64;
+        group.bench_function(format!("v1-per-step/{width}"), |b| {
+            b.iter(|| {
+                lo = (lo + 12_289) % (UNIVERSE - width);
+                std::hint::black_box(scan_per_step(&trie, lo, lo + width - 1))
+            })
+        });
+        let mut lo = 0u64;
+        group.bench_function(format!("v2-amortized/{width}"), |b| {
+            b.iter(|| {
+                lo = (lo + 12_289) % (UNIVERSE - width);
+                std::hint::black_box(trie.count(lo..=lo + width - 1))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregates_solo");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let trie = LockFreeBinaryTrie::new(UNIVERSE);
+    for k in (0..UNIVERSE).step_by(3) {
+        trie.insert(k);
+    }
+    group.bench_function("min", |b| b.iter(|| std::hint::black_box(trie.min())));
+    group.bench_function("max", |b| b.iter(|| std::hint::black_box(trie.max())));
+    let mut lo = 0u64;
+    group.bench_function("count/256", |b| {
+        b.iter(|| {
+            lo = (lo + 12_289) % (UNIVERSE - 256);
+            std::hint::black_box(trie.count(lo..=lo + 255))
+        })
+    });
+    group.bench_function("pop_min+reinsert", |b| {
+        b.iter(|| {
+            let m = trie.pop_min().unwrap();
+            trie.insert(std::hint::black_box(m));
+        })
+    });
+    let batch: Vec<u64> = (1..=64).map(|i| i * 5).collect();
+    group.bench_function("insert_all+delete_all/64", |b| {
+        b.iter(|| {
+            std::hint::black_box(trie.insert_all(&batch));
+            std::hint::black_box(trie.delete_all(&batch));
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_range_narrow,
     bench_range_wide,
-    bench_iter_from
+    bench_iter_from,
+    bench_scan_amortization,
+    bench_aggregates
 );
 criterion_main!(benches);

@@ -42,6 +42,7 @@ mod node;
 pub mod bitops;
 pub mod layout;
 pub mod relaxed;
+pub mod scan_events;
 pub mod trie;
 
 pub use relaxed::{LatestInfo, RelaxedBinaryTrie, RelaxedPred, RelaxedSucc};

@@ -11,7 +11,9 @@
 //! (e.g. `W(target); R(latest)` racing `W(latest); R(target)`) that weaker
 //! orderings would not linearize.
 
-use core::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicU32, AtomicU8, Ordering};
+use core::sync::atomic::{
+    AtomicBool, AtomicI64, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, Ordering,
+};
 
 use lftrie_lists::pall::PallCell;
 use lftrie_lists::pushstack::PushStack;
@@ -480,6 +482,13 @@ pub(crate) struct NotifyRecord {
     /// `RuallPosition` for predecessor receivers, `UallPosition` for
     /// successor receivers.
     pub notify_threshold: i64,
+    /// The receiver's [`SuccNode::era`] at send time, read under the era
+    /// seqlock together with `key` and `notify_threshold`. A sliding scan
+    /// (scan subsystem v2) bumps the era twice per step; the step then
+    /// accepts only records stamped with its own (even) era, discarding
+    /// notifications aimed at an earlier query key. Always 0 for
+    /// predecessor receivers and one-shot successor operations.
+    pub era: u64,
 }
 
 /// A predecessor node in the P-ALL (Figure 6 lines 105–108).
@@ -544,9 +553,26 @@ impl core::fmt::Debug for PredNode {
 /// ascending from `−∞` publishing `uall_position` — so its cursor starts at
 /// [`NEG_INF`] and ends at [`POS_INF`], and notify-threshold comparisons
 /// flip direction.
+///
+/// # Sliding reuse (scan subsystem v2)
+///
+/// A scan session keeps one announced `SuccNode` alive across many
+/// successor steps, *sliding* it: the owner rewrites `key` to the next
+/// query key and re-arms `uall_position` back to [`NEG_INF`] instead of
+/// withdrawing and re-announcing. Notifiers read `(key, uall_position)`
+/// as a pair; to keep that pair consistent across a slide the node carries
+/// an `era` seqlock — even while stable, odd during the slide's boundary
+/// rewrite. Notifiers retry while the era is odd or changes under them and
+/// stamp the era they read into the record; the step discards records from
+/// other eras. One-shot successor operations never slide, so their era
+/// stays 0 and the filter accepts everything.
 pub struct SuccNode {
-    /// Immutable input key `y`.
-    pub(crate) key: i64,
+    /// Input key `y`; rewritten only by the owning scan session between
+    /// steps, under the `era` seqlock.
+    key: AtomicI64,
+    /// Era seqlock guarding `(key, uall_position)` pairs: even = stable,
+    /// odd = a slide is rewriting the pair. Only the owner writes it.
+    era: AtomicU64,
     /// Insert-only list of notifications (mirror of Figure 6 line 107).
     pub(crate) notify_list: PushStack<NotifyRecord>,
     /// Published U-ALL traversal position; initially the `−∞` sentinel's
@@ -572,11 +598,55 @@ impl SuccNode {
     /// Creates the announcement record for a `SuccHelper(y)` instance.
     pub(crate) fn new(key: i64) -> Self {
         Self {
-            key,
+            key: AtomicI64::new(key),
+            era: AtomicU64::new(0),
             notify_list: PushStack::new(),
             uall_position: PublishedKey::new(NEG_INF),
             sall_cell: AtomicPtr::new(core::ptr::null_mut()),
         }
+    }
+
+    /// The current query key (rewritten between scan steps by the owner).
+    #[inline]
+    pub(crate) fn key(&self) -> i64 {
+        steps::on_read();
+        self.key.load(Ordering::SeqCst)
+    }
+
+    /// Reads the era seqlock.
+    #[inline]
+    pub(crate) fn era(&self) -> u64 {
+        steps::on_read();
+        self.era.load(Ordering::SeqCst)
+    }
+
+    /// Begins a slide: bumps the era to odd. Owner only; must be followed
+    /// by [`SuccNode::set_key`], a cursor re-arm, and
+    /// [`SuccNode::end_slide`].
+    #[inline]
+    pub(crate) fn begin_slide(&self) {
+        steps::on_write();
+        let e = self.era.load(Ordering::SeqCst);
+        debug_assert_eq!(e % 2, 0, "begin_slide on an already-sliding node");
+        self.era.store(e + 1, Ordering::SeqCst);
+    }
+
+    /// Rewrites the query key mid-slide. Owner only, era must be odd.
+    #[inline]
+    pub(crate) fn set_key(&self, key: i64) {
+        debug_assert_eq!(self.era.load(Ordering::SeqCst) % 2, 1);
+        steps::on_write();
+        self.key.store(key, Ordering::SeqCst);
+    }
+
+    /// Ends a slide: bumps the era back to even and returns the new era.
+    #[inline]
+    pub(crate) fn end_slide(&self) -> u64 {
+        steps::on_write();
+        let e = self.era.load(Ordering::SeqCst);
+        debug_assert_eq!(e % 2, 1, "end_slide without begin_slide");
+        self.era.store(e + 1, Ordering::SeqCst);
+        e + 1
     }
 
     pub(crate) fn sall_cell(&self) -> *mut PallCell<SuccNode> {
@@ -591,7 +661,8 @@ impl SuccNode {
 impl core::fmt::Debug for SuccNode {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("SuccNode")
-            .field("key", &self.key)
+            .field("key", &self.key())
+            .field("era", &self.era.load(Ordering::SeqCst))
             .field("uall_position", &self.uall_position.load())
             .field("notifications", &self.notify_list.len())
             .finish()
@@ -666,6 +737,21 @@ mod tests {
         let s = SuccNode::new(9);
         assert_eq!(s.uall_position.load(), NEG_INF);
         assert!(s.sall_cell().is_null());
+    }
+
+    #[test]
+    fn succ_node_slide_protocol_bumps_era_twice() {
+        // A slide must pass through an odd era (notifiers retry) and land
+        // on the next even era with the new key and a re-armed cursor.
+        let s = SuccNode::new(9);
+        assert_eq!(s.era(), 0);
+        s.begin_slide();
+        assert_eq!(s.era(), 1, "slide in progress reads odd");
+        s.set_key(12);
+        s.uall_position.publish(NEG_INF);
+        assert_eq!(s.end_slide(), 2);
+        assert_eq!(s.key(), 12);
+        assert_eq!(s.uall_position.load(), NEG_INF);
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Scan-announcement event counters (scan subsystem v2 instrumentation).
+//!
+//! The amortization claim of the v2 scan subsystem is structural: a width-w
+//! scan performs **one** S-ALL announce, **one** withdraw, and `w − 1`
+//! cursor *slides*, where a per-step v1 scan performs `w` announce/withdraw
+//! round-trips. These per-thread counters make that claim testable: every
+//! S-ALL announcement, slide, and withdrawal bumps a tally. Like
+//! [`lftrie_primitives::steps`], counting is compiled in only under the
+//! `step-count` feature; without it every recorder is a no-op the optimizer
+//! deletes.
+//!
+//! # Examples
+//!
+//! ```
+//! use lftrie_core::scan_events;
+//!
+//! scan_events::reset();
+//! let events = scan_events::snapshot();
+//! assert_eq!(events.announces, 0);
+//! ```
+
+/// Per-thread tallies of S-ALL announcement events.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScanEvents {
+    /// S-ALL announcements (fresh `SuccNode` insertions).
+    pub announces: u64,
+    /// Cursor slides: an announced `SuccNode` re-armed at a new query key.
+    pub slides: u64,
+    /// S-ALL withdrawals (announcement removals).
+    pub withdraws: u64,
+}
+
+impl core::ops::Sub for ScanEvents {
+    type Output = ScanEvents;
+    fn sub(self, rhs: ScanEvents) -> ScanEvents {
+        ScanEvents {
+            announces: self.announces - rhs.announces,
+            slides: self.slides - rhs.slides,
+            withdraws: self.withdraws - rhs.withdraws,
+        }
+    }
+}
+
+#[cfg(feature = "step-count")]
+mod imp {
+    use super::ScanEvents;
+    use core::cell::Cell;
+
+    thread_local! {
+        static EVENTS: Cell<ScanEvents> = const {
+            Cell::new(ScanEvents {
+                announces: 0,
+                slides: 0,
+                withdraws: 0,
+            })
+        };
+    }
+
+    #[inline]
+    pub fn bump(f: impl FnOnce(&mut ScanEvents)) {
+        EVENTS.with(|c| {
+            let mut v = c.get();
+            f(&mut v);
+            c.set(v);
+        });
+    }
+
+    pub fn reset() {
+        EVENTS.with(|c| c.set(ScanEvents::default()));
+    }
+
+    pub fn snapshot() -> ScanEvents {
+        EVENTS.with(|c| c.get())
+    }
+}
+
+/// Records an S-ALL announcement.
+#[inline]
+pub(crate) fn on_announce() {
+    #[cfg(feature = "step-count")]
+    imp::bump(|c| c.announces += 1);
+}
+
+/// Records a cursor slide.
+#[inline]
+pub(crate) fn on_slide() {
+    #[cfg(feature = "step-count")]
+    imp::bump(|c| c.slides += 1);
+}
+
+/// Records an S-ALL withdrawal.
+#[inline]
+pub(crate) fn on_withdraw() {
+    #[cfg(feature = "step-count")]
+    imp::bump(|c| c.withdraws += 1);
+}
+
+/// Zeroes this thread's counters.
+pub fn reset() {
+    #[cfg(feature = "step-count")]
+    imp::reset();
+}
+
+/// Reads this thread's counters ([`ScanEvents::default`] when the
+/// `step-count` feature is off).
+pub fn snapshot() -> ScanEvents {
+    #[cfg(feature = "step-count")]
+    {
+        imp::snapshot()
+    }
+    #[cfg(not(feature = "step-count"))]
+    {
+        ScanEvents::default()
+    }
+}
+
+/// Runs `f` and returns its result together with the S-ALL events it
+/// performed on this thread.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, ScanEvents) {
+    let before = snapshot();
+    let out = f();
+    let after = snapshot();
+    (out, after - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_is_per_interval() {
+        reset();
+        on_announce();
+        let (val, events) = measure(|| {
+            on_slide();
+            on_slide();
+            on_withdraw();
+            7
+        });
+        assert_eq!(val, 7);
+        #[cfg(feature = "step-count")]
+        {
+            assert_eq!(events.announces, 0);
+            assert_eq!(events.slides, 2);
+            assert_eq!(events.withdraws, 1);
+            assert_eq!(snapshot().announces, 1);
+        }
+        #[cfg(not(feature = "step-count"))]
+        assert_eq!(events, ScanEvents::default());
+    }
+}

@@ -42,6 +42,30 @@
 //! On top of `successor`, [`LockFreeBinaryTrie::iter_from`] and
 //! [`LockFreeBinaryTrie::range`] provide ordered scans by repeated
 //! certified successor steps (see their docs for the snapshot semantics).
+//!
+//! # Scan subsystem v2: sliding announcements
+//!
+//! A scan reuses **one** S-ALL announcement for all of its steps. Each
+//! `SuccNode` carries an era seqlock (even = stable, odd = mid-slide); a
+//! step after the first *slides* the node — bumps the era to odd, rewrites
+//! the query key, re-arms the published U-ALL cursor at `−∞`, bumps the
+//! era back to even — instead of withdrawing and re-announcing. Notifiers
+//! read the key/threshold pair under the era seqlock in a single attempt
+//! and skip the node if a slide is in progress (never spin — lock-freedom
+//! is preserved even if the scan owner stalls mid-slide), stamping each
+//! notification with the era they read. A step accepts only notifications
+//! bearing its own era; era-stale records correspond to v1 executions in
+//! which the sender's S-ALL traversal passed before a fresh announcement,
+//! which the paper's proof already covers. A width-`w` scan therefore
+//! costs one announce + one withdraw + `w − 1` cheap slides (countable
+//! under the `step-count` feature via [`crate::scan_events`]).
+//!
+//! The same machinery powers the ordered aggregates
+//! ([`LockFreeBinaryTrie::count`], [`LockFreeBinaryTrie::min`],
+//! [`LockFreeBinaryTrie::max`], [`LockFreeBinaryTrie::pop_min`]) and the
+//! batched updates ([`LockFreeBinaryTrie::insert_all`],
+//! [`LockFreeBinaryTrie::delete_all`]), which share one epoch pin and one
+//! notify traversal across a whole batch.
 
 use core::sync::atomic::{AtomicU64, Ordering};
 
@@ -56,6 +80,7 @@ use crate::bitops;
 use crate::node::{
     Kind, NotifyRecord, PredNode, Status, SuccNode, UpdateNode, DELPRED2_UNSET, DELSUCC2_UNSET,
 };
+use crate::scan_events;
 
 /// An update-node identity + key snapshot taken from a [`NotifyRecord`]:
 /// what the predecessor computation keeps of a notifier without ever
@@ -84,6 +109,17 @@ struct RecoverEntry {
 fn seq_of(node: *mut UpdateNode) -> u64 {
     // Safety: callers only pass nodes reached under their epoch guard.
     unsafe { (*node).seq }
+}
+
+/// A delete that has run through its relaxed-trie bit update (lines
+/// 182–202) but has not yet notified, completed, or withdrawn its
+/// announcements: the unit [`LockFreeBinaryTrie::delete_all`] batches.
+struct PendingDelete {
+    d_node: *mut UpdateNode,
+    p_node1: *mut PredNode,
+    p_node2: *mut PredNode,
+    s_node1: *mut SuccNode,
+    s_node2: *mut SuccNode,
 }
 
 /// A lock-free, linearizable binary trie over `{0, …, universe−1}` with
@@ -321,6 +357,7 @@ impl LockFreeBinaryTrie {
                 ext_seq: update_node_max.map_or(0, seq_of), // L153
                 ext_key: update_node_max.map_or(NO_PRED, |i| unsafe { (*i).key() }),
                 notify_threshold: p.ruall_position.load(), // L154
+                era: 0,                                    // predecessor nodes never slide
             };
             // L155 + SendNotification (lines 156–161): guarded push.
             if !p
@@ -337,10 +374,35 @@ impl LockFreeBinaryTrie {
             if !self.first_activated(u_node) {
                 return;
             }
+            // Era-seqlock read of the (key, cursor) pair. A sliding scan
+            // (scan subsystem v2) rewrites both between steps; if the pair
+            // is mid-slide (odd era) or changed under us, *skip* this node
+            // rather than spin: the step that begins when the slide ends
+            // re-arms the cursor and runs its traversals entirely after it,
+            // which is exactly the situation of an update whose S-ALL
+            // traversal passed before a fresh announcement — a case the
+            // v1 proof already covers. Skipping keeps notifiers lock-free
+            // even when a scan owner stalls mid-slide.
+            let Some((s_key, threshold, s_era)) = ({
+                let e1 = s.era();
+                if e1 % 2 == 1 {
+                    None
+                } else {
+                    let k = s.key();
+                    let th = s.uall_position.load();
+                    if s.era() == e1 {
+                        Some((k, th, e1))
+                    } else {
+                        None
+                    }
+                }
+            }) else {
+                continue;
+            };
             let update_node_min = ins
                 .iter()
                 .copied()
-                .filter(|&i| unsafe { (*i).key() } > s.key)
+                .filter(|&i| unsafe { (*i).key() } > s_key)
                 .min_by_key(|&i| unsafe { (*i).key() });
             let record = NotifyRecord {
                 key: u.key(),
@@ -350,12 +412,162 @@ impl LockFreeBinaryTrie {
                 del_succ2,
                 ext_seq: update_node_min.map_or(0, seq_of),
                 ext_key: update_node_min.map_or(NO_SUCC, |i| unsafe { (*i).key() }),
-                notify_threshold: s.uall_position.load(),
+                notify_threshold: threshold,
+                era: s_era,
             };
             if !s
                 .notify_list
                 .push_with(record, || self.first_activated(u_node))
             {
+                return;
+            }
+        }
+    }
+
+    /// Batched `NotifyPredOps`: one U-ALL traversal and one P-ALL + S-ALL
+    /// walk notify about *every* node in `nodes`, instead of one full
+    /// traversal per node. Per receiver cell, a record is pushed for each
+    /// batch node that is still first-activated; a node that stops being
+    /// first-activated is dropped from the rest of the walk permanently
+    /// (first-activation is monotone: once a later update activates at the
+    /// head of the node's latest list, the node can never be first-activated
+    /// again), which is exactly the per-node early return of lines 149/155.
+    fn notify_query_ops_batch(&self, nodes: &[*mut UpdateNode], guard: &Guard<'_>) {
+        match nodes.len() {
+            0 => return,
+            1 => return self.notify_query_ops(nodes[0], guard),
+            _ => {}
+        }
+        let (ins, _del) = self.traverse_uall(POS_INF, guard); // L147, shared
+        struct BatchItem {
+            node: *mut UpdateNode,
+            key: i64,
+            kind: Kind,
+            seq: u64,
+            del_pred2: i64,
+            del_succ2: i64,
+            active: bool,
+        }
+        let mut items: Vec<BatchItem> = nodes
+            .iter()
+            .map(|&u_node| {
+                let u = unsafe { &*u_node };
+                let (del_pred2, del_succ2) = if u.kind() == Kind::Del {
+                    (
+                        u.del_pred2().unwrap_or(DELPRED2_UNSET),
+                        u.del_succ2().unwrap_or(DELSUCC2_UNSET),
+                    )
+                } else {
+                    (DELPRED2_UNSET, DELSUCC2_UNSET)
+                };
+                BatchItem {
+                    node: u_node,
+                    key: u.key(),
+                    kind: u.kind(),
+                    seq: u.seq,
+                    del_pred2,
+                    del_succ2,
+                    active: true,
+                }
+            })
+            .collect();
+        for p_cell in self.pall.iter(guard) {
+            let p_node = unsafe { (*p_cell).payload() };
+            let p = unsafe { &*p_node };
+            let mut any_active = false;
+            for item in items.iter_mut() {
+                if !item.active {
+                    continue;
+                }
+                if !self.first_activated(item.node) {
+                    item.active = false; // L149, per node
+                    continue;
+                }
+                any_active = true;
+                let update_node_max = ins
+                    .iter()
+                    .copied()
+                    .filter(|&i| unsafe { (*i).key() } < p.key)
+                    .max_by_key(|&i| unsafe { (*i).key() });
+                let record = NotifyRecord {
+                    key: item.key,
+                    kind: item.kind,
+                    seq: item.seq,
+                    del_pred2: item.del_pred2,
+                    del_succ2: item.del_succ2,
+                    ext_seq: update_node_max.map_or(0, seq_of),
+                    ext_key: update_node_max.map_or(NO_PRED, |i| unsafe { (*i).key() }),
+                    notify_threshold: p.ruall_position.load(),
+                    era: 0,
+                };
+                let node = item.node;
+                if !p
+                    .notify_list
+                    .push_with(record, || self.first_activated(node))
+                {
+                    item.active = false; // L155, per node
+                }
+            }
+            if !any_active {
+                return;
+            }
+        }
+        for s_cell in self.sall.iter(guard) {
+            let s_node = unsafe { (*s_cell).payload() };
+            let s = unsafe { &*s_node };
+            // Era-seqlock read, as in `notify_query_ops`: skip mid-slide
+            // receivers.
+            let Some((s_key, threshold, s_era)) = ({
+                let e1 = s.era();
+                if e1 % 2 == 1 {
+                    None
+                } else {
+                    let k = s.key();
+                    let th = s.uall_position.load();
+                    if s.era() == e1 {
+                        Some((k, th, e1))
+                    } else {
+                        None
+                    }
+                }
+            }) else {
+                continue;
+            };
+            let mut any_active = false;
+            for item in items.iter_mut() {
+                if !item.active {
+                    continue;
+                }
+                if !self.first_activated(item.node) {
+                    item.active = false;
+                    continue;
+                }
+                any_active = true;
+                let update_node_min = ins
+                    .iter()
+                    .copied()
+                    .filter(|&i| unsafe { (*i).key() } > s_key)
+                    .min_by_key(|&i| unsafe { (*i).key() });
+                let record = NotifyRecord {
+                    key: item.key,
+                    kind: item.kind,
+                    seq: item.seq,
+                    del_pred2: item.del_pred2,
+                    del_succ2: item.del_succ2,
+                    ext_seq: update_node_min.map_or(0, seq_of),
+                    ext_key: update_node_min.map_or(NO_SUCC, |i| unsafe { (*i).key() }),
+                    notify_threshold: threshold,
+                    era: s_era,
+                };
+                let node = item.node;
+                if !s
+                    .notify_list
+                    .push_with(record, || self.first_activated(node))
+                {
+                    item.active = false;
+                }
+            }
+            if !any_active {
                 return;
             }
         }
@@ -446,7 +658,7 @@ impl LockFreeBinaryTrie {
         guard: &Guard<'_>,
     ) -> (Vec<*mut UpdateNode>, Vec<*mut UpdateNode>) {
         let s = unsafe { &*s_node };
-        let y = s.key;
+        let y = s.key();
         let mut ins = Vec::new();
         let mut del = Vec::new();
         let mut cell = self.uall.head(); // −∞ sentinel
@@ -503,9 +715,27 @@ impl LockFreeBinaryTrie {
     pub fn insert(&self, x: Key) -> bool {
         let x = self.check_key(x);
         let guard = &epoch::pin();
+        let i_node = self.insert_phase1(x, guard);
+        if i_node.is_null() {
+            return false; // L164 / L172
+        }
+        self.notify_query_ops(i_node, guard); // L177 (+ successor mirror)
+        unsafe { (*i_node).set_completed() }; // L178
+        self.deannounce(i_node, guard); // L179
+        true // L180
+    }
+
+    /// Lines 163–176 of `Insert(x)`: everything through the relaxed-trie
+    /// bit update, leaving the INS node activated and announced but not yet
+    /// notified or completed. Returns null when the call was not
+    /// S-modifying. The caller must follow with `notify_query_ops` (or its
+    /// batched form), `set_completed` and `deannounce` — the split exists so
+    /// [`LockFreeBinaryTrie::insert_all`] can share one notify traversal
+    /// across a batch.
+    fn insert_phase1(&self, x: i64, guard: &Guard<'_>) -> *mut UpdateNode {
         let d_node = self.find_latest(x); // L163
         if unsafe { (*d_node).kind() } != Kind::Del {
-            return false; // L164: x already in S
+            return core::ptr::null_mut(); // L164: x already in S
         }
         // L165–167: new inactive INS node with latestNext → dNode.
         let i_node = self.core.alloc_node(UpdateNode::new_ins(
@@ -528,7 +758,7 @@ impl LockFreeBinaryTrie {
             // was never published; nobody else can hold it.
             self.help_activate(self.core.latest_head(x), guard); // L171
             unsafe { self.core.dealloc_node(i_node) };
-            return false; // L172
+            return core::ptr::null_mut(); // L172
         }
         self.announce(i_node, guard); // L173
         unsafe { (*i_node).activate() }; // L174: linearization point
@@ -539,10 +769,7 @@ impl LockFreeBinaryTrie {
                                                   // drain (`UpdateNode::ready_to_reclaim`).
         unsafe { self.core.retire_node(d_node, guard) };
         bitops::insert_binary_trie(&self.core, self, i_node); // L176
-        self.notify_query_ops(i_node, guard); // L177 (+ successor mirror)
-        unsafe { (*i_node).set_completed() }; // L178
-        self.deannounce(i_node, guard); // L179
-        true // L180
+        i_node
     }
 
     /// `Delete(x)` (lines 181–206): removes `x`; returns `true` iff this
@@ -554,9 +781,26 @@ impl LockFreeBinaryTrie {
     pub fn remove(&self, x: Key) -> bool {
         let x = self.check_key(x);
         let guard = &epoch::pin();
+        let Some(pending) = self.remove_phase1(x, guard) else {
+            return false; // L183 / L195
+        };
+        self.notify_query_ops(pending.d_node, guard); // L203 (+ successor mirror)
+        self.remove_finish(&pending, guard); // L204–206
+        true
+    }
+
+    /// Lines 182–202 of `Delete(x)`: everything through the relaxed-trie
+    /// bit update, leaving the DEL node activated and announced (and its
+    /// four embedded helper nodes still announced) but not yet notified or
+    /// completed. Returns `None` when the call was not S-modifying. The
+    /// caller must follow with `notify_query_ops` (or its batched form) and
+    /// [`LockFreeBinaryTrie::remove_finish`] — the split exists so
+    /// [`LockFreeBinaryTrie::delete_all`] can share one notify traversal
+    /// across a batch.
+    fn remove_phase1(&self, x: i64, guard: &Guard<'_>) -> Option<PendingDelete> {
         let i_node = self.find_latest(x); // L182
         if unsafe { (*i_node).kind() } != Kind::Ins {
-            return false; // L183: x not in S
+            return None; // L183: x not in S
         }
         // L184: first embedded predecessor (its announcement stays in the
         // P-ALL until this Delete returns), plus the mirrored first embedded
@@ -584,7 +828,7 @@ impl LockFreeBinaryTrie {
             self.remove_pred_node(p_node1, guard); // L194
             self.remove_succ_node(s_node1, guard);
             unsafe { self.core.dealloc_node(d_node) };
-            return false; // L195
+            return None; // L195
         }
         self.announce(d_node, guard); // L196
         unsafe { (*d_node).activate() }; // L197: linearization point
@@ -603,14 +847,24 @@ impl LockFreeBinaryTrie {
         let (del_succ2, s_node2) = self.succ_helper(x, guard);
         unsafe { (*d_node).set_del_succ2(del_succ2) };
         bitops::delete_binary_trie(&self.core, self, d_node); // L202
-        self.notify_query_ops(d_node, guard); // L203 (+ successor mirror)
-        unsafe { (*d_node).set_completed() }; // L204
-        self.deannounce(d_node, guard); // L205
-        self.remove_pred_node(p_node1, guard); // L206
-        self.remove_pred_node(p_node2, guard);
-        self.remove_succ_node(s_node1, guard);
-        self.remove_succ_node(s_node2, guard);
-        true
+        Some(PendingDelete {
+            d_node,
+            p_node1,
+            p_node2,
+            s_node1,
+            s_node2,
+        })
+    }
+
+    /// Lines 204–206 of `Delete(x)`: complete, de-announce, and withdraw
+    /// the four embedded helper announcements.
+    fn remove_finish(&self, pending: &PendingDelete, guard: &Guard<'_>) {
+        unsafe { (*pending.d_node).set_completed() }; // L204
+        self.deannounce(pending.d_node, guard); // L205
+        self.remove_pred_node(pending.p_node1, guard); // L206
+        self.remove_pred_node(pending.p_node2, guard);
+        self.remove_succ_node(pending.s_node1, guard);
+        self.remove_succ_node(pending.s_node2, guard);
     }
 
     /// `Predecessor(y)` (lines 253–256): the largest key in the set smaller
@@ -667,29 +921,48 @@ impl LockFreeBinaryTrie {
     }
 
     /// An ordered iterator over the keys `≥ start`, produced by repeated
-    /// linearizable [`LockFreeBinaryTrie::successor`] steps.
+    /// certified successor steps that share **one** S-ALL announcement
+    /// (scan subsystem v2): the first successor step announces a
+    /// `SuccNode`, every later step *slides* it — rewrites its query key
+    /// and re-arms its published U-ALL cursor under the era seqlock — and
+    /// dropping (or exhausting) the iterator withdraws it. A width-w scan
+    /// therefore costs one announce + one withdraw + `w − 1` cheap slides
+    /// instead of `w` announce/withdraw round-trips.
     ///
-    /// **Snapshot semantics:** each step is individually linearizable, but
-    /// the scan as a whole is *not* an atomic snapshot. The yielded sequence
-    /// is strictly increasing, every yielded key was in the set at its
-    /// step's linearization point, and every key that is in the set
-    /// throughout the entire scan (and `≥ start`) is yielded; keys
-    /// concurrently inserted or removed may or may not appear.
+    /// **Snapshot semantics:** each step is individually linearizable
+    /// (a slid step linearizes exactly like a fresh
+    /// [`LockFreeBinaryTrie::successor`] call: the slide re-arms the notify
+    /// threshold at the new position, and the step accepts only
+    /// notifications stamped with its own era), but the scan as a whole is
+    /// *not* an atomic snapshot. The yielded sequence is strictly
+    /// increasing, every yielded key was in the set at its step's
+    /// linearization point, and every key that is in the set throughout the
+    /// entire scan (and `≥ start`) is yielded; keys concurrently inserted
+    /// or removed may or may not appear.
     ///
     /// # Panics
     ///
-    /// Panics (on the first `next()`) if `start ≥ universe`.
+    /// Panics if `start ≥ universe` — eagerly, at the call site
+    /// (consistently with [`LockFreeBinaryTrie::successor`] and
+    /// [`LockFreeBinaryTrie::range`]).
     pub fn iter_from(&self, start: Key) -> IterFrom<'_> {
+        self.check_key(start);
         IterFrom {
             trie: self,
+            s_node: core::ptr::null_mut(),
+            hi: (self.universe - 1) as i64,
             state: IterState::CheckStart(start),
         }
     }
 
-    /// Collects the keys in `range` in ascending order, by repeated
-    /// certified successor steps ([`LockFreeBinaryTrie::iter_from`]'s
-    /// per-step snapshot semantics apply). The upper bound is clamped to
-    /// the universe.
+    /// Collects the keys in `range` in ascending order, by certified
+    /// successor steps under a single S-ALL announcement
+    /// ([`LockFreeBinaryTrie::iter_from`]'s per-step snapshot semantics
+    /// apply). The upper bound is clamped to the universe, an empty range
+    /// (`lo > hi`) returns no keys without touching the set, and the scan
+    /// terminates as soon as the next step's lower bound would exceed the
+    /// upper bound — it never runs a successor step whose answer could only
+    /// be out of range.
     ///
     /// # Examples
     ///
@@ -706,23 +979,139 @@ impl LockFreeBinaryTrie {
     ///
     /// # Panics
     ///
-    /// Panics if the range start is `≥ universe` (consistently with
-    /// [`LockFreeBinaryTrie::successor`] — an out-of-universe start is a
-    /// caller bug, not an empty scan).
+    /// Panics if the range is non-empty (`lo ≤ hi`) and its start is
+    /// `≥ universe` (consistently with [`LockFreeBinaryTrie::successor`] —
+    /// an out-of-universe start is a caller bug, not an empty scan).
     pub fn range(&self, range: core::ops::RangeInclusive<Key>) -> Vec<Key> {
-        let (lo, hi) = (*range.start(), *range.end());
-        self.check_key(lo);
-        let hi = hi.min(self.universe - 1);
-        if lo > hi {
-            return Vec::new();
+        match self.range_iter(range) {
+            Some(iter) => iter.collect(),
+            None => Vec::new(),
         }
-        self.iter_from(lo).take_while(|&k| k <= hi).collect()
+    }
+
+    /// Counts the keys in `range`: `range(a..=b).len()` without
+    /// materializing the keys, under one S-ALL announcement. Same bound
+    /// handling (and panics) as [`LockFreeBinaryTrie::range`].
+    pub fn count(&self, range: core::ops::RangeInclusive<Key>) -> usize {
+        match self.range_iter(range) {
+            Some(iter) => iter.count(),
+            None => 0,
+        }
+    }
+
+    /// The shared bound handling of [`LockFreeBinaryTrie::range`] and
+    /// [`LockFreeBinaryTrie::count`]: `None` for an empty range, otherwise
+    /// a bounded iterator.
+    fn range_iter(&self, range: core::ops::RangeInclusive<Key>) -> Option<IterFrom<'_>> {
+        let (lo, hi) = (*range.start(), *range.end());
+        if lo > hi {
+            return None;
+        }
+        let mut iter = self.iter_from(lo); // validates lo eagerly
+        iter.hi = hi.min(self.universe - 1) as i64;
+        Some(iter)
+    }
+
+    /// The smallest key in the set, or `None` when empty. Linearizable:
+    /// one `contains(0)` plus (if needed) one certified successor step.
+    pub fn min(&self) -> Option<Key> {
+        if self.contains(0) {
+            return Some(0);
+        }
+        self.successor(0)
+    }
+
+    /// The largest key in the set, or `None` when empty. Linearizable:
+    /// one `contains(universe − 1)` plus (if needed) one certified
+    /// predecessor step.
+    pub fn max(&self) -> Option<Key> {
+        let top = self.universe - 1;
+        if self.contains(top) {
+            return Some(top);
+        }
+        self.predecessor(top)
+    }
+
+    /// Removes and returns the smallest key (the priority-queue `pop`), or
+    /// `None` when the set is empty at the minimum query's linearization
+    /// point.
+    ///
+    /// Each attempt runs one [`LockFreeBinaryTrie::min`] query (one S-ALL
+    /// announcement at most) and tries to `remove` its answer; if another
+    /// thread deletes that key first, the attempt retries — lock-free, as
+    /// the race loser's retry is caused by another operation's progress.
+    pub fn pop_min(&self) -> Option<Key> {
+        loop {
+            let m = self.min()?;
+            if self.remove(m) {
+                return Some(m);
+            }
+        }
+    }
+
+    /// Inserts every key in `keys`, sharing one epoch pin and **one**
+    /// notify traversal across the batch: each key runs Insert through its
+    /// relaxed-trie bit update (lines 163–176), then a single batched
+    /// `NotifyPredOps` walk notifies for all S-modifying inserts at once,
+    /// then each completes and de-announces. Equivalent to calling
+    /// [`LockFreeBinaryTrie::insert`] per key (each insert linearizes
+    /// individually at its activation); returns how many calls were
+    /// S-modifying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key is `≥ universe` (keys before the offending one
+    /// may already have been inserted).
+    pub fn insert_all(&self, keys: &[Key]) -> usize {
+        let guard = &epoch::pin();
+        let mut nodes: Vec<*mut UpdateNode> = Vec::with_capacity(keys.len());
+        for &x in keys {
+            let x = self.check_key(x);
+            let i_node = self.insert_phase1(x, guard);
+            if !i_node.is_null() {
+                nodes.push(i_node);
+            }
+        }
+        self.notify_query_ops_batch(&nodes, guard);
+        for &i_node in &nodes {
+            unsafe { (*i_node).set_completed() };
+            self.deannounce(i_node, guard);
+        }
+        nodes.len()
+    }
+
+    /// Removes every key in `keys`, sharing one epoch pin and one notify
+    /// traversal across the batch (the delete mirror of
+    /// [`LockFreeBinaryTrie::insert_all`]; each delete still runs its own
+    /// four embedded helper operations and linearizes individually at its
+    /// activation). Returns how many calls were S-modifying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key is `≥ universe` (keys before the offending one
+    /// may already have been removed).
+    pub fn delete_all(&self, keys: &[Key]) -> usize {
+        let guard = &epoch::pin();
+        let mut pending: Vec<PendingDelete> = Vec::with_capacity(keys.len());
+        for &x in keys {
+            let x = self.check_key(x);
+            if let Some(p) = self.remove_phase1(x, guard) {
+                pending.push(p);
+            }
+        }
+        let nodes: Vec<*mut UpdateNode> = pending.iter().map(|p| p.d_node).collect();
+        self.notify_query_ops_batch(&nodes, guard);
+        for p in &pending {
+            self.remove_finish(p, guard);
+        }
+        pending.len()
     }
 
     /// Withdraws a successor node's announcement and retires it (the mirror
     /// of [`LockFreeBinaryTrie::remove_pred_node`]; see [`SuccNode`]'s
     /// `Reclaim` impl for why the plain grace period suffices).
     fn remove_succ_node(&self, s_node: *mut SuccNode, guard: &Guard<'_>) {
+        scan_events::on_withdraw();
         let cell = unsafe { (*s_node).sall_cell() };
         // Safety: the cell was stored into the SuccNode by the `insert` in
         // `succ_helper`, and each SuccNode is de-announced exactly once.
@@ -970,22 +1359,83 @@ impl LockFreeBinaryTrie {
     /// runs over the U-ALL (ascending) instead of the RU-ALL.
     fn succ_helper(&self, y: i64, guard: &Guard<'_>) -> (i64, *mut SuccNode) {
         // Mirror of L208–209: announce in the S-ALL.
-        let s_node = self.succs.alloc(SuccNode::new(y));
-        let s_cell = self.sall.insert(s_node, guard);
-        unsafe { (*s_node).set_sall_cell(s_cell) };
+        let s_node = self.succ_announce(y, guard);
 
         // Mirror of L210–214: Q = successor announcements older than ours,
         // oldest-first.
         let q: Vec<*mut SuccNode> = {
             let mut q: Vec<*mut SuccNode> = self
                 .sall
-                .iter_after(s_cell, guard)
+                .iter_after(unsafe { (*s_node).sall_cell() }, guard)
                 .map(|c| unsafe { (*c).payload() })
                 .collect();
             q.reverse();
             q
         };
 
+        (self.succ_compute(y, 0, s_node, &q, guard), s_node)
+    }
+
+    /// Mirror of L208–209: allocates and announces a successor node for
+    /// query key `y` in the S-ALL.
+    fn succ_announce(&self, y: i64, guard: &Guard<'_>) -> *mut SuccNode {
+        scan_events::on_announce();
+        let s_node = self.succs.alloc(SuccNode::new(y));
+        let s_cell = self.sall.insert(s_node, guard);
+        unsafe { (*s_node).set_sall_cell(s_cell) };
+        s_node
+    }
+
+    /// One certified successor step that *reuses* an already-announced
+    /// successor node by sliding it to query key `y` (scan subsystem v2):
+    ///
+    /// 1. era → odd ([`SuccNode::begin_slide`]): notifiers stand back;
+    /// 2. rewrite the query key and re-arm the published cursor at `−∞`;
+    /// 3. era → even ([`SuccNode::end_slide`]): the step begins;
+    /// 4. rebuild `Q` from an S-ALL head snapshot — exactly the
+    ///    announcements a *fresh* announce at this instant would have found
+    ///    older than itself (our own cell, physically older, is excluded);
+    /// 5. run the standard certified computation, accepting only
+    ///    notifications stamped with this step's era.
+    ///
+    /// Era-stale records are ones whose sender read our pair before this
+    /// step began; dropping them reproduces the legal v1 execution in which
+    /// that sender's S-ALL traversal passed before a fresh announcement.
+    fn succ_step_slide(&self, s_node: *mut SuccNode, y: i64, guard: &Guard<'_>) -> i64 {
+        scan_events::on_slide();
+        let s = unsafe { &*s_node };
+        s.begin_slide();
+        s.set_key(y);
+        s.uall_position.publish(NEG_INF);
+        let era = s.end_slide();
+        let snap = self.sall.head_snapshot(guard);
+        let q: Vec<*mut SuccNode> = {
+            let mut q: Vec<*mut SuccNode> = self
+                .sall
+                .iter_from(snap, guard)
+                .map(|c| unsafe { (*c).payload() })
+                .filter(|&p| p != s_node)
+                .collect();
+            q.reverse();
+            q
+        };
+        self.succ_compute(y, era, s_node, &q, guard)
+    }
+
+    /// The certified successor computation (the body of `SuccHelper` after
+    /// the announcement): traversals, notification harvest, and ⊥-recovery
+    /// for the announced `s_node` at query key `y`. `era` is the step's
+    /// even era; records stamped with any other era are ignored (0 for
+    /// one-shot operations, whose receivers never slide, so every record
+    /// matches).
+    fn succ_compute(
+        &self,
+        y: i64,
+        era: u64,
+        s_node: *mut SuccNode,
+        q: &[*mut SuccNode],
+        guard: &Guard<'_>,
+    ) -> i64 {
         let (i_pub, d_pub) = self.traverse_uall_publishing(s_node, guard); // mirror of L215
         let r0 = bitops::relaxed_successor(&self.core, self, y); // mirror of L216
         let (i_plain, d_plain) = self.traverse_ruall_above(y, guard); // mirror of L217
@@ -998,6 +1448,11 @@ impl LockFreeBinaryTrie {
         let mut d_notify: Vec<NotifyCand> = Vec::new();
         let s = unsafe { &*s_node };
         for record in s.notify_list.iter() {
+            // Records from other eras target an earlier (or later) step of
+            // a sliding scan, not this one.
+            if record.era != era {
+                continue;
+            }
             // Notify nodes with key > y only.
             if record.key <= y {
                 continue;
@@ -1069,11 +1524,11 @@ impl LockFreeBinaryTrie {
                     NO_SUCC // only r1 constrains the answer (§5.2 mirrored)
                 } else {
                     self.succ_recoveries.fetch_add(1, Ordering::Relaxed);
-                    self.recover_from_embedded_succ(y, s_node, &q, &d_pub)
+                    self.recover_from_embedded_succ(y, era, s_node, q, &d_pub)
                 }
             }
         };
-        (r0_val.min(r1), s_node)
+        r0_val.min(r1)
     }
 
     /// Mirror of lines 231–251: Definition 5.1's graph computation with
@@ -1083,6 +1538,7 @@ impl LockFreeBinaryTrie {
     fn recover_from_embedded_succ(
         &self,
         y: i64,
+        era: u64,
         s_node: *mut SuccNode,
         q: &[*mut SuccNode],
         d_pub: &[*mut UpdateNode],
@@ -1117,10 +1573,13 @@ impl LockFreeBinaryTrie {
         }
 
         // Mirror of L237–241: L2 from our own notify list; also remove from
-        // L1 every update node that notified us.
+        // L1 every update node that notified us. Records from other eras
+        // belong to other steps of a sliding scan — a fresh v1 announce
+        // would not have received them at all, so they are invisible here
+        // too.
         let mut l2: Vec<RecoverEntry> = Vec::new();
         for record in unsafe { &*s_node }.notify_list.iter() {
-            if record.key <= y {
+            if record.era != era || record.key <= y {
                 continue;
             }
             l1.retain(|e| e.seq != record.seq);
@@ -1473,15 +1932,53 @@ enum IterState {
     CheckStart(Key),
     /// Keys `≤ .0` have been reported; continue with `successor(.0)`.
     After(Key),
-    /// The scan walked off the top of the set.
+    /// The scan ended (walked off the top of the set or past its bound)
+    /// and its announcement has been withdrawn.
     Done,
 }
 
 /// Ordered iterator over a [`LockFreeBinaryTrie`]'s keys; see
 /// [`LockFreeBinaryTrie::iter_from`] for the per-step snapshot semantics.
+///
+/// The iterator owns one S-ALL announcement for its whole lifetime: the
+/// first successor step announces a `SuccNode`, later steps slide it, and
+/// exhaustion or `drop` withdraws it.
 pub struct IterFrom<'a> {
     trie: &'a LockFreeBinaryTrie,
+    /// The scan's announced successor node; null until the first successor
+    /// step, null again after withdrawal.
+    s_node: *mut SuccNode,
+    /// Inclusive upper bound (`universe − 1` for an unbounded scan): the
+    /// scan stops, without running another step, once a step could only
+    /// answer above it.
+    hi: i64,
     state: IterState,
+}
+
+impl IterFrom<'_> {
+    /// One certified successor step under this scan's shared announcement:
+    /// the first step announces the scan's `SuccNode`, every later step
+    /// slides it.
+    fn step(&mut self, y: i64) -> i64 {
+        let guard = &epoch::pin();
+        if self.s_node.is_null() {
+            let (succ, s_node) = self.trie.succ_helper(y, guard);
+            self.s_node = s_node;
+            succ
+        } else {
+            self.trie.succ_step_slide(self.s_node, y, guard)
+        }
+    }
+
+    /// Ends the scan and withdraws its announcement (idempotent).
+    fn finish(&mut self) {
+        self.state = IterState::Done;
+        if !self.s_node.is_null() {
+            let guard = &epoch::pin();
+            self.trie.remove_succ_node(self.s_node, guard);
+            self.s_node = core::ptr::null_mut();
+        }
+    }
 }
 
 impl Iterator for IterFrom<'_> {
@@ -1496,19 +1993,32 @@ impl Iterator for IterFrom<'_> {
                         return Some(start);
                     }
                 }
-                IterState::After(cur) => match self.trie.successor(cur) {
-                    Some(k) => {
-                        self.state = IterState::After(k);
-                        return Some(k);
-                    }
-                    None => {
-                        self.state = IterState::Done;
+                IterState::After(cur) => {
+                    if cur as i64 >= self.hi {
+                        // `successor(cur)` could only answer above the
+                        // bound; stop without running the step.
+                        self.finish();
                         return None;
                     }
-                },
+                    let succ = self.step(cur as i64);
+                    if succ == NO_SUCC || succ > self.hi {
+                        self.finish();
+                        return None;
+                    }
+                    self.state = IterState::After(succ as Key);
+                    return Some(succ as Key);
+                }
                 IterState::Done => return None,
             }
         }
+    }
+}
+
+impl Drop for IterFrom<'_> {
+    fn drop(&mut self) {
+        // Withdraw the announcement of an abandoned scan; without this,
+        // every notifier would keep paying for it forever.
+        self.finish();
     }
 }
 
@@ -1519,7 +2029,11 @@ impl core::fmt::Debug for IterFrom<'_> {
             IterState::After(k) => ("after", k),
             IterState::Done => ("done", 0),
         };
-        f.debug_struct("IterFrom").field("state", &state).finish()
+        f.debug_struct("IterFrom")
+            .field("state", &state)
+            .field("announced", &!self.s_node.is_null())
+            .field("hi", &self.hi)
+            .finish()
     }
 }
 
@@ -1752,6 +2266,114 @@ mod tests {
     fn range_start_outside_universe_panics() {
         let t = LockFreeBinaryTrie::new(16);
         let _ = t.range(16..=20);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn iter_from_start_outside_universe_panics_eagerly() {
+        let t = LockFreeBinaryTrie::new(16);
+        // The panic must fire here, not on the first `next()`.
+        let _iter = t.iter_from(16);
+    }
+
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)] // empty input is the point
+    fn empty_range_never_validates_its_start() {
+        // `lo > hi` is an empty scan even when `lo` is outside the
+        // universe: emptiness is decided before start validation.
+        let t = LockFreeBinaryTrie::new(16);
+        t.insert(3);
+        assert_eq!(t.range(20..=5), Vec::<u64>::new());
+        assert_eq!(t.count(20..=5), 0);
+    }
+
+    #[test]
+    fn aggregates_match_model() {
+        let t = LockFreeBinaryTrie::new(64);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+        assert_eq!(t.pop_min(), None);
+        assert_eq!(t.count(0..=63), 0);
+        for k in [3u64, 17, 40, 41, 63] {
+            t.insert(k);
+        }
+        assert_eq!(t.min(), Some(3));
+        assert_eq!(t.max(), Some(63));
+        assert_eq!(t.count(0..=63), 5);
+        assert_eq!(t.count(17..=41), 3);
+        assert_eq!(t.count(18..=39), 0);
+        assert_eq!(t.count(41..=41), 1);
+        assert_eq!(t.count(0..=u64::MAX), 5); // clamped, like `range`
+        assert_eq!(t.pop_min(), Some(3));
+        assert_eq!(t.pop_min(), Some(17));
+        assert_eq!(t.min(), Some(40));
+        t.insert(0);
+        assert_eq!(t.min(), Some(0));
+        t.insert(63); // already present
+        assert_eq!(t.max(), Some(63));
+        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn batched_updates_match_individual_semantics() {
+        let t = LockFreeBinaryTrie::new(64);
+        assert_eq!(t.insert_all(&[5, 9, 5, 23]), 3); // duplicate in batch
+        assert!(t.contains(5) && t.contains(9) && t.contains(23));
+        assert_eq!(t.insert_all(&[9, 10]), 1); // 9 already present
+        assert_eq!(t.range(0..=63), vec![5, 9, 10, 23]);
+        assert_eq!(t.delete_all(&[9, 42, 9]), 1); // absent + double delete
+        assert_eq!(t.delete_all(&[5, 10, 23]), 3);
+        assert_eq!(t.range(0..=63), Vec::<u64>::new());
+        assert_eq!(t.insert_all(&[]), 0);
+        assert_eq!(t.delete_all(&[]), 0);
+        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+    }
+
+    #[cfg(feature = "step-count")]
+    #[test]
+    fn scan_costs_one_announce_one_withdraw() {
+        use crate::scan_events;
+
+        let t = LockFreeBinaryTrie::new(64);
+        for k in (0..=62u64).step_by(2) {
+            t.insert(k);
+        }
+
+        // A plain successor query is one announce/withdraw round-trip.
+        let (_, ev) = scan_events::measure(|| t.successor(10));
+        assert_eq!((ev.announces, ev.slides, ev.withdraws), (1, 0, 1));
+
+        // A width-32 scan: one announce, one withdraw, slides for every
+        // certified step after the first. Steps run from 0,2,…,60 (the
+        // step at 62 is suppressed by the bound), so 31 steps total.
+        let (keys, ev) = scan_events::measure(|| t.range(0..=62));
+        assert_eq!(keys.len(), 32);
+        assert_eq!((ev.announces, ev.slides, ev.withdraws), (1, 30, 1));
+
+        // Regression (satellite 1): the scan must not run a certified step
+        // whose answer could only exceed the bound. 17 ∈ set, hi = 17:
+        // steps 0→3 (announce) and 3→17 (slide), then stop — the v1 code
+        // ran a third step 17→40 and discarded it.
+        let t2 = LockFreeBinaryTrie::new(64);
+        for k in [3u64, 17, 40] {
+            t2.insert(k);
+        }
+        let (keys, ev) = scan_events::measure(|| t2.range(0..=17));
+        assert_eq!(keys, vec![3, 17]);
+        assert_eq!((ev.announces, ev.slides, ev.withdraws), (1, 1, 1));
+    }
+
+    #[test]
+    fn dropped_scan_withdraws_its_announcement() {
+        let t = LockFreeBinaryTrie::new(64);
+        for k in [3u64, 17, 40] {
+            t.insert(k);
+        }
+        let mut iter = t.iter_from(0);
+        assert_eq!(iter.next(), Some(3));
+        assert_eq!(iter.next(), Some(17));
+        drop(iter); // mid-scan abandon: the SuccNode must be withdrawn
+        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
     }
 
     #[test]

@@ -23,7 +23,7 @@ fn main() {
         .cloned()
         .collect();
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"]
+        wanted = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"]
             .map(String::from)
             .to_vec();
     }
@@ -54,7 +54,8 @@ fn main() {
             "e7" => experiments::e7_progress(quick).print(),
             "e8" => experiments::e8_latency(quick).print(),
             "e9" => experiments::e9_scan(quick).print(),
-            other => eprintln!("unknown experiment: {other} (expected e1..e9 or all)"),
+            "e10" => experiments::e10_scan_amortization(quick).print(),
+            other => eprintln!("unknown experiment: {other} (expected e1..e10 or all)"),
         }
     }
 }

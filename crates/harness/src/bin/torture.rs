@@ -45,7 +45,7 @@ fn main() {
                     let mut n = 0u64;
                     while !stop.load(Ordering::Relaxed) {
                         let k = rng.gen_range(0..universe);
-                        match rng.gen_range(0..12) {
+                        match rng.gen_range(0..16) {
                             0..=2 => {
                                 trie.insert(k);
                             }
@@ -65,7 +65,7 @@ fn main() {
                                     assert!(s > k, "succ returned ≤ query");
                                 }
                             }
-                            _ => {
+                            11 => {
                                 let hi = (k + 32).min(universe - 1);
                                 let scan = trie.range(k..=hi);
                                 assert!(
@@ -76,6 +76,37 @@ fn main() {
                                     scan.iter().all(|&x| x >= k && x <= hi),
                                     "scan escaped its bounds"
                                 );
+                            }
+                            12 => {
+                                let hi = (k + 32).min(universe - 1);
+                                let n = trie.count(k..=hi);
+                                assert!(n as u64 <= hi - k + 1, "count exceeds range width");
+                            }
+                            13 => {
+                                if let (Some(mn), Some(mx)) = (trie.min(), trie.max()) {
+                                    assert!(mn <= mx, "min above max");
+                                    assert!(mx < universe, "max escaped the universe");
+                                }
+                            }
+                            14 => {
+                                if let Some(m) = trie.pop_min() {
+                                    assert!(m < universe, "pop_min escaped the universe");
+                                }
+                            }
+                            _ => {
+                                let len = 8.min(universe - k);
+                                let keys: Vec<u64> = (k..k + len).collect();
+                                if rng.gen_bool(0.5) {
+                                    assert!(
+                                        trie.insert_all(&keys) <= keys.len(),
+                                        "insert_all over-reported"
+                                    );
+                                } else {
+                                    assert!(
+                                        trie.delete_all(&keys) <= keys.len(),
+                                        "delete_all over-reported"
+                                    );
+                                }
                             }
                         }
                         n += 1;
@@ -107,6 +138,25 @@ fn main() {
                 );
                 std::process::exit(1);
             }
+        }
+        if trie.min() != present.first().copied() || trie.max() != present.last().copied() {
+            eprintln!(
+                "round {round}: min/max = {:?}/{:?}, expected {:?}/{:?}",
+                trie.min(),
+                trie.max(),
+                present.first(),
+                present.last()
+            );
+            std::process::exit(1);
+        }
+        let mid = universe / 2;
+        let expect_count = present.iter().filter(|&&k| k <= mid).count();
+        if trie.count(0..=mid) != expect_count {
+            eprintln!(
+                "round {round}: count(0..={mid}) = {}, expected {expect_count}",
+                trie.count(0..=mid)
+            );
+            std::process::exit(1);
         }
         let (uall, ruall, pall, sall) = trie.announcement_lens();
         if (uall, ruall, pall, sall) != (0, 0, 0, 0) {

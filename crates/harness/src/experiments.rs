@@ -690,6 +690,124 @@ pub fn e9_scan(quick: bool) -> Table {
     table
 }
 
+/// E10 — scan amortization: v1 per-step scans (one S-ALL announce/withdraw
+/// round-trip per certified successor step, emulated with a plain
+/// `successor` chain) against v2 amortized scans (`range`, one announcement
+/// slid across the whole scan), across widths and update churn.
+///
+/// The structural claim is one announce + one withdraw + `w − 1` slides per
+/// width-`w` scan (asserted exactly by the `step-count` test suite); this
+/// experiment measures what that buys in wall-clock terms, and that width-1
+/// scans do not regress.
+pub fn e10_scan_amortization(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E10: per-step (v1) vs amortized (v2) ordered scans",
+        &[
+            "mode",
+            "width",
+            "update %",
+            "scans/s",
+            "keys/scan",
+            "p50 ns",
+            "p99 ns",
+        ],
+    );
+    let universe = 1u64 << 12;
+    let scans = if quick { 400usize } else { 2_000 };
+    let widths: &[u64] = if quick {
+        &[1, 8, 64]
+    } else {
+        &[1, 8, 64, 1024]
+    };
+
+    /// A width-`w` scan as v1 performed it: every step is an independent
+    /// `successor` call, paying the full announce/withdraw round-trip.
+    fn scan_per_step(set: &LockFreeBinaryTrie, lo: u64, hi: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if set.contains(lo) {
+            out.push(lo);
+        }
+        let mut cur = lo;
+        while cur < hi {
+            match set.successor(cur) {
+                Some(k) if k <= hi => {
+                    out.push(k);
+                    cur = k;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    let mut run = |mode: &str, width: u64, update_pct: u32| {
+        let set = LockFreeBinaryTrie::new(universe);
+        prefill(&set, universe, 0.3, SEED);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let mut lat = Vec::with_capacity(scans);
+        let mut keys_total = 0u64;
+        let updaters = if update_pct == 0 { 0 } else { 2u64 };
+        let scanned = std::thread::scope(|scope| {
+            for w in 0..updaters {
+                let stop = &stop;
+                let set = &set;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(SEED ^ (w + 1));
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let k = rng.gen_range(0..universe);
+                        if rng.gen_range(0..100u32) < update_pct {
+                            if rng.gen_bool(0.5) {
+                                set.insert(k);
+                            } else {
+                                set.remove(k);
+                            }
+                        } else {
+                            std::hint::black_box(set.contains(k));
+                        }
+                    }
+                });
+            }
+            let mut rng = StdRng::seed_from_u64(SEED ^ 0xE10);
+            let t0 = std::time::Instant::now();
+            for _ in 0..scans {
+                let lo = rng.gen_range(0..universe);
+                let hi = (lo + width - 1).min(universe - 1);
+                let s0 = std::time::Instant::now();
+                let out = if mode == "v1-per-step" {
+                    scan_per_step(&set, lo, hi)
+                } else {
+                    set.range(lo..=hi)
+                };
+                lat.push(s0.elapsed().as_nanos() as u64);
+                keys_total += out.len() as u64;
+                std::hint::black_box(out);
+            }
+            let elapsed = t0.elapsed();
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            elapsed
+        });
+        lat.sort_unstable();
+        let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+        table.row(&[
+            mode.to_string(),
+            width.to_string(),
+            update_pct.to_string(),
+            format!("{:.0}", scans as f64 / scanned.as_secs_f64()),
+            format!("{:.1}", keys_total as f64 / scans as f64),
+            pct(0.50).to_string(),
+            pct(0.99).to_string(),
+        ]);
+    };
+
+    for &width in widths {
+        for update_pct in [0u32, 50] {
+            run("v1-per-step", width, update_pct);
+            run("v2-amortized", width, update_pct);
+        }
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -736,6 +854,33 @@ mod tests {
         // Baseline rows report through the same accounting.
         assert!(rows.iter().any(|r| r[0] == "harris-list"));
         assert!(rows.iter().any(|r| r[0] == "lockfree-skiplist"));
+    }
+
+    #[test]
+    fn e10_covers_both_modes_at_every_width() {
+        let table = e10_scan_amortization(true);
+        let rows = table.rows();
+        // 2 modes × 3 widths × 2 update shares in quick mode.
+        assert_eq!(rows.len(), 2 * 3 * 2);
+        for width in ["1", "8", "64"] {
+            for mode in ["v1-per-step", "v2-amortized"] {
+                assert!(
+                    rows.iter().any(|r| r[0] == mode && r[1] == width),
+                    "missing {mode} at width {width}"
+                );
+            }
+        }
+        // Both modes report the same scan results on average (same seed,
+        // same prefill): keys/scan must agree in the quiescent cells.
+        for width in ["1", "8", "64"] {
+            let cell = |mode: &str| {
+                rows.iter()
+                    .find(|r| r[0] == mode && r[1] == width && r[2] == "0")
+                    .map(|r| r[4].clone())
+                    .unwrap()
+            };
+            assert_eq!(cell("v1-per-step"), cell("v2-amortized"), "width {width}");
+        }
     }
 
     #[test]

@@ -26,6 +26,20 @@ pub enum Op {
     /// `Range(lo, hi)` — an ordered scan of `[lo, hi]` (bounds already
     /// clamped to the universe at generation time).
     Range(u64, u64),
+    /// `CountRange(lo, hi)` — ordered aggregate: number of keys in
+    /// `[lo, hi]` (bounds clamped like `Range`).
+    CountRange(u64, u64),
+    /// `Min` — smallest key in the set.
+    Min,
+    /// `Max` — largest key in the set.
+    Max,
+    /// `PopMin` — delete-minimum (priority-queue pop).
+    PopMin,
+    /// `InsertBatch(base, len)` — `insert_all` of the contiguous keys
+    /// `[base, base+len)` (clamped to the universe at generation time).
+    InsertBatch(u64, u64),
+    /// `DeleteBatch(base, len)` — `delete_all` of the same span.
+    DeleteBatch(u64, u64),
 }
 
 /// Percentages of each operation type (must sum to 100).
@@ -44,6 +58,15 @@ pub struct OpMix {
     /// % of `Range` scans (width set by [`OpStream::with_scan_width`] /
     /// [`crate::driver::RunConfig::scan_width`]).
     pub range: u32,
+    /// % of `CountRange` aggregates (same width as `Range`).
+    pub count_range: u32,
+    /// % of `Min`/`Max` queries (split evenly between the two).
+    pub min_max: u32,
+    /// % of `PopMin` (delete-minimum).
+    pub pop_min: u32,
+    /// % of batched updates (split evenly between `InsertBatch` and
+    /// `DeleteBatch`; span set by [`OpStream::with_batch_len`]).
+    pub batch: u32,
 }
 
 impl OpMix {
@@ -55,6 +78,10 @@ impl OpMix {
         predecessor: 10,
         successor: 0,
         range: 0,
+        count_range: 0,
+        min_max: 0,
+        pop_min: 0,
+        batch: 0,
     };
     /// 10/10/70/10 — read-dominated (shows off O(1) search).
     pub const SEARCH_HEAVY: OpMix = OpMix {
@@ -64,6 +91,10 @@ impl OpMix {
         predecessor: 10,
         successor: 0,
         range: 0,
+        count_range: 0,
+        min_max: 0,
+        pop_min: 0,
+        batch: 0,
     };
     /// 20/20/10/50 — predecessor-dominated (the paper's headline op).
     pub const PRED_HEAVY: OpMix = OpMix {
@@ -73,6 +104,10 @@ impl OpMix {
         predecessor: 50,
         successor: 0,
         range: 0,
+        count_range: 0,
+        min_max: 0,
+        pop_min: 0,
+        batch: 0,
     };
     /// 25/25/25/25 — balanced.
     pub const BALANCED: OpMix = OpMix {
@@ -82,6 +117,10 @@ impl OpMix {
         predecessor: 25,
         successor: 0,
         range: 0,
+        count_range: 0,
+        min_max: 0,
+        pop_min: 0,
+        batch: 0,
     };
     /// 15/15/10/10/10/40 — scan-dominated (experiment E9): ordered range
     /// scans racing a substantial update share.
@@ -92,6 +131,25 @@ impl OpMix {
         predecessor: 10,
         successor: 10,
         range: 40,
+        count_range: 0,
+        min_max: 0,
+        pop_min: 0,
+        batch: 0,
+    };
+    /// 15/15/10/5/5/10/15/10/5/10 — the aggregate/batch mix (experiment
+    /// E10's churn side): ordered aggregates and batched updates racing
+    /// point operations and scans.
+    pub const AGGREGATE: OpMix = OpMix {
+        insert: 15,
+        remove: 15,
+        contains: 10,
+        predecessor: 5,
+        successor: 5,
+        range: 10,
+        count_range: 15,
+        min_max: 10,
+        pop_min: 5,
+        batch: 10,
     };
     /// 20/20/10/25/25/0 — the full ordered-query mix: predecessor and
     /// successor in equal shares.
@@ -102,6 +160,10 @@ impl OpMix {
         predecessor: 25,
         successor: 25,
         range: 0,
+        count_range: 0,
+        min_max: 0,
+        pop_min: 0,
+        batch: 0,
     };
 
     /// A short identifier for reports.
@@ -113,11 +175,12 @@ impl OpMix {
             OpMix::BALANCED => "balanced",
             OpMix::SCAN_HEAVY => "scan-heavy",
             OpMix::ORDERED => "ordered",
+            OpMix::AGGREGATE => "aggregate",
             _ => "custom",
         }
     }
 
-    fn weights(&self) -> [u32; 6] {
+    fn weights(&self) -> [u32; 10] {
         let w = [
             self.insert,
             self.remove,
@@ -125,6 +188,10 @@ impl OpMix {
             self.predecessor,
             self.successor,
             self.range,
+            self.count_range,
+            self.min_max,
+            self.pop_min,
+            self.batch,
         ];
         assert_eq!(w.iter().sum::<u32>(), 100, "OpMix must sum to 100");
         w
@@ -180,10 +247,14 @@ pub struct OpStream {
     universe: u64,
     keys: KeyDist,
     scan_width: u64,
+    batch_len: u64,
 }
 
 /// Default width (key span) of generated `Range` scans.
 pub const DEFAULT_SCAN_WIDTH: u64 = 64;
+
+/// Default number of keys in generated `InsertBatch`/`DeleteBatch` spans.
+pub const DEFAULT_BATCH_LEN: u64 = 8;
 
 impl OpStream {
     /// Creates the stream for `(seed, thread_id)` over `{0, …, universe−1}`
@@ -200,6 +271,7 @@ impl OpStream {
             universe,
             keys,
             scan_width: DEFAULT_SCAN_WIDTH,
+            batch_len: DEFAULT_BATCH_LEN,
         }
     }
 
@@ -209,20 +281,40 @@ impl OpStream {
         self
     }
 
+    /// Sets the key count of generated batched updates (builder style).
+    pub fn with_batch_len(mut self, len: u64) -> Self {
+        self.batch_len = len.max(1);
+        self
+    }
+
     /// Draws the next operation.
     pub fn next_op(&mut self) -> Op {
         let key = self.keys.sample(&mut self.rng, self.universe);
+        let scan_hi = |k: u64, w: u64| k.saturating_add(w - 1).min(self.universe - 1);
         match self.dist.sample(&mut self.rng) {
             0 => Op::Insert(key),
             1 => Op::Remove(key),
             2 => Op::Contains(key),
             3 => Op::Predecessor(key),
             4 => Op::Successor(key),
-            _ => Op::Range(
-                key,
-                key.saturating_add(self.scan_width - 1)
-                    .min(self.universe - 1),
-            ),
+            5 => Op::Range(key, scan_hi(key, self.scan_width)),
+            6 => Op::CountRange(key, scan_hi(key, self.scan_width)),
+            7 => {
+                if self.rng.gen_bool(0.5) {
+                    Op::Min
+                } else {
+                    Op::Max
+                }
+            }
+            8 => Op::PopMin,
+            _ => {
+                let len = self.batch_len.min(self.universe - key);
+                if self.rng.gen_bool(0.5) {
+                    Op::InsertBatch(key, len)
+                } else {
+                    Op::DeleteBatch(key, len)
+                }
+            }
         }
     }
 }
@@ -248,6 +340,26 @@ pub fn apply<S: ConcurrentOrderedSet + ?Sized>(set: &S, op: Op) -> Op {
         }
         Op::Range(lo, hi) => {
             std::hint::black_box(set.range(lo, hi));
+        }
+        Op::CountRange(lo, hi) => {
+            std::hint::black_box(set.count_range(lo, hi));
+        }
+        Op::Min => {
+            std::hint::black_box(set.min());
+        }
+        Op::Max => {
+            std::hint::black_box(set.max());
+        }
+        Op::PopMin => {
+            std::hint::black_box(set.pop_min());
+        }
+        Op::InsertBatch(base, len) => {
+            let keys: Vec<u64> = (base..base + len).collect();
+            std::hint::black_box(set.insert_all(&keys));
+        }
+        Op::DeleteBatch(base, len) => {
+            let keys: Vec<u64> = (base..base + len).collect();
+            std::hint::black_box(set.delete_all(&keys));
         }
     }
     op
@@ -322,7 +434,12 @@ mod tests {
                 | Op::Contains(k)
                 | Op::Predecessor(k)
                 | Op::Successor(k)
-                | Op::Range(k, _) => k,
+                | Op::Range(k, _)
+                | Op::CountRange(k, _)
+                | Op::InsertBatch(k, _)
+                | Op::DeleteBatch(k, _) => k,
+                // Keyless aggregates never occur in BALANCED (weight 0).
+                Op::Min | Op::Max | Op::PopMin => unreachable!(),
             };
             assert!(k < universe);
             if k < 100 {
@@ -343,10 +460,40 @@ mod tests {
                 | Op::Contains(k)
                 | Op::Predecessor(k)
                 | Op::Successor(k)
-                | Op::Range(k, _) => k,
+                | Op::Range(k, _)
+                | Op::CountRange(k, _)
+                | Op::InsertBatch(k, _)
+                | Op::DeleteBatch(k, _) => k,
+                Op::Min | Op::Max | Op::PopMin => unreachable!(),
             };
             assert!(k < 64);
         }
+    }
+
+    #[test]
+    fn aggregate_mix_generates_well_formed_ops() {
+        let universe = 512u64;
+        let mut s = OpStream::new(OpMix::AGGREGATE, universe, 11, 0).with_batch_len(16);
+        let (mut aggregates, mut batches) = (0u32, 0u32);
+        let n = 10_000;
+        for _ in 0..n {
+            match s.next_op() {
+                Op::CountRange(lo, hi) => {
+                    aggregates += 1;
+                    assert!(lo <= hi && hi < universe);
+                }
+                Op::Min | Op::Max | Op::PopMin => aggregates += 1,
+                Op::InsertBatch(base, len) | Op::DeleteBatch(base, len) => {
+                    batches += 1;
+                    assert!(len >= 1, "batches are never empty");
+                    assert!(base + len <= universe, "batch stays in the universe");
+                }
+                _ => {}
+            }
+        }
+        // count_range 15 + min_max 10 + pop_min 5 = 30% ± 3; batch 10% ± 2.
+        assert!((2_700..=3_300).contains(&aggregates), "got {aggregates}");
+        assert!((800..=1_200).contains(&batches), "got {batches}");
     }
 
     #[test]

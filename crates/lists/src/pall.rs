@@ -13,6 +13,12 @@
 //! Head insertion gives exactly the recency order those traversals need:
 //! from any cell, `next` leads to strictly older announcements.
 //!
+//! The successor mirror (the S-ALL) reuses this list unchanged, with one
+//! addition for sliding scans: a step that *reuses* an already-announced
+//! cell cannot rebuild `Q` from its own (physically old) cell, so
+//! [`PallList::head_snapshot`] + [`PallList::iter_from`] reconstruct the
+//! suffix a fresh head insertion at the snapshot instant would have seen.
+//!
 //! # Memory reclamation
 //!
 //! Like [`crate::announce`], cells live in an epoch-aware [`Registry`] and
@@ -181,6 +187,7 @@ impl<P> PallList<P> {
     pub fn iter<'g>(&self, guard: &'g Guard<'_>) -> PallIter<'g, P> {
         PallIter {
             cur: self.head,
+            pending: false,
             _guard: guard,
         }
     }
@@ -193,6 +200,29 @@ impl<P> PallList<P> {
     pub fn iter_after<'g>(&self, cell: *mut PallCell<P>, guard: &'g Guard<'_>) -> PallIter<'g, P> {
         PallIter {
             cur: cell,
+            pending: false,
+            _guard: guard,
+        }
+    }
+
+    /// Snapshot of the list head: the newest cell linked at call time
+    /// (null when the list is empty). A sliding scan step records this at
+    /// its start so it can later rebuild the exact "announced before me"
+    /// sequence `Q` via [`PallList::iter_from`] — the moral equivalent of
+    /// the cell position a fresh [`PallList::insert`] would have occupied.
+    pub fn head_snapshot(&self, _guard: &Guard<'_>) -> *mut PallCell<P> {
+        unsafe { (*self.head).next.load() }.ptr()
+    }
+
+    /// Iterates over the live cells starting at `cell` *inclusive*, then
+    /// strictly older ones. `cell` must have been obtained from
+    /// [`PallList::head_snapshot`] or [`PallList::insert`] on this list
+    /// under `guard` (or an outer pin of the same thread); a null `cell`
+    /// yields nothing.
+    pub fn iter_from<'g>(&self, cell: *mut PallCell<P>, guard: &'g Guard<'_>) -> PallIter<'g, P> {
+        PallIter {
+            cur: cell,
+            pending: !cell.is_null(),
             _guard: guard,
         }
     }
@@ -256,6 +286,9 @@ impl<P> Drop for PallList<P> {
 /// Iterator over live P-ALL cells; see [`PallList::iter`].
 pub struct PallIter<'a, P> {
     cur: *mut PallCell<P>,
+    /// Yield `cur` itself (if live) before advancing — set by
+    /// [`PallList::iter_from`].
+    pending: bool,
     _guard: &'a Guard<'a>,
 }
 
@@ -263,6 +296,15 @@ impl<'a, P> Iterator for PallIter<'a, P> {
     type Item = *mut PallCell<P>;
 
     fn next(&mut self) -> Option<Self::Item> {
+        if self.cur.is_null() {
+            return None;
+        }
+        if self.pending {
+            self.pending = false;
+            if !unsafe { (*self.cur).next.load() }.is_marked() {
+                return Some(self.cur);
+            }
+        }
         loop {
             let next = unsafe { (*self.cur).next.load() }.ptr();
             if next.is_null() {
@@ -311,6 +353,36 @@ mod tests {
             .map(|cell| unsafe { *(*cell).payload() })
             .collect();
         assert_eq!(older, vec![1], "only announcements older than b");
+    }
+
+    #[test]
+    fn head_snapshot_and_iter_from_are_inclusive() {
+        let pall: PallList<u64> = PallList::new();
+        let guard = epoch::pin();
+        assert!(pall.head_snapshot(&guard).is_null());
+        assert_eq!(pall.iter_from(core::ptr::null_mut(), &guard).count(), 0);
+        let mut a = 1u64;
+        let mut b = 2u64;
+        let mut c = 3u64;
+        pall.insert(&mut a, &guard);
+        let cb = pall.insert(&mut b, &guard);
+        let snap = pall.head_snapshot(&guard);
+        assert_eq!(snap, cb, "snapshot is the newest cell at call time");
+        // A later announcement is invisible to the snapshot walk.
+        pall.insert(&mut c, &guard);
+        let seen: Vec<u64> = pall
+            .iter_from(snap, &guard)
+            .map(|cell| unsafe { *(*cell).payload() })
+            .collect();
+        assert_eq!(seen, vec![2, 1], "inclusive of the snapshot cell");
+        // Removing the snapshot cell: the walk skips it but still reaches
+        // older cells through its marked next pointer.
+        unsafe { pall.remove(cb, &guard) };
+        let seen: Vec<u64> = pall
+            .iter_from(snap, &guard)
+            .map(|cell| unsafe { *(*cell).payload() })
+            .collect();
+        assert_eq!(seen, vec![1]);
     }
 
     #[test]

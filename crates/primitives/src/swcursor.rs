@@ -62,7 +62,10 @@ impl PublishedKey {
 
     /// Publishes `key`. Call only from the single writing thread; readers may
     /// observe intermediate (pre-validation) publications, which the
-    /// validate-retry protocol accounts for.
+    /// validate-retry protocol accounts for. The writer may also *re-arm*
+    /// the cursor — reset it to a sentinel and start a new traversal — any
+    /// number of times, as sliding scan announcements do; each re-arm is
+    /// just another single-writer publication.
     #[inline]
     pub fn publish(&self, key: i64) {
         steps::on_write();

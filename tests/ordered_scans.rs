@@ -120,6 +120,86 @@ fn concurrent_scans_always_contain_the_stable_anchors() {
     }
 }
 
+/// Cursor-slide scan sessions under churn, including abandoned scans: the
+/// iterator announces once, slides per step, and must withdraw its
+/// announcement whether it is exhausted, bounded, or dropped mid-scan —
+/// so slid `SuccNode`s obey the same memory bound as one-shot ones.
+#[test]
+fn concurrent_slide_scans_with_abandonment_drain_announcements() {
+    let universe = 256u64;
+    let anchors: Vec<u64> = (8..universe).step_by(16).collect();
+    let iters = stress_iters(4_000);
+    let trie = Arc::new(LockFreeBinaryTrie::new(universe));
+    for &a in &anchors {
+        trie.insert(a);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..2u64)
+        .map(|w| {
+            let trie = Arc::clone(&trie);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut state = w.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                while !stop.load(Ordering::SeqCst) {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let k = (state >> 33) % universe;
+                    if k % 16 == 8 {
+                        continue; // never touch an anchor
+                    }
+                    if state % 2 == 0 {
+                        trie.insert(k);
+                    } else {
+                        trie.remove(k);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut state = 0xDEC0DEu64 | 1;
+    for _ in 0..iters {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let lo = (state >> 33) % universe;
+        // Consume a bounded prefix and drop the iterator there: most scans
+        // are abandoned mid-session, exercising Drop-path withdrawal.
+        let take = (state >> 17) as usize % 12;
+        let scan: Vec<u64> = trie.iter_from(lo).take(take).collect();
+        assert!(
+            scan.windows(2).all(|w| w[0] < w[1]),
+            "scan not strictly increasing: {scan:?}"
+        );
+        assert!(scan.iter().all(|&k| k >= lo && k < universe));
+        // Every anchor in [lo, last-yielded] must have been reported: the
+        // consumed prefix is a complete view of that window.
+        if let Some(&last) = scan.last() {
+            let expected: Vec<u64> = anchors
+                .iter()
+                .copied()
+                .filter(|&a| (lo..=last).contains(&a))
+                .collect();
+            let scanned: Vec<u64> = scan.iter().copied().filter(|&k| k % 16 == 8).collect();
+            assert_eq!(scanned, expected, "prefix [{lo}, {last}] lost anchors");
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    for w in writers {
+        w.join().unwrap();
+    }
+
+    // Memory bound for slid sessions: every announcement withdrew, and the
+    // SuccNode population drains to the epoch window, independent of how
+    // many scans (or slides) ever ran.
+    assert_eq!(trie.announcement_lens(), (0, 0, 0, 0));
+    trie.collect_garbage();
+    let (succ_created, succ_live) = trie.succ_node_counts();
+    assert!(succ_created > 0);
+    assert!(
+        succ_live <= 256,
+        "slid successor nodes must drain: {succ_live} live of {succ_created}"
+    );
+}
+
 /// Successor queries racing churn on a hot band between two stable keys:
 /// the answer must always be a key that is plausibly present — one of the
 /// stable keys or a noise key — and never violate the bound given by the
