@@ -51,6 +51,13 @@ pub trait ConcurrentOrderedSet: Send + Sync {
         self.range(lo, hi).len()
     }
     /// The smallest key, or `None` when the set is empty.
+    ///
+    /// The default is a **non-atomic composite** of `contains(0)` and
+    /// `successor(0)`: updates between the two calls can make it miss a
+    /// concurrently inserted 0 or report `None` on a never-empty set, so it
+    /// is *not* linearizable even when both building blocks are.
+    /// Implementations with an atomic minimum (a single query under a lock,
+    /// or the trie's one-certified-step `min`) override it.
     fn min(&self) -> Option<u64> {
         if self.contains(0) {
             Some(0)
@@ -60,8 +67,10 @@ pub trait ConcurrentOrderedSet: Send + Sync {
     }
     /// The largest key, or `None` when the set is empty.
     ///
-    /// The default walks `successor` to the top — O(n) steps; structures
-    /// with a cheap `predecessor` from a known upper bound override this.
+    /// The default walks `successor` to the top — O(n) steps, and like
+    /// [`ConcurrentOrderedSet::min`]'s default it is a non-atomic composite
+    /// (not linearizable under concurrent updates); structures with a cheap
+    /// atomic maximum override this.
     fn max(&self) -> Option<u64> {
         let mut cur = self.min()?;
         while let Some(k) = self.successor(cur) {
@@ -71,7 +80,9 @@ pub trait ConcurrentOrderedSet: Send + Sync {
     }
     /// Removes and returns the smallest key (priority-queue `pop`), or
     /// `None` when the set is empty at the minimum query's linearization
-    /// point. The default retries `min` + `remove` until the removal wins.
+    /// point. The default retries `min` + `remove` until the removal wins,
+    /// and is only as linearizable as the `min` it builds on (see
+    /// [`ConcurrentOrderedSet::min`] on the default's composite caveat).
     fn pop_min(&self) -> Option<u64> {
         loop {
             let m = self.min()?;

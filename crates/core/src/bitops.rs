@@ -310,3 +310,50 @@ pub(crate) fn relaxed_predecessor<A: LatestAccess>(
     }
     Some(layout.leaf_key(t) as i64) // L89–90
 }
+
+/// `RelaxedSuccessor(−1)`: the minimum, by descending the left-most 1-path
+/// from the root (the climb of `RelaxedPredecessor`/`RelaxedSuccessor` is
+/// vacuous for a query key below the universe — the answer subtree is the
+/// whole trie).
+///
+/// Returns `Some(key)` for a certified minimum, `None` for ⊥. Unlike the
+/// in-universe traversals, the root descent starts *uncertified*: an
+/// all-zero read of the root's children cannot distinguish an empty set
+/// from a delete concurrently clearing the last key's path, so it is
+/// reported as ⊥ and the caller's recovery decides — which certifies
+/// emptiness exactly when no delete is announced (the `d_pub.is_empty()`
+/// arm of `succ_compute`), since a delete clears interpreted bits only
+/// while announced (lines 196/202).
+pub(crate) fn relaxed_min<A: LatestAccess>(core: &TrieCore, acc: &A) -> Option<i64> {
+    let layout = core.layout();
+    let mut t = Layout::ROOT;
+    while layout.height(t) > 0 {
+        if interpreted_bit(core, acc, layout.left(t)) {
+            t = layout.left(t);
+        } else if interpreted_bit(core, acc, layout.right(t)) {
+            t = layout.right(t);
+        } else {
+            return None;
+        }
+    }
+    Some(layout.leaf_key(t) as i64)
+}
+
+/// `RelaxedPredecessor(u)`: the maximum, by descending the right-most
+/// 1-path from the root — the mirror of [`relaxed_min`], with the same
+/// ⊥-for-all-zero convention (the caller's recovery certifies emptiness
+/// via the `d_ruall.is_empty()` arm of `pred_helper`).
+pub(crate) fn relaxed_max<A: LatestAccess>(core: &TrieCore, acc: &A) -> Option<i64> {
+    let layout = core.layout();
+    let mut t = Layout::ROOT;
+    while layout.height(t) > 0 {
+        if interpreted_bit(core, acc, layout.right(t)) {
+            t = layout.right(t);
+        } else if interpreted_bit(core, acc, layout.left(t)) {
+            t = layout.left(t);
+        } else {
+            return None;
+        }
+    }
+    Some(layout.leaf_key(t) as i64)
+}

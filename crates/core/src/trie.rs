@@ -474,6 +474,16 @@ impl LockFreeBinaryTrie {
         for p_cell in self.pall.iter(guard) {
             let p_node = unsafe { (*p_cell).payload() };
             let p = unsafe { &*p_node };
+            // L153, hoisted: the ext candidate depends only on the receiver's
+            // key, not on the batch item — computing it per item would cost
+            // O(items × |ins|) per cell and erode the batch's amortization.
+            let update_node_max = ins
+                .iter()
+                .copied()
+                .filter(|&i| unsafe { (*i).key() } < p.key)
+                .max_by_key(|&i| unsafe { (*i).key() });
+            let ext_seq = update_node_max.map_or(0, seq_of);
+            let ext_key = update_node_max.map_or(NO_PRED, |i| unsafe { (*i).key() });
             let mut any_active = false;
             for item in items.iter_mut() {
                 if !item.active {
@@ -484,19 +494,14 @@ impl LockFreeBinaryTrie {
                     continue;
                 }
                 any_active = true;
-                let update_node_max = ins
-                    .iter()
-                    .copied()
-                    .filter(|&i| unsafe { (*i).key() } < p.key)
-                    .max_by_key(|&i| unsafe { (*i).key() });
                 let record = NotifyRecord {
                     key: item.key,
                     kind: item.kind,
                     seq: item.seq,
                     del_pred2: item.del_pred2,
                     del_succ2: item.del_succ2,
-                    ext_seq: update_node_max.map_or(0, seq_of),
-                    ext_key: update_node_max.map_or(NO_PRED, |i| unsafe { (*i).key() }),
+                    ext_seq,
+                    ext_key,
                     notify_threshold: p.ruall_position.load(),
                     era: 0,
                 };
@@ -533,6 +538,15 @@ impl LockFreeBinaryTrie {
             }) else {
                 continue;
             };
+            // Hoisted as in the P-ALL loop: the ext candidate depends only
+            // on the receiver's (era-consistent) key.
+            let update_node_min = ins
+                .iter()
+                .copied()
+                .filter(|&i| unsafe { (*i).key() } > s_key)
+                .min_by_key(|&i| unsafe { (*i).key() });
+            let ext_seq = update_node_min.map_or(0, seq_of);
+            let ext_key = update_node_min.map_or(NO_SUCC, |i| unsafe { (*i).key() });
             let mut any_active = false;
             for item in items.iter_mut() {
                 if !item.active {
@@ -543,19 +557,14 @@ impl LockFreeBinaryTrie {
                     continue;
                 }
                 any_active = true;
-                let update_node_min = ins
-                    .iter()
-                    .copied()
-                    .filter(|&i| unsafe { (*i).key() } > s_key)
-                    .min_by_key(|&i| unsafe { (*i).key() });
                 let record = NotifyRecord {
                     key: item.key,
                     kind: item.kind,
                     seq: item.seq,
                     del_pred2: item.del_pred2,
                     del_succ2: item.del_succ2,
-                    ext_seq: update_node_min.map_or(0, seq_of),
-                    ext_key: update_node_min.map_or(NO_SUCC, |i| unsafe { (*i).key() }),
+                    ext_seq,
+                    ext_key,
                     notify_threshold: threshold,
                     era: s_era,
                 };
@@ -1013,33 +1022,47 @@ impl LockFreeBinaryTrie {
     }
 
     /// The smallest key in the set, or `None` when empty. Linearizable:
-    /// one `contains(0)` plus (if needed) one certified successor step.
+    /// **one** certified successor step at the sentinel query key `−1`
+    /// (strictly below the universe, so `successor(−1)` *is* the minimum).
+    /// A composite such as `contains(0)` followed by `successor(0)` would
+    /// not linearize — updates between the two calls can make the pair
+    /// report an answer no single state ever had — so the whole query runs
+    /// as one `SuccHelper` under one S-ALL announcement.
     pub fn min(&self) -> Option<Key> {
-        if self.contains(0) {
-            return Some(0);
+        let guard = &epoch::pin();
+        let (succ, s_node) = self.succ_helper(NO_PRED, guard); // y = −1
+        self.remove_succ_node(s_node, guard);
+        if succ == NO_SUCC {
+            None
+        } else {
+            Some(succ as Key)
         }
-        self.successor(0)
     }
 
     /// The largest key in the set, or `None` when empty. Linearizable:
-    /// one `contains(universe − 1)` plus (if needed) one certified
-    /// predecessor step.
+    /// **one** certified predecessor step at the sentinel query key `u`
+    /// (strictly above every key, so `predecessor(u)` *is* the maximum) —
+    /// the mirror of [`LockFreeBinaryTrie::min`].
     pub fn max(&self) -> Option<Key> {
-        let top = self.universe - 1;
-        if self.contains(top) {
-            return Some(top);
+        let guard = &epoch::pin();
+        let (pred, p_node) = self.pred_helper(self.universe as i64, guard);
+        self.remove_pred_node(p_node, guard);
+        if pred == NO_PRED {
+            None
+        } else {
+            Some(pred as Key)
         }
-        self.predecessor(top)
     }
 
     /// Removes and returns the smallest key (the priority-queue `pop`), or
     /// `None` when the set is empty at the minimum query's linearization
     /// point.
     ///
-    /// Each attempt runs one [`LockFreeBinaryTrie::min`] query (one S-ALL
-    /// announcement at most) and tries to `remove` its answer; if another
-    /// thread deletes that key first, the attempt retries — lock-free, as
-    /// the race loser's retry is caused by another operation's progress.
+    /// Each attempt runs one [`LockFreeBinaryTrie::min`] query (one
+    /// certified successor step under one S-ALL announcement) and tries to
+    /// `remove` its answer; if another thread deletes that key first, the
+    /// attempt retries — lock-free, as the race loser's retry is caused by
+    /// another operation's progress.
     pub fn pop_min(&self) -> Option<Key> {
         loop {
             let m = self.min()?;
@@ -1060,14 +1083,18 @@ impl LockFreeBinaryTrie {
     ///
     /// # Panics
     ///
-    /// Panics if any key is `≥ universe` (keys before the offending one
-    /// may already have been inserted).
+    /// Panics if any key is `≥ universe` — before any key is inserted: the
+    /// whole batch is validated up front, so a bad key never leaves earlier
+    /// keys activated-but-unnotified (which would leak their announcements
+    /// permanently).
     pub fn insert_all(&self, keys: &[Key]) -> usize {
+        for &x in keys {
+            self.check_key(x);
+        }
         let guard = &epoch::pin();
         let mut nodes: Vec<*mut UpdateNode> = Vec::with_capacity(keys.len());
         for &x in keys {
-            let x = self.check_key(x);
-            let i_node = self.insert_phase1(x, guard);
+            let i_node = self.insert_phase1(x as i64, guard);
             if !i_node.is_null() {
                 nodes.push(i_node);
             }
@@ -1088,14 +1115,18 @@ impl LockFreeBinaryTrie {
     ///
     /// # Panics
     ///
-    /// Panics if any key is `≥ universe` (keys before the offending one
-    /// may already have been removed).
+    /// Panics if any key is `≥ universe` — before any key is removed (the
+    /// same up-front validation as [`LockFreeBinaryTrie::insert_all`]; a
+    /// lazy check would leak the partial batch's announcements, including
+    /// each delete's four embedded helper announcements).
     pub fn delete_all(&self, keys: &[Key]) -> usize {
+        for &x in keys {
+            self.check_key(x);
+        }
         let guard = &epoch::pin();
         let mut pending: Vec<PendingDelete> = Vec::with_capacity(keys.len());
         for &x in keys {
-            let x = self.check_key(x);
-            if let Some(p) = self.remove_phase1(x, guard) {
+            if let Some(p) = self.remove_phase1(x as i64, guard) {
                 pending.push(p);
             }
         }
@@ -1144,7 +1175,13 @@ impl LockFreeBinaryTrie {
         };
 
         let (i_ruall, d_ruall) = self.traverse_ruall(p_node, guard); // L215
-        let r0 = bitops::relaxed_predecessor(&self.core, self, y); // L216
+        // L216; `y = u` is the max() sentinel — every key is smaller, so
+        // the climb is vacuous and the traversal is a root descent.
+        let r0 = if y >= self.universe as i64 {
+            bitops::relaxed_max(&self.core, self)
+        } else {
+            bitops::relaxed_predecessor(&self.core, self, y)
+        };
         let (i_uall, d_uall) = self.traverse_uall(y, guard); // L217
 
         // L218–227: collect notifications (head read = C_notify). Records
@@ -1390,12 +1427,23 @@ impl LockFreeBinaryTrie {
     /// successor node by sliding it to query key `y` (scan subsystem v2):
     ///
     /// 1. era → odd ([`SuccNode::begin_slide`]): notifiers stand back;
-    /// 2. rewrite the query key and re-arm the published cursor at `−∞`;
-    /// 3. era → even ([`SuccNode::end_slide`]): the step begins;
-    /// 4. rebuild `Q` from an S-ALL head snapshot — exactly the
-    ///    announcements a *fresh* announce at this instant would have found
-    ///    older than itself (our own cell, physically older, is excluded);
-    /// 5. run the standard certified computation, accepting only
+    /// 2. rewrite the query key, re-arm the published cursor at `−∞`, and
+    ///    reclaim the notify list — every record in it (and every record a
+    ///    racing push can still land while the era is odd) carries a stale
+    ///    era the new step ignores, so a long scan's per-step work and
+    ///    memory stay bounded by *this* step's notifications instead of
+    ///    accumulating every notification since the scan began;
+    /// 3. take the S-ALL head snapshot that will seed `Q` — still inside
+    ///    the slide window, so the snapshot instant is unambiguously the
+    ///    step's logical announce point: an announcement inserted after it
+    ///    is strictly newer than this step (it cannot also see our slid
+    ///    node as older-than itself in a way that makes the older-than
+    ///    relation symmetric, as a post-`end_slide` snapshot would allow);
+    /// 4. era → even ([`SuccNode::end_slide`]): the step begins;
+    /// 5. rebuild `Q` from that snapshot — exactly the announcements a
+    ///    *fresh* announce at the snapshot instant would have found older
+    ///    than itself (our own cell, physically older, is excluded);
+    /// 6. run the standard certified computation, accepting only
     ///    notifications stamped with this step's era.
     ///
     /// Era-stale records are ones whose sender read our pair before this
@@ -1407,8 +1455,12 @@ impl LockFreeBinaryTrie {
         s.begin_slide();
         s.set_key(y);
         s.uall_position.publish(NEG_INF);
-        let era = s.end_slide();
+        // Safety: only the scan owner (us) ever reads this notify list — a
+        // scan's SuccNode is never a delete's embedded `delSuccNode`, which
+        // is the one cross-thread read path to successor notify lists.
+        unsafe { s.notify_list.clear() };
         let snap = self.sall.head_snapshot(guard);
+        let era = s.end_slide();
         let q: Vec<*mut SuccNode> = {
             let mut q: Vec<*mut SuccNode> = self
                 .sall
@@ -1437,7 +1489,14 @@ impl LockFreeBinaryTrie {
         guard: &Guard<'_>,
     ) -> i64 {
         let (i_pub, d_pub) = self.traverse_uall_publishing(s_node, guard); // mirror of L215
-        let r0 = bitops::relaxed_successor(&self.core, self, y); // mirror of L216
+        // Mirror of L216; `y = −1` is the min() sentinel — every key is
+        // greater, so the climb is vacuous and the traversal is a root
+        // descent.
+        let r0 = if y < 0 {
+            bitops::relaxed_min(&self.core, self)
+        } else {
+            bitops::relaxed_successor(&self.core, self, y)
+        };
         let (i_plain, d_plain) = self.traverse_ruall_above(y, guard); // mirror of L217
 
         // Mirror of L218–227: collect notifications. The published cursor
@@ -2312,6 +2371,70 @@ mod tests {
         t.insert(63); // already present
         assert_eq!(t.max(), Some(63));
         assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+    }
+
+    #[cfg(feature = "step-count")]
+    #[test]
+    fn min_is_one_certified_successor_step() {
+        use crate::scan_events;
+
+        // min() must be a single query (one S-ALL announce/withdraw), not a
+        // contains + successor composite — the composite is not
+        // linearizable (see `concurrent_min_never_reports_empty` in
+        // tests/aggregates.rs for the interleaving).
+        let t = LockFreeBinaryTrie::new(64);
+        t.insert(5);
+        let (m, ev) = scan_events::measure(|| t.min());
+        assert_eq!(m, Some(5));
+        assert_eq!((ev.announces, ev.slides, ev.withdraws), (1, 0, 1));
+        // Including on an empty set, where the root descent reads ⊥ and the
+        // no-announced-delete recovery arm certifies emptiness.
+        let t2 = LockFreeBinaryTrie::new(64);
+        let (m, ev) = scan_events::measure(|| t2.min());
+        assert_eq!(m, None);
+        assert_eq!((ev.announces, ev.slides, ev.withdraws), (1, 0, 1));
+    }
+
+    #[test]
+    fn min_max_at_universe_edges() {
+        // The sentinel query keys (−1 for min, u for max) must handle keys
+        // at both edges of the universe.
+        let t = LockFreeBinaryTrie::new(16);
+        t.insert(0);
+        t.insert(15);
+        assert_eq!(t.min(), Some(0));
+        assert_eq!(t.max(), Some(15));
+        t.remove(0);
+        t.remove(15);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+        t.insert(7);
+        assert_eq!((t.min(), t.max()), (Some(7), Some(7)));
+        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn batch_with_bad_key_panics_before_any_update() {
+        // A key ≥ universe must abort the whole batch up front: a lazy
+        // per-key check would leave earlier keys activated and announced
+        // but never notified or de-announced, leaking their announcements
+        // permanently.
+        let t = LockFreeBinaryTrie::new(16);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.insert_all(&[3, 7, 99]);
+        }));
+        assert!(panicked.is_err());
+        assert!(!t.contains(3) && !t.contains(7), "partial batch applied");
+        assert_eq!(t.announcement_lens(), (0, 0, 0, 0), "leaked announcements");
+
+        t.insert(3);
+        t.insert(7);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.delete_all(&[3, 7, 99]);
+        }));
+        assert!(panicked.is_err());
+        assert!(t.contains(3) && t.contains(7), "partial batch applied");
+        assert_eq!(t.announcement_lens(), (0, 0, 0, 0), "leaked announcements");
     }
 
     #[test]

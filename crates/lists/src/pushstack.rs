@@ -126,6 +126,32 @@ impl<T> PushStack<T> {
         }
     }
 
+    /// Detaches every currently-linked value and frees it.
+    ///
+    /// Racing *pushes* stay safe without coordination: a pusher whose CAS
+    /// loses against the detaching swap retries against the emptied head,
+    /// and one whose CAS won just before the swap simply has its value
+    /// detached and freed with the rest (pushers never dereference the old
+    /// head they linked as `next`). The sliding-scan notify list uses this
+    /// to reclaim era-stale records mid-slide, when every record a racing
+    /// push could land carries a stale era the next step ignores anyway.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may be *reading* the stack (an outstanding
+    /// [`PushStack::iter`], or `len`/`Debug` which iterate) for the whole
+    /// call: detached nodes are freed immediately, not grace-period
+    /// deferred. Callers must own the only read path — e.g. a scan owner
+    /// clearing its own `SuccNode`'s list, which nothing else ever reads.
+    pub unsafe fn clear(&self) {
+        steps::on_write();
+        let mut cur = self.head.swap(core::ptr::null_mut(), Ordering::SeqCst);
+        while !cur.is_null() {
+            let node = unsafe { Box::from_raw(cur) };
+            cur = node.next;
+        }
+    }
+
     /// Number of linked values; O(n), for tests and diagnostics.
     pub fn len(&self) -> usize {
         self.iter().count()
@@ -225,5 +251,47 @@ mod tests {
         let it = s.iter();
         s.push(2);
         assert_eq!(it.copied().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn clear_frees_the_chain_and_keeps_accepting_pushes() {
+        let s: PushStack<u32> = PushStack::new();
+        for v in 0..4 {
+            s.push(v);
+        }
+        // Safety: no concurrent readers.
+        unsafe { s.clear() };
+        assert!(s.is_empty());
+        s.push(9);
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn clear_races_pushers_without_losing_the_stack() {
+        // Pushers race repeated clears; no crash, no corruption, and the
+        // survivors of the final clear are exactly the post-clear pushes.
+        let s: Arc<PushStack<u64>> = Arc::new(PushStack::new());
+        let pushers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        s.push(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            // Safety: pushers never read; this thread is the only reader
+            // and it only reads between clears (below, after joining).
+            unsafe { s.clear() };
+        }
+        for p in pushers {
+            p.join().unwrap();
+        }
+        let survivors = s.len();
+        assert!(survivors <= 2000);
+        unsafe { s.clear() };
+        assert!(s.is_empty());
     }
 }

@@ -145,6 +145,54 @@ fn concurrent_aggregates_respect_stable_anchors() {
     assert_eq!(trie.announcement_lens(), (0, 0, 0, 0));
 }
 
+/// Regression: `min`/`max` must be single linearizable queries, not
+/// `contains` + `successor`/`predecessor` composites. The composite's
+/// counterexample — set `{hi}`, `contains(lo)` false, a writer inserts
+/// `lo` and removes `hi`, `successor(lo)` (strict) returns `None` — makes
+/// `min()` report an empty set although one key was present at every
+/// instant. Writers here cycle `{0,1}` (and `{u−2,u−1}` for max) through
+/// exactly that schedule while never leaving the pair empty, so any
+/// `None` from `min`/`max` is a linearizability violation.
+#[test]
+fn concurrent_min_max_never_report_a_nonempty_set_empty() {
+    let universe = 256u64;
+    let iters = stress_iters(40_000);
+    let trie = Arc::new(LockFreeBinaryTrie::new(universe));
+    trie.insert(1); // low pair starts as {1}: contains(0) is false
+    trie.insert(universe - 2); // high pair starts as {u−2}
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let trie = Arc::clone(&trie);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                // {1} → {0,1} → {0} → {0,1} → {1}: never empty, and each
+                // intermediate state is the composite's failure window.
+                trie.insert(0);
+                trie.remove(1);
+                trie.insert(1);
+                trie.remove(0);
+                let (top, next) = (universe - 1, universe - 2);
+                trie.insert(top);
+                trie.remove(next);
+                trie.insert(next);
+                trie.remove(top);
+            }
+        })
+    };
+
+    for _ in 0..iters {
+        let mn = trie.min().expect("low pair is never empty: min lied");
+        assert!(mn <= 1, "min {mn} above the low pair");
+        let mx = trie.max().expect("high pair is never empty: max lied");
+        assert!(mx >= universe - 2, "max {mx} below the high pair");
+    }
+    stop.store(true, Ordering::SeqCst);
+    writer.join().unwrap();
+    assert_eq!(trie.announcement_lens(), (0, 0, 0, 0));
+}
+
 /// `pop_min` is a delete: under concurrency every key is popped at most
 /// once, and a prefilled set is popped out exactly.
 #[test]
