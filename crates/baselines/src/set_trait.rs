@@ -105,6 +105,17 @@ pub trait ConcurrentOrderedSet: Send + Sync {
     }
     /// Short display name for reports.
     fn name(&self) -> &'static str;
+    /// A unified telemetry snapshot for this structure.
+    ///
+    /// The default returns the process-global counters and histograms only
+    /// (no structure gauges — baselines don't own an epoch domain or node
+    /// registries). The tries override it with their full `telemetry()`,
+    /// attaching epoch health, per-registry reclamation gauges, and
+    /// announcement-list lengths, so harness code can sample any structure
+    /// through the trait.
+    fn telemetry(&self) -> lftrie_telemetry::TelemetrySnapshot {
+        lftrie_telemetry::snapshot()
+    }
 }
 
 impl ConcurrentOrderedSet for LockFreeBinaryTrie {
@@ -147,6 +158,9 @@ impl ConcurrentOrderedSet for LockFreeBinaryTrie {
     fn name(&self) -> &'static str {
         "lockfree-trie"
     }
+    fn telemetry(&self) -> lftrie_telemetry::TelemetrySnapshot {
+        LockFreeBinaryTrie::telemetry(self)
+    }
 }
 
 /// Best-effort adapter for the relaxed trie: `predecessor`/`successor` map
@@ -178,5 +192,8 @@ impl ConcurrentOrderedSet for RelaxedBinaryTrie {
     }
     fn name(&self) -> &'static str {
         "relaxed-trie(best-effort)"
+    }
+    fn telemetry(&self) -> lftrie_telemetry::TelemetrySnapshot {
+        RelaxedBinaryTrie::telemetry(self)
     }
 }

@@ -216,6 +216,12 @@ impl TrieCore {
         self.nodes.stats()
     }
 
+    /// Point-in-time reclamation health of the update-node registry, for
+    /// the unified telemetry snapshot.
+    pub(crate) fn node_health(&self, label: &'static str) -> lftrie_telemetry::ReclaimHealth {
+        self.nodes.health(label)
+    }
+
     /// Update nodes currently resident: `allocated − reclaimed`. The
     /// steady-state footprint the memory-bound suite asserts on.
     pub(crate) fn live_nodes(&self) -> usize {

@@ -14,10 +14,44 @@
 //! a constant number of shared accesses, and there are at most `b` steps).
 
 use lftrie_primitives::NO_PRED;
+use lftrie_telemetry::{self as telemetry, Counter};
 
 use crate::access::{LatestAccess, TrieCore};
 use crate::layout::{Layout, NodeIndex};
 use crate::node::{Kind, UpdateNode};
+
+/// Counts the trie levels a traversal visits and, on drop, records the
+/// total into the per-direction touch counter and the shared
+/// [`lftrie_telemetry::Hist::TraversalDepth`] histogram — one fused
+/// telemetry call per completed traversal (every early return included),
+/// never one per level, which keeps the always-on recording off the
+/// per-node hot path.
+struct TraversalTally {
+    counter: Counter,
+    touched: u64,
+}
+
+impl TraversalTally {
+    #[inline]
+    fn new(counter: Counter) -> Self {
+        Self {
+            counter,
+            touched: 0,
+        }
+    }
+
+    #[inline]
+    fn touch(&mut self) {
+        self.touched += 1;
+    }
+}
+
+impl Drop for TraversalTally {
+    #[inline]
+    fn drop(&mut self) {
+        telemetry::record_traversal(self.counter, self.touched);
+    }
+}
 
 // ----------------------------------------------------------------------
 // Bit-level helpers
@@ -151,9 +185,11 @@ pub(crate) fn insert_binary_trie<A: LatestAccess>(
     i_node: *mut UpdateNode,
 ) {
     let layout = core.layout();
+    let mut tally = TraversalTally::new(Counter::UpdateTouches);
     let leaf = layout.leaf(unsafe { (*i_node).key() } as u64);
     let mut t = layout.parent(leaf); // L39: parent of the leaf …
     loop {
+        tally.touch();
         if !insert_binary_trie_step(core, acc, i_node, t) {
             return;
         }
@@ -231,9 +267,11 @@ pub(crate) fn delete_binary_trie<A: LatestAccess>(
     d_node: *mut UpdateNode,
 ) {
     let layout = core.layout();
+    let mut tally = TraversalTally::new(Counter::UpdateTouches);
     let mut t = layout.leaf(unsafe { (*d_node).key() } as u64); // L59
     loop {
         // L60
+        tally.touch();
         match delete_binary_trie_step(core, acc, d_node, t) {
             DeleteStep::Done => return,
             DeleteStep::Continue(next) => t = next,
@@ -249,8 +287,10 @@ pub(crate) fn delete_binary_trie<A: LatestAccess>(
 /// greater key is present, `None` for ⊥.
 pub(crate) fn relaxed_successor<A: LatestAccess>(core: &TrieCore, acc: &A, y: i64) -> Option<i64> {
     let layout = core.layout();
+    let mut tally = TraversalTally::new(Counter::SuccTouches);
     let mut t = layout.leaf(y as u64);
     loop {
+        tally.touch();
         // Climb while t is a right child or its (right) sibling reads 0.
         if layout.is_left_child(t) && interpreted_bit(core, acc, layout.sibling(t)) {
             break;
@@ -263,6 +303,7 @@ pub(crate) fn relaxed_successor<A: LatestAccess>(core: &TrieCore, acc: &A, y: i6
     // Descend the left-most 1-path from t.parent.right.
     let mut t = layout.sibling(t);
     while layout.height(t) > 0 {
+        tally.touch();
         if interpreted_bit(core, acc, layout.left(t)) {
             t = layout.left(t);
         } else if interpreted_bit(core, acc, layout.right(t)) {
@@ -285,8 +326,10 @@ pub(crate) fn relaxed_predecessor<A: LatestAccess>(
     y: i64,
 ) -> Option<i64> {
     let layout = core.layout();
+    let mut tally = TraversalTally::new(Counter::PredTouches);
     let mut t = layout.leaf(y as u64); // L74
     loop {
+        tally.touch();
         // L75: climb while t is a left child or its (left) sibling reads 0.
         if !layout.is_left_child(t) && interpreted_bit(core, acc, layout.sibling(t)) {
             break;
@@ -300,6 +343,7 @@ pub(crate) fn relaxed_predecessor<A: LatestAccess>(
     let mut t = layout.sibling(t);
     while layout.height(t) > 0 {
         // L81
+        tally.touch();
         if interpreted_bit(core, acc, layout.right(t)) {
             t = layout.right(t); // L82–83
         } else if interpreted_bit(core, acc, layout.left(t)) {
@@ -326,8 +370,10 @@ pub(crate) fn relaxed_predecessor<A: LatestAccess>(
 /// while announced (lines 196/202).
 pub(crate) fn relaxed_min<A: LatestAccess>(core: &TrieCore, acc: &A) -> Option<i64> {
     let layout = core.layout();
+    let mut tally = TraversalTally::new(Counter::SuccTouches);
     let mut t = Layout::ROOT;
     while layout.height(t) > 0 {
+        tally.touch();
         if interpreted_bit(core, acc, layout.left(t)) {
             t = layout.left(t);
         } else if interpreted_bit(core, acc, layout.right(t)) {
@@ -345,8 +391,10 @@ pub(crate) fn relaxed_min<A: LatestAccess>(core: &TrieCore, acc: &A) -> Option<i
 /// via the `d_ruall.is_empty()` arm of `pred_helper`).
 pub(crate) fn relaxed_max<A: LatestAccess>(core: &TrieCore, acc: &A) -> Option<i64> {
     let layout = core.layout();
+    let mut tally = TraversalTally::new(Counter::PredTouches);
     let mut t = Layout::ROOT;
     while layout.height(t) > 0 {
+        tally.touch();
         if interpreted_bit(core, acc, layout.right(t)) {
             t = layout.right(t);
         } else if interpreted_bit(core, acc, layout.left(t)) {

@@ -183,6 +183,6 @@ mod figure_5 {
         assert_eq!(trie.predecessor(2), Some(1));
         assert_eq!(trie.predecessor(1), Some(0));
         assert_eq!(trie.predecessor(0), None);
-        assert_eq!(trie.announcement_lens(), (0, 0, 0, 0));
+        assert!(trie.announcements().is_empty());
     }
 }

@@ -46,4 +46,4 @@ pub mod scan_events;
 pub mod trie;
 
 pub use relaxed::{LatestInfo, RelaxedBinaryTrie, RelaxedPred, RelaxedSucc};
-pub use trie::{IterFrom, LockFreeBinaryTrie};
+pub use trie::{CellAllocStats, IterFrom, LockFreeBinaryTrie};

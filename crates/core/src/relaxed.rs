@@ -18,6 +18,7 @@ use crate::bitops;
 use crate::node::{Kind, Status, UpdateNode};
 use lftrie_primitives::epoch;
 use lftrie_primitives::{Key, NO_PRED};
+use lftrie_telemetry::{self as telemetry, Counter, TelemetrySnapshot};
 
 /// Result of [`RelaxedBinaryTrie::predecessor`] (specification §4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -135,6 +136,7 @@ impl RelaxedBinaryTrie {
     /// Panics if `x ≥ universe`.
     pub fn contains(&self, x: Key) -> bool {
         let x = self.check_key(x);
+        telemetry::add(Counter::ContainsOps, 1);
         let _guard = epoch::pin();
         let u_node = self.find_latest(x); // L16
         unsafe { (*u_node).kind() == Kind::Ins } // L17–18
@@ -148,6 +150,7 @@ impl RelaxedBinaryTrie {
     /// Panics if `x ≥ universe`.
     pub fn insert(&self, x: Key) -> bool {
         let x = self.check_key(x);
+        telemetry::add(Counter::InsertOps, 1);
         // One pin across activation and the trie update: our published node
         // must stay dereferenceable for the finish phase even if concurrent
         // updates supersede it twice in between.
@@ -223,6 +226,7 @@ impl RelaxedBinaryTrie {
     /// Panics if `x ≥ universe`.
     pub fn remove(&self, x: Key) -> bool {
         let x = self.check_key(x);
+        telemetry::add(Counter::RemoveOps, 1);
         let _guard = epoch::pin();
         match self.delete_activate(x) {
             Some(d_node) => {
@@ -284,6 +288,7 @@ impl RelaxedBinaryTrie {
     /// Panics if `y ≥ universe`.
     pub fn predecessor(&self, y: Key) -> RelaxedPred {
         let y = self.check_key(y);
+        telemetry::add(Counter::PredecessorOps, 1);
         let _guard = epoch::pin();
         match bitops::relaxed_predecessor(&self.core, self, y) {
             None => RelaxedPred::Interference,
@@ -306,6 +311,7 @@ impl RelaxedBinaryTrie {
     /// Panics if `y ≥ universe`.
     pub fn successor(&self, y: Key) -> RelaxedSucc {
         let y = self.check_key(y);
+        telemetry::add(Counter::SuccessorOps, 1);
         let _guard = epoch::pin();
         match bitops::relaxed_successor(&self.core, self, y) {
             None => RelaxedSucc::Interference,
@@ -375,6 +381,18 @@ impl RelaxedBinaryTrie {
     /// Runs quiescent reclamation sweeps on the node registry.
     pub fn collect_garbage(&self) {
         self.core.flush_reclamation();
+    }
+
+    /// The unified observability read-out for a standalone relaxed trie:
+    /// the process-global counters and histograms of [`lftrie_telemetry`]
+    /// plus the gauges this structure can sample — epoch-domain health and
+    /// the update-node registry's reclamation health. (The announcement and
+    /// recovery gauges exist only on the linearizable trie.)
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut snap = telemetry::snapshot();
+        snap.epoch = Some(epoch::Domain::global().health());
+        snap.reclaim = vec![self.core.node_health("nodes")];
+        snap
     }
 
     /// Used by the figure-replay tests to drive traversal steps manually.

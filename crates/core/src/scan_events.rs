@@ -7,7 +7,10 @@
 //! S-ALL announcement, slide, and withdrawal bumps a tally. Like
 //! [`lftrie_primitives::steps`], counting is compiled in only under the
 //! `step-count` feature; without it every recorder is a no-op the optimizer
-//! deletes.
+//! deletes. Under `step-count`, every bump is also mirrored into the
+//! process-global [`lftrie_telemetry`] counters (`ScanAnnounces`,
+//! `ScanSlides`, `ScanWithdraws`) so the unified snapshot reports scan
+//! events alongside everything else.
 //!
 //! # Examples
 //!
@@ -78,21 +81,30 @@ mod imp {
 #[inline]
 pub(crate) fn on_announce() {
     #[cfg(feature = "step-count")]
-    imp::bump(|c| c.announces += 1);
+    {
+        imp::bump(|c| c.announces += 1);
+        lftrie_telemetry::add(lftrie_telemetry::Counter::ScanAnnounces, 1);
+    }
 }
 
 /// Records a cursor slide.
 #[inline]
 pub(crate) fn on_slide() {
     #[cfg(feature = "step-count")]
-    imp::bump(|c| c.slides += 1);
+    {
+        imp::bump(|c| c.slides += 1);
+        lftrie_telemetry::add(lftrie_telemetry::Counter::ScanSlides, 1);
+    }
 }
 
 /// Records an S-ALL withdrawal.
 #[inline]
 pub(crate) fn on_withdraw() {
     #[cfg(feature = "step-count")]
-    imp::bump(|c| c.withdraws += 1);
+    {
+        imp::bump(|c| c.withdraws += 1);
+        lftrie_telemetry::add(lftrie_telemetry::Counter::ScanWithdraws, 1);
+    }
 }
 
 /// Zeroes this thread's counters.

@@ -74,6 +74,9 @@ use lftrie_lists::pall::PallList;
 use lftrie_primitives::epoch::{self, Guard};
 use lftrie_primitives::registry::{AllocStats, Registry};
 use lftrie_primitives::{Key, NEG_INF, NO_PRED, NO_SUCC, POS_INF};
+use lftrie_telemetry::{
+    self as telemetry, AnnouncementLens, Counter, FlightKind, TelemetrySnapshot, TraversalStats,
+};
 
 use crate::access::{LatestAccess, TrieCore};
 use crate::bitops;
@@ -120,6 +123,20 @@ struct PendingDelete {
     p_node2: *mut PredNode,
     s_node1: *mut SuccNode,
     s_node2: *mut SuccNode,
+}
+
+/// Allocation statistics of the four announcement-list cell registries, the
+/// named replacement for the deprecated `cell_alloc_stats()` 4-tuple.
+#[derive(Debug, Clone, Copy)]
+pub struct CellAllocStats {
+    /// U-ALL cell registry.
+    pub uall: AllocStats,
+    /// RU-ALL cell registry.
+    pub ruall: AllocStats,
+    /// P-ALL cell registry.
+    pub pall: AllocStats,
+    /// S-ALL cell registry.
+    pub sall: AllocStats,
 }
 
 /// A lock-free, linearizable binary trie over `{0, …, universe−1}` with
@@ -246,6 +263,7 @@ impl LockFreeBinaryTrie {
     /// Inserts `uNode` into the U-ALL and RU-ALL (lines 130/173/196).
     fn announce(&self, u_node: *mut UpdateNode, guard: &Guard<'_>) {
         let key = unsafe { (*u_node).key() };
+        telemetry::flight(FlightKind::Announce, key, 0);
         self.uall.insert(key, u_node, guard);
         self.ruall.insert(key, u_node, guard);
     }
@@ -254,6 +272,7 @@ impl LockFreeBinaryTrie {
     /// may have re-announced it, so removal is exhaustive (DESIGN.md D2).
     fn deannounce(&self, u_node: *mut UpdateNode, guard: &Guard<'_>) {
         let key = unsafe { (*u_node).key() };
+        telemetry::flight(FlightKind::Deannounce, key, 0);
         self.uall.remove_all(key, u_node, guard);
         self.ruall.remove_all(key, u_node, guard);
     }
@@ -323,6 +342,7 @@ impl LockFreeBinaryTrie {
     fn notify_query_ops(&self, u_node: *mut UpdateNode, guard: &Guard<'_>) {
         let (ins, _del) = self.traverse_uall(POS_INF, guard); // L147: TraverseUall(∞)
         let u = unsafe { &*u_node };
+        telemetry::flight(FlightKind::Notify, u.key(), 0);
         // DEL nodes notify only after line 201 (and its successor mirror),
         // so delPred2/delSucc2 are final and can be snapshotted into the
         // (pointer-free) record.
@@ -438,6 +458,7 @@ impl LockFreeBinaryTrie {
             1 => return self.notify_query_ops(nodes[0], guard),
             _ => {}
         }
+        telemetry::flight(FlightKind::Notify, -1, nodes.len() as u64);
         let (ins, _del) = self.traverse_uall(POS_INF, guard); // L147, shared
         struct BatchItem {
             node: *mut UpdateNode,
@@ -710,6 +731,7 @@ impl LockFreeBinaryTrie {
     /// Panics if `x ≥ universe`.
     pub fn contains(&self, x: Key) -> bool {
         let x = self.check_key(x);
+        telemetry::add(Counter::ContainsOps, 1);
         let _guard = epoch::pin();
         let u_node = self.find_latest(x); // L122
         unsafe { (*u_node).kind() == Kind::Ins } // L123–124
@@ -723,6 +745,7 @@ impl LockFreeBinaryTrie {
     /// Panics if `x ≥ universe`.
     pub fn insert(&self, x: Key) -> bool {
         let x = self.check_key(x);
+        telemetry::add(Counter::InsertOps, 1);
         let guard = &epoch::pin();
         let i_node = self.insert_phase1(x, guard);
         if i_node.is_null() {
@@ -789,6 +812,7 @@ impl LockFreeBinaryTrie {
     /// Panics if `x ≥ universe`.
     pub fn remove(&self, x: Key) -> bool {
         let x = self.check_key(x);
+        telemetry::add(Counter::RemoveOps, 1);
         let guard = &epoch::pin();
         let Some(pending) = self.remove_phase1(x, guard) else {
             return false; // L183 / L195
@@ -884,6 +908,7 @@ impl LockFreeBinaryTrie {
     /// Panics if `y ≥ universe`.
     pub fn predecessor(&self, y: Key) -> Option<Key> {
         let y = self.check_key(y);
+        telemetry::add(Counter::PredecessorOps, 1);
         let guard = &epoch::pin();
         let (pred, p_node) = self.pred_helper(y, guard); // L254
         self.remove_pred_node(p_node, guard); // L255
@@ -919,6 +944,7 @@ impl LockFreeBinaryTrie {
     /// Panics if `y ≥ universe`.
     pub fn successor(&self, y: Key) -> Option<Key> {
         let y = self.check_key(y);
+        telemetry::add(Counter::SuccessorOps, 1);
         let guard = &epoch::pin();
         let (succ, s_node) = self.succ_helper(y, guard);
         self.remove_succ_node(s_node, guard);
@@ -956,6 +982,7 @@ impl LockFreeBinaryTrie {
     /// [`LockFreeBinaryTrie::range`]).
     pub fn iter_from(&self, start: Key) -> IterFrom<'_> {
         self.check_key(start);
+        telemetry::add(Counter::ScanOps, 1);
         IterFrom {
             trie: self,
             s_node: core::ptr::null_mut(),
@@ -1029,6 +1056,7 @@ impl LockFreeBinaryTrie {
     /// report an answer no single state ever had — so the whole query runs
     /// as one `SuccHelper` under one S-ALL announcement.
     pub fn min(&self) -> Option<Key> {
+        telemetry::add(Counter::AggregateOps, 1);
         let guard = &epoch::pin();
         let (succ, s_node) = self.succ_helper(NO_PRED, guard); // y = −1
         self.remove_succ_node(s_node, guard);
@@ -1044,6 +1072,7 @@ impl LockFreeBinaryTrie {
     /// (strictly above every key, so `predecessor(u)` *is* the maximum) —
     /// the mirror of [`LockFreeBinaryTrie::min`].
     pub fn max(&self) -> Option<Key> {
+        telemetry::add(Counter::AggregateOps, 1);
         let guard = &epoch::pin();
         let (pred, p_node) = self.pred_helper(self.universe as i64, guard);
         self.remove_pred_node(p_node, guard);
@@ -1091,6 +1120,7 @@ impl LockFreeBinaryTrie {
         for &x in keys {
             self.check_key(x);
         }
+        telemetry::add(Counter::InsertOps, keys.len() as u64);
         let guard = &epoch::pin();
         let mut nodes: Vec<*mut UpdateNode> = Vec::with_capacity(keys.len());
         for &x in keys {
@@ -1123,6 +1153,7 @@ impl LockFreeBinaryTrie {
         for &x in keys {
             self.check_key(x);
         }
+        telemetry::add(Counter::RemoveOps, keys.len() as u64);
         let guard = &epoch::pin();
         let mut pending: Vec<PendingDelete> = Vec::with_capacity(keys.len());
         for &x in keys {
@@ -1143,6 +1174,7 @@ impl LockFreeBinaryTrie {
     /// `Reclaim` impl for why the plain grace period suffices).
     fn remove_succ_node(&self, s_node: *mut SuccNode, guard: &Guard<'_>) {
         scan_events::on_withdraw();
+        telemetry::flight(FlightKind::Deannounce, unsafe { (*s_node).key() }, 1);
         let cell = unsafe { (*s_node).sall_cell() };
         // Safety: the cell was stored into the SuccNode by the `insert` in
         // `succ_helper`, and each SuccNode is de-announced exactly once.
@@ -1175,8 +1207,8 @@ impl LockFreeBinaryTrie {
         };
 
         let (i_ruall, d_ruall) = self.traverse_ruall(p_node, guard); // L215
-        // L216; `y = u` is the max() sentinel — every key is smaller, so
-        // the climb is vacuous and the traversal is a root descent.
+                                                                     // L216; `y = u` is the max() sentinel — every key is smaller, so
+                                                                     // the climb is vacuous and the traversal is a root descent.
         let r0 = if y >= self.universe as i64 {
             bitops::relaxed_max(&self.core, self)
         } else {
@@ -1253,10 +1285,13 @@ impl LockFreeBinaryTrie {
             Some(v) => v,
             None => {
                 self.relaxed_bottoms.fetch_add(1, Ordering::Relaxed);
+                telemetry::add(Counter::RelaxedBottoms, 1);
                 if d_ruall.is_empty() {
                     NO_PRED // only r1 constrains the answer (see §5.2)
                 } else {
                     self.recoveries.fetch_add(1, Ordering::Relaxed);
+                    telemetry::add(Counter::Recoveries, 1);
+                    telemetry::flight(FlightKind::Recovery, y, 0);
                     self.recover_from_embedded(y, p_node, &q, &d_ruall) // L230–251
                 }
             }
@@ -1417,6 +1452,7 @@ impl LockFreeBinaryTrie {
     /// query key `y` in the S-ALL.
     fn succ_announce(&self, y: i64, guard: &Guard<'_>) -> *mut SuccNode {
         scan_events::on_announce();
+        telemetry::flight(FlightKind::Announce, y, 1); // aux=1: S-ALL
         let s_node = self.succs.alloc(SuccNode::new(y));
         let s_cell = self.sall.insert(s_node, guard);
         unsafe { (*s_node).set_sall_cell(s_cell) };
@@ -1461,6 +1497,7 @@ impl LockFreeBinaryTrie {
         unsafe { s.notify_list.clear() };
         let snap = self.sall.head_snapshot(guard);
         let era = s.end_slide();
+        telemetry::flight(FlightKind::Slide, y, era);
         let q: Vec<*mut SuccNode> = {
             let mut q: Vec<*mut SuccNode> = self
                 .sall
@@ -1489,9 +1526,9 @@ impl LockFreeBinaryTrie {
         guard: &Guard<'_>,
     ) -> i64 {
         let (i_pub, d_pub) = self.traverse_uall_publishing(s_node, guard); // mirror of L215
-        // Mirror of L216; `y = −1` is the min() sentinel — every key is
-        // greater, so the climb is vacuous and the traversal is a root
-        // descent.
+                                                                           // Mirror of L216; `y = −1` is the min() sentinel — every key is
+                                                                           // greater, so the climb is vacuous and the traversal is a root
+                                                                           // descent.
         let r0 = if y < 0 {
             bitops::relaxed_min(&self.core, self)
         } else {
@@ -1579,10 +1616,13 @@ impl LockFreeBinaryTrie {
             Some(v) => v,
             None => {
                 self.relaxed_succ_bottoms.fetch_add(1, Ordering::Relaxed);
+                telemetry::add(Counter::RelaxedBottoms, 1);
                 if d_pub.is_empty() {
                     NO_SUCC // only r1 constrains the answer (§5.2 mirrored)
                 } else {
                     self.succ_recoveries.fetch_add(1, Ordering::Relaxed);
+                    telemetry::add(Counter::Recoveries, 1);
+                    telemetry::flight(FlightKind::Recovery, y, 1);
                     self.recover_from_embedded_succ(y, era, s_node, q, &d_pub)
                 }
             }
@@ -1763,6 +1803,8 @@ impl LockFreeBinaryTrie {
                                          // … and abandoned here (no L175–179): like a crashed thread, the
                                          // stalled operation retires nothing — dNode and iNode simply leak
                                          // (bounded by the number of injected stalls).
+        telemetry::add(Counter::StallsInjected, 1);
+        telemetry::flight(FlightKind::Stall, x, 0);
         true
     }
 
@@ -1804,6 +1846,8 @@ impl LockFreeBinaryTrie {
             unsafe { self.core.dealloc_node(i_node) };
             return false;
         }
+        telemetry::add(Counter::StallsInjected, 1);
+        telemetry::flight(FlightKind::Stall, x, 1);
         true // abandoned before L173–174: inactive, unannounced.
     }
 
@@ -1867,6 +1911,8 @@ impl LockFreeBinaryTrie {
         // announcements all leak, exactly as if the deleting thread had
         // crashed — which forces both the predecessor and the successor
         // ⊥-recovery computations on later queries crossing this subtree.
+        telemetry::add(Counter::StallsInjected, 1);
+        telemetry::flight(FlightKind::Stall, x, 2);
         true
     }
 
@@ -1880,34 +1926,66 @@ impl LockFreeBinaryTrie {
         (0..self.universe).filter(|&x| self.contains(x)).collect()
     }
 
-    /// Diagnostic counters: `(relaxed-⊥ occurrences, recovery-path runs)`
-    /// across all `predecessor` calls so far (experiment E5).
-    pub fn traversal_stats(&self) -> (u64, u64) {
-        (
-            self.relaxed_bottoms.load(Ordering::Relaxed),
-            self.recoveries.load(Ordering::Relaxed),
-        )
+    /// Relaxed-traversal outcomes of all `predecessor` calls so far
+    /// (experiment E5): how often the relaxed traversal answered `⊥` and
+    /// how often the announcement-list recovery computation repaired it.
+    pub fn pred_traversal(&self) -> TraversalStats {
+        TraversalStats {
+            bottoms: self.relaxed_bottoms.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+        }
     }
 
-    /// The successor mirror of [`LockFreeBinaryTrie::traversal_stats`]:
-    /// `(relaxed-⊥ occurrences, recovery-path runs)` across all `successor`
-    /// calls so far.
+    /// The successor mirror of [`LockFreeBinaryTrie::pred_traversal`].
+    pub fn succ_traversal(&self) -> TraversalStats {
+        TraversalStats {
+            bottoms: self.relaxed_succ_bottoms.load(Ordering::Relaxed),
+            recoveries: self.succ_recoveries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of live announcements in each list — all zero at quiescence
+    /// (Figure 5 shape checks).
+    pub fn announcements(&self) -> AnnouncementLens {
+        AnnouncementLens {
+            uall: self.uall.len(),
+            ruall: self.ruall.len(),
+            pall: self.pall.len(),
+            sall: self.sall.len(),
+        }
+    }
+
+    /// Diagnostic counters: `(relaxed-⊥ occurrences, recovery-path runs)`
+    /// across all `predecessor` calls so far (experiment E5).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `pred_traversal`, which returns named fields"
+    )]
+    pub fn traversal_stats(&self) -> (u64, u64) {
+        let t = self.pred_traversal();
+        (t.bottoms, t.recoveries)
+    }
+
+    /// The successor mirror of `traversal_stats`: `(relaxed-⊥ occurrences,
+    /// recovery-path runs)` across all `successor` calls so far.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `succ_traversal`, which returns named fields"
+    )]
     pub fn succ_traversal_stats(&self) -> (u64, u64) {
-        (
-            self.relaxed_succ_bottoms.load(Ordering::Relaxed),
-            self.succ_recoveries.load(Ordering::Relaxed),
-        )
+        let t = self.succ_traversal();
+        (t.bottoms, t.recoveries)
     }
 
     /// Number of live announcements `(U-ALL, RU-ALL, P-ALL, S-ALL)` — all
     /// zero at quiescence (Figure 5 shape checks).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `announcements`, which returns named fields"
+    )]
     pub fn announcement_lens(&self) -> (usize, usize, usize, usize) {
-        (
-            self.uall.len(),
-            self.ruall.len(),
-            self.pall.len(),
-            self.sall.len(),
-        )
+        let a = self.announcements();
+        (a.uall, a.ruall, a.pall, a.sall)
     }
 
     /// Total update nodes allocated over the trie's lifetime (the paper's
@@ -1958,15 +2036,74 @@ impl LockFreeBinaryTrie {
         self.succs.stats()
     }
 
+    /// Allocation statistics of the four auxiliary-list cell registries,
+    /// by list.
+    pub fn cell_allocs(&self) -> CellAllocStats {
+        CellAllocStats {
+            uall: self.uall.cell_stats(),
+            ruall: self.ruall.cell_stats(),
+            pall: self.pall.cell_stats(),
+            sall: self.sall.cell_stats(),
+        }
+    }
+
     /// Allocation statistics of the four auxiliary-list cell registries:
     /// `(U-ALL, RU-ALL, P-ALL, S-ALL)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `cell_allocs`, which returns named fields"
+    )]
     pub fn cell_alloc_stats(&self) -> (AllocStats, AllocStats, AllocStats, AllocStats) {
-        (
-            self.uall.cell_stats(),
-            self.ruall.cell_stats(),
-            self.pall.cell_stats(),
-            self.sall.cell_stats(),
-        )
+        let c = self.cell_allocs();
+        (c.uall, c.ruall, c.pall, c.sall)
+    }
+
+    /// The unified observability read-out: the process-global counters and
+    /// histograms of [`lftrie_telemetry`], with every gauge this trie can
+    /// sample attached — epoch-domain health (global epoch, pin lag, the
+    /// stalled-reader detector), per-registry reclamation health for all
+    /// seven registries this trie owns (update nodes, predecessor/successor
+    /// nodes, and the four announcement-list cell registries),
+    /// announcement-list lengths, and relaxed-traversal outcomes
+    /// (predecessor + successor combined; see
+    /// [`LockFreeBinaryTrie::pred_traversal`] /
+    /// [`LockFreeBinaryTrie::succ_traversal`] for the split).
+    ///
+    /// O(announcements) — the length gauges walk the lists — so this is a
+    /// sampling/diagnostic call, not a hot-path one.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lftrie_core::LockFreeBinaryTrie;
+    ///
+    /// let set = LockFreeBinaryTrie::new(64);
+    /// set.insert(9);
+    /// let snap = set.telemetry();
+    /// assert!(snap.epoch.is_some());
+    /// assert_eq!(snap.reclaim.len(), 7);
+    /// println!("{}", snap.to_prometheus());
+    /// ```
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let pred = self.pred_traversal();
+        let succ = self.succ_traversal();
+        let mut snap = telemetry::snapshot();
+        snap.epoch = Some(self.preds.domain().health());
+        snap.reclaim = vec![
+            self.core.node_health("nodes"),
+            self.preds.health("preds"),
+            self.succs.health("succs"),
+            self.uall.cell_health("uall_cells"),
+            self.ruall.cell_health("ruall_cells"),
+            self.pall.cell_health("pall_cells"),
+            self.sall.cell_health("sall_cells"),
+        ];
+        snap.announcements = Some(self.announcements());
+        snap.traversal = Some(TraversalStats {
+            bottoms: pred.bottoms + succ.bottoms,
+            recoveries: pred.recoveries + succ.recoveries,
+        });
+        snap
     }
 
     /// Runs quiescent reclamation sweeps on every registry this trie owns
@@ -2120,13 +2257,13 @@ impl Drop for LockFreeBinaryTrie {
 
 impl core::fmt::Debug for LockFreeBinaryTrie {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        let (uall, ruall, pall, sall) = self.announcement_lens();
+        let a = self.announcements();
         f.debug_struct("LockFreeBinaryTrie")
             .field("universe", &self.universe)
-            .field("uall", &uall)
-            .field("ruall", &ruall)
-            .field("pall", &pall)
-            .field("sall", &sall)
+            .field("uall", &a.uall)
+            .field("ruall", &a.ruall)
+            .field("pall", &a.pall)
+            .field("sall", &a.sall)
             .field("allocated_nodes", &self.allocated_nodes())
             .finish()
     }
@@ -2178,7 +2315,7 @@ mod tests {
         for y in 0..32 {
             let _ = t.predecessor(y);
         }
-        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+        assert!(t.announcements().is_empty());
     }
 
     #[test]
@@ -2199,7 +2336,7 @@ mod tests {
                 _ => assert_eq!(t.predecessor(x), model_pred(&model, x), "pred {x} @{step}"),
             }
         }
-        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+        assert!(t.announcements().is_empty());
     }
 
     #[test]
@@ -2210,7 +2347,7 @@ mod tests {
         // Deleting 9 runs PredHelper(9) twice; both should see 3.
         assert!(t.remove(9));
         assert_eq!(t.predecessor(10), Some(3));
-        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+        assert!(t.announcements().is_empty());
     }
 
     #[test]
@@ -2243,7 +2380,7 @@ mod tests {
                 assert_eq!(t.contains(x), model.contains(&x), "key {x}");
             }
         }
-        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+        assert!(t.announcements().is_empty());
     }
 
     #[test]
@@ -2309,7 +2446,7 @@ mod tests {
         assert_eq!(t.iter_from(41).collect::<Vec<_>>(), vec![41, 63]);
         t.remove(40);
         assert_eq!(t.successor(17), Some(41));
-        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+        assert!(t.announcements().is_empty());
     }
 
     #[test]
@@ -2370,7 +2507,7 @@ mod tests {
         assert_eq!(t.min(), Some(0));
         t.insert(63); // already present
         assert_eq!(t.max(), Some(63));
-        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+        assert!(t.announcements().is_empty());
     }
 
     #[cfg(feature = "step-count")]
@@ -2410,7 +2547,7 @@ mod tests {
         assert_eq!(t.max(), None);
         t.insert(7);
         assert_eq!((t.min(), t.max()), (Some(7), Some(7)));
-        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+        assert!(t.announcements().is_empty());
     }
 
     #[test]
@@ -2425,7 +2562,7 @@ mod tests {
         }));
         assert!(panicked.is_err());
         assert!(!t.contains(3) && !t.contains(7), "partial batch applied");
-        assert_eq!(t.announcement_lens(), (0, 0, 0, 0), "leaked announcements");
+        assert!(t.announcements().is_empty(), "leaked announcements");
 
         t.insert(3);
         t.insert(7);
@@ -2434,7 +2571,7 @@ mod tests {
         }));
         assert!(panicked.is_err());
         assert!(t.contains(3) && t.contains(7), "partial batch applied");
-        assert_eq!(t.announcement_lens(), (0, 0, 0, 0), "leaked announcements");
+        assert!(t.announcements().is_empty(), "leaked announcements");
     }
 
     #[test]
@@ -2449,7 +2586,7 @@ mod tests {
         assert_eq!(t.range(0..=63), Vec::<u64>::new());
         assert_eq!(t.insert_all(&[]), 0);
         assert_eq!(t.delete_all(&[]), 0);
-        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+        assert!(t.announcements().is_empty());
     }
 
     #[cfg(feature = "step-count")]
@@ -2496,7 +2633,7 @@ mod tests {
         assert_eq!(iter.next(), Some(3));
         assert_eq!(iter.next(), Some(17));
         drop(iter); // mid-scan abandon: the SuccNode must be withdrawn
-        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+        assert!(t.announcements().is_empty());
     }
 
     #[test]
@@ -2521,7 +2658,7 @@ mod tests {
                 }
             }
         }
-        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+        assert!(t.announcements().is_empty());
     }
 
     #[test]
@@ -2572,7 +2709,7 @@ mod tests {
         // Deleting 3 runs SuccHelper(3) twice; both should see 9.
         assert!(t.remove(3));
         assert_eq!(t.successor(1), Some(9));
-        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+        assert!(t.announcements().is_empty());
         let (_, succ_live) = t.succ_node_counts();
         t.collect_garbage();
         assert!(succ_live <= 4, "succ nodes drain at quiescence");
@@ -2593,6 +2730,6 @@ mod tests {
             .sum();
         assert_eq!(total, 1, "exactly one S-modifying insert");
         assert!(t.contains(5));
-        assert_eq!(t.announcement_lens(), (0, 0, 0, 0));
+        assert!(t.announcements().is_empty());
     }
 }

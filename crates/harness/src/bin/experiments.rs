@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [e1 e2 … e7 | all] [--quick]
+//! experiments [e1 e2 … e11 | all] [--quick] [--emit-json]
 //! ```
 //!
 //! E1–E3 measure *step complexity* and need the `step-count` feature:
@@ -11,21 +11,30 @@
 //! ```text
 //! cargo run -p lftrie-harness --release --features step-count --bin experiments -- e1 e2 e3
 //! ```
+//!
+//! `--emit-json` additionally writes one `BENCH_<exp>.json` per experiment
+//! run (JSON lines: the table rows, then a final `{"telemetry": …}` object
+//! with the process-global counters, histograms, and latency percentiles).
+//! Target directory: `$LFTRIE_BENCH_DIR`, else the current directory.
 
+use lftrie_harness::report::Table;
 use lftrie_harness::{experiments, report, steps_enabled};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let emit_json = args.iter().any(|a| a == "--emit-json");
     let mut wanted: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .cloned()
         .collect();
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"]
-            .map(String::from)
-            .to_vec();
+        wanted = [
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+        ]
+        .map(String::from)
+        .to_vec();
     }
 
     report::print_environment();
@@ -34,28 +43,41 @@ fn main() {
     }
 
     for exp in &wanted {
-        match exp.as_str() {
+        let tables: Vec<Table> = match exp.as_str() {
             "e1" | "e2" | "e3" if !steps_enabled() => {
                 println!(
                     "\n### {}: skipped — rebuild with `--features step-count` to measure steps",
                     exp.to_uppercase()
                 );
+                continue;
             }
-            "e1" => experiments::e1_search_steps(quick).print(),
-            "e2" => experiments::e2_relaxed_op_steps(quick).print(),
-            "e3" => experiments::e3_contention_steps(quick).print(),
-            "e4" => {
-                for table in experiments::e4_throughput(quick) {
-                    table.print();
+            "e1" => vec![experiments::e1_search_steps(quick)],
+            "e2" => vec![experiments::e2_relaxed_op_steps(quick)],
+            "e3" => vec![experiments::e3_contention_steps(quick)],
+            "e4" => experiments::e4_throughput(quick),
+            "e5" => vec![experiments::e5_bottom_rate(quick)],
+            "e6" => vec![experiments::e6_space(quick)],
+            "e7" => vec![experiments::e7_progress(quick)],
+            "e8" => vec![experiments::e8_latency(quick)],
+            "e9" => vec![experiments::e9_scan(quick)],
+            "e10" => vec![experiments::e10_scan_amortization(quick)],
+            "e11" => vec![experiments::e11_telemetry(quick)],
+            other => {
+                eprintln!("unknown experiment: {other} (expected e1..e11 or all)");
+                continue;
+            }
+        };
+        for table in &tables {
+            table.print();
+        }
+        if emit_json {
+            match report::write_bench_json(exp, &tables) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("failed to write BENCH_{exp}.json: {e}");
+                    std::process::exit(1);
                 }
             }
-            "e5" => experiments::e5_bottom_rate(quick).print(),
-            "e6" => experiments::e6_space(quick).print(),
-            "e7" => experiments::e7_progress(quick).print(),
-            "e8" => experiments::e8_latency(quick).print(),
-            "e9" => experiments::e9_scan(quick).print(),
-            "e10" => experiments::e10_scan_amortization(quick).print(),
-            other => eprintln!("unknown experiment: {other} (expected e1..e10 or all)"),
         }
     }
 }

@@ -16,6 +16,18 @@ use lftrie_core::LockFreeBinaryTrie;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Reports a consistency violation, dumps the unified telemetry snapshot
+/// and the flight-recorder ring (the last protocol events leading up to
+/// the failure), and exits non-zero.
+fn fail(round: u64, trie: &LockFreeBinaryTrie, msg: &str) -> ! {
+    eprintln!("round {round}: {msg}");
+    eprintln!("--- telemetry at failure ---");
+    eprint!("{}", trie.telemetry().to_prometheus());
+    eprintln!("--- flight recorder (oldest first) ---");
+    eprint!("{}", lftrie_telemetry::flight_report());
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<u64> = std::env::args()
         .skip(1)
@@ -27,7 +39,8 @@ fn main() {
     let universe = 1u64 << log2_u;
 
     println!("torture: {seconds}s, {threads} threads, universe 2^{log2_u}");
-    let deadline = Instant::now() + Duration::from_secs(seconds);
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs(seconds);
     let mut round = 0u64;
     let total_ops = Arc::new(AtomicU64::new(0));
 
@@ -127,46 +140,74 @@ fn main() {
             let expected = present.iter().rev().find(|&&k| k < y).copied();
             let got = trie.predecessor(y);
             if got != expected {
-                eprintln!("round {round}: predecessor({y}) = {got:?}, expected {expected:?}");
-                std::process::exit(1);
+                fail(
+                    round,
+                    &trie,
+                    &format!("predecessor({y}) = {got:?}, expected {expected:?}"),
+                );
             }
             let expected_succ = present.iter().find(|&&k| k > y).copied();
             let got_succ = trie.successor(y);
             if got_succ != expected_succ {
-                eprintln!(
-                    "round {round}: successor({y}) = {got_succ:?}, expected {expected_succ:?}"
+                fail(
+                    round,
+                    &trie,
+                    &format!("successor({y}) = {got_succ:?}, expected {expected_succ:?}"),
                 );
-                std::process::exit(1);
             }
         }
         if trie.min() != present.first().copied() || trie.max() != present.last().copied() {
-            eprintln!(
-                "round {round}: min/max = {:?}/{:?}, expected {:?}/{:?}",
-                trie.min(),
-                trie.max(),
-                present.first(),
-                present.last()
+            fail(
+                round,
+                &trie,
+                &format!(
+                    "min/max = {:?}/{:?}, expected {:?}/{:?}",
+                    trie.min(),
+                    trie.max(),
+                    present.first(),
+                    present.last()
+                ),
             );
-            std::process::exit(1);
         }
         let mid = universe / 2;
         let expect_count = present.iter().filter(|&&k| k <= mid).count();
         if trie.count(0..=mid) != expect_count {
-            eprintln!(
-                "round {round}: count(0..={mid}) = {}, expected {expect_count}",
-                trie.count(0..=mid)
+            fail(
+                round,
+                &trie,
+                &format!(
+                    "count(0..={mid}) = {}, expected {expect_count}",
+                    trie.count(0..=mid)
+                ),
             );
-            std::process::exit(1);
         }
-        let (uall, ruall, pall, sall) = trie.announcement_lens();
-        if (uall, ruall, pall, sall) != (0, 0, 0, 0) {
-            eprintln!("round {round}: announcements leaked: {uall}/{ruall}/{pall}/{sall}");
-            std::process::exit(1);
+        let lens = trie.announcements();
+        if !lens.is_empty() {
+            fail(
+                round,
+                &trie,
+                &format!(
+                    "announcements leaked: {}/{}/{}/{}",
+                    lens.uall, lens.ruall, lens.pall, lens.sall
+                ),
+            );
         }
-        let (bottoms, recoveries) = trie.traversal_stats();
+        // Heartbeat: throughput plus the reclamation health gauges that warn
+        // of a wedged epoch (lagging reader) or unbounded garbage (limbo).
+        let snap = trie.telemetry();
+        let stats = trie.pred_traversal();
+        let ops = total_ops.load(Ordering::Relaxed);
+        let ops_per_s = ops as f64 / start.elapsed().as_secs_f64();
+        let (epoch_lag, stalled) = snap
+            .epoch
+            .as_ref()
+            .map(|e| (e.min_pin_lag, e.stalled_readers))
+            .unwrap_or((0, 0));
+        let limbo: usize = snap.reclaim.iter().map(|r| r.limbo + r.pending).sum();
         print!(
-            "\rround {round}: ok ({} ops total, ⊥ seen {bottoms}, recoveries {recoveries})   ",
-            total_ops.load(Ordering::Relaxed)
+            "\rround {round}: ok ({ops} ops, {ops_per_s:.0} ops/s, ⊥ {bottoms}, rec {recoveries}, epoch lag {epoch_lag}, stalled {stalled}, limbo {limbo})   ",
+            bottoms = stats.bottoms,
+            recoveries = stats.recoveries,
         );
         use std::io::Write;
         std::io::stdout().flush().ok();

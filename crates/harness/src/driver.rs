@@ -104,6 +104,59 @@ pub fn run<S: ConcurrentOrderedSet + ?Sized>(set: &S, cfg: &RunConfig) -> RunRes
     }
 }
 
+/// Like [`run`], but additionally records each operation's wall-clock
+/// latency into the telemetry latency histogram
+/// ([`lftrie_telemetry::Hist::OpLatencyNs`]).
+///
+/// Timing every operation costs two `Instant` reads per op, so this is a
+/// separate entry point rather than a [`RunConfig`] knob: throughput
+/// numbers from [`run`] stay comparable across reports, and experiments
+/// opt into latency capture explicitly (e.g. for `--emit-json` snapshots).
+pub fn run_instrumented<S: ConcurrentOrderedSet + ?Sized>(set: &S, cfg: &RunConfig) -> RunResult {
+    let barrier = Barrier::new(cfg.threads + 1);
+    let total_steps = std::sync::Mutex::new(steps::StepCounts::default());
+
+    let started = std::thread::scope(|scope| {
+        for t in 0..cfg.threads {
+            let barrier = &barrier;
+            let total_steps = &total_steps;
+            let cfg = *cfg;
+            let set: &S = set;
+            scope.spawn(move || {
+                let mut stream =
+                    OpStream::with_dist(cfg.mix, cfg.keys, cfg.universe, cfg.seed, t as u64)
+                        .with_scan_width(cfg.scan_width);
+                barrier.wait();
+                steps::reset();
+                for _ in 0..cfg.ops_per_thread {
+                    let op = stream.next_op();
+                    lftrie_telemetry::time_op(|| apply(set, op));
+                }
+                let mine = steps::snapshot();
+                let mut agg = total_steps.lock().unwrap();
+                agg.reads += mine.reads;
+                agg.writes += mine.writes;
+                agg.cas += mine.cas;
+                agg.min_writes += mine.min_writes;
+            });
+        }
+        let start = Instant::now();
+        barrier.wait();
+        start
+    });
+    let elapsed = started.elapsed();
+
+    let total_ops = cfg.ops_per_thread * cfg.threads as u64;
+    let agg = total_steps.into_inner().unwrap();
+    RunResult {
+        total_ops,
+        elapsed,
+        mops: total_ops as f64 / elapsed.as_secs_f64() / 1e6,
+        steps_per_op: agg.total() as f64 / total_ops as f64,
+        cas_per_op: agg.cas as f64 / total_ops as f64,
+    }
+}
+
 /// Measures a single closure's steps on this thread (for the solo-op
 /// experiments E1/E2). Returns `(elapsed, steps)`.
 pub fn measure_solo<T>(f: impl FnOnce() -> T) -> (Duration, steps::StepCounts) {
@@ -171,6 +224,29 @@ mod tests {
         let res = run(&set, &cfg);
         assert_eq!(res.total_ops, 1000);
         assert!(res.mops > 0.0);
+    }
+
+    #[test]
+    fn run_instrumented_counts_ops_and_records_latency() {
+        let set = LockFreeBinaryTrie::new(256);
+        let cfg = RunConfig {
+            threads: 2,
+            ops_per_thread: 200,
+            universe: 256,
+            mix: OpMix::BALANCED,
+            keys: KeyDist::Uniform,
+            seed: 5,
+            scan_width: crate::workload::DEFAULT_SCAN_WIDTH,
+        };
+        let before = lftrie_telemetry::histogram(lftrie_telemetry::Hist::OpLatencyNs);
+        let res = run_instrumented(&set, &cfg);
+        assert_eq!(res.total_ops, 400);
+        let after = lftrie_telemetry::histogram(lftrie_telemetry::Hist::OpLatencyNs);
+        // Telemetry is process-global; other tests may record latencies too,
+        // so assert growth, not an exact count.
+        if lftrie_telemetry::enabled() {
+            assert!(after.count >= before.count + res.total_ops);
+        }
     }
 
     #[test]

@@ -309,7 +309,7 @@ pub fn e5_bottom_rate(quick: bool) -> Table {
         };
         let (preds_r, bottoms_r) = run_counts(0);
         let (preds_l, _) = run_counts(1);
-        let (lf_bottoms, _lf_recoveries) = lockfree.traversal_stats();
+        let lf_bottoms = lockfree.pred_traversal().bottoms;
         table.row(&[
             update_pct.to_string(),
             threads.to_string(),
@@ -808,6 +808,63 @@ pub fn e10_scan_amortization(quick: bool) -> Table {
     table
 }
 
+/// E11 — unified telemetry: an instrumented balanced run on the lock-free
+/// trie, reported entirely from the [`lftrie_telemetry`] snapshot (latency
+/// percentiles from the log₂ histogram, traversal depth, epoch/reclamation
+/// health). This is the experiment the CI telemetry lane runs with
+/// `--emit-json`; its `BENCH_e11.json` carries the full snapshot object.
+pub fn e11_telemetry(quick: bool) -> Table {
+    let universe = 1u64 << 14;
+    let ops = if quick { 5_000 } else { 50_000 };
+    let trie = LockFreeBinaryTrie::new(universe);
+    prefill(&trie, universe, 0.2, SEED);
+    let res = driver::run_instrumented(
+        &trie,
+        &RunConfig {
+            threads: 4,
+            ops_per_thread: ops,
+            universe,
+            mix: OpMix::BALANCED,
+            keys: KeyDist::Uniform,
+            seed: SEED,
+            scan_width: crate::workload::DEFAULT_SCAN_WIDTH,
+        },
+    );
+    let snap = trie.telemetry();
+    let lat = &snap.op_latency_ns;
+    let depth = &snap.traversal_depth;
+    let epoch = snap.epoch.unwrap_or_default();
+    let limbo: usize = snap.reclaim.iter().map(|r| r.limbo + r.pending).sum();
+    let live: usize = snap.reclaim.iter().map(|r| r.live).sum();
+
+    let mut table = Table::new(
+        "E11: unified telemetry of one instrumented balanced run",
+        &["metric", "value"],
+    );
+    table.row(&["Mops/s".to_string(), format!("{:.3}", res.mops)]);
+    table.row(&["ops_timed".to_string(), lat.count.to_string()]);
+    table.row(&[
+        "latency_p50_ns_le".to_string(),
+        lat.percentile(50.0).to_string(),
+    ]);
+    table.row(&[
+        "latency_p99_ns_le".to_string(),
+        lat.percentile(99.0).to_string(),
+    ]);
+    table.row(&[
+        "traversal_depth_mean".to_string(),
+        format!("{:.1}", depth.mean()),
+    ]);
+    table.row(&["epoch_advances".to_string(), epoch.epoch.to_string()]);
+    table.row(&[
+        "stalled_readers".to_string(),
+        epoch.stalled_readers.to_string(),
+    ]);
+    table.row(&["limbo_and_pending".to_string(), limbo.to_string()]);
+    table.row(&["live_nodes".to_string(), live.to_string()]);
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -819,6 +876,16 @@ mod tests {
         for t in &tables {
             assert_eq!(t.rows().len() % 8, 0, "8 structures per thread count");
         }
+    }
+
+    #[test]
+    fn e11_reports_every_snapshot_metric() {
+        let t = e11_telemetry(true);
+        assert_eq!(t.rows().len(), 9);
+        let metrics: Vec<&str> = t.rows().iter().map(|r| r[0].as_str()).collect();
+        assert!(metrics.contains(&"latency_p99_ns_le"));
+        assert!(metrics.contains(&"stalled_readers"));
+        assert!(metrics.contains(&"limbo_and_pending"));
     }
 
     #[test]

@@ -94,6 +94,26 @@ impl Table {
     }
 }
 
+/// Writes one experiment's tables plus the process-global telemetry
+/// snapshot to `BENCH_<exp>.json` (JSON lines: one object per table row,
+/// then a final `{"telemetry": …}` object with counters, histograms, and
+/// latency percentiles). The target directory is `LFTRIE_BENCH_DIR` when
+/// set, else the current directory. Returns the path written.
+pub fn write_bench_json(exp: &str, tables: &[Table]) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var("LFTRIE_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{exp}.json"));
+    let mut out = String::new();
+    for t in tables {
+        out.push_str(&t.to_json_lines());
+    }
+    out.push_str(&format!(
+        "{{\"telemetry\":{}}}\n",
+        lftrie_telemetry::snapshot().to_json()
+    ));
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
 /// Prints the environment banner every experiment report starts with
 /// (DESIGN.md D9: numbers are only interpretable with the core count).
 pub fn print_environment() {

@@ -384,6 +384,12 @@ impl<P> AnnounceList<P> {
     pub fn cell_stats(&self) -> lftrie_primitives::registry::AllocStats {
         self.cells.stats()
     }
+
+    /// Point-in-time reclamation health of the cell registry, tagged
+    /// `label`, for the unified telemetry snapshot.
+    pub fn cell_health(&self, label: &'static str) -> lftrie_telemetry::ReclaimHealth {
+        self.cells.health(label)
+    }
 }
 
 impl<P> Drop for AnnounceList<P> {

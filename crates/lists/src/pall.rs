@@ -268,6 +268,12 @@ impl<P> PallList<P> {
     pub fn cell_stats(&self) -> lftrie_primitives::registry::AllocStats {
         self.cells.stats()
     }
+
+    /// Point-in-time reclamation health of the cell registry, tagged
+    /// `label`, for the unified telemetry snapshot.
+    pub fn cell_health(&self, label: &'static str) -> lftrie_telemetry::ReclaimHealth {
+        self.cells.health(label)
+    }
 }
 
 impl<P> Drop for PallList<P> {

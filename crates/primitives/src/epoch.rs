@@ -62,10 +62,19 @@ use core::marker::PhantomData;
 use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 
 use crossbeam::utils::CachePadded;
+use lftrie_telemetry::{self as telemetry, Counter, EpochHealth};
 
 /// How often (in pins per participant) the pin fast path tries to advance
 /// the global epoch.
 const PINS_PER_ADVANCE: u64 = 32;
+
+/// Blocked-advance streak at which a pinned participant counts as a
+/// *stalled reader* in [`Domain::health`]. Raw epoch lag is useless as a
+/// stall signal — a pinned participant bounds the global epoch to
+/// `pin + 1`, so the lag saturates at one — but every refused
+/// [`Domain::try_advance`] charges the refusing participant, and that
+/// streak grows without bound while a reader sits on a pin.
+pub const STALL_BLOCKED_THRESHOLD: u64 = 3;
 
 /// One thread's announcement slot. Slots are allocated once, leaked (their
 /// count is bounded by the peak number of concurrent threads), and recycled
@@ -81,6 +90,10 @@ pub struct Participant {
     nest: AtomicU64,
     /// Pins performed by this participant (drives amortized advancing).
     pins: AtomicU64,
+    /// Consecutive [`Domain::try_advance`] attempts this participant
+    /// refused while pinned; reset on every (re)announcement. The
+    /// stalled-reader detector's raw signal.
+    blocked: AtomicU64,
     /// Slot ownership flag for recycling.
     in_use: AtomicBool,
     /// Owners keeping the slot reserved: the handle plus every live guard.
@@ -97,6 +110,7 @@ impl Participant {
             state: CachePadded::new(AtomicU64::new(0)),
             nest: AtomicU64::new(0),
             pins: AtomicU64::new(0),
+            blocked: AtomicU64::new(0),
             in_use: AtomicBool::new(true),
             refs: AtomicU64::new(1),
             next: AtomicPtr::new(core::ptr::null_mut()),
@@ -169,6 +183,7 @@ impl Domain {
                 // before it cleared in_use): reset it.
                 p.state.store(0, Ordering::SeqCst);
                 p.nest.store(0, Ordering::Relaxed);
+                p.blocked.store(0, Ordering::Relaxed);
                 p.refs.store(1, Ordering::SeqCst);
                 return Handle {
                     domain: self,
@@ -218,15 +233,76 @@ impl Domain {
             if p.in_use.load(Ordering::SeqCst) {
                 let s = p.state.load(Ordering::SeqCst);
                 if s & 1 == 1 && (s >> 1) != e {
-                    return e; // a straggler still pinned in an older epoch
+                    // A straggler still pinned in an older epoch: charge its
+                    // blocked streak (the stalled-reader signal).
+                    p.blocked.fetch_add(1, Ordering::Relaxed);
+                    telemetry::add(Counter::EpochAdvanceBlocked, 1);
+                    return e;
                 }
             }
             cur = p.next.load(Ordering::SeqCst);
         }
-        let _ = self
+        if self
             .epoch
-            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
+            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            telemetry::add(Counter::EpochAdvances, 1);
+        }
         self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Participants whose blocked-advance streak has reached `min_blocked`
+    /// while pinned — readers that have refused that many consecutive
+    /// epoch-advance attempts without re-announcing.
+    pub fn stalled_readers(&self, min_blocked: u64) -> usize {
+        let mut n = 0;
+        let mut cur = self.participants.load(Ordering::SeqCst);
+        while !cur.is_null() {
+            let p = unsafe { &*cur };
+            if p.in_use.load(Ordering::SeqCst)
+                && p.state.load(Ordering::SeqCst) & 1 == 1
+                && p.blocked.load(Ordering::Relaxed) >= min_blocked
+            {
+                n += 1;
+            }
+            cur = p.next.load(Ordering::SeqCst);
+        }
+        n
+    }
+
+    /// Samples this domain's health gauges in one participant-list pass.
+    /// `stalled_readers` uses [`STALL_BLOCKED_THRESHOLD`].
+    pub fn health(&self) -> EpochHealth {
+        let e = self.epoch();
+        let mut h = EpochHealth {
+            epoch: e,
+            ..EpochHealth::default()
+        };
+        let mut min_pin = u64::MAX;
+        let mut cur = self.participants.load(Ordering::SeqCst);
+        while !cur.is_null() {
+            let p = unsafe { &*cur };
+            h.participants += 1;
+            h.total_pins += p.pins.load(Ordering::Relaxed);
+            if p.in_use.load(Ordering::SeqCst) {
+                let s = p.state.load(Ordering::SeqCst);
+                if s & 1 == 1 {
+                    h.pinned += 1;
+                    min_pin = min_pin.min(s >> 1);
+                    let b = p.blocked.load(Ordering::Relaxed);
+                    h.max_blocked = h.max_blocked.max(b);
+                    if b >= STALL_BLOCKED_THRESHOLD {
+                        h.stalled_readers += 1;
+                    }
+                }
+            }
+            cur = p.next.load(Ordering::SeqCst);
+        }
+        if h.pinned > 0 {
+            h.min_pin_lag = e.saturating_sub(min_pin);
+        }
+        h
     }
 
     /// Number of currently pinned participants (diagnostics and tests).
@@ -287,6 +363,8 @@ impl<'d> Handle<'d> {
                 }
                 e = now;
             }
+            // A fresh announcement is progress: the stall streak restarts.
+            p.blocked.store(0, Ordering::Relaxed);
             if p.pins.fetch_add(1, Ordering::Relaxed) % PINS_PER_ADVANCE == PINS_PER_ADVANCE - 1 {
                 self.domain.try_advance();
             }
@@ -378,6 +456,9 @@ impl<'d> Guard<'d> {
             }
             e = now;
         }
+        // Re-announcing at the current epoch is exactly what a stalled
+        // reader fails to do: clear the streak.
+        p.blocked.store(0, Ordering::Relaxed);
     }
 }
 
@@ -530,6 +611,40 @@ mod tests {
         assert!(is_pinned());
         drop(g1);
         assert!(!is_pinned());
+    }
+
+    #[test]
+    fn stalled_reader_detector_counts_blocked_streaks() {
+        let d = leaked_domain();
+        let h = d.register();
+        let g = h.pin();
+        // Pinned at epoch 0: the advance to 1 succeeds, then every further
+        // attempt is refused by this participant and charges its streak.
+        assert_eq!(d.try_advance(), 1);
+        for _ in 0..STALL_BLOCKED_THRESHOLD {
+            assert_eq!(d.try_advance(), 1);
+        }
+        let health = d.health();
+        assert_eq!(health.epoch, 1);
+        assert_eq!(health.pinned, 1);
+        assert_eq!(health.min_pin_lag, 1);
+        assert!(health.max_blocked >= STALL_BLOCKED_THRESHOLD);
+        assert_eq!(health.stalled_readers, 1);
+        assert_eq!(d.stalled_readers(STALL_BLOCKED_THRESHOLD), 1);
+        // An unpinned participant is no longer a stalled *reader* …
+        drop(g);
+        assert_eq!(d.health().stalled_readers, 0);
+        // … and a fresh announcement (pin or repin) restarts the streak.
+        let mut g = h.pin();
+        assert_eq!(d.health().stalled_readers, 0);
+        assert!(d.try_advance() >= 2);
+        for _ in 0..STALL_BLOCKED_THRESHOLD {
+            d.try_advance();
+        }
+        assert_eq!(d.health().stalled_readers, 1);
+        g.repin();
+        assert_eq!(d.health().stalled_readers, 0, "repin clears the streak");
+        drop(g);
     }
 
     #[test]

@@ -77,6 +77,7 @@ use core::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering
 use std::collections::HashMap;
 
 use crossbeam::utils::CachePadded;
+use lftrie_telemetry::{self as telemetry, Counter, FlightKind, ReclaimHealth};
 
 use crate::epoch::{Domain, Guard};
 
@@ -188,23 +189,34 @@ impl<T> PoolNode<T> {
 /// otherwise share lines with each other and the counters.
 struct GarbageStack<T> {
     head: CachePadded<AtomicPtr<PoolNode<T>>>,
+    /// Approximate node count — the limbo/pending **depth gauge** of the
+    /// telemetry snapshot. Pushers add *before* the publishing CAS (so
+    /// every node in the stack is already counted and `take_all`'s
+    /// subtraction can never underflow); a concurrent snapshot may
+    /// transiently over-read by the in-flight pushers. Relaxed throughout:
+    /// nothing synchronizes through it. Maintained as a counter because
+    /// the chains themselves are walkable only by their exclusive owner
+    /// (the links are `Cell`s).
+    len: AtomicUsize,
 }
 
 impl<T> GarbageStack<T> {
     const fn new() -> Self {
         Self {
             head: CachePadded::new(AtomicPtr::new(core::ptr::null_mut())),
+            len: AtomicUsize::new(0),
         }
     }
 
     fn push(&self, node: *mut PoolNode<T>) {
-        self.push_span(node, node);
+        self.push_span(node, node, 1);
     }
 
-    /// Pushes a pre-linked chain whose first and last nodes are known —
-    /// O(1), the batch operation bag flushes rely on.
-    fn push_span(&self, first: *mut PoolNode<T>, last: *mut PoolNode<T>) {
+    /// Pushes a pre-linked chain of `n` nodes whose first and last are
+    /// known — O(1), the batch operation bag flushes rely on.
+    fn push_span(&self, first: *mut PoolNode<T>, last: *mut PoolNode<T>, n: usize) {
         debug_assert!(!first.is_null() && !last.is_null());
+        self.len.fetch_add(n, Ordering::Relaxed);
         loop {
             let head = self.head.load(Ordering::SeqCst);
             unsafe { (*last).next.set(head) };
@@ -224,16 +236,36 @@ impl<T> GarbageStack<T> {
         if chain.is_null() {
             return;
         }
+        let mut n = 1;
         let mut tail = chain;
         while !unsafe { (*tail).next.get() }.is_null() {
             tail = unsafe { (*tail).next.get() };
+            n += 1;
         }
-        self.push_span(chain, tail);
+        self.push_span(chain, tail, n);
     }
 
     /// Detaches the whole chain (callers iterate it exclusively).
     fn take_all(&self) -> *mut PoolNode<T> {
-        self.head.swap(core::ptr::null_mut(), Ordering::SeqCst)
+        let chain = self.head.swap(core::ptr::null_mut(), Ordering::SeqCst);
+        if !chain.is_null() {
+            // The detached chain is exclusively ours: count it and settle
+            // the gauge. Every node in it was counted before it was
+            // published (see `push_span`), so this never underflows.
+            let mut n = 0usize;
+            let mut cur = chain;
+            while !cur.is_null() {
+                n += 1;
+                cur = unsafe { (*cur).next.get() };
+            }
+            self.len.fetch_sub(n, Ordering::Relaxed);
+        }
+        chain
+    }
+
+    /// The depth gauge (approximate; see `len`).
+    fn depth(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
     }
 }
 
@@ -808,7 +840,9 @@ impl<T> Registry<T> {
         // Fresh stamp *after* every gate probe above (see the module docs).
         let stamp = self.domain.epoch();
         let ready = flush.ready.replace(core::ptr::null_mut());
+        let mut batch = 0u64;
         if !ready.is_null() {
+            let mut n = 1usize;
             let mut tail = ready;
             loop {
                 unsafe { (*tail).epoch.set(stamp) };
@@ -817,12 +851,19 @@ impl<T> Registry<T> {
                     break;
                 }
                 tail = next;
+                n += 1;
             }
-            self.limbo.push_span(ready, tail);
+            self.limbo.push_span(ready, tail, n);
+            batch = n as u64;
         }
         self.pending
             .push_chain(flush.deferred.replace(core::ptr::null_mut()));
         // `flush` drops with empty cells: nothing to re-route.
+        telemetry::add(Counter::BagFlushes, 1);
+        // One flight event per flushed batch (not per retire: a per-retire
+        // event would both flood the 128-entry ring and put a globally
+        // contended sequence fetch on the update hot path).
+        telemetry::flight(FlightKind::Retire, -1, batch);
     }
 
     /// Steals the chains of pools released by exited threads, so their
@@ -880,6 +921,7 @@ impl<T> Registry<T> {
         if self.sweeping.swap(true, Ordering::SeqCst) {
             return;
         }
+        telemetry::add(Counter::Sweeps, 1);
         // Everything below runs user code (`Reclaim` hooks, node `Drop`s);
         // the guard clears `sweeping` and re-attaches the unexamined chain
         // remainder on every exit path, panics included. A panicking hook
@@ -1041,6 +1083,33 @@ impl<T> Registry<T> {
     pub fn resident(&self) -> usize {
         self.allocated()
             .saturating_sub(self.counters.freed.load(Ordering::Relaxed))
+    }
+
+    /// Samples this registry's reclamation health gauges for the telemetry
+    /// snapshot: garbage-stack depths (limbo = gate-open garbage aging out
+    /// its grace period, pending = gate-closed garbage), pool occupancy,
+    /// and the lifetime allocation counters. `label` names the registry in
+    /// reports (e.g. `"preds"`).
+    ///
+    /// Everything is Relaxed-loaded and approximate under concurrency, but
+    /// exact at quiescence — a parked epoch shows up as a growing `limbo`
+    /// depth, which is precisely the hazard the ROADMAP's
+    /// reclamation-robustness item wants observable.
+    pub fn health(&self, label: &'static str) -> ReclaimHealth {
+        let live = self.live();
+        let resident = self.resident();
+        ReclaimHealth {
+            label,
+            limbo: self.limbo.depth(),
+            pending: self.pending.depth(),
+            free_stock: self.free_len.load(Ordering::Relaxed),
+            pooled: resident.saturating_sub(live),
+            live,
+            resident,
+            fresh: self.allocated(),
+            recycled: self.recycled(),
+            reclaimed: self.reclaimed(),
+        }
     }
 
     /// A consistent-enough snapshot of every counter (Relaxed loads).

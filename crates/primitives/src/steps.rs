@@ -7,6 +7,12 @@
 //! feature; without it every recorder is a no-op the optimizer deletes, so
 //! throughput experiments are unaffected.
 //!
+//! Under `step-count`, every bump is also mirrored into the process-global
+//! [`lftrie_telemetry`] counters (`StepReads` … `StepMinWrites`), so the
+//! unified `TelemetrySnapshot` reports step totals alongside everything
+//! else; the thread-local [`measure`]/[`snapshot`] interval semantics are
+//! unchanged.
+//!
 //! # Examples
 //!
 //! ```
@@ -90,28 +96,40 @@ mod imp {
 #[inline]
 pub fn on_read() {
     #[cfg(feature = "step-count")]
-    imp::bump(|c| c.reads += 1);
+    {
+        imp::bump(|c| c.reads += 1);
+        lftrie_telemetry::add(lftrie_telemetry::Counter::StepReads, 1);
+    }
 }
 
 /// Records a shared write.
 #[inline]
 pub fn on_write() {
     #[cfg(feature = "step-count")]
-    imp::bump(|c| c.writes += 1);
+    {
+        imp::bump(|c| c.writes += 1);
+        lftrie_telemetry::add(lftrie_telemetry::Counter::StepWrites, 1);
+    }
 }
 
 /// Records a CAS attempt.
 #[inline]
 pub fn on_cas() {
     #[cfg(feature = "step-count")]
-    imp::bump(|c| c.cas += 1);
+    {
+        imp::bump(|c| c.cas += 1);
+        lftrie_telemetry::add(lftrie_telemetry::Counter::StepCas, 1);
+    }
 }
 
 /// Records a MinWrite.
 #[inline]
 pub fn on_min_write() {
     #[cfg(feature = "step-count")]
-    imp::bump(|c| c.min_writes += 1);
+    {
+        imp::bump(|c| c.min_writes += 1);
+        lftrie_telemetry::add(lftrie_telemetry::Counter::StepMinWrites, 1);
+    }
 }
 
 /// Zeroes this thread's counters.

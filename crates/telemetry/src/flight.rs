@@ -1,0 +1,226 @@
+//! The flight recorder: a bounded per-thread ring of structured protocol
+//! events with global sequence ids.
+//!
+//! Interleaving bugs in the announcement protocol are notoriously
+//! irreproducible: by the time a validation step fails, the schedule that
+//! broke it is gone. The flight recorder keeps the last [`FLIGHT_CAP`]
+//! protocol events *per thread* — announces, slides, notifies, recoveries,
+//! retires, injected stalls — each stamped with a process-global sequence
+//! id, so a failure dump reconstructs the recent cross-thread order. Ids
+//! are reserved in per-thread batches (see [`SEQ_BATCH`]): they are unique
+//! and per-thread monotone, and cross-thread interleavings resolve to
+//! batch granularity.
+//!
+//! # Write protocol (per entry)
+//!
+//! Each slot is a quartet of atomics. The owning thread first invalidates
+//! the slot (`seq ← 0`, `Relaxed`), writes the payload fields (`Relaxed`),
+//! then publishes the sequence id with a `Release` store. A dumper reads
+//! `seq` with `Acquire` and skips zero slots. A dump racing the owner can
+//! still observe a *torn logical* entry (payload from two events) — every
+//! field is individually atomic so this is benign, and the dump is a
+//! diagnostic, not a source of truth. Failure-path dumps run after the
+//! interesting threads have stopped, where the capture is exact.
+
+use core::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Events a thread can retain in its flight-recorder ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum FlightKind {
+    /// An update operation announced itself in the U-ALL/RU-ALL.
+    Announce = 1,
+    /// An update operation withdrew its announcement.
+    Deannounce = 2,
+    /// A scan cursor slid its S-ALL announcement to a new key.
+    Slide = 3,
+    /// An update notified announced queries (the NOTIFY phase).
+    Notify = 4,
+    /// A relaxed `⊥` answer entered the recovery path.
+    Recovery = 5,
+    /// A node was retired into a registry.
+    Retire = 6,
+    /// A `stall-injection` entry point parked an operation mid-flight.
+    Stall = 7,
+    /// A registry garbage sweep ran.
+    Sweep = 8,
+}
+
+impl FlightKind {
+    /// Stable lower-case label for reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            FlightKind::Announce => "announce",
+            FlightKind::Deannounce => "deannounce",
+            FlightKind::Slide => "slide",
+            FlightKind::Notify => "notify",
+            FlightKind::Recovery => "recovery",
+            FlightKind::Retire => "retire",
+            FlightKind::Stall => "stall",
+            FlightKind::Sweep => "sweep",
+        }
+    }
+
+    fn from_u64(v: u64) -> Option<Self> {
+        Some(match v {
+            1 => FlightKind::Announce,
+            2 => FlightKind::Deannounce,
+            3 => FlightKind::Slide,
+            4 => FlightKind::Notify,
+            5 => FlightKind::Recovery,
+            6 => FlightKind::Retire,
+            7 => FlightKind::Stall,
+            8 => FlightKind::Sweep,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded flight-recorder event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Process-global sequence id (1-based; later events have larger ids).
+    pub seq: u64,
+    /// Shard (≈ thread) id that recorded the event.
+    pub shard: usize,
+    /// What happened.
+    pub kind: FlightKind,
+    /// Operation key, or `-1` when not applicable.
+    pub key: i64,
+    /// Event-specific payload.
+    pub aux: u64,
+}
+
+/// Entries retained per thread. Old events are overwritten; a failure dump
+/// therefore shows the last `FLIGHT_CAP` events of every recording thread.
+pub const FLIGHT_CAP: usize = 128;
+
+/// Sequence ids a ring reserves from [`SEQ`] per refill. Batching keeps the
+/// contended global `fetch_add` off the per-event path (one RMW per 16
+/// events); the cost is ordering *resolution* — ids stay unique and
+/// per-thread monotone, but two threads' events interleave only to batch
+/// granularity in a sorted dump.
+const SEQ_BATCH: u64 = 16;
+
+/// Global sequence ids; starts at 1 so `seq == 0` marks an empty slot.
+static SEQ: AtomicU64 = AtomicU64::new(1);
+
+struct Slot {
+    seq: AtomicU64,
+    kind: AtomicU64,
+    key: AtomicI64,
+    aux: AtomicU64,
+}
+
+/// One thread's event ring.
+pub(crate) struct Ring {
+    slots: [Slot; FLIGHT_CAP],
+    /// Next write index; only the owning thread advances it, but it is an
+    /// atomic because the shard is shared with dumpers.
+    cursor: AtomicU64,
+    /// Next sequence id from the locally reserved batch (owner-only).
+    seq_next: AtomicU64,
+    /// One past the last reserved id; `seq_next == seq_end` forces a
+    /// [`SEQ_BATCH`]-sized refill from the global counter.
+    seq_end: AtomicU64,
+}
+
+impl Ring {
+    pub(crate) fn new() -> Self {
+        Self {
+            slots: [const {
+                Slot {
+                    seq: AtomicU64::new(0),
+                    kind: AtomicU64::new(0),
+                    key: AtomicI64::new(0),
+                    aux: AtomicU64::new(0),
+                }
+            }; FLIGHT_CAP],
+            cursor: AtomicU64::new(0),
+            seq_next: AtomicU64::new(0),
+            seq_end: AtomicU64::new(0),
+        }
+    }
+
+    /// Owner-side append (see the module docs for the publication order).
+    pub(crate) fn push(&self, kind: FlightKind, key: i64, aux: u64) {
+        // Owner-only load + store throughout: a single thread owns the ring
+        // at a time, so neither the cursor nor the batch bounds need RMWs
+        // (same reasoning as the shard counters).
+        let mut seq = self.seq_next.load(Ordering::Relaxed);
+        if seq == self.seq_end.load(Ordering::Relaxed) {
+            seq = SEQ.fetch_add(SEQ_BATCH, Ordering::Relaxed);
+            self.seq_end.store(seq + SEQ_BATCH, Ordering::Relaxed);
+        }
+        self.seq_next.store(seq + 1, Ordering::Relaxed);
+        let c = self.cursor.load(Ordering::Relaxed);
+        self.cursor.store(c.wrapping_add(1), Ordering::Relaxed);
+        let i = c as usize % FLIGHT_CAP;
+        let slot = &self.slots[i];
+        slot.seq.store(0, Ordering::Relaxed);
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        slot.key.store(key, Ordering::Relaxed);
+        slot.aux.store(aux, Ordering::Relaxed);
+        slot.seq.store(seq, Ordering::Release);
+    }
+
+    /// Appends every currently-valid entry to `out` (unsorted).
+    pub(crate) fn drain_into(&self, shard: usize, out: &mut Vec<FlightEvent>) {
+        for slot in &self.slots {
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == 0 {
+                continue;
+            }
+            let Some(kind) = FlightKind::from_u64(slot.kind.load(Ordering::Relaxed)) else {
+                continue;
+            };
+            out.push(FlightEvent {
+                seq,
+                shard,
+                kind,
+                key: slot.key.load(Ordering::Relaxed),
+                aux: slot.aux.load(Ordering::Relaxed),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest_and_keeps_order() {
+        let ring = Ring::new();
+        for k in 0..(FLIGHT_CAP as i64 + 16) {
+            ring.push(FlightKind::Announce, k, 0);
+        }
+        let mut out = Vec::new();
+        ring.drain_into(0, &mut out);
+        assert_eq!(out.len(), FLIGHT_CAP);
+        out.sort_by_key(|e| e.seq);
+        // The oldest 16 events were overwritten.
+        assert_eq!(out.first().unwrap().key, 16);
+        assert_eq!(out.last().unwrap().key, FLIGHT_CAP as i64 + 15);
+        // Sequence ids are strictly increasing.
+        assert!(out.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn kind_roundtrip() {
+        for k in [
+            FlightKind::Announce,
+            FlightKind::Deannounce,
+            FlightKind::Slide,
+            FlightKind::Notify,
+            FlightKind::Recovery,
+            FlightKind::Retire,
+            FlightKind::Stall,
+            FlightKind::Sweep,
+        ] {
+            assert_eq!(FlightKind::from_u64(k as u64), Some(k));
+        }
+        assert_eq!(FlightKind::from_u64(0), None);
+        assert_eq!(FlightKind::from_u64(99), None);
+    }
+}

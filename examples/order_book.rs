@@ -90,9 +90,6 @@ fn main() {
     let depth = bids.range(490_000..=510_000);
     println!("resting levels in the quoted band: {}", depth.len());
     assert!(depth.windows(2).all(|w| w[0] < w[1]));
-    println!(
-        "announcements at quiescence: {:?}",
-        bids.announcement_lens()
-    );
-    assert_eq!(bids.announcement_lens(), (0, 0, 0, 0));
+    println!("announcements at quiescence: {:?}", bids.announcements());
+    assert!(bids.announcements().is_empty());
 }

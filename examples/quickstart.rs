@@ -50,6 +50,6 @@ fn main() {
     );
     println!(
         "announcement lists at quiescence: {:?}",
-        set.announcement_lens()
+        set.announcements()
     );
 }

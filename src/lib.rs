@@ -10,3 +10,4 @@ pub use lftrie_baselines as baselines;
 pub use lftrie_core as core;
 pub use lftrie_lists as lists;
 pub use lftrie_primitives as primitives;
+pub use lftrie_telemetry as telemetry;

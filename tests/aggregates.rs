@@ -69,7 +69,7 @@ fn sequential_aggregates_match_btreeset() {
         trie.iter_from(0).collect::<Vec<_>>(),
         model.iter().copied().collect::<Vec<_>>()
     );
-    assert_eq!(trie.announcement_lens(), (0, 0, 0, 0));
+    assert!(trie.announcements().is_empty());
 }
 
 /// Aggregates racing churn: anchors every 16 keys stay present, noise keys
@@ -142,7 +142,7 @@ fn concurrent_aggregates_respect_stable_anchors() {
     for &a in &anchors {
         assert!(trie.contains(a), "anchor {a} vanished");
     }
-    assert_eq!(trie.announcement_lens(), (0, 0, 0, 0));
+    assert!(trie.announcements().is_empty());
 }
 
 /// Regression: `min`/`max` must be single linearizable queries, not
@@ -190,7 +190,7 @@ fn concurrent_min_max_never_report_a_nonempty_set_empty() {
     }
     stop.store(true, Ordering::SeqCst);
     writer.join().unwrap();
-    assert_eq!(trie.announcement_lens(), (0, 0, 0, 0));
+    assert!(trie.announcements().is_empty());
 }
 
 /// `pop_min` is a delete: under concurrency every key is popped at most
@@ -230,7 +230,7 @@ fn concurrent_pop_min_pops_each_key_exactly_once() {
         "pops must partition the prefilled keys: no loss, no duplicates"
     );
     assert_eq!(trie.min(), None);
-    assert_eq!(trie.announcement_lens(), (0, 0, 0, 0));
+    assert!(trie.announcements().is_empty());
 }
 
 /// Disjoint per-thread batches with a deterministic final operation: after
@@ -275,7 +275,7 @@ fn concurrent_batches_converge_to_their_final_operation() {
             assert_eq!(trie.contains(k), present, "key {k} in block {base}");
         }
     }
-    assert_eq!(trie.announcement_lens(), (0, 0, 0, 0));
+    assert!(trie.announcements().is_empty());
     trie.collect_garbage();
     let (_, succ_live) = trie.succ_node_counts();
     assert!(succ_live <= 256, "batch helpers must drain: {succ_live}");

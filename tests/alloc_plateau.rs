@@ -55,13 +55,20 @@ fn warm_churn_allocates_zero_fresh_nodes() {
     let warm_nodes = trie.node_alloc_stats();
     let warm_preds = trie.pred_alloc_stats();
     let warm_succs = trie.succ_alloc_stats();
-    let (warm_uall, warm_ruall, warm_pall, warm_sall) = trie.cell_alloc_stats();
+    let warm_cells = trie.cell_allocs();
+    let (warm_uall, warm_ruall, warm_pall, warm_sall) = (
+        warm_cells.uall,
+        warm_cells.ruall,
+        warm_cells.pall,
+        warm_cells.sall,
+    );
 
     churn(6_000);
     let nodes = trie.node_alloc_stats();
     let preds = trie.pred_alloc_stats();
     let succs = trie.succ_alloc_stats();
-    let (uall, ruall, pall, sall) = trie.cell_alloc_stats();
+    let cells = trie.cell_allocs();
+    let (uall, ruall, pall, sall) = (cells.uall, cells.ruall, cells.pall, cells.sall);
 
     assert_eq!(
         nodes.fresh,

@@ -51,9 +51,9 @@ fn competing_insert_helps_activate_the_stalled_one() {
     // The helper announced + activated + cleared latestNext, and since the
     // stalled op never sets `completed`, its announcement legitimately
     // remains in the U-ALL/RU-ALL.
-    let (uall, ruall, pall, _sall) = trie.announcement_lens();
-    assert!(uall >= 1 && ruall >= 1);
-    assert_eq!(pall, 0);
+    let a = trie.announcements();
+    assert!(a.uall >= 1 && a.ruall >= 1);
+    assert_eq!(a.pall, 0);
 }
 
 #[test]

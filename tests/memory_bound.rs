@@ -120,7 +120,8 @@ fn sustained_churn_has_bounded_live_nodes() {
         succ_live <= 512,
         "successor nodes must be reclaimed: {succ_live} live of {succ_allocated}"
     );
-    let (_, _, pall_cells, sall_cells) = trie.cell_alloc_stats();
+    let cells = trie.cell_allocs();
+    let (pall_cells, sall_cells) = (cells.pall, cells.sall);
     for (name, cells) in [("P-ALL", &pall_cells), ("S-ALL", &sall_cells)] {
         assert!(
             cells.resident <= 512 + pool_allowance(threads as usize),

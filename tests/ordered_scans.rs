@@ -49,7 +49,7 @@ fn sequential_scans_match_btreeset() {
         trie.iter_from(0).collect::<Vec<_>>(),
         model.iter().copied().collect::<Vec<_>>()
     );
-    assert_eq!(trie.announcement_lens(), (0, 0, 0, 0));
+    assert!(trie.announcements().is_empty());
 }
 
 /// Anchors every 16 keys stay untouched while writers churn the rest;
@@ -190,7 +190,7 @@ fn concurrent_slide_scans_with_abandonment_drain_announcements() {
     // Memory bound for slid sessions: every announcement withdrew, and the
     // SuccNode population drains to the epoch window, independent of how
     // many scans (or slides) ever ran.
-    assert_eq!(trie.announcement_lens(), (0, 0, 0, 0));
+    assert!(trie.announcements().is_empty());
     trie.collect_garbage();
     let (succ_created, succ_live) = trie.succ_node_counts();
     assert!(succ_created > 0);

@@ -20,8 +20,8 @@ fn stalled_insert_is_linearized_and_visible() {
     assert_eq!(trie.predecessor(20), Some(17));
     assert_eq!(trie.predecessor(17), Some(3));
     // Its announcement legitimately remains (the op never completed).
-    let (uall, ruall, _, _) = trie.announcement_lens();
-    assert!(uall >= 1 && ruall >= 1);
+    let a = trie.announcements();
+    assert!(a.uall >= 1 && a.ruall >= 1);
 }
 
 #[test]

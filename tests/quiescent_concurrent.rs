@@ -53,9 +53,8 @@ fn assert_quiescent_consistency(trie: &LockFreeBinaryTrie, universe: u64) {
         present,
         "quiescent iter_from(0) disagrees with contains() scan"
     );
-    assert_eq!(
-        trie.announcement_lens(),
-        (0, 0, 0, 0),
+    assert!(
+        trie.announcements().is_empty(),
         "announcement lists must drain at quiescence"
     );
 }

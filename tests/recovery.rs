@@ -23,7 +23,8 @@ fn recovery_uses_first_embedded_predecessor() {
     // The query's relaxed traversal hits 9's stale subtree and bottoms out;
     // the recovery path must recover 5 from dNode9.delPred.
     assert_eq!(trie.predecessor(20), Some(5));
-    let (bottoms, recoveries) = trie.traversal_stats();
+    let stats = trie.pred_traversal();
+    let (bottoms, recoveries) = (stats.bottoms, stats.recoveries);
     assert!(bottoms >= 1, "the stale subtree must force at least one ⊥");
     assert!(
         recoveries >= 1,
@@ -113,7 +114,8 @@ fn successor_recovery_uses_first_embedded_successor() {
     assert!(!trie.contains(5), "the stalled delete is linearized");
 
     assert_eq!(trie.successor(1), Some(9));
-    let (bottoms, recoveries) = trie.succ_traversal_stats();
+    let stats = trie.succ_traversal();
+    let (bottoms, recoveries) = (stats.bottoms, stats.recoveries);
     assert!(bottoms >= 1, "the stale subtree must force at least one ⊥");
     assert!(
         recoveries >= 1,

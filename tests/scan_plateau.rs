@@ -56,11 +56,11 @@ fn warm_scans_allocate_zero_fresh_nodes() {
     }
     trie.collect_garbage();
     let warm_succs = trie.succ_alloc_stats();
-    let (_, _, _, warm_sall) = trie.cell_alloc_stats();
+    let warm_sall = trie.cell_allocs().sall;
 
     scans(4_000);
     let succs = trie.succ_alloc_stats();
-    let (_, _, _, sall) = trie.cell_alloc_stats();
+    let sall = trie.cell_allocs().sall;
 
     assert_eq!(
         succs.fresh,
