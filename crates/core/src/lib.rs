@@ -46,4 +46,6 @@ pub mod scan_events;
 pub mod trie;
 
 pub use relaxed::{LatestInfo, RelaxedBinaryTrie, RelaxedPred, RelaxedSucc};
+#[cfg(feature = "stall-injection")]
+pub use trie::StalledReader;
 pub use trie::{CellAllocStats, IterFrom, LockFreeBinaryTrie};

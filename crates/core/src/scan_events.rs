@@ -12,6 +12,15 @@
 //! `ScanSlides`, `ScanWithdraws`) so the unified snapshot reports scan
 //! events alongside everything else.
 //!
+//! The same machinery also tallies **U-ALL update announcements**
+//! (`update_announces` / `update_withdraws`, mirrored into
+//! `UpdateAnnounces` / `UpdateWithdraws`) together with a
+//! `max_live_updates` high-water gauge: how many of this thread's update
+//! announcements were ever live at once. That gauge pins the batch
+//! pipelining contract — `insert_all`/`delete_all` withdraw each key's
+//! announcement as soon as its own notify pass completes, so the
+//! high-water stays O(1) however wide the batch.
+//!
 //! # Examples
 //!
 //! ```
@@ -22,7 +31,8 @@
 //! assert_eq!(events.announces, 0);
 //! ```
 
-/// Per-thread tallies of S-ALL announcement events.
+/// Per-thread tallies of S-ALL announcement and U-ALL update-announcement
+/// events.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ScanEvents {
     /// S-ALL announcements (fresh `SuccNode` insertions).
@@ -31,6 +41,17 @@ pub struct ScanEvents {
     pub slides: u64,
     /// S-ALL withdrawals (announcement removals).
     pub withdraws: u64,
+    /// U-ALL update announcements (insert/delete phase 1, helping).
+    pub update_announces: u64,
+    /// U-ALL update withdrawals (exhaustive de-announcements).
+    pub update_withdraws: u64,
+    /// Update announcements by this thread currently live (a gauge:
+    /// subtraction passes it through unchanged).
+    pub live_updates: u64,
+    /// High-water mark of `live_updates` since the last [`reset`] (also a
+    /// gauge; [`measure`] therefore reports the since-reset high-water,
+    /// not a per-interval one).
+    pub max_live_updates: u64,
 }
 
 impl core::ops::Sub for ScanEvents {
@@ -40,6 +61,10 @@ impl core::ops::Sub for ScanEvents {
             announces: self.announces - rhs.announces,
             slides: self.slides - rhs.slides,
             withdraws: self.withdraws - rhs.withdraws,
+            update_announces: self.update_announces - rhs.update_announces,
+            update_withdraws: self.update_withdraws - rhs.update_withdraws,
+            live_updates: self.live_updates,
+            max_live_updates: self.max_live_updates,
         }
     }
 }
@@ -55,6 +80,10 @@ mod imp {
                 announces: 0,
                 slides: 0,
                 withdraws: 0,
+                update_announces: 0,
+                update_withdraws: 0,
+                live_updates: 0,
+                max_live_updates: 0,
             })
         };
     }
@@ -104,6 +133,36 @@ pub(crate) fn on_withdraw() {
     {
         imp::bump(|c| c.withdraws += 1);
         lftrie_telemetry::add(lftrie_telemetry::Counter::ScanWithdraws, 1);
+    }
+}
+
+/// Records a U-ALL update announcement, maintaining the live count and its
+/// high-water mark.
+#[inline]
+pub(crate) fn on_update_announce() {
+    #[cfg(feature = "step-count")]
+    {
+        imp::bump(|c| {
+            c.update_announces += 1;
+            c.live_updates += 1;
+            c.max_live_updates = c.max_live_updates.max(c.live_updates);
+        });
+        lftrie_telemetry::add(lftrie_telemetry::Counter::UpdateAnnounces, 1);
+    }
+}
+
+/// Records a U-ALL update withdrawal. Saturating: de-announcement is
+/// exhaustive, so a node helped to completion can be withdrawn more often
+/// than this thread announced it.
+#[inline]
+pub(crate) fn on_update_withdraw() {
+    #[cfg(feature = "step-count")]
+    {
+        imp::bump(|c| {
+            c.update_withdraws += 1;
+            c.live_updates = c.live_updates.saturating_sub(1);
+        });
+        lftrie_telemetry::add(lftrie_telemetry::Counter::UpdateWithdraws, 1);
     }
 }
 
@@ -159,5 +218,27 @@ mod tests {
         }
         #[cfg(not(feature = "step-count"))]
         assert_eq!(events, ScanEvents::default());
+    }
+
+    #[test]
+    fn update_announcement_high_water_tracks_live_count() {
+        reset();
+        on_update_announce();
+        on_update_announce();
+        on_update_withdraw();
+        on_update_announce();
+        on_update_withdraw();
+        on_update_withdraw();
+        on_update_withdraw(); // exhaustive de-announce: live count saturates
+        #[cfg(feature = "step-count")]
+        {
+            let s = snapshot();
+            assert_eq!(s.update_announces, 3);
+            assert_eq!(s.update_withdraws, 4);
+            assert_eq!(s.live_updates, 0);
+            assert_eq!(s.max_live_updates, 2);
+        }
+        #[cfg(not(feature = "step-count"))]
+        assert_eq!(snapshot(), ScanEvents::default());
     }
 }

@@ -64,8 +64,11 @@
 //! ([`LockFreeBinaryTrie::count`], [`LockFreeBinaryTrie::min`],
 //! [`LockFreeBinaryTrie::max`], [`LockFreeBinaryTrie::pop_min`]) and the
 //! batched updates ([`LockFreeBinaryTrie::insert_all`],
-//! [`LockFreeBinaryTrie::delete_all`]), which share one epoch pin and one
-//! notify traversal across a whole batch.
+//! [`LockFreeBinaryTrie::delete_all`]), which share one epoch pin across a
+//! whole batch but pipeline the keys: each key's announcement is
+//! withdrawn as soon as its own notify pass completes, so at most one
+//! batch announcement is ever live and wide batches never lengthen
+//! concurrent operations' announcement-list traversals.
 
 use core::sync::atomic::{AtomicU64, Ordering};
 
@@ -116,7 +119,7 @@ fn seq_of(node: *mut UpdateNode) -> u64 {
 
 /// A delete that has run through its relaxed-trie bit update (lines
 /// 182–202) but has not yet notified, completed, or withdrawn its
-/// announcements: the unit [`LockFreeBinaryTrie::delete_all`] batches.
+/// announcements: the handoff between `remove_phase1` and `remove_finish`.
 struct PendingDelete {
     d_node: *mut UpdateNode,
     p_node1: *mut PredNode,
@@ -263,6 +266,7 @@ impl LockFreeBinaryTrie {
     /// Inserts `uNode` into the U-ALL and RU-ALL (lines 130/173/196).
     fn announce(&self, u_node: *mut UpdateNode, guard: &Guard<'_>) {
         let key = unsafe { (*u_node).key() };
+        scan_events::on_update_announce();
         telemetry::flight(FlightKind::Announce, key, 0);
         self.uall.insert(key, u_node, guard);
         self.ruall.insert(key, u_node, guard);
@@ -272,6 +276,7 @@ impl LockFreeBinaryTrie {
     /// may have re-announced it, so removal is exhaustive (DESIGN.md D2).
     fn deannounce(&self, u_node: *mut UpdateNode, guard: &Guard<'_>) {
         let key = unsafe { (*u_node).key() };
+        scan_events::on_update_withdraw();
         telemetry::flight(FlightKind::Deannounce, key, 0);
         self.uall.remove_all(key, u_node, guard);
         self.ruall.remove_all(key, u_node, guard);
@@ -444,165 +449,6 @@ impl LockFreeBinaryTrie {
         }
     }
 
-    /// Batched `NotifyPredOps`: one U-ALL traversal and one P-ALL + S-ALL
-    /// walk notify about *every* node in `nodes`, instead of one full
-    /// traversal per node. Per receiver cell, a record is pushed for each
-    /// batch node that is still first-activated; a node that stops being
-    /// first-activated is dropped from the rest of the walk permanently
-    /// (first-activation is monotone: once a later update activates at the
-    /// head of the node's latest list, the node can never be first-activated
-    /// again), which is exactly the per-node early return of lines 149/155.
-    fn notify_query_ops_batch(&self, nodes: &[*mut UpdateNode], guard: &Guard<'_>) {
-        match nodes.len() {
-            0 => return,
-            1 => return self.notify_query_ops(nodes[0], guard),
-            _ => {}
-        }
-        telemetry::flight(FlightKind::Notify, -1, nodes.len() as u64);
-        let (ins, _del) = self.traverse_uall(POS_INF, guard); // L147, shared
-        struct BatchItem {
-            node: *mut UpdateNode,
-            key: i64,
-            kind: Kind,
-            seq: u64,
-            del_pred2: i64,
-            del_succ2: i64,
-            active: bool,
-        }
-        let mut items: Vec<BatchItem> = nodes
-            .iter()
-            .map(|&u_node| {
-                let u = unsafe { &*u_node };
-                let (del_pred2, del_succ2) = if u.kind() == Kind::Del {
-                    (
-                        u.del_pred2().unwrap_or(DELPRED2_UNSET),
-                        u.del_succ2().unwrap_or(DELSUCC2_UNSET),
-                    )
-                } else {
-                    (DELPRED2_UNSET, DELSUCC2_UNSET)
-                };
-                BatchItem {
-                    node: u_node,
-                    key: u.key(),
-                    kind: u.kind(),
-                    seq: u.seq,
-                    del_pred2,
-                    del_succ2,
-                    active: true,
-                }
-            })
-            .collect();
-        for p_cell in self.pall.iter(guard) {
-            let p_node = unsafe { (*p_cell).payload() };
-            let p = unsafe { &*p_node };
-            // L153, hoisted: the ext candidate depends only on the receiver's
-            // key, not on the batch item — computing it per item would cost
-            // O(items × |ins|) per cell and erode the batch's amortization.
-            let update_node_max = ins
-                .iter()
-                .copied()
-                .filter(|&i| unsafe { (*i).key() } < p.key)
-                .max_by_key(|&i| unsafe { (*i).key() });
-            let ext_seq = update_node_max.map_or(0, seq_of);
-            let ext_key = update_node_max.map_or(NO_PRED, |i| unsafe { (*i).key() });
-            let mut any_active = false;
-            for item in items.iter_mut() {
-                if !item.active {
-                    continue;
-                }
-                if !self.first_activated(item.node) {
-                    item.active = false; // L149, per node
-                    continue;
-                }
-                any_active = true;
-                let record = NotifyRecord {
-                    key: item.key,
-                    kind: item.kind,
-                    seq: item.seq,
-                    del_pred2: item.del_pred2,
-                    del_succ2: item.del_succ2,
-                    ext_seq,
-                    ext_key,
-                    notify_threshold: p.ruall_position.load(),
-                    era: 0,
-                };
-                let node = item.node;
-                if !p
-                    .notify_list
-                    .push_with(record, || self.first_activated(node))
-                {
-                    item.active = false; // L155, per node
-                }
-            }
-            if !any_active {
-                return;
-            }
-        }
-        for s_cell in self.sall.iter(guard) {
-            let s_node = unsafe { (*s_cell).payload() };
-            let s = unsafe { &*s_node };
-            // Era-seqlock read, as in `notify_query_ops`: skip mid-slide
-            // receivers.
-            let Some((s_key, threshold, s_era)) = ({
-                let e1 = s.era();
-                if e1 % 2 == 1 {
-                    None
-                } else {
-                    let k = s.key();
-                    let th = s.uall_position.load();
-                    if s.era() == e1 {
-                        Some((k, th, e1))
-                    } else {
-                        None
-                    }
-                }
-            }) else {
-                continue;
-            };
-            // Hoisted as in the P-ALL loop: the ext candidate depends only
-            // on the receiver's (era-consistent) key.
-            let update_node_min = ins
-                .iter()
-                .copied()
-                .filter(|&i| unsafe { (*i).key() } > s_key)
-                .min_by_key(|&i| unsafe { (*i).key() });
-            let ext_seq = update_node_min.map_or(0, seq_of);
-            let ext_key = update_node_min.map_or(NO_SUCC, |i| unsafe { (*i).key() });
-            let mut any_active = false;
-            for item in items.iter_mut() {
-                if !item.active {
-                    continue;
-                }
-                if !self.first_activated(item.node) {
-                    item.active = false;
-                    continue;
-                }
-                any_active = true;
-                let record = NotifyRecord {
-                    key: item.key,
-                    kind: item.kind,
-                    seq: item.seq,
-                    del_pred2: item.del_pred2,
-                    del_succ2: item.del_succ2,
-                    ext_seq,
-                    ext_key,
-                    notify_threshold: threshold,
-                    era: s_era,
-                };
-                let node = item.node;
-                if !s
-                    .notify_list
-                    .push_with(record, || self.first_activated(node))
-                {
-                    item.active = false;
-                }
-            }
-            if !any_active {
-                return;
-            }
-        }
-    }
-
     /// `TraverseRUall(pNode)` (lines 257–269): walk the RU-ALL publishing
     /// the position key, collecting first-activated nodes with key `< y`.
     fn traverse_ruall(
@@ -760,10 +606,10 @@ impl LockFreeBinaryTrie {
     /// Lines 163–176 of `Insert(x)`: everything through the relaxed-trie
     /// bit update, leaving the INS node activated and announced but not yet
     /// notified or completed. Returns null when the call was not
-    /// S-modifying. The caller must follow with `notify_query_ops` (or its
-    /// batched form), `set_completed` and `deannounce` — the split exists so
-    /// [`LockFreeBinaryTrie::insert_all`] can share one notify traversal
-    /// across a batch.
+    /// S-modifying. The caller must follow with `notify_query_ops`,
+    /// `set_completed` and `deannounce` — the split exists so
+    /// [`LockFreeBinaryTrie::insert_all`] can run the batch under one
+    /// shared epoch pin.
     fn insert_phase1(&self, x: i64, guard: &Guard<'_>) -> *mut UpdateNode {
         let d_node = self.find_latest(x); // L163
         if unsafe { (*d_node).kind() } != Kind::Del {
@@ -826,10 +672,10 @@ impl LockFreeBinaryTrie {
     /// bit update, leaving the DEL node activated and announced (and its
     /// four embedded helper nodes still announced) but not yet notified or
     /// completed. Returns `None` when the call was not S-modifying. The
-    /// caller must follow with `notify_query_ops` (or its batched form) and
+    /// caller must follow with `notify_query_ops` and
     /// [`LockFreeBinaryTrie::remove_finish`] — the split exists so
-    /// [`LockFreeBinaryTrie::delete_all`] can share one notify traversal
-    /// across a batch.
+    /// [`LockFreeBinaryTrie::delete_all`] can run every key of a batch
+    /// under one shared epoch pin.
     fn remove_phase1(&self, x: i64, guard: &Guard<'_>) -> Option<PendingDelete> {
         let i_node = self.find_latest(x); // L182
         if unsafe { (*i_node).kind() } != Kind::Ins {
@@ -1101,14 +947,17 @@ impl LockFreeBinaryTrie {
         }
     }
 
-    /// Inserts every key in `keys`, sharing one epoch pin and **one**
-    /// notify traversal across the batch: each key runs Insert through its
-    /// relaxed-trie bit update (lines 163–176), then a single batched
-    /// `NotifyPredOps` walk notifies for all S-modifying inserts at once,
-    /// then each completes and de-announces. Equivalent to calling
-    /// [`LockFreeBinaryTrie::insert`] per key (each insert linearizes
-    /// individually at its activation); returns how many calls were
-    /// S-modifying.
+    /// Inserts every key in `keys`, sharing one epoch pin across the batch
+    /// but **pipelining** the keys: each key runs the full single-key
+    /// protocol — phase 1 (lines 163–176), its own `NotifyPredOps` pass,
+    /// completion, de-announcement — before the next key starts. At most
+    /// one of the batch's U-ALL announcements is therefore ever live
+    /// (checkable under `step-count` via the `max_live_updates` high-water
+    /// in [`crate::scan_events`]), so wide batches never lengthen
+    /// concurrent operations' announcement-list traversals. Equivalent to
+    /// calling [`LockFreeBinaryTrie::insert`] per key (each insert
+    /// linearizes individually at its activation); returns how many calls
+    /// were S-modifying.
     ///
     /// # Panics
     ///
@@ -1122,23 +971,22 @@ impl LockFreeBinaryTrie {
         }
         telemetry::add(Counter::InsertOps, keys.len() as u64);
         let guard = &epoch::pin();
-        let mut nodes: Vec<*mut UpdateNode> = Vec::with_capacity(keys.len());
+        let mut modifying = 0;
         for &x in keys {
             let i_node = self.insert_phase1(x as i64, guard);
             if !i_node.is_null() {
-                nodes.push(i_node);
+                self.notify_query_ops(i_node, guard);
+                unsafe { (*i_node).set_completed() };
+                self.deannounce(i_node, guard);
+                modifying += 1;
             }
         }
-        self.notify_query_ops_batch(&nodes, guard);
-        for &i_node in &nodes {
-            unsafe { (*i_node).set_completed() };
-            self.deannounce(i_node, guard);
-        }
-        nodes.len()
+        modifying
     }
 
-    /// Removes every key in `keys`, sharing one epoch pin and one notify
-    /// traversal across the batch (the delete mirror of
+    /// Removes every key in `keys`, sharing one epoch pin across the batch
+    /// but pipelining the keys — each delete notifies and de-announces
+    /// before the next starts (the delete mirror of
     /// [`LockFreeBinaryTrie::insert_all`]; each delete still runs its own
     /// four embedded helper operations and linearizes individually at its
     /// activation). Returns how many calls were S-modifying.
@@ -1155,18 +1003,15 @@ impl LockFreeBinaryTrie {
         }
         telemetry::add(Counter::RemoveOps, keys.len() as u64);
         let guard = &epoch::pin();
-        let mut pending: Vec<PendingDelete> = Vec::with_capacity(keys.len());
+        let mut modifying = 0;
         for &x in keys {
             if let Some(p) = self.remove_phase1(x as i64, guard) {
-                pending.push(p);
+                self.notify_query_ops(p.d_node, guard);
+                self.remove_finish(&p, guard);
+                modifying += 1;
             }
         }
-        let nodes: Vec<*mut UpdateNode> = pending.iter().map(|p| p.d_node).collect();
-        self.notify_query_ops_batch(&nodes, guard);
-        for p in &pending {
-            self.remove_finish(p, guard);
-        }
-        pending.len()
+        modifying
     }
 
     /// Withdraws a successor node's announcement and retires it (the mirror
@@ -1916,6 +1761,53 @@ impl LockFreeBinaryTrie {
         true
     }
 
+    /// Suspends a **reader** mid-traversal: pins an epoch guard, resolves
+    /// `latest[x]` exactly as `FindLatest(x)` would, publishes the node it
+    /// is about to dereference (plus the `latestNext` link, when present)
+    /// as a bounded hazard-pointer set, and parks — the pin is held until
+    /// the returned handle drops.
+    ///
+    /// This is the hostile-scheduler witness for the hybrid reclamation
+    /// fallback: a reader that merely pins and stops would park every
+    /// epoch-based sweep forever, but one that published its hazard set is
+    /// *exempted* once its blocked streak crosses the stall threshold, and
+    /// sweeps reclaim everything outside the published set
+    /// (`tests/memory_bound.rs`). [`StalledReader::observe`] re-reads the
+    /// protected node mid-suspension, so a sweep that ignored the hazard
+    /// set turns into a sanitizer-visible use-after-free rather than a
+    /// silent one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x ≥ universe`.
+    #[cfg(feature = "stall-injection")]
+    pub fn reader_stalled_mid_traversal(&self, x: Key) -> StalledReader<'_> {
+        let x = self.check_key(x);
+        let mut guard = epoch::pin();
+        let node = self.find_latest(x);
+        let next = unsafe { (*node).latest_next() };
+        let mut hazards: [*const u8; 2] = [node as *const u8; 2];
+        let mut len = 1;
+        if !next.is_null() {
+            hazards[1] = next as *const u8;
+            len = 2;
+        }
+        // SAFETY: both pointers were read under this freshly-pinned guard
+        // (its blocked streak is zero, so no exemption predates the reads),
+        // they are never re-published into shared memory, and the handle
+        // only ever dereferences the listed nodes.
+        let published = unsafe { guard.publish_hazards(&hazards[..len]) };
+        debug_assert!(published, "fresh unnested guard must accept 2 hazards");
+        telemetry::add(Counter::StallsInjected, 1);
+        telemetry::flight(FlightKind::Stall, x, 3);
+        StalledReader {
+            _trie: self,
+            _guard: guard,
+            node,
+            key: x,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Diagnostics
     // ------------------------------------------------------------------
@@ -2229,6 +2121,52 @@ impl core::fmt::Debug for IterFrom<'_> {
             .field("state", &state)
             .field("announced", &!self.s_node.is_null())
             .field("hi", &self.hi)
+            .finish()
+    }
+}
+
+/// A reader suspended mid-traversal by
+/// [`LockFreeBinaryTrie::reader_stalled_mid_traversal`]: it owns the epoch
+/// pin and the published hazard set, both withdrawn when the handle drops
+/// (the "resume"). The handle is `!Send` — like the real stalled thread,
+/// the suspended traversal stays on the thread that started it.
+#[cfg(feature = "stall-injection")]
+pub struct StalledReader<'t> {
+    _trie: &'t LockFreeBinaryTrie,
+    _guard: Guard<'static>,
+    node: *mut UpdateNode,
+    key: i64,
+}
+
+#[cfg(feature = "stall-injection")]
+impl StalledReader<'_> {
+    /// The key the reader was traversing when it stalled.
+    pub fn key(&self) -> Key {
+        self.key as Key
+    }
+
+    /// Re-reads the hazard-protected node, exactly as the suspended
+    /// traversal would on resume. While the handle is alive this must
+    /// always succeed: the fenced sweep may reclaim everything *around*
+    /// the published set, but a sweep that freed a listed node turns this
+    /// into a sanitizer-visible use-after-free.
+    pub fn observe(&self) -> bool {
+        let u = unsafe { &*self.node };
+        u.key() == self.key && matches!(u.kind(), Kind::Ins | Kind::Del)
+    }
+
+    /// Resumes the reader: re-checks the protected node once, then drops
+    /// the pin and the hazard set.
+    pub fn resume(self) -> bool {
+        self.observe()
+    }
+}
+
+#[cfg(feature = "stall-injection")]
+impl core::fmt::Debug for StalledReader<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StalledReader")
+            .field("key", &self.key)
             .finish()
     }
 }
@@ -2586,6 +2524,43 @@ mod tests {
         assert_eq!(t.range(0..=63), Vec::<u64>::new());
         assert_eq!(t.insert_all(&[]), 0);
         assert_eq!(t.delete_all(&[]), 0);
+        assert!(t.announcements().is_empty());
+    }
+
+    #[cfg(feature = "step-count")]
+    #[test]
+    fn batch_updates_pipeline_their_announcements() {
+        use crate::scan_events;
+
+        // Regression (ISSUE 8 satellite): `insert_all`/`delete_all` used to
+        // hold every key's U-ALL announcement until a shared notify
+        // traversal at the end of the batch, so a width-w batch kept w
+        // announcements live at once — and every concurrent notifier paid
+        // O(w) per update for the duration. The pipelined form withdraws
+        // each key's announcement as soon as its own notify pass completes:
+        // the live high-water must stay O(1) however wide the batch.
+        let t = LockFreeBinaryTrie::new(128);
+        let keys: Vec<u64> = (0..64u64).collect();
+
+        scan_events::reset();
+        let (applied, ev) = scan_events::measure(|| t.insert_all(&keys));
+        assert_eq!(applied, 64);
+        assert_eq!(ev.update_announces, 64);
+        assert!(
+            ev.max_live_updates <= 2,
+            "insert_all held {} announcements live at once (want ≤ 2)",
+            ev.max_live_updates
+        );
+
+        scan_events::reset();
+        let (applied, ev) = scan_events::measure(|| t.delete_all(&keys));
+        assert_eq!(applied, 64);
+        assert_eq!(ev.update_announces, 64);
+        assert!(
+            ev.max_live_updates <= 2,
+            "delete_all held {} announcements live at once (want ≤ 2)",
+            ev.max_live_updates
+        );
         assert!(t.announcements().is_empty());
     }
 

@@ -2,11 +2,22 @@
 //! periodic quiescent validation against a full `contains` scan.
 //!
 //! ```text
-//! cargo run --release -p lftrie-harness --bin torture -- [seconds] [threads] [log2_universe]
+//! cargo run --release -p lftrie-harness --bin torture -- \
+//!     [seconds] [threads] [log2_universe] [stalled_readers]
 //! ```
 //!
-//! Defaults: 10 seconds, 4 threads, universe 2^10. Exits non-zero on any
-//! consistency violation.
+//! Defaults: 10 seconds, 4 threads, universe 2^10, 0 stalled readers.
+//! Exits non-zero on any consistency violation.
+//!
+//! The fourth argument is the **oversubscription lane** (ISSUE 8): each
+//! round additionally parks that many readers mid-traversal — pinned, with
+//! their target nodes published as hazard pointers — for the whole round
+//! (requires `--features stall-injection`). Combined with `threads` well
+//! above the core count, this is the hostile-scheduler workload: the epoch
+//! must run past the stalled readers (fenced mode), sweeps must keep the
+//! backlog bounded, and the parked readers re-dereference their protected
+//! nodes throughout, so a hazard-filter bug shows up as a use-after-free
+//! under the sanitizer lane rather than as silent corruption.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -20,6 +31,14 @@ use rand::{Rng, SeedableRng};
 /// and the flight-recorder ring (the last protocol events leading up to
 /// the failure), and exits non-zero.
 fn fail(round: u64, trie: &LockFreeBinaryTrie, msg: &str) -> ! {
+    // The heartbeat ends in `\r` with the cursor mid-line; terminate and
+    // flush it so the dump below starts on a clean line instead of
+    // overwriting (and being interleaved with) the last heartbeat.
+    {
+        use std::io::Write;
+        println!();
+        std::io::stdout().flush().ok();
+    }
     eprintln!("round {round}: {msg}");
     eprintln!("--- telemetry at failure ---");
     eprint!("{}", trie.telemetry().to_prometheus());
@@ -37,8 +56,19 @@ fn main() {
     let threads = args.get(1).copied().unwrap_or(4) as usize;
     let log2_u = args.get(2).copied().unwrap_or(10).min(24);
     let universe = 1u64 << log2_u;
+    let stalled_readers = args.get(3).copied().unwrap_or(0) as usize;
+    #[cfg(not(feature = "stall-injection"))]
+    if stalled_readers > 0 {
+        eprintln!(
+            "warning: the stalled-reader lane needs --features stall-injection; \
+             running without parked readers"
+        );
+    }
 
-    println!("torture: {seconds}s, {threads} threads, universe 2^{log2_u}");
+    println!(
+        "torture: {seconds}s, {threads} threads, universe 2^{log2_u}, \
+         {stalled_readers} stalled readers"
+    );
     let start = Instant::now();
     let deadline = start + Duration::from_secs(seconds);
     let mut round = 0u64;
@@ -128,10 +158,39 @@ fn main() {
                 })
             })
             .collect();
+        // The oversubscription lane: park readers mid-traversal for the
+        // whole round. Each pins, publishes its target nodes as hazards,
+        // and keeps re-dereferencing them while the writers churn — the
+        // epoch must run past them and reclamation must stay bounded.
+        #[cfg(feature = "stall-injection")]
+        let stallers: Vec<_> = (0..stalled_readers)
+            .map(|s| {
+                let trie = Arc::clone(&trie);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(round.wrapping_mul(31) ^ s as u64);
+                    let k = rng.gen_range(0..universe);
+                    trie.insert(k);
+                    let reader = trie.reader_stalled_mid_traversal(k);
+                    while !stop.load(Ordering::Relaxed) {
+                        assert!(
+                            reader.observe(),
+                            "hazard-protected node changed under a stalled reader"
+                        );
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    assert!(reader.resume());
+                })
+            })
+            .collect();
         std::thread::sleep(Duration::from_millis(300));
         stop.store(true, Ordering::Relaxed);
         for w in workers {
             w.join().unwrap();
+        }
+        #[cfg(feature = "stall-injection")]
+        for s in stallers {
+            s.join().unwrap();
         }
 
         // Quiescent validation.
@@ -198,14 +257,22 @@ fn main() {
         let stats = trie.pred_traversal();
         let ops = total_ops.load(Ordering::Relaxed);
         let ops_per_s = ops as f64 / start.elapsed().as_secs_f64();
-        let (epoch_lag, stalled) = snap
+        let (epoch_lag, stalled, fenced, covered) = snap
             .epoch
             .as_ref()
-            .map(|e| (e.min_pin_lag, e.stalled_readers))
-            .unwrap_or((0, 0));
+            .map(|e| {
+                (
+                    e.min_pin_lag,
+                    e.stalled_readers,
+                    e.fenced,
+                    e.covered_readers,
+                )
+            })
+            .unwrap_or((0, 0, false, 0));
         let limbo: usize = snap.reclaim.iter().map(|r| r.limbo + r.pending).sum();
+        let hz_freed: usize = snap.reclaim.iter().map(|r| r.fenced_reclaimed).sum();
         print!(
-            "\rround {round}: ok ({ops} ops, {ops_per_s:.0} ops/s, ⊥ {bottoms}, rec {recoveries}, epoch lag {epoch_lag}, stalled {stalled}, limbo {limbo})   ",
+            "\rround {round}: ok ({ops} ops, {ops_per_s:.0} ops/s, ⊥ {bottoms}, rec {recoveries}, epoch lag {epoch_lag}, stalled {stalled}, fenced {fenced}, covered {covered}, hz-freed {hz_freed}, limbo {limbo})   ",
             bottoms = stats.bottoms,
             recoveries = stats.recoveries,
         );

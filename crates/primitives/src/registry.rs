@@ -439,6 +439,10 @@ struct Counters {
     recycled: AtomicUsize,
     /// Values destroyed (reclaimed, deallocated, teardown-freed).
     reclaimed: AtomicUsize,
+    /// Values destroyed by fenced sweeps — reclamations that ran against a
+    /// hazard filter while a stalled reader was exempted (a subset of
+    /// `reclaimed`: the backlog drained *under* the stall).
+    fenced: AtomicUsize,
     /// Nodes returned to the heap.
     freed: AtomicUsize,
 }
@@ -526,6 +530,7 @@ impl<T> Registry<T> {
                 fresh: AtomicUsize::new(0),
                 recycled: AtomicUsize::new(0),
                 reclaimed: AtomicUsize::new(0),
+                fenced: AtomicUsize::new(0),
                 freed: AtomicUsize::new(0),
             }),
             limbo: GarbageStack::new(),
@@ -940,9 +945,9 @@ impl<T> Registry<T> {
         }
         self.steal_released_pools();
         // Attempt up to GRACE advances: each one individually re-proves
-        // that every pinned participant has caught up, so at quiescent
-        // moments a single sweep ages garbage all the way out instead of
-        // one epoch per sweep.
+        // that every pinned participant has caught up (or is exempt), so at
+        // quiescent moments a single sweep ages garbage all the way out
+        // instead of one epoch per sweep.
         let mut global = self.domain.epoch();
         for _ in 0..GRACE_EPOCHS {
             let next = self.domain.try_advance();
@@ -951,6 +956,13 @@ impl<T> Registry<T> {
             }
             global = next;
         }
+        // The fenced-sweep filter: the union of hazard pointers published
+        // by covered pinned readers (usually `None`). Taken *after* the
+        // `global` snapshot the frees below age against — the epoch can
+        // only have run past a stalled reader through an advance that
+        // observed its coverage, so a view read here is guaranteed to
+        // contain that reader's set (see `Domain::hazard_view`).
+        let hazards = self.domain.hazard_view();
         // Deferred nodes whose gate opened re-enter limbo. The pending set
         // is drained on every sweep — its size is bounded by the gates
         // themselves (≤ one DEL per occupied dNodePtr slot, live `target`
@@ -1013,9 +1025,28 @@ impl<T> Registry<T> {
                 // `global` is a snapshot from before the drains, so this
                 // comparison only under-approximates eligibility — safe.
                 let vp = PoolNode::value_ptr(cur);
+                if hazards
+                    .as_ref()
+                    .is_some_and(|set| set.binary_search(&(vp as usize)).is_ok())
+                {
+                    // Past its grace period but published as a hazard by an
+                    // exempt stalled reader: back into limbo, however old
+                    // the stamp — the hazard set, not the epoch, protects
+                    // that reader now.
+                    telemetry::add(Counter::HazardDeferrals, 1);
+                    self.limbo.push(cur);
+                    continue;
+                }
                 unsafe { (*vp).on_reclaim() };
                 unsafe { core::ptr::drop_in_place(vp) };
                 self.counters.reclaimed.fetch_add(1, Ordering::Relaxed);
+                if hazards.is_some() {
+                    // Reclaimed while a hazard filter was active: the
+                    // backlog is draining under a stalled reader instead of
+                    // parking behind it.
+                    self.counters.fenced.fetch_add(1, Ordering::Relaxed);
+                    telemetry::add(Counter::FencedReclaimed, 1);
+                }
                 // The emptied slot goes back into circulation instead of to
                 // the allocator — the whole point of the pools.
                 unsafe { self.recycle_node(cur, own_pool) };
@@ -1070,6 +1101,14 @@ impl<T> Registry<T> {
         self.counters.reclaimed.load(Ordering::Relaxed)
     }
 
+    /// Values destroyed by fenced sweeps — sweeps that filtered against a
+    /// published hazard set because a stalled reader was exempted from
+    /// blocking epoch advances. A subset of [`Registry::reclaimed`]; it
+    /// growing is the proof that the backlog drains *under* a stall.
+    pub fn fenced_reclaimed(&self) -> usize {
+        self.counters.fenced.load(Ordering::Relaxed)
+    }
+
     /// Value-resident nodes: `created − reclaimed`. Under churn this stays
     /// bounded (the memory-bound suite's metric); under the old drop-only
     /// arena it equalled the cumulative count.
@@ -1109,6 +1148,7 @@ impl<T> Registry<T> {
             fresh: self.allocated(),
             recycled: self.recycled(),
             reclaimed: self.reclaimed(),
+            fenced_reclaimed: self.fenced_reclaimed(),
         }
     }
 
@@ -1279,6 +1319,52 @@ mod tests {
         drop(reader_guard);
         reg.flush();
         assert_eq!(drops.load(StdOrdering::SeqCst), 1);
+    }
+
+    #[test]
+    fn fenced_sweep_drains_backlog_past_an_exempt_stalled_reader() {
+        let domain = leaked_domain();
+        let retirer = domain.register();
+        let reader = domain.register();
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let reg: Registry<CountsDrops> = Registry::new_in(domain);
+
+        // The reader pins, keeps one node's pointer in hand, publishes it
+        // as its hazard set, and then "suspends" (never re-announces).
+        let held = reg.alloc(CountsDrops(Arc::clone(&drops)));
+        let mut reader_guard = reader.pin();
+        assert!(unsafe { reader_guard.publish_hazards(&[held as *const u8]) });
+
+        // A writer retires the held node plus a batch of others.
+        let g = retirer.pin();
+        unsafe { reg.retire(held, &g) };
+        for _ in 0..10 {
+            let p = reg.alloc(CountsDrops(Arc::clone(&drops)));
+            unsafe { reg.retire(p, &g) };
+        }
+        drop(g);
+
+        // Pure-epoch sweeps would park all 11 nodes behind the stalled
+        // reader. With the published hazard set the blocked streak builds,
+        // the reader is exempted, and everything except the held node
+        // drains while it is still pinned.
+        reg.flush();
+        assert_eq!(
+            drops.load(StdOrdering::SeqCst),
+            10,
+            "the backlog must drain under the stall"
+        );
+        assert_eq!(reg.live(), 1, "the hazard-published node must survive");
+        assert!(reg.fenced_reclaimed() >= 10);
+        assert!(domain.fenced());
+
+        // Resume: unpinning ends coverage, the domain unfences, and the
+        // deferred node ages out normally.
+        drop(reader_guard);
+        reg.flush();
+        assert_eq!(drops.load(StdOrdering::SeqCst), 11);
+        assert_eq!(reg.live(), 0);
+        assert!(!domain.fenced());
     }
 
     #[test]

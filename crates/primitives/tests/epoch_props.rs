@@ -10,6 +10,14 @@
 //! retire epoch — but this is the property unsafe readers rely on), plus
 //! liveness (a quiescent flush reclaims everything), limbo-bag rotation,
 //! and the readiness gate of deferred retirement.
+//!
+//! The hybrid-reclamation schedules (`hazard_published_items_survive_
+//! fenced_sweeps`) additionally cover the fenced mode of ISSUE 8: a
+//! participant that publishes a hazard-pointer set weakens the epoch
+//! invariant for *itself* — sweeps may reclaim past its pin — so the
+//! property splits in two: uncovered pins retain the full epoch guarantee,
+//! and hazard-published items are never freed while their publisher stays
+//! pinned, whatever the schedule does around them.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -291,6 +299,129 @@ proptest! {
             prop_assert!(freed.load(Ordering::SeqCst), "item {i} never reclaimed");
         }
         prop_assert_eq!(sim.reg.live(), 0);
+    }
+
+    #[test]
+    fn hazard_published_items_survive_fenced_sweeps(
+        ops in proptest::collection::vec((0u8..8, 0usize..PARTICIPANTS), 1..150)
+    ) {
+        // Arbitrary pin / publish / stall / sweep / resume interleavings of
+        // the hybrid mode. Each participant may retire an item through its
+        // held guard and publish it as a hazard; sweeps and bare advances
+        // then run fenced whenever a covered stalled reader exists. Two
+        // invariants, checked after every step:
+        //
+        // 1. A freed item was never protected by an *uncovered* pin at or
+        //    before its retire epoch (the classic epoch guarantee, which
+        //    coverage must not weaken for bystanders), and
+        // 2. a hazard-published item is never freed while its publisher
+        //    still holds the pin — however far the epoch ran past it.
+        let domain: &'static Domain = Box::leak(Box::new(Domain::new()));
+        let handles: Vec<Handle<'static>> =
+            (0..PARTICIPANTS).map(|_| domain.register()).collect();
+        let reg: Registry<Tracked> = Registry::new_in(domain);
+        // Per participant: outermost guard, its announced epoch, and the
+        // freed-flag of its currently hazard-published item (if any).
+        type CoveredSlot = Option<(Guard<'static>, u64, Option<Arc<AtomicBool>>)>;
+        let mut guards: Vec<CoveredSlot> = (0..PARTICIPANTS).map(|_| None).collect();
+        let mut items: Vec<(u64, Arc<AtomicBool>)> = Vec::new();
+        for (op, idx) in ops {
+            match op {
+                // Pin (outermost; pinning clears any stale coverage).
+                0 => {
+                    if guards[idx].is_none() {
+                        let g = handles[idx].pin();
+                        let e = g.epoch();
+                        guards[idx] = Some((g, e, None));
+                    }
+                }
+                // Unpin: drops the pin and withdraws the hazard set.
+                1 => {
+                    guards[idx] = None;
+                }
+                // Retire a fresh item through a transient (possibly
+                // nested) guard.
+                2 => {
+                    let freed = Arc::new(AtomicBool::new(false));
+                    let p = reg.alloc(Tracked { freed: Arc::clone(&freed), gate: None });
+                    let g = handles[idx].pin();
+                    let retire_epoch = domain.epoch();
+                    unsafe { reg.retire(p, &g) };
+                    items.push((retire_epoch, freed));
+                }
+                // Sweep (fenced whenever a covered stalled reader exists).
+                3 => reg.collect(),
+                // Bare advance: this is what eventually trips the blocked
+                // streak of a stalled participant past the exemption
+                // threshold.
+                4 => {
+                    domain.try_advance();
+                }
+                // Resume: repin catches the participant up and withdraws
+                // its coverage.
+                5 => {
+                    if let Some((g, e, cover)) = guards[idx].as_mut() {
+                        g.repin();
+                        *e = g.epoch();
+                        *cover = None;
+                    }
+                }
+                // Publish: retire a fresh item through the held guard and
+                // hazard-publish it (replacing any earlier set — the
+                // replaced item reverts to epoch protection only, which
+                // its publisher's old pin no longer provides).
+                _ => {
+                    if let Some((g, e, cover)) = guards[idx].as_mut() {
+                        let freed = Arc::new(AtomicBool::new(false));
+                        let p = reg.alloc(Tracked { freed: Arc::clone(&freed), gate: None });
+                        let retire_epoch = domain.epoch();
+                        unsafe { reg.retire(p, &*g) };
+                        // SAFETY: `p` was retired through this still-held
+                        // pin one line up, nothing dereferences it, and it
+                        // is never re-published into shared memory.
+                        let published = unsafe { g.publish_hazards(&[p as *const u8]) };
+                        prop_assert!(published, "outermost guard must accept one hazard");
+                        // Publication re-announces: the pin catches up.
+                        *e = g.epoch();
+                        *cover = Some(Arc::clone(&freed));
+                        items.push((retire_epoch, freed));
+                    }
+                }
+            }
+            // Invariant 1: uncovered pins keep the full epoch guarantee.
+            for (retire_epoch, freed) in &items {
+                if freed.load(Ordering::SeqCst) {
+                    for slot in guards.iter().flatten() {
+                        let (_, pin_epoch, cover) = slot;
+                        if cover.is_none() {
+                            prop_assert!(
+                                pin_epoch > retire_epoch,
+                                "item retired at epoch {} freed under an uncovered pin at {}",
+                                retire_epoch, pin_epoch
+                            );
+                        }
+                    }
+                }
+            }
+            // Invariant 2: published hazards hold whatever the epoch does.
+            for slot in guards.iter().flatten() {
+                if let (_, _, Some(freed)) = slot {
+                    prop_assert!(
+                        !freed.load(Ordering::SeqCst),
+                        "hazard-published item freed while its publisher is pinned"
+                    );
+                }
+            }
+        }
+        // Quiescence: a fenced history must strand nothing — the flush
+        // reaches the same floor as a pure-epoch run.
+        guards.clear();
+        reg.flush();
+        for (i, (_, freed)) in items.iter().enumerate() {
+            prop_assert!(freed.load(Ordering::SeqCst), "item {i} never reclaimed");
+        }
+        prop_assert_eq!(reg.live(), 0);
+        prop_assert!(!domain.fenced(), "quiescent flush must leave fenced mode");
     }
 
     #[test]

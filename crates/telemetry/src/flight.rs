@@ -44,6 +44,9 @@ pub enum FlightKind {
     Stall = 7,
     /// A registry garbage sweep ran.
     Sweep = 8,
+    /// An epoch domain entered or left fenced (hazard-filtered) mode
+    /// (`aux = 1` on entry, `aux = 0` on exit).
+    Fence = 9,
 }
 
 impl FlightKind {
@@ -58,6 +61,7 @@ impl FlightKind {
             FlightKind::Retire => "retire",
             FlightKind::Stall => "stall",
             FlightKind::Sweep => "sweep",
+            FlightKind::Fence => "fence",
         }
     }
 
@@ -71,6 +75,7 @@ impl FlightKind {
             6 => FlightKind::Retire,
             7 => FlightKind::Stall,
             8 => FlightKind::Sweep,
+            9 => FlightKind::Fence,
             _ => return None,
         })
     }
@@ -217,6 +222,7 @@ mod tests {
             FlightKind::Retire,
             FlightKind::Stall,
             FlightKind::Sweep,
+            FlightKind::Fence,
         ] {
             assert_eq!(FlightKind::from_u64(k as u64), Some(k));
         }

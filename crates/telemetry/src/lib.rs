@@ -135,10 +135,20 @@ pub enum Counter {
     FlightEvents,
     /// Stalls injected by the `stall-injection` test entry points.
     StallsInjected,
+    /// U-ALL update announcements (populated under `step-count`).
+    UpdateAnnounces,
+    /// U-ALL update withdrawals (populated under `step-count`).
+    UpdateWithdraws,
+    /// Transitions of an epoch domain into fenced (hazard-filtered) mode.
+    FencedModeEnters,
+    /// Nodes reclaimed by sweeps that ran while a domain was fenced.
+    FencedReclaimed,
+    /// Limbo nodes deferred by a sweep because a hazard set protected them.
+    HazardDeferrals,
 }
 
 /// Number of [`Counter`] variants (the shard array length).
-pub const COUNTER_COUNT: usize = Counter::StallsInjected as usize + 1;
+pub const COUNTER_COUNT: usize = Counter::HazardDeferrals as usize + 1;
 
 impl Counter {
     /// Every counter, in report order.
@@ -168,6 +178,11 @@ impl Counter {
         Counter::EpochAdvanceBlocked,
         Counter::FlightEvents,
         Counter::StallsInjected,
+        Counter::UpdateAnnounces,
+        Counter::UpdateWithdraws,
+        Counter::FencedModeEnters,
+        Counter::FencedReclaimed,
+        Counter::HazardDeferrals,
     ];
 
     /// The stable report label for this counter.
@@ -198,6 +213,11 @@ impl Counter {
             Counter::EpochAdvanceBlocked => "epoch_advance_blocked",
             Counter::FlightEvents => "flight_events",
             Counter::StallsInjected => "stalls_injected",
+            Counter::UpdateAnnounces => "update_announces",
+            Counter::UpdateWithdraws => "update_withdraws",
+            Counter::FencedModeEnters => "fenced_mode_enters",
+            Counter::FencedReclaimed => "fenced_reclaimed",
+            Counter::HazardDeferrals => "hazard_deferrals",
         }
     }
 }

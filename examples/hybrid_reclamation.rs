@@ -1,0 +1,86 @@
+//! Hybrid reclamation: a stalled reader does not park the world.
+//!
+//! ```text
+//! cargo run --release --example hybrid_reclamation
+//! ```
+//!
+//! Pure epoch-based reclamation has a classic failure mode: one reader
+//! descheduled inside its pin blocks every epoch advance, so memory grows
+//! with the stall's duration instead of the live set. This example drives
+//! the escape hatch: the "stalled" main thread pins, publishes a (here
+//! empty) hazard-pointer set, and sleeps while writers churn — once its
+//! blocked streak crosses the stall threshold the epoch runs past it,
+//! sweeps drain the backlog in fenced mode, and the footprint stays flat.
+
+use std::sync::Arc;
+
+use lftrie::core::LockFreeBinaryTrie;
+use lftrie::primitives::epoch;
+
+fn main() {
+    let universe = 1u64 << 10;
+    let trie = Arc::new(LockFreeBinaryTrie::new(universe));
+
+    // The stalled reader: pin and publish the set of nodes it holds.
+    // An empty set means "I dereference nothing until I re-announce" —
+    // a traversal would instead list the nodes it is parked on (at most
+    // `epoch::HAZARD_SLOTS` of them).
+    let mut guard = epoch::pin();
+    // SAFETY: the set is empty and this thread touches no trie node
+    // while the guard is held, so there is nothing a fenced sweep could
+    // free out from under us.
+    assert!(unsafe { guard.publish_hazards(&[]) });
+
+    // Churn from two writers while the reader sleeps on its pin.
+    let writers: Vec<_> = (0..2u64)
+        .map(|t| {
+            let trie = Arc::clone(&trie);
+            std::thread::spawn(move || {
+                let mut state = t | 1;
+                for _ in 0..200_000u64 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let k = (state >> 33) % universe;
+                    if state % 2 == 0 {
+                        trie.insert(k);
+                    } else {
+                        trie.remove(k);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    trie.collect_garbage();
+
+    // Still pinned — yet the backlog drained past us.
+    let snap = trie.telemetry();
+    let epoch_health = snap.epoch.expect("trie snapshots sample epoch health");
+    let fenced_reclaimed: usize = snap.reclaim.iter().map(|r| r.fenced_reclaimed).sum();
+    println!(
+        "while stalled: {} live of {} cumulative nodes, fenced = {}, \
+         covered readers = {}, reclaimed under the fence = {}",
+        trie.live_nodes(),
+        trie.allocated_nodes(),
+        epoch_health.fenced,
+        epoch_health.covered_readers,
+        fenced_reclaimed,
+    );
+    assert!(epoch_health.fenced, "the stalled reader fenced the domain");
+    assert!(fenced_reclaimed > 0, "sweeps reclaimed past the stall");
+    assert!(
+        trie.live_nodes() < trie.allocated_nodes() / 4,
+        "the backlog must drain while the reader is still pinned"
+    );
+
+    // Resume: unpin, and the domain leaves fenced mode on the next clean
+    // advance pass.
+    drop(guard);
+    trie.collect_garbage();
+    println!(
+        "after resume: {} live, fenced = {}",
+        trie.live_nodes(),
+        trie.telemetry().epoch.expect("epoch health").fenced,
+    );
+}
