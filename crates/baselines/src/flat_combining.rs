@@ -41,6 +41,10 @@ const OP_DONE: u8 = 8;
 /// Slot reserved by a publisher that has not yet written its op code
 /// (threads can hash to the same slot; the claim CAS arbitrates).
 const OP_CLAIMED: u8 = 9;
+/// Set by the combiner when executing this record panicked: the failure is
+/// published back to the waiting slot (whose owner re-raises it) instead of
+/// unwinding through the combiner and wedging every other publisher.
+const OP_PANICKED: u8 = 10;
 
 /// One slot of the announcement array.
 #[derive(Debug)]
@@ -130,16 +134,34 @@ impl FlatCombiningBinaryTrie {
         }
         // Wait until combined, becoming the combiner if the lock is free.
         loop {
-            if rec.op.load(Ordering::SeqCst) == OP_DONE {
-                let result = rec.result.load(Ordering::SeqCst);
-                rec.op.store(OP_NONE, Ordering::SeqCst);
-                return result;
+            match rec.op.load(Ordering::SeqCst) {
+                OP_DONE => {
+                    let result = rec.result.load(Ordering::SeqCst);
+                    rec.op.store(OP_NONE, Ordering::SeqCst);
+                    return result;
+                }
+                OP_PANICKED => {
+                    // The combiner caught a panic while executing *this*
+                    // record; re-raise it on the owner. Free the slot first
+                    // so an unwinding owner never strands it.
+                    rec.op.store(OP_NONE, Ordering::SeqCst);
+                    panic!(
+                        "flat-combining operation (op {op}, key {key}) \
+                         panicked inside the combiner"
+                    );
+                }
+                _ => {}
             }
             if !self.combining.load(Ordering::SeqCst) {
                 if let Some(mut trie) = self.combiner.try_lock() {
                     self.combining.store(true, Ordering::SeqCst);
+                    // Cleared on drop even if `combine` unwinds: a stuck
+                    // hint would park every publisher forever on a combiner
+                    // that no longer exists (the parking_lot guard already
+                    // releases the lock on unwind, but nobody would retry
+                    // it with the hint still set).
+                    let _hint = CombiningHint(&self.combining);
                     self.combine(&mut trie);
-                    self.combining.store(false, Ordering::SeqCst);
                 }
             } else {
                 std::hint::spin_loop();
@@ -148,6 +170,13 @@ impl FlatCombiningBinaryTrie {
     }
 
     /// Executes every published record against the sequential trie.
+    ///
+    /// Each record runs under `catch_unwind`: a panicking operation (e.g. a
+    /// key outside the universe) is published back to its own slot as
+    /// [`OP_PANICKED`] and the batch continues, so one poisoned operation
+    /// fails only its submitter — not the combiner and every thread waiting
+    /// on it. `SeqBinaryTrie` validates before mutating, so a caught panic
+    /// leaves the shared structure unchanged.
     fn combine(&self, trie: &mut SeqBinaryTrie) {
         for rec in self.records.iter() {
             let op = rec.op.load(Ordering::SeqCst);
@@ -155,7 +184,7 @@ impl FlatCombiningBinaryTrie {
                 continue;
             }
             let key = rec.key.load(Ordering::SeqCst) as u64;
-            let result = match op {
+            let result = std::panic::catch_unwind(core::panic::AssertUnwindSafe(|| match op {
                 OP_INSERT => i64::from(trie.insert(key)),
                 OP_REMOVE => i64::from(trie.remove(key)),
                 OP_CONTAINS => i64::from(trie.contains(key)),
@@ -164,10 +193,24 @@ impl FlatCombiningBinaryTrie {
                 OP_MIN => trie.min().map(|k| k as i64).unwrap_or(-1),
                 OP_MAX => trie.max().map(|k| k as i64).unwrap_or(-1),
                 _ => unreachable!(),
-            };
-            rec.result.store(result, Ordering::SeqCst);
-            rec.op.store(OP_DONE, Ordering::SeqCst);
+            }));
+            match result {
+                Ok(result) => {
+                    rec.result.store(result, Ordering::SeqCst);
+                    rec.op.store(OP_DONE, Ordering::SeqCst);
+                }
+                Err(_) => rec.op.store(OP_PANICKED, Ordering::SeqCst),
+            }
         }
+    }
+}
+
+/// Clears the combiner-active hint when dropped, panic or not.
+struct CombiningHint<'a>(&'a AtomicBool);
+
+impl Drop for CombiningHint<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::SeqCst);
     }
 }
 
@@ -266,6 +309,58 @@ mod tests {
         for y in 1..1024 {
             assert_eq!(ConcurrentOrderedSet::predecessor(&*s, y), Some(y - 1));
         }
+    }
+
+    /// A poisoned operation (key outside the universe) panics the
+    /// sequential trie *inside the combiner*. The failure must land on the
+    /// submitting thread only: the combiner survives the batch, the lock
+    /// and the `combining` hint are released, waiting publishers drain,
+    /// and the structure keeps serving operations afterwards. Without the
+    /// per-record `catch_unwind` + hint guard this test wedges (every
+    /// publisher spins on a combiner that unwound away).
+    #[test]
+    fn combiner_survives_panicking_operation() {
+        let s = Arc::new(FlatCombiningBinaryTrie::new(64));
+        ConcurrentOrderedSet::insert(&*s, 55);
+
+        // Background publishers (disjoint key ranges) that must all
+        // complete despite the poison.
+        let workers: Vec<_> = (0..3u64)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let k = t * 16 + i % 16;
+                        ConcurrentOrderedSet::insert(&*s, k);
+                        assert!(ConcurrentOrderedSet::contains(&*s, k));
+                        ConcurrentOrderedSet::remove(&*s, k);
+                    }
+                })
+            })
+            .collect();
+
+        // Poisoned submitters: each panic must surface on *this* op.
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            let poisoned = std::thread::spawn(move || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    ConcurrentOrderedSet::insert(&*s, 10_000) // ≥ universe
+                }))
+            });
+            let outcome = poisoned.join().expect("submitter thread itself died");
+            assert!(outcome.is_err(), "out-of-universe insert must panic");
+        }
+
+        for w in workers {
+            w.join()
+                .expect("worker wedged or diverged after combiner panic");
+        }
+
+        // Lock released, hint cleared, state intact: ops still combine.
+        assert!(!s.combining.load(Ordering::SeqCst));
+        assert!(ConcurrentOrderedSet::contains(&*s, 55));
+        assert!(ConcurrentOrderedSet::insert(&*s, 59));
+        assert_eq!(ConcurrentOrderedSet::predecessor(&*s, 60), Some(59));
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod relaxed;
 pub mod scan_events;
 pub mod trie;
 
+pub use lftrie_primitives::{fault, liveness};
 pub use relaxed::{LatestInfo, RelaxedBinaryTrie, RelaxedPred, RelaxedSucc};
 #[cfg(feature = "stall-injection")]
 pub use trie::StalledReader;

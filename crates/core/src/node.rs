@@ -17,6 +17,7 @@ use core::sync::atomic::{
 
 use lftrie_lists::pall::PallCell;
 use lftrie_lists::pushstack::PushStack;
+use lftrie_primitives::liveness;
 use lftrie_primitives::minreg::{AndMinRegister, MinRegister};
 use lftrie_primitives::registry::Reclaim;
 use lftrie_primitives::steps;
@@ -67,6 +68,16 @@ pub struct UpdateNode {
     /// it instead of raw pointers so that identity comparisons against
     /// long-dead notifiers can never alias a recycled address (ABA).
     pub(crate) seq: u64,
+    /// Liveness incarnation id of the allocating thread
+    /// ([`liveness::current_owner`]); `adopt_orphans` completes and
+    /// withdraws announced nodes whose owner died. Immutable.
+    pub(crate) owner: u64,
+    /// `false → true` once the relaxed-trie bit update for this node has
+    /// run to completion. The bit update is *not* idempotent (`set_target`
+    /// double-counts on a re-run), so exactly one of the owner's pipeline,
+    /// its unwind guard, or an adopter claims it via
+    /// [`UpdateNode::claim_trie_update`].
+    trie_updated: AtomicBool,
     /// Number of `dNodePtr` slots currently (or about to be) holding this
     /// node; maintained by [`crate::access::TrieCore::dnode_cas`]. A retired
     /// node is not freed while this is non-zero — `InterpretedBit` may still
@@ -91,6 +102,12 @@ pub struct UpdateNode {
     /// `false → true` once (line 98): set after the relaxed-trie update and
     /// notifications finish, so helpers know to de-announce (line 135).
     completed: AtomicBool,
+    /// Claim flag for *this node's retirement as a displaced node*: when a
+    /// successful latest-list CAS supersedes this node, exactly one of the
+    /// superseding operation, its unwind guard, a helper, or an orphan
+    /// adopter retires it (retirement is a limbo-list push and must not
+    /// double-run).
+    retire_claim: AtomicBool,
     /// DEL: heights `≤ upper0Boundary` that depend on this node read bit 0
     /// (line 100). Only the creator writes it, incrementing by 1 (Obs. 4.12).
     upper0_boundary: AtomicU32,
@@ -136,7 +153,7 @@ impl UpdateNode {
     /// are born `completed` — no operation ever finishes them, and the flag
     /// gates their reclamation once the first real insert supersedes them.
     pub(crate) fn new_dummy(key: i64, b: u32) -> Self {
-        let node = Self::new(
+        let mut node = Self::new(
             key,
             Kind::Del,
             Status::Active,
@@ -146,6 +163,10 @@ impl UpdateNode {
             b,
         );
         node.completed.store(true, Ordering::Relaxed);
+        // Structural: dummies have no owning operation to adopt for, and
+        // nothing about them is ever driven through a bit update.
+        node.owner = liveness::NO_OWNER;
+        node.trie_updated.store(true, Ordering::Relaxed);
         node
     }
 
@@ -162,6 +183,8 @@ impl UpdateNode {
             key,
             kind,
             seq: 0,
+            owner: liveness::current_owner(),
+            trie_updated: AtomicBool::new(false),
             dnode_refs: AtomicU32::new(0),
             target_refs: AtomicU32::new(0),
             status: AtomicU8::new(status as u8),
@@ -169,6 +192,7 @@ impl UpdateNode {
             target: AtomicPtr::new(core::ptr::null_mut()),
             stop: AtomicBool::new(false),
             completed: AtomicBool::new(false),
+            retire_claim: AtomicBool::new(false),
             upper0_boundary: AtomicU32::new(upper0),
             lower1_boundary: AndMinRegister::new(lower1, b + 1),
             del_pred_node: AtomicPtr::new(core::ptr::null_mut()),
@@ -190,6 +214,34 @@ impl UpdateNode {
     #[inline]
     pub(crate) fn kind(&self) -> Kind {
         self.kind
+    }
+
+    /// Incarnation id of the thread that allocated this node.
+    #[inline]
+    pub(crate) fn owner(&self) -> u64 {
+        self.owner
+    }
+
+    /// Claims the relaxed-trie bit update for this node: returns `true`
+    /// exactly once (for the caller who must now run it). See the
+    /// `trie_updated` field docs.
+    #[inline]
+    pub(crate) fn claim_trie_update(&self) -> bool {
+        !self.trie_updated.swap(true, Ordering::SeqCst)
+    }
+
+    /// Claims this node's retirement-as-displaced: returns `true` exactly
+    /// once, for the caller who must now retire it. See the `retire_claim`
+    /// field docs.
+    #[inline]
+    pub(crate) fn claim_retire(&self) -> bool {
+        !self.retire_claim.swap(true, Ordering::SeqCst)
+    }
+
+    /// Has the relaxed-trie bit update for this node been claimed?
+    #[inline]
+    pub(crate) fn trie_update_claimed(&self) -> bool {
+        self.trie_updated.load(Ordering::SeqCst)
     }
 
     #[inline]
@@ -495,6 +547,9 @@ pub(crate) struct NotifyRecord {
 pub struct PredNode {
     /// Immutable input key `y` (line 106).
     pub(crate) key: i64,
+    /// Liveness incarnation id of the allocating thread (for orphan
+    /// adoption). Immutable.
+    pub(crate) owner: u64,
     /// Insert-only list of notifications (line 107).
     pub(crate) notify_list: PushStack<NotifyRecord>,
     /// Published RU-ALL traversal position; initially the `+∞` sentinel's key
@@ -502,6 +557,11 @@ pub struct PredNode {
     pub(crate) ruall_position: PublishedKey,
     /// The P-ALL cell this node was announced with, for removal.
     pall_cell: AtomicPtr<PallCell<PredNode>>,
+    /// Withdrawal claim: under the crash model both a crashed operation's
+    /// resume path and the orphan-adoption sweep can reach the same node
+    /// (e.g. an embedded helper of a delete that died before announcing),
+    /// and withdrawal retires — it must happen exactly once.
+    withdrawn: AtomicBool,
 }
 
 // Safety: as for UpdateNode.
@@ -520,10 +580,25 @@ impl PredNode {
     pub(crate) fn new(key: i64) -> Self {
         Self {
             key,
+            owner: liveness::current_owner(),
             notify_list: PushStack::new(),
             ruall_position: PublishedKey::new(POS_INF),
             pall_cell: AtomicPtr::new(core::ptr::null_mut()),
+            withdrawn: AtomicBool::new(false),
         }
+    }
+
+    /// Claims this node's withdrawal+retirement; true for exactly one
+    /// caller over the node's lifetime.
+    #[inline]
+    pub(crate) fn claim_withdraw(&self) -> bool {
+        !self.withdrawn.swap(true, Ordering::SeqCst)
+    }
+
+    /// Incarnation id of the thread that allocated this node.
+    #[inline]
+    pub(crate) fn owner(&self) -> u64 {
+        self.owner
     }
 
     pub(crate) fn pall_cell(&self) -> *mut PallCell<PredNode> {
@@ -570,6 +645,9 @@ pub struct SuccNode {
     /// Input key `y`; rewritten only by the owning scan session between
     /// steps, under the `era` seqlock.
     key: AtomicI64,
+    /// Liveness incarnation id of the allocating thread (for orphan
+    /// adoption). Immutable.
+    pub(crate) owner: u64,
     /// Era seqlock guarding `(key, uall_position)` pairs: even = stable,
     /// odd = a slide is rewriting the pair. Only the owner writes it.
     era: AtomicU64,
@@ -580,6 +658,8 @@ pub struct SuccNode {
     pub(crate) uall_position: PublishedKey,
     /// The S-ALL cell this node was announced with, for removal.
     sall_cell: AtomicPtr<PallCell<SuccNode>>,
+    /// Withdrawal claim; see [`PredNode`]'s field of the same name.
+    withdrawn: AtomicBool,
 }
 
 // Safety: as for PredNode.
@@ -599,11 +679,26 @@ impl SuccNode {
     pub(crate) fn new(key: i64) -> Self {
         Self {
             key: AtomicI64::new(key),
+            owner: liveness::current_owner(),
             era: AtomicU64::new(0),
             notify_list: PushStack::new(),
             uall_position: PublishedKey::new(NEG_INF),
             sall_cell: AtomicPtr::new(core::ptr::null_mut()),
+            withdrawn: AtomicBool::new(false),
         }
+    }
+
+    /// Claims this node's withdrawal+retirement; true for exactly one
+    /// caller over the node's lifetime.
+    #[inline]
+    pub(crate) fn claim_withdraw(&self) -> bool {
+        !self.withdrawn.swap(true, Ordering::SeqCst)
+    }
+
+    /// Incarnation id of the thread that allocated this node.
+    #[inline]
+    pub(crate) fn owner(&self) -> u64 {
+        self.owner
     }
 
     /// The current query key (rewritten between scan steps by the owner).

@@ -70,11 +70,15 @@
 //! batch announcement is ever live and wide batches never lengthen
 //! concurrent operations' announcement-list traversals.
 
-use core::sync::atomic::{AtomicU64, Ordering};
+use core::cell::Cell as StdCell;
+use core::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use lftrie_lists::announce::AnnounceList;
 use lftrie_lists::pall::PallList;
 use lftrie_primitives::epoch::{self, Guard};
+use lftrie_primitives::fault::{self, FaultPoint};
+use lftrie_primitives::liveness;
 use lftrie_primitives::registry::{AllocStats, Registry};
 use lftrie_primitives::{Key, NEG_INF, NO_PRED, NO_SUCC, POS_INF};
 use lftrie_telemetry::{
@@ -126,6 +130,162 @@ struct PendingDelete {
     p_node2: *mut PredNode,
     s_node1: *mut SuccNode,
     s_node2: *mut SuccNode,
+}
+
+/// The last *completed* protocol step of an in-flight update, as tracked
+/// by its [`UpdateOpGuard`]. Ordered: the unwind resume falls through
+/// every step after the recorded one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum OpPhase {
+    /// Nothing allocated or published yet.
+    Start,
+    /// (Delete only) both first embedded helpers announced and recorded.
+    Helpers,
+    /// Update node allocated but not yet published in the latest list —
+    /// the only phase whose resume *withdraws* (returns the pooled node)
+    /// instead of completing.
+    Alloced,
+    /// Latest-list CAS succeeded: the node is reachable by helpers but not
+    /// yet announced.
+    Published,
+    /// Announced in the U-ALL/RU-ALL; not yet activated.
+    Announced,
+    /// Activated (= linearized), displaced node stopped/cleared/retired.
+    Linearized,
+    /// (Delete only) second embedded helper results recorded.
+    Embeds,
+    /// Relaxed-trie bit update claimed.
+    TrieUpdated,
+    /// Notifications sent.
+    Notified,
+    /// `completed` set; announcement withdrawal may still be missing.
+    Completed,
+    /// Fully finished — the guard is disarmed.
+    Done,
+}
+
+/// RAII unwind guard for one `Insert`/`Delete`: records how far the
+/// operation got, and on a panic that unwinds through the public API
+/// either withdraws the not-yet-published node (returning it to the pool)
+/// or drives the already-published operation through its own helping
+/// steps to completion + de-announcement, so an abandoned operation never
+/// wedges the trie or leaks its footprint.
+///
+/// The resume is skipped when the panic is an injected
+/// [`fault::FaultAction::Abandon`] (simulating a thread that dies without
+/// unwinding — that is what orphan adoption exists for) or when the
+/// guards were switched off via [`fault::set_unwind_guards_enabled`] (the
+/// "teeth" check).
+struct UpdateOpGuard<'t> {
+    trie: &'t LockFreeBinaryTrie,
+    kind: Kind,
+    phase: StdCell<OpPhase>,
+    /// The operation's own update node, once allocated.
+    node: StdCell<*mut UpdateNode>,
+    /// The node our successful latest-list CAS displaced: the pipeline
+    /// retires it after activation, so a crash in between hands the
+    /// obligation to the resume (helpers clear `latest_next` but never
+    /// retire — exactly one of owner/guard/adopter retires it).
+    displaced: StdCell<*mut UpdateNode>,
+    /// A delete's four embedded helper announcements (null until made,
+    /// nulled again as the pipeline withdraws each).
+    p1: StdCell<*mut PredNode>,
+    p2: StdCell<*mut PredNode>,
+    s1: StdCell<*mut SuccNode>,
+    s2: StdCell<*mut SuccNode>,
+}
+
+impl<'t> UpdateOpGuard<'t> {
+    fn new(trie: &'t LockFreeBinaryTrie, kind: Kind) -> Self {
+        Self {
+            trie,
+            kind,
+            phase: StdCell::new(OpPhase::Start),
+            node: StdCell::new(core::ptr::null_mut()),
+            displaced: StdCell::new(core::ptr::null_mut()),
+            p1: StdCell::new(core::ptr::null_mut()),
+            p2: StdCell::new(core::ptr::null_mut()),
+            s1: StdCell::new(core::ptr::null_mut()),
+            s2: StdCell::new(core::ptr::null_mut()),
+        }
+    }
+}
+
+impl Drop for UpdateOpGuard<'_> {
+    fn drop(&mut self) {
+        if self.phase.get() == OpPhase::Done || !std::thread::panicking() {
+            return;
+        }
+        if fault::is_abandoning() || !fault::unwind_guards_enabled() {
+            // Simulated crash-without-unwind: leave the footprint for
+            // `adopt_orphans` (or, with guards off, demonstrate the leak).
+            return;
+        }
+        let _quiet = fault::suppress();
+        telemetry::add(Counter::UnwindWithdrawals, 1);
+        let this: &UpdateOpGuard<'_> = self;
+        // The resume must not unwind out of a Drop that itself runs during
+        // unwinding (that would abort); a genuine panic inside the resume
+        // is contained to a bounded leak of this one operation.
+        let _ = std::panic::catch_unwind(core::panic::AssertUnwindSafe(|| {
+            // Re-pin (re-entrantly — the panicking operation's own pin is
+            // still live in the unwinding caller frame).
+            let guard = &epoch::pin();
+            this.trie.resume_update(this, guard);
+        }));
+    }
+}
+
+/// RAII unwind guard for one announced `PredHelper`: a panic between the
+/// P-ALL announcement and the helper's return withdraws the announcement
+/// (query operations have no side effects to complete — withdrawal alone
+/// restores quiescence). Disarmed on the normal return path, where the
+/// caller owns the withdrawal.
+struct PredQueryGuard<'t> {
+    trie: &'t LockFreeBinaryTrie,
+    node: *mut PredNode,
+    armed: StdCell<bool>,
+}
+
+impl Drop for PredQueryGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed.get() || !std::thread::panicking() {
+            return;
+        }
+        if fault::is_abandoning() || !fault::unwind_guards_enabled() {
+            return;
+        }
+        let _quiet = fault::suppress();
+        telemetry::add(Counter::UnwindWithdrawals, 1);
+        let _ = std::panic::catch_unwind(core::panic::AssertUnwindSafe(|| {
+            let guard = &epoch::pin();
+            self.trie.remove_pred_node(self.node, guard);
+        }));
+    }
+}
+
+/// The successor mirror of [`PredQueryGuard`].
+struct SuccQueryGuard<'t> {
+    trie: &'t LockFreeBinaryTrie,
+    node: *mut SuccNode,
+    armed: StdCell<bool>,
+}
+
+impl Drop for SuccQueryGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed.get() || !std::thread::panicking() {
+            return;
+        }
+        if fault::is_abandoning() || !fault::unwind_guards_enabled() {
+            return;
+        }
+        let _quiet = fault::suppress();
+        telemetry::add(Counter::UnwindWithdrawals, 1);
+        let _ = std::panic::catch_unwind(core::panic::AssertUnwindSafe(|| {
+            let guard = &epoch::pin();
+            self.trie.remove_succ_node(self.node, guard);
+        }));
+    }
 }
 
 /// Allocation statistics of the four announcement-list cell registries, the
@@ -189,6 +349,23 @@ pub struct LockFreeBinaryTrie {
     /// The same tallies for `successor` (mirror paths).
     relaxed_succ_bottoms: AtomicU64,
     succ_recoveries: AtomicU64,
+    /// Approximate live-announcement total (all four lists), maintained at
+    /// the announce/withdraw sites; feeds the high-water gauge. Signed so
+    /// that transient interleavings of the relaxed updates cannot wrap.
+    ann_current: AtomicI64,
+    /// Highest `ann_current` ever observed: a crashed thread's leaked
+    /// announcements show up as a high-water mark that never comes back
+    /// down until adoption withdraws them.
+    ann_high_water: AtomicU64,
+    /// The [`liveness::death_generation`] value already adopted for:
+    /// update entry points compare and swap-claim it so orphan adoption
+    /// runs amortized-once per thread death, not per operation.
+    adopt_gen: AtomicU64,
+    /// Serializes [`LockFreeBinaryTrie::adopt_orphans`] sweeps. Ordinary
+    /// operations never take it (`try_lock` in the sweep keeps the fast
+    /// path lock-free: a blocked would-be adopter just defers to the one
+    /// already running).
+    adoption: Mutex<()>,
 }
 
 impl LatestAccess for LockFreeBinaryTrie {
@@ -241,6 +418,10 @@ impl LockFreeBinaryTrie {
             recoveries: AtomicU64::new(0),
             relaxed_succ_bottoms: AtomicU64::new(0),
             succ_recoveries: AtomicU64::new(0),
+            ann_current: AtomicI64::new(0),
+            ann_high_water: AtomicU64::new(0),
+            adopt_gen: AtomicU64::new(0),
+            adoption: Mutex::new(()),
         }
     }
 
@@ -263,13 +444,32 @@ impl LockFreeBinaryTrie {
     // Announcement helpers
     // ------------------------------------------------------------------
 
+    /// Bumps the live-announcement gauge and folds it into the high-water
+    /// mark. Called after each successful list insert, so a crash at the
+    /// injection point *before* the insert never counts a phantom.
+    #[inline]
+    fn ann_add(&self, n: usize) {
+        let cur = self.ann_current.fetch_add(n as i64, Ordering::Relaxed) + n as i64;
+        self.ann_high_water
+            .fetch_max(cur.max(0) as u64, Ordering::Relaxed);
+    }
+
+    /// Debits the live-announcement gauge by the number of cells actually
+    /// removed (withdrawal under helping can remove 0, 1, or more).
+    #[inline]
+    fn ann_sub(&self, n: usize) {
+        self.ann_current.fetch_sub(n as i64, Ordering::Relaxed);
+    }
+
     /// Inserts `uNode` into the U-ALL and RU-ALL (lines 130/173/196).
     fn announce(&self, u_node: *mut UpdateNode, guard: &Guard<'_>) {
         let key = unsafe { (*u_node).key() };
         scan_events::on_update_announce();
         telemetry::flight(FlightKind::Announce, key, 0);
         self.uall.insert(key, u_node, guard);
+        self.ann_add(1);
         self.ruall.insert(key, u_node, guard);
+        self.ann_add(1);
     }
 
     /// Removes every announcement of `uNode` (lines 136/179/205): helpers
@@ -278,8 +478,20 @@ impl LockFreeBinaryTrie {
         let key = unsafe { (*u_node).key() };
         scan_events::on_update_withdraw();
         telemetry::flight(FlightKind::Deannounce, key, 0);
-        self.uall.remove_all(key, u_node, guard);
-        self.ruall.remove_all(key, u_node, guard);
+        let removed = self.uall.remove_all(key, u_node, guard);
+        self.ann_sub(removed);
+        let removed = self.ruall.remove_all(key, u_node, guard);
+        self.ann_sub(removed);
+    }
+
+    /// Retires `node` as a displaced (superseded) latest-list node,
+    /// exactly once across every party that can reach it — the superseding
+    /// operation's pipeline, that operation's unwind guard, a helper that
+    /// cleared the `latestNext` link, or an orphan adopter.
+    fn retire_displaced(&self, node: *mut UpdateNode, guard: &Guard<'_>) {
+        if unsafe { (*node).claim_retire() } {
+            unsafe { self.core.retire_node(node, guard) };
+        }
     }
 
     /// `HelpActivate(uNode)` (lines 128–136): finish a stalled update's
@@ -290,21 +502,33 @@ impl LockFreeBinaryTrie {
             // L129
             self.announce(u_node, guard); // L130
             u.activate(); // L131
-            if u.kind() == Kind::Del {
+            let displaced = u.latest_next();
+            if u.kind() == Kind::Del && !displaced.is_null() {
                 // L132–133: uNode.latestNext.target.stop ← True (⊥-tolerant)
-                let prev_ins = u.latest_next();
-                if !prev_ins.is_null() {
-                    let target = unsafe { (*prev_ins).target() };
-                    if !target.is_null() {
-                        unsafe { (*target).set_stop() };
-                    }
+                let target = unsafe { (*displaced).target() };
+                if !target.is_null() {
+                    unsafe { (*target).set_stop() };
                 }
             }
             u.clear_latest_next(); // L134
+            if !displaced.is_null() {
+                // The owner would retire the displaced node after its own
+                // clear (lines 175/199) — but a crashed owner never will,
+                // and after our clear nobody else can reach it. The claim
+                // makes the retirement exactly-once whoever gets there.
+                self.retire_displaced(displaced, guard);
+            }
             if u.completed() {
                 // L135: owner finished while we were helping — our (or a
                 // stale) announcement must go.
                 self.deannounce(u_node, guard); // L136
+            } else if !liveness::is_live(u.owner()) {
+                // A dead owner will never run its completion phase, and the
+                // announcement we just published for it would outlive every
+                // death-generation trigger (the death already happened).
+                // Sweep it into adoption now; reentry from inside a sweep
+                // is cut off by the sweep lock's `try_lock`.
+                self.adopt_orphans();
             }
         }
     }
@@ -592,14 +816,22 @@ impl LockFreeBinaryTrie {
     pub fn insert(&self, x: Key) -> bool {
         let x = self.check_key(x);
         telemetry::add(Counter::InsertOps, 1);
+        self.maybe_adopt_orphans();
         let guard = &epoch::pin();
-        let i_node = self.insert_phase1(x, guard);
+        fault::point(FaultPoint::InsertEntry);
+        let og = UpdateOpGuard::new(self, Kind::Ins);
+        let i_node = self.insert_phase1(x, guard, &og);
         if i_node.is_null() {
+            og.phase.set(OpPhase::Done);
             return false; // L164 / L172
         }
         self.notify_query_ops(i_node, guard); // L177 (+ successor mirror)
+        og.phase.set(OpPhase::Notified);
         unsafe { (*i_node).set_completed() }; // L178
+        og.phase.set(OpPhase::Completed);
+        fault::point(FaultPoint::InsertCompleted);
         self.deannounce(i_node, guard); // L179
+        og.phase.set(OpPhase::Done);
         true // L180
     }
 
@@ -610,7 +842,7 @@ impl LockFreeBinaryTrie {
     /// `set_completed` and `deannounce` — the split exists so
     /// [`LockFreeBinaryTrie::insert_all`] can run the batch under one
     /// shared epoch pin.
-    fn insert_phase1(&self, x: i64, guard: &Guard<'_>) -> *mut UpdateNode {
+    fn insert_phase1(&self, x: i64, guard: &Guard<'_>, og: &UpdateOpGuard<'_>) -> *mut UpdateNode {
         let d_node = self.find_latest(x); // L163
         if unsafe { (*d_node).kind() } != Kind::Del {
             return core::ptr::null_mut(); // L164: x already in S
@@ -622,6 +854,8 @@ impl LockFreeBinaryTrie {
             d_node,
             self.core.b(),
         ));
+        og.node.set(i_node);
+        og.phase.set(OpPhase::Alloced);
         // L168: dNode.latestNext.target.stop ← True (⊥-tolerant).
         let prev_ins = unsafe { (*d_node).latest_next() };
         if !prev_ins.is_null() {
@@ -633,20 +867,35 @@ impl LockFreeBinaryTrie {
         unsafe { (*d_node).clear_latest_next() }; // L169
         if !self.core.cas_latest(x, d_node, i_node) {
             // L170 failed: help the Insert that won, then return. Our node
-            // was never published; nobody else can hold it.
+            // was never published; nobody else can hold it. (A crash while
+            // helping unwinds with the guard still at `Alloced`, whose
+            // resume performs exactly this dealloc.)
             self.help_activate(self.core.latest_head(x), guard); // L171
             unsafe { self.core.dealloc_node(i_node) };
+            og.node.set(core::ptr::null_mut());
+            og.phase.set(OpPhase::Start);
             return core::ptr::null_mut(); // L172
         }
+        og.displaced.set(d_node);
+        og.phase.set(OpPhase::Published);
+        fault::point(FaultPoint::InsertPublished);
         self.announce(i_node, guard); // L173
+        og.phase.set(OpPhase::Announced);
+        fault::point(FaultPoint::InsertAnnounced);
         unsafe { (*i_node).activate() }; // L174: linearization point
+        fault::point(FaultPoint::InsertLinearized);
         unsafe { (*i_node).clear_latest_next() }; // L175
                                                   // dNode is now off the latest[x] list (head is the active iNode with
                                                   // latestNext = ⊥): retire it. Its reclamation waits for its own
                                                   // Delete to complete and for every dNodePtr/target reference to
                                                   // drain (`UpdateNode::ready_to_reclaim`).
-        unsafe { self.core.retire_node(d_node, guard) };
+        self.retire_displaced(d_node, guard);
+        og.displaced.set(core::ptr::null_mut());
+        og.phase.set(OpPhase::Linearized);
         bitops::insert_binary_trie(&self.core, self, i_node); // L176
+        unsafe { (*i_node).claim_trie_update() };
+        og.phase.set(OpPhase::TrieUpdated);
+        fault::point(FaultPoint::InsertTrieUpdated);
         i_node
     }
 
@@ -659,12 +908,17 @@ impl LockFreeBinaryTrie {
     pub fn remove(&self, x: Key) -> bool {
         let x = self.check_key(x);
         telemetry::add(Counter::RemoveOps, 1);
+        self.maybe_adopt_orphans();
         let guard = &epoch::pin();
-        let Some(pending) = self.remove_phase1(x, guard) else {
+        fault::point(FaultPoint::DeleteEntry);
+        let og = UpdateOpGuard::new(self, Kind::Del);
+        let Some(pending) = self.remove_phase1(x, guard, &og) else {
+            og.phase.set(OpPhase::Done);
             return false; // L183 / L195
         };
         self.notify_query_ops(pending.d_node, guard); // L203 (+ successor mirror)
-        self.remove_finish(&pending, guard); // L204–206
+        og.phase.set(OpPhase::Notified);
+        self.remove_finish(&pending, guard, &og); // L204–206
         true
     }
 
@@ -676,7 +930,12 @@ impl LockFreeBinaryTrie {
     /// [`LockFreeBinaryTrie::remove_finish`] — the split exists so
     /// [`LockFreeBinaryTrie::delete_all`] can run every key of a batch
     /// under one shared epoch pin.
-    fn remove_phase1(&self, x: i64, guard: &Guard<'_>) -> Option<PendingDelete> {
+    fn remove_phase1(
+        &self,
+        x: i64,
+        guard: &Guard<'_>,
+        og: &UpdateOpGuard<'_>,
+    ) -> Option<PendingDelete> {
         let i_node = self.find_latest(x); // L182
         if unsafe { (*i_node).kind() } != Kind::Ins {
             return None; // L183: x not in S
@@ -685,7 +944,11 @@ impl LockFreeBinaryTrie {
         // P-ALL until this Delete returns), plus the mirrored first embedded
         // successor in the S-ALL.
         let (del_pred, p_node1) = self.pred_helper(x, guard);
+        og.p1.set(p_node1);
         let (del_succ, s_node1) = self.succ_helper(x, guard);
+        og.s1.set(s_node1);
+        og.phase.set(OpPhase::Helpers);
+        fault::point(FaultPoint::DeleteHelpersDone);
         // L185–189: new inactive DEL node recording the embedded results.
         let d_node = self.core.alloc_node(UpdateNode::new_del(
             x,
@@ -693,6 +956,8 @@ impl LockFreeBinaryTrie {
             i_node,
             self.core.b(),
         ));
+        og.node.set(d_node);
+        og.phase.set(OpPhase::Alloced);
         unsafe {
             (*d_node).init_del_pred(del_pred); // L188
             (*d_node).init_del_pred_node(p_node1); // L189
@@ -702,16 +967,28 @@ impl LockFreeBinaryTrie {
         }
         self.notify_query_ops(i_node, guard); // L191: help previous Insert notify
         if !self.core.cas_latest(x, i_node, d_node) {
-            // L192 failed: dNode was never published.
+            // L192 failed: dNode was never published. (A crash while
+            // helping unwinds with the guard at `Alloced`, whose resume
+            // performs exactly this cleanup.)
             self.help_activate(self.core.latest_head(x), guard); // L193
             self.remove_pred_node(p_node1, guard); // L194
+            og.p1.set(core::ptr::null_mut());
             self.remove_succ_node(s_node1, guard);
+            og.s1.set(core::ptr::null_mut());
             unsafe { self.core.dealloc_node(d_node) };
+            og.node.set(core::ptr::null_mut());
+            og.phase.set(OpPhase::Start);
             return None; // L195
         }
+        og.displaced.set(i_node);
+        og.phase.set(OpPhase::Published);
+        fault::point(FaultPoint::DeletePublished);
         self.announce(d_node, guard); // L196
+        og.phase.set(OpPhase::Announced);
+        fault::point(FaultPoint::DeleteAnnounced);
         unsafe { (*d_node).activate() }; // L197: linearization point
-                                         // L198: iNode.target.stop ← True (⊥-tolerant).
+        fault::point(FaultPoint::DeleteLinearized);
+        // L198: iNode.target.stop ← True (⊥-tolerant).
         let target = unsafe { (*i_node).target() };
         if !target.is_null() {
             unsafe { (*target).set_stop() };
@@ -719,13 +996,22 @@ impl LockFreeBinaryTrie {
         unsafe { (*d_node).clear_latest_next() }; // L199
                                                   // iNode is off the latest[x] list: retire it (freed once its own
                                                   // Insert completed and target references drain).
-        unsafe { self.core.retire_node(i_node, guard) };
+        self.retire_displaced(i_node, guard);
+        og.displaced.set(core::ptr::null_mut());
+        og.phase.set(OpPhase::Linearized);
         // L200–201: second embedded predecessor, and its successor mirror.
         let (del_pred2, p_node2) = self.pred_helper(x, guard);
+        og.p2.set(p_node2);
         unsafe { (*d_node).set_del_pred2(del_pred2) };
         let (del_succ2, s_node2) = self.succ_helper(x, guard);
+        og.s2.set(s_node2);
         unsafe { (*d_node).set_del_succ2(del_succ2) };
+        og.phase.set(OpPhase::Embeds);
+        fault::point(FaultPoint::DeleteEmbedsDone);
         bitops::delete_binary_trie(&self.core, self, d_node); // L202
+        unsafe { (*d_node).claim_trie_update() };
+        og.phase.set(OpPhase::TrieUpdated);
+        fault::point(FaultPoint::DeleteTrieUpdated);
         Some(PendingDelete {
             d_node,
             p_node1,
@@ -736,14 +1022,311 @@ impl LockFreeBinaryTrie {
     }
 
     /// Lines 204–206 of `Delete(x)`: complete, de-announce, and withdraw
-    /// the four embedded helper announcements.
-    fn remove_finish(&self, pending: &PendingDelete, guard: &Guard<'_>) {
+    /// the four embedded helper announcements, advancing the unwind guard
+    /// past each irreversible step.
+    fn remove_finish(&self, pending: &PendingDelete, guard: &Guard<'_>, og: &UpdateOpGuard<'_>) {
         unsafe { (*pending.d_node).set_completed() }; // L204
+        og.phase.set(OpPhase::Completed);
+        fault::point(FaultPoint::DeleteCompleted);
         self.deannounce(pending.d_node, guard); // L205
         self.remove_pred_node(pending.p_node1, guard); // L206
+        og.p1.set(core::ptr::null_mut());
         self.remove_pred_node(pending.p_node2, guard);
+        og.p2.set(core::ptr::null_mut());
         self.remove_succ_node(pending.s_node1, guard);
+        og.s1.set(core::ptr::null_mut());
         self.remove_succ_node(pending.s_node2, guard);
+        og.s2.set(core::ptr::null_mut());
+        og.phase.set(OpPhase::Done);
+    }
+
+    // ------------------------------------------------------------------
+    // Crash tolerance: unwind resume + orphan adoption
+    // ------------------------------------------------------------------
+
+    /// Drives a crashed update operation from its recorded phase to `Done`
+    /// (called by [`UpdateOpGuard`]'s drop during a panic unwind): a node
+    /// that was never published is returned to the pool, a published one
+    /// is completed exactly as the helping path would complete it — every
+    /// step here is the idempotent (or claimed-exactly-once) form — and
+    /// its announcements plus any embedded helper announcements are
+    /// withdrawn.
+    fn resume_update(&self, og: &UpdateOpGuard<'_>, guard: &Guard<'_>) {
+        let phase = og.phase.get();
+        let node = og.node.get();
+        if phase == OpPhase::Start || phase == OpPhase::Done {
+            return;
+        }
+        if phase <= OpPhase::Alloced {
+            // Never published: nobody else can reach the node. Withdraw a
+            // delete's first embedded helper announcements and put the
+            // node back.
+            if !node.is_null() {
+                unsafe { self.core.dealloc_node(node) };
+            }
+            let p1 = og.p1.get();
+            if !p1.is_null() {
+                self.remove_pred_node(p1, guard);
+            }
+            let s1 = og.s1.get();
+            if !s1.is_null() {
+                self.remove_succ_node(s1, guard);
+            }
+            og.phase.set(OpPhase::Done);
+            return;
+        }
+        if phase == OpPhase::Published {
+            self.announce(node, guard); // L173 / L196
+        }
+        if phase <= OpPhase::Announced {
+            unsafe { (*node).activate() }; // idempotent one-way store
+            let displaced = og.displaced.get();
+            if og.kind == Kind::Del && !displaced.is_null() {
+                // L198 for the superseded INS node.
+                let target = unsafe { (*displaced).target() };
+                if !target.is_null() {
+                    unsafe { (*target).set_stop() };
+                }
+            }
+            unsafe { (*node).clear_latest_next() }; // L175 / L199
+            if !displaced.is_null() {
+                self.retire_displaced(displaced, guard);
+            }
+        }
+        if phase <= OpPhase::Linearized && og.kind == Kind::Del {
+            // L200–201, only for the results the crash lost (a re-run
+            // would overwrite another helper's already-published result).
+            let d = unsafe { &*node };
+            let key = d.key();
+            if d.del_pred2().is_none() {
+                let (del_pred2, p2) = self.pred_helper(key, guard);
+                og.p2.set(p2);
+                d.set_del_pred2(del_pred2);
+            }
+            if d.del_succ2().is_none() {
+                let (del_succ2, s2) = self.succ_helper(key, guard);
+                og.s2.set(s2);
+                d.set_del_succ2(del_succ2);
+            }
+        }
+        if phase <= OpPhase::Embeds && !unsafe { (*node).trie_update_claimed() } {
+            // The relaxed-trie bit update is not idempotent, so it is
+            // claimed exactly once; skip it entirely if a newer update on
+            // the key has already superseded this node.
+            if self.first_activated(node) {
+                if og.kind == Kind::Ins {
+                    bitops::insert_binary_trie(&self.core, self, node);
+                } else {
+                    bitops::delete_binary_trie(&self.core, self, node);
+                }
+            }
+            unsafe { (*node).claim_trie_update() };
+        }
+        if phase <= OpPhase::TrieUpdated {
+            self.notify_query_ops(node, guard);
+        }
+        if phase <= OpPhase::Notified {
+            unsafe { (*node).set_completed() };
+        }
+        self.deannounce(node, guard);
+        for p in [og.p1.get(), og.p2.get()] {
+            if !p.is_null() {
+                self.remove_pred_node(p, guard);
+            }
+        }
+        for s in [og.s1.get(), og.s2.get()] {
+            if !s.is_null() {
+                self.remove_succ_node(s, guard);
+            }
+        }
+        og.phase.set(OpPhase::Done);
+    }
+
+    /// Adopts one dead-owner update announcement: completes the operation
+    /// through the same claimed-exactly-once steps as the unwind resume
+    /// (activation, displaced-node retirement, lost second-helper results,
+    /// the bit update, notification, completion), then withdraws the
+    /// announcement and the embedded helper announcements the node
+    /// records. Setting `completed` is what unblocks
+    /// `UpdateNode::ready_to_reclaim` for the orphan and everything it
+    /// superseded — without adoption a crashed update pins its key's
+    /// retired nodes in limbo forever.
+    fn adopt_update(&self, u_node: *mut UpdateNode, guard: &Guard<'_>) {
+        let u = unsafe { &*u_node };
+        let key = u.key();
+        telemetry::add(Counter::OrphansAdopted, 1);
+        telemetry::flight(FlightKind::Adopt, key, 0);
+        if u.status() == Status::Inactive {
+            u.activate(); // L131
+        }
+        // Capture before the clear — afterwards nobody can reach it.
+        let displaced = u.latest_next();
+        if u.kind() == Kind::Del && !displaced.is_null() {
+            // L132–133
+            let target = unsafe { (*displaced).target() };
+            if !target.is_null() {
+                unsafe { (*target).set_stop() };
+            }
+        }
+        u.clear_latest_next(); // L134
+        if !displaced.is_null() {
+            self.retire_displaced(displaced, guard);
+        }
+        if !u.completed() {
+            let mut p2: *mut PredNode = core::ptr::null_mut();
+            let mut s2: *mut SuccNode = core::ptr::null_mut();
+            if u.kind() == Kind::Del {
+                // L200–201 for the results the dead owner never recorded.
+                if u.del_pred2().is_none() {
+                    let (del_pred2, p) = self.pred_helper(key, guard);
+                    p2 = p;
+                    u.set_del_pred2(del_pred2);
+                }
+                if u.del_succ2().is_none() {
+                    let (del_succ2, s) = self.succ_helper(key, guard);
+                    s2 = s;
+                    u.set_del_succ2(del_succ2);
+                }
+            }
+            if !u.trie_update_claimed() {
+                if self.first_activated(u_node) {
+                    if u.kind() == Kind::Ins {
+                        bitops::insert_binary_trie(&self.core, self, u_node);
+                    } else {
+                        bitops::delete_binary_trie(&self.core, self, u_node);
+                    }
+                }
+                u.claim_trie_update();
+            }
+            self.notify_query_ops(u_node, guard);
+            u.set_completed(); // L204
+            if !p2.is_null() {
+                self.remove_pred_node(p2, guard);
+            }
+            if !s2.is_null() {
+                self.remove_succ_node(s2, guard);
+            }
+        }
+        self.deannounce(u_node, guard); // L205
+        if u.kind() == Kind::Del {
+            // L206 for the first embedded helpers the node records. Under
+            // the crash model these are still announced whenever the
+            // delete itself still was (the owner withdraws them only
+            // *after* its de-announcement); the owner's *second* helpers,
+            // which the node does not record, are dead-owner query
+            // announcements that the P-ALL/S-ALL adoption pass withdraws.
+            let p1 = u.del_pred_node();
+            if !p1.is_null() {
+                self.remove_pred_node(p1, guard);
+            }
+            let s1 = u.del_succ_node();
+            if !s1.is_null() {
+                self.remove_succ_node(s1, guard);
+            }
+        }
+    }
+
+    /// Completes and withdraws every announcement owned by a dead thread
+    /// incarnation (a thread that crashed, or a test thread abandoned via
+    /// fault injection). Returns the number of announcements adopted.
+    ///
+    /// Runs in two ordered passes: update announcements first — each
+    /// orphan is *completed* via the helping steps, which also unpins the
+    /// nodes it superseded from the limbo lists — then dead query
+    /// announcements, which are withdrawal-only. The order matters: a
+    /// `PredNode` may only be retired after the delete embedding it has
+    /// de-announced (see `remove_pred_node`), which
+    /// pass one guarantees.
+    ///
+    /// Amortized integration: update entry points call this automatically
+    /// (via a death-generation check) after a thread incarnation dies, and
+    /// [`LockFreeBinaryTrie::collect_garbage`] always runs it before
+    /// sweeping. Concurrent sweeps coalesce (`try_lock`); operations never
+    /// block on it.
+    pub fn adopt_orphans(&self) -> usize {
+        if !fault::orphan_adoption_enabled() {
+            return 0;
+        }
+        let Ok(_sweep) = self.adoption.try_lock() else {
+            return 0; // another thread is already sweeping
+        };
+        let _quiet = fault::suppress();
+        let guard = &epoch::pin();
+        let mut adopted = 0;
+        // Pass A: dead-owner update announcements, one per re-traversal —
+        // adoption rewrites the lists it scans (helpers may announce the
+        // same node into several cells; `deannounce` strips all of them).
+        loop {
+            let mut orphan = core::ptr::null_mut();
+            for (_key, u_node) in self.uall.iter(guard) {
+                if !liveness::is_live(unsafe { (*u_node).owner() }) {
+                    orphan = u_node;
+                    break;
+                }
+            }
+            if orphan.is_null() {
+                // Announcement inserts into the U-ALL first and withdraws
+                // from it first, so an orphan sits in the RU-ALL alone
+                // only when its owner died mid-deannounce.
+                for (_key, u_node) in self.ruall.iter(guard) {
+                    if !liveness::is_live(unsafe { (*u_node).owner() }) {
+                        orphan = u_node;
+                        break;
+                    }
+                }
+            }
+            if orphan.is_null() {
+                break;
+            }
+            self.adopt_update(orphan, guard);
+            adopted += 1;
+        }
+        // Pass B: dead-owner query announcements (both plain queries and
+        // the second embedded helpers pass A could not reach). Collected
+        // first, then withdrawn: nobody else withdraws dead-owner nodes
+        // while we hold the sweep lock.
+        let dead_preds: Vec<*mut PredNode> = self
+            .pall
+            .iter(guard)
+            .map(|c| unsafe { (*c).payload() })
+            .filter(|&p| !liveness::is_live(unsafe { (*p).owner() }))
+            .collect();
+        for p_node in dead_preds {
+            telemetry::add(Counter::OrphansAdopted, 1);
+            telemetry::flight(FlightKind::Adopt, unsafe { (*p_node).key }, 1);
+            self.remove_pred_node(p_node, guard);
+            adopted += 1;
+        }
+        let dead_succs: Vec<*mut SuccNode> = self
+            .sall
+            .iter(guard)
+            .map(|c| unsafe { (*c).payload() })
+            .filter(|&s| !liveness::is_live(unsafe { (*s).owner() }))
+            .collect();
+        for s_node in dead_succs {
+            telemetry::add(Counter::OrphansAdopted, 1);
+            telemetry::flight(FlightKind::Adopt, unsafe { (*s_node).key() }, 2);
+            self.remove_succ_node(s_node, guard);
+            adopted += 1;
+        }
+        adopted
+    }
+
+    /// The amortized entry-point hook: runs [`adopt_orphans`] only when a
+    /// thread incarnation has died since the last sweep this trie ran
+    /// (compare-and-claim on the global death generation), so the hot
+    /// path costs one relaxed load.
+    ///
+    /// [`adopt_orphans`]: LockFreeBinaryTrie::adopt_orphans
+    #[inline]
+    fn maybe_adopt_orphans(&self) {
+        let generation = liveness::death_generation();
+        if self.adopt_gen.load(Ordering::Relaxed) == generation {
+            return;
+        }
+        if self.adopt_gen.swap(generation, Ordering::SeqCst) != generation {
+            self.adopt_orphans();
+        }
     }
 
     /// `Predecessor(y)` (lines 253–256): the largest key in the set smaller
@@ -774,11 +1357,20 @@ impl LockFreeBinaryTrie {
     /// de-announced (line 205 precedes line 206); concurrent holders are
     /// pinned, which the grace period covers.
     fn remove_pred_node(&self, p_node: *mut PredNode, guard: &Guard<'_>) {
+        // Exactly-once: under the crash model the owner's resume path and
+        // the adoption sweep can both reach an embedded helper node (a
+        // delete that died before announcing hides it from pass A, so pass
+        // B withdraws it as a plain dead query — and a later helper can
+        // still surface the delete for adoption, which withdraws again).
+        if !unsafe { (*p_node).claim_withdraw() } {
+            return;
+        }
         let cell = unsafe { (*p_node).pall_cell() };
         // Safety: the cell was stored into the PredNode by the `insert` in
-        // `pred_helper`, and each PredNode is de-announced exactly once.
+        // `pred_helper`, and the claim above makes this removal unique.
         unsafe { self.pall.remove(cell, guard) };
         unsafe { self.preds.retire(p_node, guard) };
+        self.ann_sub(1);
     }
 
     /// `Successor(y)`: the smallest key in the set greater than `y`, or
@@ -970,16 +1562,25 @@ impl LockFreeBinaryTrie {
             self.check_key(x);
         }
         telemetry::add(Counter::InsertOps, keys.len() as u64);
+        self.maybe_adopt_orphans();
         let guard = &epoch::pin();
         let mut modifying = 0;
         for &x in keys {
-            let i_node = self.insert_phase1(x as i64, guard);
+            // Each key gets its own unwind guard: a crash mid-batch
+            // completes (or withdraws) the key in flight and leaves the
+            // batch a clean prefix of per-key linearized operations.
+            let og = UpdateOpGuard::new(self, Kind::Ins);
+            let i_node = self.insert_phase1(x as i64, guard, &og);
             if !i_node.is_null() {
                 self.notify_query_ops(i_node, guard);
+                og.phase.set(OpPhase::Notified);
                 unsafe { (*i_node).set_completed() };
+                og.phase.set(OpPhase::Completed);
                 self.deannounce(i_node, guard);
                 modifying += 1;
             }
+            og.phase.set(OpPhase::Done);
+            fault::point(FaultPoint::BatchKeyDone);
         }
         modifying
     }
@@ -1002,14 +1603,19 @@ impl LockFreeBinaryTrie {
             self.check_key(x);
         }
         telemetry::add(Counter::RemoveOps, keys.len() as u64);
+        self.maybe_adopt_orphans();
         let guard = &epoch::pin();
         let mut modifying = 0;
         for &x in keys {
-            if let Some(p) = self.remove_phase1(x as i64, guard) {
+            let og = UpdateOpGuard::new(self, Kind::Del);
+            if let Some(p) = self.remove_phase1(x as i64, guard, &og) {
                 self.notify_query_ops(p.d_node, guard);
-                self.remove_finish(&p, guard);
+                og.phase.set(OpPhase::Notified);
+                self.remove_finish(&p, guard, &og);
                 modifying += 1;
             }
+            og.phase.set(OpPhase::Done);
+            fault::point(FaultPoint::BatchKeyDone);
         }
         modifying
     }
@@ -1018,13 +1624,18 @@ impl LockFreeBinaryTrie {
     /// of [`LockFreeBinaryTrie::remove_pred_node`]; see [`SuccNode`]'s
     /// `Reclaim` impl for why the plain grace period suffices).
     fn remove_succ_node(&self, s_node: *mut SuccNode, guard: &Guard<'_>) {
+        // Exactly-once; see `remove_pred_node` for the crash-model race.
+        if !unsafe { (*s_node).claim_withdraw() } {
+            return;
+        }
         scan_events::on_withdraw();
         telemetry::flight(FlightKind::Deannounce, unsafe { (*s_node).key() }, 1);
         let cell = unsafe { (*s_node).sall_cell() };
         // Safety: the cell was stored into the SuccNode by the `insert` in
-        // `succ_helper`, and each SuccNode is de-announced exactly once.
+        // `succ_helper`, and the claim above makes this removal unique.
         unsafe { self.sall.remove(cell, guard) };
         unsafe { self.succs.retire(s_node, guard) };
+        self.ann_sub(1);
     }
 
     // ------------------------------------------------------------------
@@ -1038,6 +1649,15 @@ impl LockFreeBinaryTrie {
         let p_node = self.preds.alloc(PredNode::new(y));
         let p_cell = self.pall.insert(p_node, guard);
         unsafe { (*p_node).set_pall_cell(p_cell) };
+        self.ann_add(1);
+        // From here to the return the announcement is live: a panic in the
+        // computation withdraws it (queries have nothing to complete).
+        let qg = PredQueryGuard {
+            trie: self,
+            node: p_node,
+            armed: StdCell::new(true),
+        };
+        fault::point(FaultPoint::QueryAnnounced);
 
         // L210–214: Q = announcements older than ours, oldest-first (the
         // traversal prepends, so walking newest→oldest yields oldest-first).
@@ -1141,6 +1761,7 @@ impl LockFreeBinaryTrie {
                 }
             }
         };
+        qg.armed.set(false);
         (r0_val.max(r1), p_node) // L252
     }
 
@@ -1277,6 +1898,12 @@ impl LockFreeBinaryTrie {
     fn succ_helper(&self, y: i64, guard: &Guard<'_>) -> (i64, *mut SuccNode) {
         // Mirror of L208–209: announce in the S-ALL.
         let s_node = self.succ_announce(y, guard);
+        let qg = SuccQueryGuard {
+            trie: self,
+            node: s_node,
+            armed: StdCell::new(true),
+        };
+        fault::point(FaultPoint::QueryAnnounced);
 
         // Mirror of L210–214: Q = successor announcements older than ours,
         // oldest-first.
@@ -1290,7 +1917,9 @@ impl LockFreeBinaryTrie {
             q
         };
 
-        (self.succ_compute(y, 0, s_node, &q, guard), s_node)
+        let succ = self.succ_compute(y, 0, s_node, &q, guard);
+        qg.armed.set(false);
+        (succ, s_node)
     }
 
     /// Mirror of L208–209: allocates and announces a successor node for
@@ -1301,6 +1930,7 @@ impl LockFreeBinaryTrie {
         let s_node = self.succs.alloc(SuccNode::new(y));
         let s_cell = self.sall.insert(s_node, guard);
         unsafe { (*s_node).set_sall_cell(s_cell) };
+        self.ann_add(1);
         s_node
     }
 
@@ -1331,6 +1961,10 @@ impl LockFreeBinaryTrie {
     /// step began; dropping them reproduces the legal v1 execution in which
     /// that sender's S-ALL traversal passed before a fresh announcement.
     fn succ_step_slide(&self, s_node: *mut SuccNode, y: i64, guard: &Guard<'_>) -> i64 {
+        // Before the slide begins: a crash here leaves the node stable
+        // (even era) and still announced — the scan's drop (or adoption,
+        // if the owner died) withdraws it.
+        fault::point(FaultPoint::ScanStep);
         scan_events::on_slide();
         let s = unsafe { &*s_node };
         s.begin_slide();
@@ -1844,6 +2478,7 @@ impl LockFreeBinaryTrie {
             ruall: self.ruall.len(),
             pall: self.pall.len(),
             sall: self.sall.len(),
+            high_water: self.ann_high_water.load(Ordering::Relaxed) as usize,
         }
     }
 
@@ -2004,6 +2639,10 @@ impl LockFreeBinaryTrie {
     /// is freed. Called by tests and the space experiment before sampling
     /// `live_nodes`.
     pub fn collect_garbage(&self) {
+        // Adopt crashed threads' announcements first: completing an orphan
+        // opens the `completed` reclamation gate for it and everything it
+        // superseded, which the sweeps below can then actually free.
+        self.adopt_orphans();
         self.core.flush_reclamation();
         self.preds.flush();
         self.succs.flush();
@@ -2061,11 +2700,19 @@ impl IterFrom<'_> {
     /// Ends the scan and withdraws its announcement (idempotent).
     fn finish(&mut self) {
         self.state = IterState::Done;
-        if !self.s_node.is_null() {
-            let guard = &epoch::pin();
-            self.trie.remove_succ_node(self.s_node, guard);
-            self.s_node = core::ptr::null_mut();
+        let s_node = core::mem::replace(&mut self.s_node, core::ptr::null_mut());
+        if s_node.is_null() {
+            return;
         }
+        if fault::is_abandoning() || !liveness::is_live(unsafe { (*s_node).owner() }) {
+            // Simulated crash-without-unwind (or a drop that straggled in
+            // after this thread's incarnation was abandoned): the
+            // announcement belongs to `adopt_orphans` now — a withdrawal
+            // here would double up with the adopter's.
+            return;
+        }
+        let guard = &epoch::pin();
+        self.trie.remove_succ_node(s_node, guard);
     }
 }
 

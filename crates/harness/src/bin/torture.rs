@@ -9,6 +9,21 @@
 //! Defaults: 10 seconds, 4 threads, universe 2^10, 0 stalled readers.
 //! Exits non-zero on any consistency violation.
 //!
+//! Environment:
+//!
+//! * `LFTRIE_TORTURE_SEED` — base seed folded into every per-thread RNG
+//!   and fault decision (default 0). A failure dump echoes the full
+//!   reproduction line, seed included.
+//! * `LFTRIE_TORTURE_FAULTS` — `panic`, `abandon`, or `mixed` arms the
+//!   chaos lane (requires `--features fault-injection`): every worker runs
+//!   under a seeded `FaultPlan` that fires yields, stalls, panics, and
+//!   thread abandonment at the named injection points. Panicked operations
+//!   are completed by the unwind guards; abandoned incarnations' leftover
+//!   announcements are adopted at round end, and the round then validates
+//!   the usual quiescent invariants *plus* full announcement drain.
+//! * `LFTRIE_TORTURE_FAULT_RATE` — firing probability per 1024 point
+//!   occurrences (default 24).
+//!
 //! The fourth argument is the **oversubscription lane** (ISSUE 8): each
 //! round additionally parks that many readers mid-traversal — pinned, with
 //! their target nodes published as hazard pointers — for the whole round
@@ -18,6 +33,12 @@
 //! backlog bounded, and the parked readers re-dereference their protected
 //! nodes throughout, so a hazard-filter bug shows up as a use-after-free
 //! under the sanitizer lane rather than as silent corruption.
+//!
+//! A **progress watchdog** guards every round: the workers must complete a
+//! minimum number of operations per round even while the fault plan fires
+//! (surviving threads must keep progressing past crashed ones — the
+//! lock-freedom claim under crashes). A violation dumps telemetry, the
+//! flight recorder, and the fault log.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -27,10 +48,44 @@ use lftrie_core::LockFreeBinaryTrie;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Reports a consistency violation, dumps the unified telemetry snapshot
-/// and the flight-recorder ring (the last protocol events leading up to
-/// the failure), and exits non-zero.
-fn fail(round: u64, trie: &LockFreeBinaryTrie, msg: &str) -> ! {
+/// Everything needed to reproduce a run, echoed by every failure dump.
+#[derive(Clone)]
+struct Repro {
+    seconds: u64,
+    threads: usize,
+    log2_u: u64,
+    stalled_readers: usize,
+    seed: u64,
+    faults: String,
+    fault_rate: u32,
+}
+
+impl Repro {
+    fn print(&self) {
+        eprintln!("--- reproduction ---");
+        eprintln!(
+            "LFTRIE_TORTURE_SEED={} LFTRIE_TORTURE_FAULTS={} LFTRIE_TORTURE_FAULT_RATE={} \\",
+            self.seed,
+            if self.faults.is_empty() {
+                "\"\"".to_string()
+            } else {
+                self.faults.clone()
+            },
+            self.fault_rate,
+        );
+        eprintln!(
+            "  cargo run --release -p lftrie-harness --features fault-injection,stall-injection \
+             --bin torture -- {} {} {} {}",
+            self.seconds, self.threads, self.log2_u, self.stalled_readers
+        );
+    }
+}
+
+/// Reports a consistency violation, dumps the unified telemetry snapshot,
+/// the flight-recorder ring (the last protocol events leading up to the
+/// failure), the fault log, and the reproduction seed, then exits
+/// non-zero.
+fn fail(round: u64, trie: &LockFreeBinaryTrie, repro: &Repro, msg: &str) -> ! {
     // The heartbeat ends in `\r` with the cursor mid-line; terminate and
     // flush it so the dump below starts on a clean line instead of
     // overwriting (and being interleaved with) the last heartbeat.
@@ -40,11 +95,181 @@ fn fail(round: u64, trie: &LockFreeBinaryTrie, msg: &str) -> ! {
         std::io::stdout().flush().ok();
     }
     eprintln!("round {round}: {msg}");
+    repro.print();
     eprintln!("--- telemetry at failure ---");
     eprint!("{}", trie.telemetry().to_prometheus());
     eprintln!("--- flight recorder (oldest first) ---");
     eprint!("{}", lftrie_telemetry::flight_report());
+    #[cfg(feature = "fault-injection")]
+    {
+        eprintln!("--- fault log ---");
+        eprint!("{}", lftrie_core::fault::format_log());
+    }
     std::process::exit(1);
+}
+
+/// Installs the process-global fault plan described by the environment and
+/// returns whether the chaos lane is armed.
+#[cfg(feature = "fault-injection")]
+fn install_fault_plan(repro: &Repro) -> bool {
+    use lftrie_core::fault::{self, FaultAction, FaultPlan};
+    let actions: &[FaultAction] = match repro.faults.as_str() {
+        "" => return false,
+        "panic" => &[FaultAction::Yield, FaultAction::Stall, FaultAction::Panic],
+        "abandon" => &[FaultAction::Yield, FaultAction::Stall, FaultAction::Abandon],
+        "mixed" => &[
+            FaultAction::Yield,
+            FaultAction::Stall,
+            FaultAction::Panic,
+            FaultAction::Abandon,
+        ],
+        other => {
+            eprintln!("unknown LFTRIE_TORTURE_FAULTS mode {other:?} (want panic|abandon|mixed)");
+            std::process::exit(2);
+        }
+    };
+    fault::install(
+        FaultPlan::seeded(repro.seed)
+            .with_rate(repro.fault_rate)
+            .with_actions(actions),
+    );
+    fault::silence_injected_panics();
+    true
+}
+
+#[cfg(not(feature = "fault-injection"))]
+fn install_fault_plan(repro: &Repro) -> bool {
+    if !repro.faults.is_empty() {
+        eprintln!(
+            "warning: LFTRIE_TORTURE_FAULTS needs --features fault-injection; \
+             running without the chaos lane"
+        );
+    }
+    false
+}
+
+/// One worker operation against the trie; panics injected mid-operation
+/// unwind out of here (and are handled by the caller).
+fn one_op(trie: &LockFreeBinaryTrie, rng: &mut StdRng, universe: u64) {
+    let k = rng.gen_range(0..universe);
+    match rng.gen_range(0..16) {
+        0..=2 => {
+            trie.insert(k);
+        }
+        3..=5 => {
+            trie.remove(k);
+        }
+        6 => {
+            std::hint::black_box(trie.contains(k));
+        }
+        7..=8 => {
+            if let Some(p) = trie.predecessor(k.max(1)) {
+                assert!(p < k.max(1), "pred returned ≥ query");
+            }
+        }
+        9..=10 => {
+            if let Some(s) = trie.successor(k) {
+                assert!(s > k, "succ returned ≤ query");
+            }
+        }
+        11 => {
+            let hi = (k + 32).min(universe - 1);
+            let scan = trie.range(k..=hi);
+            assert!(
+                scan.windows(2).all(|w| w[0] < w[1]),
+                "scan not strictly increasing"
+            );
+            assert!(
+                scan.iter().all(|&x| x >= k && x <= hi),
+                "scan escaped its bounds"
+            );
+        }
+        12 => {
+            let hi = (k + 32).min(universe - 1);
+            let n = trie.count(k..=hi);
+            assert!(n as u64 <= hi - k + 1, "count exceeds range width");
+        }
+        13 => {
+            if let (Some(mn), Some(mx)) = (trie.min(), trie.max()) {
+                assert!(mn <= mx, "min above max");
+                assert!(mx < universe, "max escaped the universe");
+            }
+        }
+        14 => {
+            if let Some(m) = trie.pop_min() {
+                assert!(m < universe, "pop_min escaped the universe");
+            }
+        }
+        _ => {
+            let len = 8.min(universe - k);
+            let keys: Vec<u64> = (k..k + len).collect();
+            if rng.gen_bool(0.5) {
+                assert!(
+                    trie.insert_all(&keys) <= keys.len(),
+                    "insert_all over-reported"
+                );
+            } else {
+                assert!(
+                    trie.delete_all(&keys) <= keys.len(),
+                    "delete_all over-reported"
+                );
+            }
+        }
+    }
+}
+
+/// The chaos-lane worker loop: every operation runs under `catch_unwind`;
+/// injected panics are absorbed (the unwind guards completed the
+/// operation), an injected abandon additionally kills this thread's
+/// liveness incarnation — its leftover announcements become orphans for
+/// adoption — and anything else is a real bug and is re-thrown.
+#[cfg(feature = "fault-injection")]
+fn worker_loop_faulty(
+    trie: &LockFreeBinaryTrie,
+    rng: &mut StdRng,
+    universe: u64,
+    stop: &AtomicBool,
+    salt: u64,
+) -> u64 {
+    use lftrie_core::fault;
+    fault::arm(salt);
+    let mut n = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        match std::panic::catch_unwind(core::panic::AssertUnwindSafe(|| {
+            one_op(trie, rng, universe)
+        })) {
+            Ok(()) => n += 1,
+            Err(payload) => {
+                // An abandon already killed this thread's liveness
+                // incarnation (its in-flight footprint is now orphaned for
+                // adoption); consuming the flag lets the thread keep
+                // working under a fresh incarnation — the surviving-thread
+                // progress the watchdog checks. A plain injected panic was
+                // cleaned up by the unwind guards. Anything else is real.
+                if !fault::take_abandoned()
+                    && payload.downcast_ref::<fault::InjectedFault>().is_none()
+                {
+                    std::panic::resume_unwind(payload); // a real bug
+                }
+            }
+        }
+    }
+    fault::disarm();
+    n
+}
+
+fn worker_loop_plain(
+    trie: &LockFreeBinaryTrie,
+    rng: &mut StdRng,
+    universe: u64,
+    stop: &AtomicBool,
+) -> u64 {
+    let mut n = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        one_op(trie, rng, universe);
+        n += 1;
+    }
+    n
 }
 
 fn main() {
@@ -64,97 +289,74 @@ fn main() {
              running without parked readers"
         );
     }
+    let env_u64 = |name: &str, default: u64| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let repro = Repro {
+        seconds,
+        threads,
+        log2_u,
+        stalled_readers,
+        seed: env_u64("LFTRIE_TORTURE_SEED", 0),
+        faults: std::env::var("LFTRIE_TORTURE_FAULTS").unwrap_or_default(),
+        fault_rate: env_u64("LFTRIE_TORTURE_FAULT_RATE", 24) as u32,
+    };
+    let faulty = install_fault_plan(&repro);
 
     println!(
         "torture: {seconds}s, {threads} threads, universe 2^{log2_u}, \
-         {stalled_readers} stalled readers"
+         {stalled_readers} stalled readers, seed {}, faults {}",
+        repro.seed,
+        if repro.faults.is_empty() {
+            "off"
+        } else {
+            &repro.faults
+        }
     );
     let start = Instant::now();
     let deadline = start + Duration::from_secs(seconds);
     let mut round = 0u64;
     let total_ops = Arc::new(AtomicU64::new(0));
+    // Progress watchdog floor: even under the fault plan, the worker pool
+    // as a whole must clear this many operations per 300 ms round. The
+    // floor is intentionally far below fault-free throughput (~10^5/round)
+    // — it catches a wedged trie, not a slow one.
+    let min_ops_per_round = 10 * threads as u64;
 
     while Instant::now() < deadline {
         round += 1;
         let trie = Arc::new(LockFreeBinaryTrie::new(universe));
         let stop = Arc::new(AtomicBool::new(false));
+        let round_ops = Arc::new(AtomicU64::new(0));
         let workers: Vec<_> = (0..threads)
             .map(|t| {
                 let trie = Arc::clone(&trie);
                 let stop = Arc::clone(&stop);
                 let total_ops = Arc::clone(&total_ops);
+                let round_ops = Arc::clone(&round_ops);
+                let base_seed = repro.seed;
                 std::thread::spawn(move || {
-                    let mut rng = StdRng::seed_from_u64(round ^ (t as u64) << 32);
-                    let mut n = 0u64;
-                    while !stop.load(Ordering::Relaxed) {
-                        let k = rng.gen_range(0..universe);
-                        match rng.gen_range(0..16) {
-                            0..=2 => {
-                                trie.insert(k);
-                            }
-                            3..=5 => {
-                                trie.remove(k);
-                            }
-                            6 => {
-                                std::hint::black_box(trie.contains(k));
-                            }
-                            7..=8 => {
-                                if let Some(p) = trie.predecessor(k.max(1)) {
-                                    assert!(p < k.max(1), "pred returned ≥ query");
-                                }
-                            }
-                            9..=10 => {
-                                if let Some(s) = trie.successor(k) {
-                                    assert!(s > k, "succ returned ≤ query");
-                                }
-                            }
-                            11 => {
-                                let hi = (k + 32).min(universe - 1);
-                                let scan = trie.range(k..=hi);
-                                assert!(
-                                    scan.windows(2).all(|w| w[0] < w[1]),
-                                    "scan not strictly increasing"
-                                );
-                                assert!(
-                                    scan.iter().all(|&x| x >= k && x <= hi),
-                                    "scan escaped its bounds"
-                                );
-                            }
-                            12 => {
-                                let hi = (k + 32).min(universe - 1);
-                                let n = trie.count(k..=hi);
-                                assert!(n as u64 <= hi - k + 1, "count exceeds range width");
-                            }
-                            13 => {
-                                if let (Some(mn), Some(mx)) = (trie.min(), trie.max()) {
-                                    assert!(mn <= mx, "min above max");
-                                    assert!(mx < universe, "max escaped the universe");
-                                }
-                            }
-                            14 => {
-                                if let Some(m) = trie.pop_min() {
-                                    assert!(m < universe, "pop_min escaped the universe");
-                                }
-                            }
-                            _ => {
-                                let len = 8.min(universe - k);
-                                let keys: Vec<u64> = (k..k + len).collect();
-                                if rng.gen_bool(0.5) {
-                                    assert!(
-                                        trie.insert_all(&keys) <= keys.len(),
-                                        "insert_all over-reported"
-                                    );
-                                } else {
-                                    assert!(
-                                        trie.delete_all(&keys) <= keys.len(),
-                                        "delete_all over-reported"
-                                    );
-                                }
-                            }
+                    let mut rng = StdRng::seed_from_u64(base_seed ^ round ^ ((t as u64) << 32));
+                    let salt = (round << 8) ^ t as u64;
+                    let n = if faulty {
+                        #[cfg(feature = "fault-injection")]
+                        {
+                            worker_loop_faulty(&trie, &mut rng, universe, &stop, salt)
                         }
-                        n += 1;
-                    }
+                        #[cfg(not(feature = "fault-injection"))]
+                        {
+                            let _ = salt;
+                            unreachable!("chaos lane armed without the feature")
+                        }
+                    } else {
+                        let _ = salt;
+                        worker_loop_plain(&trie, &mut rng, universe, &stop)
+                    };
                     total_ops.fetch_add(n, Ordering::Relaxed);
+                    round_ops.fetch_add(n, Ordering::Relaxed);
                 })
             })
             .collect();
@@ -193,6 +395,27 @@ fn main() {
             s.join().unwrap();
         }
 
+        // The progress watchdog: surviving threads must have kept working
+        // while the fault plan fired.
+        let this_round = round_ops.load(Ordering::Relaxed);
+        if this_round < min_ops_per_round {
+            fail(
+                round,
+                &trie,
+                &repro,
+                &format!(
+                    "progress watchdog: {this_round} ops this round \
+                     (floor {min_ops_per_round})"
+                ),
+            );
+        }
+
+        // Adopt every announcement left behind by abandoned incarnations
+        // before validating: quiescence must be *restorable*, not assumed.
+        if faulty {
+            trie.adopt_orphans();
+        }
+
         // Quiescent validation.
         let present: Vec<u64> = (0..universe).filter(|&x| trie.contains(x)).collect();
         for y in (1..universe).step_by(7) {
@@ -202,6 +425,7 @@ fn main() {
                 fail(
                     round,
                     &trie,
+                    &repro,
                     &format!("predecessor({y}) = {got:?}, expected {expected:?}"),
                 );
             }
@@ -211,6 +435,7 @@ fn main() {
                 fail(
                     round,
                     &trie,
+                    &repro,
                     &format!("successor({y}) = {got_succ:?}, expected {expected_succ:?}"),
                 );
             }
@@ -219,6 +444,7 @@ fn main() {
             fail(
                 round,
                 &trie,
+                &repro,
                 &format!(
                     "min/max = {:?}/{:?}, expected {:?}/{:?}",
                     trie.min(),
@@ -234,6 +460,7 @@ fn main() {
             fail(
                 round,
                 &trie,
+                &repro,
                 &format!(
                     "count(0..={mid}) = {}, expected {expect_count}",
                     trie.count(0..=mid)
@@ -245,6 +472,7 @@ fn main() {
             fail(
                 round,
                 &trie,
+                &repro,
                 &format!(
                     "announcements leaked: {}/{}/{}/{}",
                     lens.uall, lens.ruall, lens.pall, lens.sall
@@ -271,8 +499,12 @@ fn main() {
             .unwrap_or((0, 0, false, 0));
         let limbo: usize = snap.reclaim.iter().map(|r| r.limbo + r.pending).sum();
         let hz_freed: usize = snap.reclaim.iter().map(|r| r.fenced_reclaimed).sum();
+        #[cfg(feature = "fault-injection")]
+        let fired = lftrie_core::fault::fired_total();
+        #[cfg(not(feature = "fault-injection"))]
+        let fired = 0u64;
         print!(
-            "\rround {round}: ok ({ops} ops, {ops_per_s:.0} ops/s, ⊥ {bottoms}, rec {recoveries}, epoch lag {epoch_lag}, stalled {stalled}, fenced {fenced}, covered {covered}, hz-freed {hz_freed}, limbo {limbo})   ",
+            "\rround {round}: ok ({ops} ops, {ops_per_s:.0} ops/s, ⊥ {bottoms}, rec {recoveries}, epoch lag {epoch_lag}, stalled {stalled}, fenced {fenced}, covered {covered}, hz-freed {hz_freed}, limbo {limbo}, faults {fired})   ",
             bottoms = stats.bottoms,
             recoveries = stats.recoveries,
         );

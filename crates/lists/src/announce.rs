@@ -32,6 +32,7 @@
 use core::fmt;
 
 use lftrie_primitives::epoch::{self, Guard};
+use lftrie_primitives::fault;
 use lftrie_primitives::marked::{AtomicMarkedPtr, MarkedPtr};
 use lftrie_primitives::registry::{Reclaim, Registry};
 use lftrie_primitives::swcursor::PublishedKey;
@@ -224,6 +225,8 @@ impl<P> AnnounceList<P> {
     /// Inserts a new cell announcing `payload` under `key`, after all equal
     /// keys. Returns the cell.
     pub fn insert(&self, key: i64, payload: *mut P, guard: &Guard<'_>) -> *mut Cell<P> {
+        // Before the cell allocation: a crash here leaves no footprint.
+        fault::point(fault::FaultPoint::AnnounceInsert);
         let cell = self.cells.alloc(Cell {
             key,
             payload,
@@ -246,6 +249,9 @@ impl<P> AnnounceList<P> {
     /// Removal must be exhaustive because helpers may have announced the same
     /// payload again after the owner's removal (paper lines 130/136).
     pub fn remove_all(&self, key: i64, payload: *mut P, guard: &Guard<'_>) -> usize {
+        // Before any unlink: removal is exhaustive and idempotent, so a
+        // crash here just leaves the announcement for adoption to withdraw.
+        fault::point(fault::FaultPoint::AnnounceRemove);
         let mut removed = 0;
         'retry: loop {
             let mut pred = self.head;

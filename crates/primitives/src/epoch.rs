@@ -725,6 +725,8 @@ thread_local! {
 /// Every operation that dereferences nodes allocated through an epoch-aware
 /// [`crate::registry::Registry`] must run under a pin.
 pub fn pin() -> Guard<'static> {
+    // A crash here is the cheapest possible one: nothing announced yet.
+    crate::fault::point(crate::fault::FaultPoint::EpochPin);
     ENTRY.with(|t| t.handle.pin())
 }
 

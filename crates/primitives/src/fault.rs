@@ -1,0 +1,729 @@
+//! Deterministic fault injection: named points, seeded plans, and the
+//! crash-simulation switches behind the crash/panic-tolerance tests.
+//!
+//! The paper's lock-freedom argument promises progress even when threads
+//! stall or crash mid-operation. This module turns that promise into a
+//! testable surface: the trie, the announcement lists, the epoch domain,
+//! and the registry sweep paths are threaded with **named injection
+//! points** ([`FaultPoint`]), each of which can fire one of four actions
+//! ([`FaultAction`]) — yield, bounded stall, panic, or *abandon-thread*
+//! (panic plus killing the thread's [`crate::liveness`] incarnation, so
+//! everything it allocated becomes an adoptable orphan) — driven by a
+//! reproducible seeded `FaultPlan`.
+//!
+//! Supersedes the older `stall-injection` hooks: enabling the
+//! `fault-injection` feature on `lftrie-core` also enables
+//! `stall-injection`, so the hand-written stalled-operation entry points
+//! remain available (re-exported unchanged) alongside the systematic
+//! plan-driven points here.
+//!
+//! # Zero cost by default
+//!
+//! Without the `fault-injection` feature, [`point`] and
+//! [`point_nonfatal`] compile to literal no-ops and none of the plan
+//! machinery exists. With the feature but no installed plan (or on a
+//! thread that never called `arm`), a point is a single thread-local
+//! read.
+//!
+//! # Determinism and scoping
+//!
+//! Firing decisions hash `(plan seed, point, per-thread occurrence
+//! counter, thread salt)` — no wall clock, no global RNG — so a plan
+//! replays exactly on a single thread and replays modulo contention-
+//! dependent control flow across threads. Points fire **only on armed
+//! threads** (`arm` snapshots the installed plan into thread-local
+//! state), so a global plan cannot leak faults into unrelated test
+//! threads, and **never while the thread is already panicking** (a panic
+//! during unwinding would abort the process) or inside a
+//! [`suppress`]ed section (the unwind-guard continuations and the orphan
+//! adoption sweep re-run protocol steps that contain points).
+
+#[cfg(feature = "fault-injection")]
+use std::sync::atomic::Ordering;
+
+/// Every named injection point, in the order the protocol reaches them.
+///
+/// Points are placed at *step boundaries*: each sits where the enclosing
+/// operation's unwind guard (or the orphan-adoption resume) has a
+/// well-defined continuation, so every point tolerates every action.
+/// The single exception is [`FaultPoint::RegistryCollect`], which is
+/// reachable from inside a retire call mid-operation and therefore only
+/// ever fires non-fatal actions (see [`point_nonfatal`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum FaultPoint {
+    /// Entry of [`crate::epoch::pin`], before the participant announces.
+    EpochPin = 0,
+    /// Entry of an explicit registry sweep (`Registry::flush`).
+    RegistrySweep,
+    /// Entry of the amortized registry collection pass (`Registry::collect`)
+    /// — reachable from retire-bag overflow inside an operation, so this
+    /// point is non-fatal: panic/abandon decisions demote to a stall.
+    RegistryCollect,
+    /// Entry of an announcement-list insertion (U-ALL/RU-ALL).
+    AnnounceInsert,
+    /// Entry of an announcement-list exhaustive removal (U-ALL/RU-ALL).
+    AnnounceRemove,
+    /// `Insert(x)`, after the epoch pin, before any allocation.
+    InsertEntry,
+    /// `Insert(x)`, after the latest-list CAS published the INS node,
+    /// before it is announced.
+    InsertPublished,
+    /// `Insert(x)`, announced but not yet activated (not linearized).
+    InsertAnnounced,
+    /// `Insert(x)`, activated (linearized), displaced node not yet retired
+    /// and relaxed-trie bits not yet updated.
+    InsertLinearized,
+    /// `Insert(x)`, relaxed-trie bits updated, notifications not yet sent.
+    InsertTrieUpdated,
+    /// `Insert(x)`, completed flag set, announcement not yet withdrawn.
+    InsertCompleted,
+    /// `Delete(x)`, after the epoch pin, before the embedded helpers.
+    DeleteEntry,
+    /// `Delete(x)`, both first embedded helpers announced and recorded,
+    /// DEL node not yet allocated.
+    DeleteHelpersDone,
+    /// `Delete(x)`, after the latest-list CAS published the DEL node,
+    /// before it is announced.
+    DeletePublished,
+    /// `Delete(x)`, announced but not yet activated (not linearized).
+    DeleteAnnounced,
+    /// `Delete(x)`, activated (linearized), displaced INS node not yet
+    /// stopped/retired.
+    DeleteLinearized,
+    /// `Delete(x)`, second embedded helper results recorded, relaxed-trie
+    /// bits not yet cleared.
+    DeleteEmbedsDone,
+    /// `Delete(x)`, relaxed-trie bits updated, notifications not yet sent.
+    DeleteTrieUpdated,
+    /// `Delete(x)`, completed flag set, announcements/helpers not yet
+    /// withdrawn.
+    DeleteCompleted,
+    /// A query helper (`PredHelper`/`SuccHelper`), announced in the
+    /// P-ALL/S-ALL, before its traversals run.
+    QueryAnnounced,
+    /// A scan, before sliding its S-ALL announcement to the next key.
+    ScanStep,
+    /// A batched update, between two keys of the batch.
+    BatchKeyDone,
+}
+
+/// Number of [`FaultPoint`] variants.
+pub const POINT_COUNT: usize = FaultPoint::BatchKeyDone as usize + 1;
+
+impl FaultPoint {
+    /// Every injection point, in declaration order (drives the
+    /// point-by-point test matrices).
+    pub const ALL: [FaultPoint; POINT_COUNT] = [
+        FaultPoint::EpochPin,
+        FaultPoint::RegistrySweep,
+        FaultPoint::RegistryCollect,
+        FaultPoint::AnnounceInsert,
+        FaultPoint::AnnounceRemove,
+        FaultPoint::InsertEntry,
+        FaultPoint::InsertPublished,
+        FaultPoint::InsertAnnounced,
+        FaultPoint::InsertLinearized,
+        FaultPoint::InsertTrieUpdated,
+        FaultPoint::InsertCompleted,
+        FaultPoint::DeleteEntry,
+        FaultPoint::DeleteHelpersDone,
+        FaultPoint::DeletePublished,
+        FaultPoint::DeleteAnnounced,
+        FaultPoint::DeleteLinearized,
+        FaultPoint::DeleteEmbedsDone,
+        FaultPoint::DeleteTrieUpdated,
+        FaultPoint::DeleteCompleted,
+        FaultPoint::QueryAnnounced,
+        FaultPoint::ScanStep,
+        FaultPoint::BatchKeyDone,
+    ];
+
+    /// Stable lower-case label for logs and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            FaultPoint::EpochPin => "epoch_pin",
+            FaultPoint::RegistrySweep => "registry_sweep",
+            FaultPoint::RegistryCollect => "registry_collect",
+            FaultPoint::AnnounceInsert => "announce_insert",
+            FaultPoint::AnnounceRemove => "announce_remove",
+            FaultPoint::InsertEntry => "insert_entry",
+            FaultPoint::InsertPublished => "insert_published",
+            FaultPoint::InsertAnnounced => "insert_announced",
+            FaultPoint::InsertLinearized => "insert_linearized",
+            FaultPoint::InsertTrieUpdated => "insert_trie_updated",
+            FaultPoint::InsertCompleted => "insert_completed",
+            FaultPoint::DeleteEntry => "delete_entry",
+            FaultPoint::DeleteHelpersDone => "delete_helpers_done",
+            FaultPoint::DeletePublished => "delete_published",
+            FaultPoint::DeleteAnnounced => "delete_announced",
+            FaultPoint::DeleteLinearized => "delete_linearized",
+            FaultPoint::DeleteEmbedsDone => "delete_embeds_done",
+            FaultPoint::DeleteTrieUpdated => "delete_trie_updated",
+            FaultPoint::DeleteCompleted => "delete_completed",
+            FaultPoint::QueryAnnounced => "query_announced",
+            FaultPoint::ScanStep => "scan_step",
+            FaultPoint::BatchKeyDone => "batch_key_done",
+        }
+    }
+}
+
+/// What an injection point does when its plan says "fire".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FaultAction {
+    /// One scheduler yield: reorders threads without losing any.
+    Yield = 0,
+    /// A bounded busy/yield stall: widens race windows without parking.
+    Stall = 1,
+    /// `panic!` with an `InjectedFault` payload: the operation unwinds
+    /// through its RAII guards (which withdraw or complete it).
+    Panic = 2,
+    /// Simulated crash: kill this thread's liveness incarnation
+    /// ([`crate::liveness::abandon_current`]), then panic with the
+    /// abandoning flag set so every unwind guard *skips* cleanup — the
+    /// operation's full footprint stays behind for orphan adoption.
+    Abandon = 3,
+}
+
+impl FaultAction {
+    /// Stable lower-case label for logs and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            FaultAction::Yield => "yield",
+            FaultAction::Stall => "stall",
+            FaultAction::Panic => "panic",
+            FaultAction::Abandon => "abandon",
+        }
+    }
+}
+
+/// An injection point: fires per the armed plan. Compiled to a literal
+/// no-op without the `fault-injection` feature.
+#[inline(always)]
+pub fn point(p: FaultPoint) {
+    #[cfg(feature = "fault-injection")]
+    imp::fire(p, true);
+    #[cfg(not(feature = "fault-injection"))]
+    let _ = p;
+}
+
+/// An injection point on a path where unwinding is not recoverable
+/// (reachable mid-retire): panic/abandon decisions demote to a bounded
+/// stall. Compiled to a literal no-op without the feature.
+#[inline(always)]
+pub fn point_nonfatal(p: FaultPoint) {
+    #[cfg(feature = "fault-injection")]
+    imp::fire(p, false);
+    #[cfg(not(feature = "fault-injection"))]
+    let _ = p;
+}
+
+/// True while the current thread is unwinding from an
+/// [`FaultAction::Abandon`]: unwind guards consult this and *skip* their
+/// cleanup, leaving a crashed thread's footprint. Always `false` without
+/// the `fault-injection` feature.
+#[inline(always)]
+pub fn is_abandoning() -> bool {
+    #[cfg(feature = "fault-injection")]
+    {
+        imp::is_abandoning()
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        false
+    }
+}
+
+/// Are the RAII unwind guards enabled? Always `true` without the feature;
+/// with it, tests flip the switch off to prove the guards are
+/// load-bearing (the "teeth" check).
+#[inline(always)]
+pub fn unwind_guards_enabled() -> bool {
+    #[cfg(feature = "fault-injection")]
+    {
+        imp::UNWIND_GUARDS.load(Ordering::SeqCst)
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        true
+    }
+}
+
+/// Is orphan adoption enabled? Always `true` without the feature; with
+/// it, tests flip the switch off to prove adoption is load-bearing.
+#[inline(always)]
+pub fn orphan_adoption_enabled() -> bool {
+    #[cfg(feature = "fault-injection")]
+    {
+        imp::ORPHAN_ADOPTION.load(Ordering::SeqCst)
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        true
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use imp::{
+    arm, clear_log, disarm, fired_total, format_log, recent, set_orphan_adoption_enabled,
+    set_unwind_guards_enabled, silence_injected_panics, suppress, take_abandoned, uninstall,
+    FaultRecord, InjectedFault, SuppressGuard,
+};
+
+/// Token returned by [`suppress`]; a unit placeholder without the
+/// `fault-injection` feature (there is nothing to suppress).
+#[cfg(not(feature = "fault-injection"))]
+#[derive(Debug)]
+pub struct SuppressGuard(());
+
+/// Suppresses injection on the current thread for the guard's lifetime.
+/// A no-op without the feature — provided so recovery paths (unwind
+/// guards, orphan adoption) can take the token unconditionally.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn suppress() -> SuppressGuard {
+    SuppressGuard(())
+}
+
+#[cfg(feature = "fault-injection")]
+pub use imp::install;
+
+#[cfg(feature = "fault-injection")]
+pub use plan::FaultPlan;
+
+#[cfg(feature = "fault-injection")]
+mod plan {
+    use super::{FaultAction, FaultPoint};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// SplitMix64: the deterministic per-decision hash.
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// A reproducible firing schedule: every decision is a pure function
+    /// of `(seed, point, per-thread occurrence, thread salt)`.
+    #[derive(Debug)]
+    pub struct FaultPlan {
+        seed: u64,
+        /// Firing probability numerator out of 1024 per point occurrence.
+        rate_per_1024: u32,
+        /// Enabled actions (non-empty); the hash picks among them.
+        actions: Vec<FaultAction>,
+        /// One-shot override: fire exactly once, at the first armed
+        /// occurrence of this point, with this action.
+        once: Option<(FaultPoint, FaultAction, AtomicBool)>,
+    }
+
+    impl FaultPlan {
+        /// A plan firing all four actions at every point with the default
+        /// rate (~2% of occurrences).
+        pub fn seeded(seed: u64) -> Self {
+            Self {
+                seed,
+                rate_per_1024: 24,
+                actions: vec![
+                    FaultAction::Yield,
+                    FaultAction::Stall,
+                    FaultAction::Panic,
+                    FaultAction::Abandon,
+                ],
+                once: None,
+            }
+        }
+
+        /// A plan that fires exactly once — at the first occurrence of
+        /// `point` on an armed thread — with `action`.
+        pub fn once(point: FaultPoint, action: FaultAction) -> Self {
+            Self {
+                seed: 0,
+                rate_per_1024: 0,
+                actions: vec![action],
+                once: Some((point, action, AtomicBool::new(false))),
+            }
+        }
+
+        /// Restricts the seeded plan to the given actions (panics if
+        /// empty).
+        pub fn with_actions(mut self, actions: &[FaultAction]) -> Self {
+            assert!(!actions.is_empty(), "a plan needs at least one action");
+            self.actions = actions.to_vec();
+            self
+        }
+
+        /// Sets the firing probability (numerator out of 1024 per point
+        /// occurrence, clamped to 1024).
+        pub fn with_rate(mut self, per_1024: u32) -> Self {
+            self.rate_per_1024 = per_1024.min(1024);
+            self
+        }
+
+        /// The plan's seed (echoed into failure dumps).
+        pub fn seed(&self) -> u64 {
+            self.seed
+        }
+
+        /// Should this occurrence fire, and with what action?
+        pub(super) fn decide(
+            &self,
+            point: FaultPoint,
+            occurrence: u32,
+            salt: u64,
+        ) -> Option<FaultAction> {
+            if let Some((p, action, fired)) = &self.once {
+                if *p == point
+                    && fired
+                        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                {
+                    return Some(*action);
+                }
+                return None;
+            }
+            if self.rate_per_1024 == 0 {
+                return None;
+            }
+            let h = mix(self.seed
+                ^ (point as u64).wrapping_mul(0xA24BAED4963EE407)
+                ^ (occurrence as u64).wrapping_mul(0x9FB21C651E98DF25)
+                ^ salt.wrapping_mul(0xD6E8FEB86659FD93));
+            if (h % 1024) as u32 >= self.rate_per_1024 {
+                return None;
+            }
+            let idx = ((h >> 10) as usize) % self.actions.len();
+            Some(self.actions[idx])
+        }
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+mod imp {
+    use super::plan::FaultPlan;
+    use super::{FaultAction, FaultPoint, POINT_COUNT};
+    use crate::liveness;
+    use lftrie_telemetry::{self as telemetry, Counter, FlightKind};
+    use std::cell::Cell;
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, Once};
+
+    /// The panic payload of injected panics/abandons; tests downcast the
+    /// caught unwind to tell injected faults from genuine bugs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct InjectedFault {
+        /// Where the fault fired.
+        pub point: FaultPoint,
+        /// What fired.
+        pub action: FaultAction,
+    }
+
+    /// One fired fault, as kept in the bounded in-memory fault log.
+    #[derive(Debug, Clone, Copy)]
+    pub struct FaultRecord {
+        /// Where.
+        pub point: FaultPoint,
+        /// What.
+        pub action: FaultAction,
+        /// The firing thread's arm salt.
+        pub salt: u64,
+        /// The per-thread occurrence counter value that fired.
+        pub occurrence: u32,
+    }
+
+    pub(super) static UNWIND_GUARDS: AtomicBool = AtomicBool::new(true);
+    pub(super) static ORPHAN_ADOPTION: AtomicBool = AtomicBool::new(true);
+    static FIRED_TOTAL: AtomicU64 = AtomicU64::new(0);
+    static PLAN: Mutex<Option<Arc<FaultPlan>>> = Mutex::new(None);
+    static LOG: Mutex<VecDeque<FaultRecord>> = Mutex::new(VecDeque::new());
+    const LOG_CAP: usize = 512;
+
+    struct ThreadState {
+        plan: Option<Arc<FaultPlan>>,
+        salt: u64,
+        occurrences: [u32; POINT_COUNT],
+    }
+
+    thread_local! {
+        static STATE: std::cell::RefCell<ThreadState> = const {
+            std::cell::RefCell::new(ThreadState {
+                plan: None,
+                salt: 0,
+                occurrences: [0; POINT_COUNT],
+            })
+        };
+        static SUPPRESS_DEPTH: Cell<u32> = const { Cell::new(0) };
+        static ABANDONING: Cell<bool> = const { Cell::new(false) };
+    }
+
+    fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Installs `plan` as the process-global plan. Threads pick it up at
+    /// their next [`arm`] call (arming snapshots the plan, so a running
+    /// armed thread keeps its old snapshot).
+    pub fn install(plan: FaultPlan) {
+        *lock(&PLAN) = Some(Arc::new(plan));
+    }
+
+    /// Removes the global plan (armed threads keep their snapshots until
+    /// they re-arm or disarm).
+    pub fn uninstall() {
+        *lock(&PLAN) = None;
+    }
+
+    /// Arms the current thread: snapshots the installed plan, records the
+    /// thread `salt` (part of every firing decision — give workers their
+    /// index for cross-run reproducibility), and resets the per-thread
+    /// occurrence counters.
+    pub fn arm(salt: u64) {
+        let plan = lock(&PLAN).clone();
+        STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            s.plan = plan;
+            s.salt = salt;
+            s.occurrences = [0; POINT_COUNT];
+        });
+    }
+
+    /// Disarms the current thread; its points become no-ops again.
+    pub fn disarm() {
+        STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            s.plan = None;
+            s.occurrences = [0; POINT_COUNT];
+        });
+    }
+
+    /// Suppresses fault firing on this thread until the guard drops (used
+    /// by unwind-guard continuations and the orphan-adoption sweep, which
+    /// re-run protocol code containing points).
+    pub fn suppress() -> SuppressGuard {
+        SUPPRESS_DEPTH.with(|d| d.set(d.get() + 1));
+        SuppressGuard(())
+    }
+
+    /// RAII token of [`suppress`].
+    #[derive(Debug)]
+    pub struct SuppressGuard(());
+
+    impl Drop for SuppressGuard {
+        fn drop(&mut self) {
+            SUPPRESS_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        }
+    }
+
+    pub(super) fn is_abandoning() -> bool {
+        ABANDONING.with(Cell::get)
+    }
+
+    /// Clears and returns the thread's abandoning flag; call after
+    /// catching an unwind to tell an abandon from a plain panic.
+    pub fn take_abandoned() -> bool {
+        ABANDONING.with(|a| a.replace(false))
+    }
+
+    /// Flips the unwind-guard switch (the "teeth" check for the guards).
+    pub fn set_unwind_guards_enabled(enabled: bool) {
+        UNWIND_GUARDS.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Flips the orphan-adoption switch (the "teeth" check for adoption).
+    pub fn set_orphan_adoption_enabled(enabled: bool) {
+        ORPHAN_ADOPTION.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Total faults fired since process start.
+    pub fn fired_total() -> u64 {
+        FIRED_TOTAL.load(Ordering::SeqCst)
+    }
+
+    /// The most recent fired faults (bounded ring, oldest first).
+    pub fn recent() -> Vec<FaultRecord> {
+        lock(&LOG).iter().copied().collect()
+    }
+
+    /// Empties the fault log.
+    pub fn clear_log() {
+        lock(&LOG).clear();
+    }
+
+    /// Renders the fault log for failure dumps.
+    pub fn format_log() -> String {
+        use std::fmt::Write;
+        let log = recent();
+        let mut out = String::new();
+        let _ = writeln!(out, "fault log ({} fired total):", fired_total());
+        for r in log {
+            let _ = writeln!(
+                out,
+                "  {} @ {} (salt {}, occurrence {})",
+                r.action.name(),
+                r.point.name(),
+                r.salt,
+                r.occurrence
+            );
+        }
+        out
+    }
+
+    /// Installs (once) a panic hook that stays silent for [`InjectedFault`]
+    /// panics and defers to the previous hook for everything else — keeps
+    /// chaos runs from flooding stderr with expected backtraces.
+    pub fn silence_injected_panics() {
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info.payload().downcast_ref::<InjectedFault>().is_some() {
+                    return;
+                }
+                prev(info);
+            }));
+        });
+    }
+
+    pub(super) fn fire(point: FaultPoint, fatal_ok: bool) {
+        if std::thread::panicking() || SUPPRESS_DEPTH.with(Cell::get) > 0 {
+            return;
+        }
+        let decision = STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            let plan = s.plan.clone()?;
+            let occurrence = s.occurrences[point as usize];
+            s.occurrences[point as usize] = occurrence.wrapping_add(1);
+            let salt = s.salt;
+            plan.decide(point, occurrence, salt)
+                .map(|action| (action, salt, occurrence))
+        });
+        let Some((mut action, salt, occurrence)) = decision else {
+            return;
+        };
+        if !fatal_ok && matches!(action, FaultAction::Panic | FaultAction::Abandon) {
+            action = FaultAction::Stall;
+        }
+        FIRED_TOTAL.fetch_add(1, Ordering::SeqCst);
+        telemetry::add(Counter::FaultsInjected, 1);
+        telemetry::flight(FlightKind::Fault, point as i64, action as u64);
+        {
+            let mut log = lock(&LOG);
+            if log.len() >= LOG_CAP {
+                log.pop_front();
+            }
+            log.push_back(FaultRecord {
+                point,
+                action,
+                salt,
+                occurrence,
+            });
+        }
+        match action {
+            FaultAction::Yield => std::thread::yield_now(),
+            FaultAction::Stall => {
+                for _ in 0..3 {
+                    std::thread::yield_now();
+                    for _ in 0..512 {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+            FaultAction::Panic => {
+                std::panic::panic_any(InjectedFault { point, action });
+            }
+            FaultAction::Abandon => {
+                ABANDONING.with(|a| a.set(true));
+                liveness::abandon_current();
+                std::panic::panic_any(InjectedFault { point, action });
+            }
+        }
+    }
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_threads_never_fire() {
+        install(FaultPlan::seeded(42).with_rate(1024));
+        point(FaultPoint::EpochPin); // would panic or stall if armed
+        uninstall();
+    }
+
+    #[test]
+    fn once_plan_fires_exactly_once_and_is_caught() {
+        std::thread::spawn(|| {
+            silence_injected_panics();
+            install(FaultPlan::once(FaultPoint::InsertEntry, FaultAction::Panic));
+            arm(7);
+            let r = std::panic::catch_unwind(|| point(FaultPoint::InsertEntry));
+            let err = r.expect_err("first occurrence fires");
+            let f = err
+                .downcast_ref::<InjectedFault>()
+                .expect("payload identifies the injection");
+            assert_eq!(f.point, FaultPoint::InsertEntry);
+            point(FaultPoint::InsertEntry); // consumed: must not fire again
+            assert!(!take_abandoned());
+            disarm();
+            uninstall();
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn abandon_sets_flag_and_kills_incarnation() {
+        std::thread::spawn(|| {
+            silence_injected_panics();
+            let before = crate::liveness::current_owner();
+            install(FaultPlan::once(
+                FaultPoint::DeleteEntry,
+                FaultAction::Abandon,
+            ));
+            arm(1);
+            let r = std::panic::catch_unwind(|| point(FaultPoint::DeleteEntry));
+            assert!(r.is_err());
+            assert!(take_abandoned(), "abandon sets the thread flag");
+            assert!(!crate::liveness::is_live(before), "old incarnation died");
+            assert_ne!(crate::liveness::current_owner(), before);
+            disarm();
+            uninstall();
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn nonfatal_points_demote_to_stall() {
+        std::thread::spawn(|| {
+            install(FaultPlan::once(
+                FaultPoint::RegistryCollect,
+                FaultAction::Panic,
+            ));
+            arm(0);
+            point_nonfatal(FaultPoint::RegistryCollect); // must not unwind
+            disarm();
+            uninstall();
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn seeded_decisions_are_reproducible() {
+        let a = FaultPlan::seeded(0xFEED).with_rate(512);
+        let b = FaultPlan::seeded(0xFEED).with_rate(512);
+        for p in FaultPoint::ALL {
+            for occ in 0..64 {
+                assert_eq!(a.decide(p, occ, 3), b.decide(p, occ, 3));
+            }
+        }
+    }
+}

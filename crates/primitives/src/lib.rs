@@ -24,6 +24,14 @@
 //!   nothing.
 //! * [`swcursor`] — the single-writer published cursor substituting for the
 //!   atomic-copy primitive (DESIGN.md D3).
+//! * [`fault`] — deterministic fault injection: named injection points
+//!   threaded through the trie, announcement lists, epoch domain, and
+//!   registry sweeps, firing yield/stall/panic/abandon from a seeded
+//!   [`fault::FaultPlan`](crate::fault) (feature `fault-injection`;
+//!   literal no-op by default).
+//! * [`liveness`] — thread-incarnation ids and the live-set oracle behind
+//!   orphan adoption: dead incarnations' announcements are detected,
+//!   completed via helping, and withdrawn.
 //! * [`steps`] — optional step-count instrumentation used to reproduce the
 //!   paper's step-complexity claims empirically.
 //! * [`keys`] — the key domain shared by all crates, including the `−∞`/`+∞`
@@ -44,7 +52,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod epoch;
+pub mod fault;
 pub mod keys;
+pub mod liveness;
 pub mod marked;
 pub mod minreg;
 pub mod registry;

@@ -1,0 +1,170 @@
+//! Thread-incarnation liveness: the "is the announcer still alive?" oracle
+//! behind orphan adoption.
+//!
+//! The announcement protocol tolerates crashed threads — any operation can
+//! finish any announced operation via the helping path — but *detecting*
+//! that an announcement's owner is gone needs an identity that dies with
+//! the thread. This module hands every thread a monotonically increasing
+//! **incarnation id** (a `u64`, never reused) the first time it allocates
+//! a protocol node; the id is withdrawn from the live set when the thread
+//! exits (thread-local destructor) or when a fault-injection *abandon*
+//! action simulates a crash ([`abandon_current`]). Nodes stamp the id of
+//! the thread that allocated them, so a sweep can ask [`is_live`] and
+//! adopt the footprint of dead incarnations.
+//!
+//! Id `0` is reserved for structural allocations that have no owner (the
+//! per-key dummy nodes of the initial configuration); it is always live.
+//!
+//! The live set is a mutex-protected hash set: registration happens once
+//! per thread incarnation, removal once per exit, and queries only on the
+//! (amortized, cold) adoption path — never on a per-operation fast path,
+//! which touches only a thread-local cell.
+
+use std::cell::Cell;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The owner id of structural allocations (dummy nodes); always live.
+pub const NO_OWNER: u64 = 0;
+
+/// Next incarnation id to hand out; `0` is reserved for [`NO_OWNER`].
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Bumped once per incarnation death (thread exit or abandon): the cheap
+/// "did anything die since I last looked?" generation that lets operations
+/// piggyback orphan adoption without scanning anything when no thread died.
+static DEATH_GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// The set of currently-live incarnation ids.
+static LIVE: Mutex<Option<HashSet<u64>>> = Mutex::new(None);
+
+fn live_set() -> std::sync::MutexGuard<'static, Option<HashSet<u64>>> {
+    // A panicking thread holds this lock only across HashSet ops, which do
+    // not unwind after insertion logic has been entered; recover from
+    // poisoning rather than wedging every later exit path.
+    match LIVE.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn register(id: u64) {
+    live_set().get_or_insert_with(HashSet::new).insert(id);
+}
+
+fn unregister(id: u64) {
+    if let Some(set) = live_set().as_mut() {
+        set.remove(&id);
+    }
+    DEATH_GENERATION.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Owns a thread's registration; the thread-local destructor marks the
+/// incarnation dead when the thread exits.
+struct Incarnation {
+    id: Cell<u64>,
+}
+
+impl Drop for Incarnation {
+    fn drop(&mut self) {
+        unregister(self.id.get());
+    }
+}
+
+thread_local! {
+    static CURRENT: Incarnation = {
+        let id = NEXT_ID.fetch_add(1, Ordering::SeqCst);
+        register(id);
+        Incarnation { id: Cell::new(id) }
+    };
+}
+
+/// This thread's current incarnation id (registering it on first use).
+///
+/// Falls back to [`NO_OWNER`] when called during thread teardown, after
+/// the thread-local incarnation has already been destroyed — allocations
+/// that late have no owner to adopt for.
+#[inline]
+pub fn current_owner() -> u64 {
+    CURRENT.try_with(|c| c.id.get()).unwrap_or(NO_OWNER)
+}
+
+/// Is the incarnation `id` still alive? [`NO_OWNER`] is always live.
+pub fn is_live(id: u64) -> bool {
+    if id == NO_OWNER {
+        return true;
+    }
+    live_set().as_ref().is_some_and(|set| set.contains(&id))
+}
+
+/// Kills this thread's current incarnation and starts a fresh one,
+/// returning the retired id. The fault-injection *abandon* action calls
+/// this just before panicking: everything the thread allocated so far is
+/// instantly orphaned (its owner id is dead), while the thread itself —
+/// after catching the unwind — keeps running under the new incarnation,
+/// exactly as if a crashed worker had been replaced.
+pub fn abandon_current() -> u64 {
+    CURRENT.with(|c| {
+        let old = c.id.get();
+        let fresh = NEXT_ID.fetch_add(1, Ordering::SeqCst);
+        register(fresh);
+        c.id.set(fresh);
+        unregister(old);
+        old
+    })
+}
+
+/// The death generation: bumped once every time an incarnation dies.
+/// Operations snapshot it and run an adoption sweep only when it moved —
+/// the O(1) fast-path check that makes adoption amortized.
+#[inline]
+pub fn death_generation() -> u64 {
+    DEATH_GENERATION.load(Ordering::SeqCst)
+}
+
+/// Number of currently-live incarnations (diagnostics).
+pub fn live_count() -> usize {
+    live_set().as_ref().map_or(0, HashSet::len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_registers_and_dies_with_thread() {
+        let id = std::thread::spawn(|| {
+            let id = current_owner();
+            assert!(id != NO_OWNER);
+            assert!(is_live(id));
+            assert_eq!(current_owner(), id, "id is stable within a thread");
+            id
+        })
+        .join()
+        .unwrap();
+        assert!(!is_live(id), "incarnation dies with its thread");
+    }
+
+    #[test]
+    fn abandon_retires_and_replaces() {
+        std::thread::spawn(|| {
+            let first = current_owner();
+            let gen0 = death_generation();
+            let retired = abandon_current();
+            assert_eq!(retired, first);
+            assert!(!is_live(first));
+            let second = current_owner();
+            assert!(second != first);
+            assert!(is_live(second));
+            assert!(death_generation() > gen0);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn no_owner_is_always_live() {
+        assert!(is_live(NO_OWNER));
+    }
+}

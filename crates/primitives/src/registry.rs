@@ -923,6 +923,9 @@ impl<T> Registry<T> {
     where
         T: Reclaim,
     {
+        // Non-fatal: collect() is reachable from retire-bag overflow inside
+        // an operation pipeline, where an unwind would strand the bag.
+        crate::fault::point_nonfatal(crate::fault::FaultPoint::RegistryCollect);
         if self.sweeping.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -1067,6 +1070,7 @@ impl<T> Registry<T> {
     where
         T: Reclaim,
     {
+        crate::fault::point(crate::fault::FaultPoint::RegistrySweep);
         for _ in 0..(2 * GRACE_EPOCHS as usize + 2) {
             self.collect();
         }

@@ -447,3 +447,72 @@ proptest! {
         prop_assert_eq!(sim.domain.pinned_participants(), 0);
     }
 }
+
+/// Unwind-drop ordering regression (crash-tolerance PR): a panic through a
+/// pinned **and hazard-covered** reader unwinds through `Guard::drop`,
+/// which must clear the hazard coverage *before* the participant slot can
+/// be released and recycled. Stale coverage on a recycled slot would make
+/// the next owner exempt from blocking epoch advances the moment it
+/// stalls — without it ever having published a hazard set — silently
+/// stripping its reads of epoch protection.
+#[test]
+fn panic_through_covered_reader_clears_coverage_before_slot_recycle() {
+    use lftrie_primitives::epoch::STALL_BLOCKED_THRESHOLD;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let sim = Sim::new();
+    let reg = Arc::clone(&sim.reg);
+    let freed = Arc::new(AtomicBool::new(false));
+    let item = reg.alloc(Tracked {
+        freed: Arc::clone(&freed),
+        gate: None,
+    });
+
+    struct Quiet;
+    let payload = catch_unwind(AssertUnwindSafe(|| {
+        let mut g = sim.handles[0].pin();
+        unsafe { reg.retire(item, &g) };
+        let published = unsafe { g.publish_hazards(&[item.cast::<u8>().cast_const()]) };
+        assert!(published, "outermost guard must accept one hazard");
+        std::panic::panic_any(Quiet); // unwinds through the covered guard
+    }))
+    .expect_err("the closure panics");
+    assert!(payload.downcast_ref::<Quiet>().is_some());
+
+    // The unwound reader is fully gone: nothing pinned, nothing covered.
+    assert_eq!(sim.domain.pinned_participants(), 0, "guard drop unpinned");
+    assert_eq!(
+        sim.domain.health().covered_readers,
+        0,
+        "guard drop must clear hazard coverage"
+    );
+
+    // Its protected garbage ages out normally (no wedged hazard filter).
+    reg.flush();
+    assert!(
+        freed.load(Ordering::SeqCst),
+        "item protected by the dead reader must reclaim after unwind"
+    );
+    assert!(!sim.domain.fenced(), "quiescent flush leaves fenced mode");
+
+    // Recycle the slot (drop the original handles first so `register`
+    // reuses one) and stall the new owner well past the exemption
+    // threshold WITHOUT publishing hazards: were the dead reader's
+    // coverage still on the slot, the stalled new owner would be exempt
+    // and the epoch would run past its pin.
+    drop(sim.handles);
+    let h = sim.domain.register();
+    let g = h.pin();
+    let pinned_at = g.epoch();
+    for _ in 0..(2 * STALL_BLOCKED_THRESHOLD + 2) {
+        sim.domain.try_advance();
+    }
+    assert!(
+        sim.domain.epoch() <= pinned_at + 1,
+        "recycled slot inherited stale hazard coverage: epoch ran from {} to {} \
+         past an uncovered pinned reader",
+        pinned_at,
+        sim.domain.epoch()
+    );
+    drop(g);
+}

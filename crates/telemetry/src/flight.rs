@@ -47,6 +47,12 @@ pub enum FlightKind {
     /// An epoch domain entered or left fenced (hazard-filtered) mode
     /// (`aux = 1` on entry, `aux = 0` on exit).
     Fence = 9,
+    /// A `fault-injection` plan fired (`key` = injection-point index,
+    /// `aux` = action discriminant).
+    Fault = 10,
+    /// An orphaned announcement of a dead incarnation was adopted
+    /// (completed via helping and withdrawn).
+    Adopt = 11,
 }
 
 impl FlightKind {
@@ -62,6 +68,8 @@ impl FlightKind {
             FlightKind::Stall => "stall",
             FlightKind::Sweep => "sweep",
             FlightKind::Fence => "fence",
+            FlightKind::Fault => "fault",
+            FlightKind::Adopt => "adopt",
         }
     }
 
@@ -76,6 +84,8 @@ impl FlightKind {
             7 => FlightKind::Stall,
             8 => FlightKind::Sweep,
             9 => FlightKind::Fence,
+            10 => FlightKind::Fault,
+            11 => FlightKind::Adopt,
             _ => return None,
         })
     }
@@ -223,6 +233,8 @@ mod tests {
             FlightKind::Stall,
             FlightKind::Sweep,
             FlightKind::Fence,
+            FlightKind::Fault,
+            FlightKind::Adopt,
         ] {
             assert_eq!(FlightKind::from_u64(k as u64), Some(k));
         }

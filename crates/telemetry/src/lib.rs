@@ -145,10 +145,18 @@ pub enum Counter {
     FencedReclaimed,
     /// Limbo nodes deferred by a sweep because a hazard set protected them.
     HazardDeferrals,
+    /// Faults fired by the `fault-injection` plan machinery.
+    FaultsInjected,
+    /// Orphaned announcements (dead incarnations) completed and withdrawn
+    /// by `adopt_orphans`.
+    OrphansAdopted,
+    /// Operations withdrawn or driven to completion by an RAII unwind
+    /// guard after a panic.
+    UnwindWithdrawals,
 }
 
 /// Number of [`Counter`] variants (the shard array length).
-pub const COUNTER_COUNT: usize = Counter::HazardDeferrals as usize + 1;
+pub const COUNTER_COUNT: usize = Counter::UnwindWithdrawals as usize + 1;
 
 impl Counter {
     /// Every counter, in report order.
@@ -183,6 +191,9 @@ impl Counter {
         Counter::FencedModeEnters,
         Counter::FencedReclaimed,
         Counter::HazardDeferrals,
+        Counter::FaultsInjected,
+        Counter::OrphansAdopted,
+        Counter::UnwindWithdrawals,
     ];
 
     /// The stable report label for this counter.
@@ -218,6 +229,9 @@ impl Counter {
             Counter::FencedModeEnters => "fenced_mode_enters",
             Counter::FencedReclaimed => "fenced_reclaimed",
             Counter::HazardDeferrals => "hazard_deferrals",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::OrphansAdopted => "orphans_adopted",
+            Counter::UnwindWithdrawals => "unwind_withdrawals",
         }
     }
 }

@@ -176,10 +176,14 @@ pub struct AnnouncementLens {
     pub pall: usize,
     /// Successor/scan announcements in the S-ALL.
     pub sall: usize,
+    /// Highest total announcement count ever sampled on this structure —
+    /// the gauge that catches a leak of crashed-thread announcements even
+    /// after orphan adoption drains the current lists.
+    pub high_water: usize,
 }
 
 impl AnnouncementLens {
-    /// Sum over all four lists.
+    /// Sum over all four lists (current, not high-water).
     pub fn total(&self) -> usize {
         self.uall + self.ruall + self.pall + self.sall
     }
@@ -311,6 +315,7 @@ impl TelemetrySnapshot {
                 ("ruall", a.ruall),
                 ("pall", a.pall),
                 ("sall", a.sall),
+                ("high_water", a.high_water),
             ] {
                 out.push_str(&format!("lftrie_announcements{{list=\"{list}\"}} {v}\n"));
             }
@@ -385,8 +390,8 @@ impl TelemetrySnapshot {
         match &self.announcements {
             None => out.push_str("null"),
             Some(a) => out.push_str(&format!(
-                "{{\"uall\":{},\"ruall\":{},\"pall\":{},\"sall\":{}}}",
-                a.uall, a.ruall, a.pall, a.sall
+                "{{\"uall\":{},\"ruall\":{},\"pall\":{},\"sall\":{},\"high_water\":{}}}",
+                a.uall, a.ruall, a.pall, a.sall, a.high_water
             )),
         }
         out.push_str(",\"traversal\":");
@@ -453,6 +458,7 @@ mod tests {
                 ruall: 0,
                 pall: 2,
                 sall: 0,
+                high_water: 3,
             }),
             traversal: Some(TraversalStats {
                 bottoms: 9,
@@ -527,6 +533,7 @@ mod tests {
             ruall: 2,
             pall: 3,
             sall: 4,
+            high_water: 10,
         };
         assert_eq!(a.total(), 10);
         assert!(!a.is_empty());

@@ -1,0 +1,360 @@
+//! The headline chaos suite: seeded panic + abandon faults across
+//! concurrent threads, with three acceptance gates —
+//!
+//! * **progress**: injected faults crash individual operations but must
+//!   never stop the others (a watchdog floor on completed operations, and
+//!   a wall-clock watchdog on the whole scenario);
+//! * **footprint**: after [`adopt_orphans`] every announcement list drains
+//!   to zero and live-node counts stay under the steady-state ceiling —
+//!   the crashed operations' memory does not accumulate; and
+//! * **consistency**: the quiescent trie answers every query family in
+//!   agreement with its own membership snapshot, and keeps doing so under
+//!   a clean follow-up workload.
+//!
+//! The two `teeth_*` tests prove the gates are load-bearing: with the
+//! unwind guards or the orphan-adoption pass switched off, the exact
+//! assertions above demonstrably fail.
+//!
+//! [`adopt_orphans`]: lftrie::core::LockFreeBinaryTrie::adopt_orphans
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use lftrie::core::fault::{self, FaultAction, FaultPlan, FaultPoint, InjectedFault};
+use lftrie::core::LockFreeBinaryTrie;
+
+/// The teeth tests flip process-global switches; every test in this binary
+/// serializes on this lock so they never bleed into each other.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Restores both tolerance switches on drop, panic or not.
+struct RestoreSwitches;
+
+impl Drop for RestoreSwitches {
+    fn drop(&mut self) {
+        fault::set_unwind_guards_enabled(true);
+        fault::set_orphan_adoption_enabled(true);
+    }
+}
+
+const U: u64 = 1 << 10;
+const THREADS: u64 = 8;
+const OPS_PER_THREAD: u64 = 6_000;
+
+/// One pseudo-random operation against the trie; returns `true` when the
+/// operation ran to completion (its result is only sanity-checked — under
+/// concurrency the model is the trie itself, validated quiescently after).
+fn one_op(trie: &LockFreeBinaryTrie, state: &mut u64) {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let k = (*state >> 33) % U;
+    // Updates hammer a hot span so membership actually toggles (an insert
+    // of a present key allocates nothing): the run must generate real
+    // churn for the memory ceiling to be a meaningful assertion.
+    let hot = k % 128;
+    match *state % 8 {
+        0 | 1 => {
+            trie.insert(hot);
+        }
+        2 | 3 => {
+            trie.remove(hot);
+        }
+        4 => {
+            if let Some(p) = trie.predecessor(k.max(1)) {
+                assert!(p < k.max(1), "predecessor above its query point");
+            }
+        }
+        5 => {
+            if let Some(s) = trie.successor(k) {
+                assert!(s > k, "successor below its query point");
+            }
+        }
+        6 => {
+            let hi = (k + 16).min(U - 1);
+            let r = trie.range(k..=hi);
+            assert!(r.windows(2).all(|w| w[0] < w[1]), "range not sorted");
+        }
+        _ => {
+            std::hint::black_box(trie.count(k..=(k + 16).min(U - 1)));
+        }
+    }
+}
+
+/// Worker under fault injection: every operation runs in `catch_unwind`;
+/// injected panics/abandons are absorbed, anything else is a real bug and
+/// re-raised. Returns `(completed, abandoned)` operation counts.
+fn chaos_worker(trie: &LockFreeBinaryTrie, t: u64, seed: u64) -> (u64, u64) {
+    fault::arm(seed ^ (t << 16));
+    let mut state = seed ^ t.wrapping_mul(0x9E3779B97F4A7C15);
+    let (mut completed, mut abandoned) = (0u64, 0u64);
+    for _ in 0..OPS_PER_THREAD {
+        match catch_unwind(AssertUnwindSafe(|| one_op(trie, &mut state))) {
+            Ok(()) => completed += 1,
+            Err(payload) => {
+                // `fire` already abandoned the incarnation for an Abandon
+                // action; consuming the flag is all that is left to do.
+                if fault::take_abandoned() {
+                    abandoned += 1;
+                } else if payload.downcast_ref::<InjectedFault>().is_none() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+    fault::disarm();
+    (completed, abandoned)
+}
+
+/// Quiescent full-consistency check: snapshot membership, then require
+/// every query family to agree with the snapshot.
+fn assert_self_consistent(trie: &LockFreeBinaryTrie, ctx: &str) -> BTreeSet<u64> {
+    let model: BTreeSet<u64> = (0..U).filter(|&x| trie.contains(x)).collect();
+    for y in (1..U).step_by(13) {
+        assert_eq!(
+            trie.predecessor(y),
+            model.range(..y).next_back().copied(),
+            "{ctx}: predecessor({y})"
+        );
+        assert_eq!(
+            trie.successor(y),
+            model.range(y + 1..).next().copied(),
+            "{ctx}: successor({y})"
+        );
+    }
+    assert_eq!(trie.min(), model.first().copied(), "{ctx}: min");
+    assert_eq!(trie.max(), model.last().copied(), "{ctx}: max");
+    let (lo, hi) = (U / 4, 3 * U / 4);
+    assert_eq!(
+        trie.range(lo..=hi),
+        model.range(lo..=hi).copied().collect::<Vec<_>>(),
+        "{ctx}: range"
+    );
+    assert_eq!(
+        trie.count(lo..=hi),
+        model.range(lo..=hi).count(),
+        "{ctx}: count"
+    );
+    model
+}
+
+fn chaos_round(seed: u64) {
+    let trie = Arc::new(LockFreeBinaryTrie::new(U));
+    for k in (1..U).step_by(5) {
+        trie.insert(k);
+    }
+
+    let fired_before = fault::fired_total();
+    fault::install(FaultPlan::seeded(seed).with_rate(24).with_actions(&[
+        FaultAction::Yield,
+        FaultAction::Stall,
+        FaultAction::Panic,
+        FaultAction::Abandon,
+    ]));
+    let completed = Arc::new(AtomicU64::new(0));
+    let abandoned = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let trie = Arc::clone(&trie);
+            let completed = Arc::clone(&completed);
+            let abandoned = Arc::clone(&abandoned);
+            std::thread::spawn(move || {
+                let (done, gone) = chaos_worker(&trie, t, seed);
+                completed.fetch_add(done, Ordering::SeqCst);
+                abandoned.fetch_add(gone, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("chaos worker hit a non-injected panic");
+    }
+    fault::uninstall();
+    let fired = fault::fired_total() - fired_before;
+    let abandoned = abandoned.load(Ordering::SeqCst);
+
+    // Progress floor: the fault rate crashes some operations, but the
+    // overwhelming majority must still run to completion.
+    let done = completed.load(Ordering::SeqCst);
+    let floor = THREADS * OPS_PER_THREAD / 2;
+    assert!(
+        done >= floor,
+        "progress collapsed under faults (seed {seed:#x}): \
+         {done} of {} ops completed (floor {floor}, {fired} faults fired)",
+        THREADS * OPS_PER_THREAD
+    );
+    assert!(
+        fired > 0,
+        "seed {seed:#x} fired no faults: chaos run is vacuous"
+    );
+
+    // Footprint: adoption must fully drain the crashed ops' announcements.
+    trie.adopt_orphans();
+    let lens = trie.announcements();
+    assert!(
+        lens.is_empty(),
+        "announcements leaked after adoption (seed {seed:#x}): \
+         uall {} ruall {} pall {} sall {}",
+        lens.uall,
+        lens.ruall,
+        lens.pall,
+        lens.sall
+    );
+
+    // Memory ceiling, memory_bound-style: steady-state live nodes stay
+    // bounded by the universe plus a constant per *abandoned* operation
+    // (an abandon can strand a bounded handful of pooled nodes; panics
+    // with unwind guards strand nothing) — independent of the op count.
+    trie.collect_garbage();
+    let allocated = trie.allocated_nodes();
+    let live = trie.live_nodes();
+    let ceiling = 4 * U as usize + 512 + 8 * abandoned as usize;
+    assert!(
+        live <= ceiling,
+        "live nodes unbounded after chaos (seed {seed:#x}): {live} live of \
+         {allocated} allocated (ceiling {ceiling}, {abandoned} abandoned)"
+    );
+    // On the drop-only arena nothing is ever reclaimed, so this direction
+    // proves the run generated enough garbage for the ceiling to bite.
+    assert!(
+        allocated - live >= 4 * U as usize,
+        "churn too small for the ceiling to mean anything: \
+         only {} of {allocated} allocations reclaimed",
+        allocated - live
+    );
+
+    // Consistency now, and after a clean follow-up workload.
+    let model = assert_self_consistent(&trie, "post-chaos");
+    let probe = [0u64, 2, U / 2, U - 2, U - 1];
+    for &k in &probe {
+        trie.insert(k);
+    }
+    for &k in &probe[..2] {
+        trie.remove(k);
+    }
+    let expect: BTreeSet<u64> = model
+        .union(&probe.iter().copied().collect())
+        .copied()
+        .filter(|k| !probe[..2].contains(k))
+        .collect();
+    let after: BTreeSet<u64> = (0..U).filter(|&x| trie.contains(x)).collect();
+    assert_eq!(
+        after, expect,
+        "clean follow-up workload diverged (seed {seed:#x})"
+    );
+    assert_self_consistent(&trie, "aftermath");
+    assert!(
+        trie.announcements().is_empty(),
+        "clean aftermath leaked announcements (seed {seed:#x})"
+    );
+}
+
+#[test]
+fn chaos_panic_abandon_storm_stays_linearizable_and_drains() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    fault::silence_injected_panics();
+    let seed = std::env::var("LFTRIE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC4A0_05EEDu64);
+
+    // Wall-clock watchdog: a wedged round must fail loudly, not hang CI.
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        chaos_round(seed);
+        tx.send(()).ok();
+    });
+    match rx.recv_timeout(Duration::from_secs(300)) {
+        Ok(()) => handle.join().expect("chaos round"),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            handle.join().expect("chaos round panicked");
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("chaos round wedged (seed {seed:#x}): no completion within 300s")
+        }
+    }
+}
+
+/// Teeth: with the unwind guards switched off, a panic inside an announced
+/// insert must leave its announcement behind — the thread is still alive,
+/// so adoption rightly refuses to touch it. If this test ever starts
+/// failing, the guards are no longer what makes the chaos suite pass.
+#[test]
+fn teeth_unwind_guards_off_leaks_the_panicked_announcement() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    fault::silence_injected_panics();
+    let _restore = RestoreSwitches;
+    fault::set_unwind_guards_enabled(false);
+
+    let trie = LockFreeBinaryTrie::new(U);
+    trie.insert(10);
+    fault::install(FaultPlan::once(
+        FaultPoint::InsertAnnounced,
+        FaultAction::Panic,
+    ));
+    fault::arm(1);
+    let outcome = catch_unwind(AssertUnwindSafe(|| trie.insert(20)));
+    fault::disarm();
+    fault::uninstall();
+    assert!(outcome.is_err(), "the injected panic must escape the op");
+    assert!(!fault::take_abandoned(), "panic is not abandon");
+
+    // The owner's incarnation is still live, so adoption is a no-op here.
+    assert_eq!(trie.adopt_orphans(), 0, "live owners must not be adopted");
+    assert!(
+        !trie.announcements().is_empty(),
+        "guards disabled yet the announcement was withdrawn: \
+         the chaos suite's drain assertions have lost their teeth"
+    );
+}
+
+/// Teeth: with orphan adoption switched off, an abandoned insert's
+/// announcement survives an adoption call; re-enabling the switch adopts
+/// and drains it. If the first half fails, adoption is no longer what
+/// drains abandoned footprints in the chaos suite.
+#[test]
+fn teeth_orphan_adoption_off_strands_the_abandoned_announcement() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    fault::silence_injected_panics();
+    let _restore = RestoreSwitches;
+    fault::set_orphan_adoption_enabled(false);
+
+    let trie = LockFreeBinaryTrie::new(U);
+    trie.insert(10);
+    fault::install(FaultPlan::once(
+        FaultPoint::InsertAnnounced,
+        FaultAction::Abandon,
+    ));
+    fault::arm(2);
+    let outcome = catch_unwind(AssertUnwindSafe(|| trie.insert(20)));
+    fault::disarm();
+    fault::uninstall();
+    assert!(outcome.is_err(), "the injected abandon must escape the op");
+    assert!(
+        fault::take_abandoned(),
+        "abandon must mark the incarnation dead"
+    );
+
+    assert_eq!(
+        trie.adopt_orphans(),
+        0,
+        "disabled adoption must adopt nothing"
+    );
+    assert!(
+        !trie.announcements().is_empty(),
+        "adoption disabled yet the orphan drained: \
+         the chaos suite's drain assertions have lost their teeth"
+    );
+
+    // Positive control: the real mechanism cleans up exactly this orphan.
+    fault::set_orphan_adoption_enabled(true);
+    assert!(
+        trie.adopt_orphans() >= 1,
+        "re-enabled adoption must adopt the orphan"
+    );
+    assert!(
+        trie.announcements().is_empty(),
+        "adoption must drain the footprint"
+    );
+    assert_self_consistent(&trie, "post-adoption");
+}

@@ -1,0 +1,351 @@
+//! The fault-point matrix (crash-consistency suite): inject a panic or a
+//! simulated thread death (abandon) at **every** named injection point, for
+//! every operation type, and require that
+//!
+//! * the trie stays equivalent to a `BTreeSet` model — a crashed
+//!   operation's own outcome may be either "happened" or "didn't", but it
+//!   must be one of the two, atomically, and every other key is untouched;
+//! * after [`adopt_orphans`] every announcement list drains to zero, so
+//!   the crashed operation's footprint does not linger; and
+//! * the trie remains fully operational afterwards (follow-up operations
+//!   agree with the model).
+//!
+//! Each scenario runs on its own thread under a watchdog: a wedged
+//! scenario (an abandoned operation blocking later ones) fails the test by
+//! name instead of hanging the suite.
+//!
+//! [`adopt_orphans`]: lftrie::core::LockFreeBinaryTrie::adopt_orphans
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use lftrie::core::fault::{self, FaultAction, FaultPlan, FaultPoint, InjectedFault};
+use lftrie::core::LockFreeBinaryTrie;
+
+const U: u64 = 1 << 9;
+
+/// Seed membership: every third key, away from the universe edges.
+fn seed_keys() -> Vec<u64> {
+    (3..U - 3).step_by(3).collect()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    InsertNew,
+    InsertDup,
+    RemovePresent,
+    RemoveAbsent,
+    Predecessor,
+    Successor,
+    Range,
+    Count,
+    PopMin,
+    InsertAll,
+    DeleteAll,
+}
+
+const OPS: [Op; 11] = [
+    Op::InsertNew,
+    Op::InsertDup,
+    Op::RemovePresent,
+    Op::RemoveAbsent,
+    Op::Predecessor,
+    Op::Successor,
+    Op::Range,
+    Op::Count,
+    Op::PopMin,
+    Op::InsertAll,
+    Op::DeleteAll,
+];
+
+fn model_pred(model: &BTreeSet<u64>, y: u64) -> Option<u64> {
+    model.range(..y).next_back().copied()
+}
+
+fn model_succ(model: &BTreeSet<u64>, y: u64) -> Option<u64> {
+    model.range(y + 1..).next().copied()
+}
+
+/// Full-membership equivalence plus ordered-query spot checks.
+fn assert_equivalent(trie: &LockFreeBinaryTrie, model: &BTreeSet<u64>, ctx: &str) {
+    for x in 0..U {
+        assert_eq!(
+            trie.contains(x),
+            model.contains(&x),
+            "{ctx}: membership of {x} diverged"
+        );
+    }
+    for y in (1..U).step_by(17) {
+        assert_eq!(
+            trie.predecessor(y),
+            model_pred(model, y),
+            "{ctx}: predecessor({y}) diverged"
+        );
+        assert_eq!(
+            trie.successor(y),
+            model_succ(model, y),
+            "{ctx}: successor({y}) diverged"
+        );
+    }
+    assert_eq!(trie.min(), model.first().copied(), "{ctx}: min diverged");
+    assert_eq!(trie.max(), model.last().copied(), "{ctx}: max diverged");
+    let lo = U / 4;
+    let hi = 3 * U / 4;
+    assert_eq!(
+        trie.range(lo..=hi),
+        model.range(lo..=hi).copied().collect::<Vec<_>>(),
+        "{ctx}: range diverged"
+    );
+}
+
+/// Runs one `(point, action, op)` scenario to completion. Panics (with
+/// context) on any consistency violation.
+fn scenario(point: FaultPoint, action: FaultAction, op: Op) {
+    let ctx = format!("{}/{} on {op:?}", action.name(), point.name());
+    let trie = LockFreeBinaryTrie::new(U);
+    let mut model: BTreeSet<u64> = BTreeSet::new();
+    for k in seed_keys() {
+        trie.insert(k);
+        model.insert(k);
+    }
+
+    // Keys chosen so every mutating scenario touches fresh state: `k_new`
+    // is absent, `k_old` present.
+    let k_new = 100; // 100 % 3 == 1 → absent from the seed
+    let k_old = 99; // multiple of 3 → present
+    assert!(!model.contains(&k_new) && model.contains(&k_old));
+    let batch_new: Vec<u64> = [130, 131, 133, 134].into(); // all absent
+    let batch_old: Vec<u64> = [132, 135, 138, 141].into(); // all present
+    assert!(batch_new.iter().all(|k| !model.contains(k)));
+    assert!(batch_old.iter().all(|k| model.contains(k)));
+
+    fault::install(FaultPlan::once(point, action));
+    fault::arm((point as u64) << 8 | op as u64);
+    let outcome = catch_unwind(AssertUnwindSafe(|| match op {
+        Op::InsertNew => {
+            assert!(trie.insert(k_new), "{ctx}: insert of absent key");
+        }
+        Op::InsertDup => {
+            assert!(!trie.insert(k_old), "{ctx}: insert of present key");
+        }
+        Op::RemovePresent => {
+            assert!(trie.remove(k_old), "{ctx}: remove of present key");
+        }
+        Op::RemoveAbsent => {
+            assert!(!trie.remove(k_new), "{ctx}: remove of absent key");
+        }
+        Op::Predecessor => {
+            // Computed against the seed (no concurrency): must be exact.
+            for y in [1, k_old, U / 2, U - 1] {
+                assert_eq!(trie.predecessor(y), model_pred_of(y), "{ctx}: pred({y})");
+            }
+        }
+        Op::Successor => {
+            for y in [0, k_old, U / 2, U - 2] {
+                assert_eq!(trie.successor(y), model_succ_of(y), "{ctx}: succ({y})");
+            }
+        }
+        Op::Range => {
+            let got = trie.range(10..=200);
+            let want: Vec<u64> = (10..=200).filter(|k| k % 3 == 0).collect();
+            assert_eq!(got, want, "{ctx}: range scan");
+        }
+        Op::Count => {
+            let got = trie.count(10..=200);
+            let want = (10..=200).filter(|k| k % 3 == 0).count();
+            assert_eq!(got, want, "{ctx}: count");
+        }
+        Op::PopMin => {
+            let m = trie.pop_min();
+            assert_eq!(m, Some(3), "{ctx}: pop_min");
+        }
+        Op::InsertAll => {
+            assert_eq!(
+                trie.insert_all(&batch_new),
+                batch_new.len(),
+                "{ctx}: insert_all"
+            );
+        }
+        Op::DeleteAll => {
+            assert_eq!(
+                trie.delete_all(&batch_old),
+                batch_old.len(),
+                "{ctx}: delete_all"
+            );
+        }
+    }));
+    fault::disarm();
+    fault::uninstall();
+
+    let crashed = match outcome {
+        Ok(()) => {
+            assert!(
+                !fault::take_abandoned(),
+                "{ctx}: abandoned without unwinding"
+            );
+            false
+        }
+        Err(payload) => {
+            assert!(
+                payload.downcast_ref::<InjectedFault>().is_some(),
+                "{ctx}: non-injected panic escaped: {payload:?}",
+            );
+            let abandoned = fault::take_abandoned();
+            assert_eq!(
+                abandoned,
+                action == FaultAction::Abandon,
+                "{ctx}: abandon flag mismatch"
+            );
+            true
+        }
+    };
+
+    // Adopt whatever the crashed (especially abandoned) operation left
+    // behind, then resolve the crashed operation's outcome from the trie:
+    // either effect is linearizable, but it must be atomic per key.
+    let adopted = trie.adopt_orphans();
+    if !crashed {
+        assert_eq!(adopted, 0, "{ctx}: clean run left orphans");
+    }
+    if crashed {
+        match op {
+            Op::InsertNew if trie.contains(k_new) => {
+                model.insert(k_new);
+            }
+            Op::RemovePresent if !trie.contains(k_old) => {
+                model.remove(&k_old);
+            }
+            Op::PopMin => {
+                // Only the final `remove(min)` mutates; one injected fault
+                // means at most that single remove crashed.
+                let min = *model.first().expect("seed is non-empty");
+                if !trie.contains(min) {
+                    model.remove(&min);
+                }
+            }
+            Op::InsertAll => {
+                // Per-key unwind guards leave a clean linearized prefix.
+                let done: Vec<bool> = batch_new.iter().map(|&k| trie.contains(k)).collect();
+                let first_missing = done.iter().position(|&d| !d).unwrap_or(done.len());
+                assert!(
+                    done[first_missing..].iter().all(|&d| !d),
+                    "{ctx}: crashed batch is not a prefix: {done:?}"
+                );
+                for &k in &batch_new[..first_missing] {
+                    model.insert(k);
+                }
+            }
+            Op::DeleteAll => {
+                let done: Vec<bool> = batch_old.iter().map(|&k| !trie.contains(k)).collect();
+                let first_missing = done.iter().position(|&d| !d).unwrap_or(done.len());
+                assert!(
+                    done[first_missing..].iter().all(|&d| !d),
+                    "{ctx}: crashed batch is not a prefix: {done:?}"
+                );
+                for &k in &batch_old[..first_missing] {
+                    model.remove(&k);
+                }
+            }
+            // Queries don't mutate; a crashed query changes nothing.
+            _ => {}
+        }
+    } else {
+        // Un-crashed mutating ops already asserted their return values.
+        match op {
+            Op::InsertNew => {
+                model.insert(k_new);
+            }
+            Op::RemovePresent => {
+                model.remove(&k_old);
+            }
+            Op::PopMin => {
+                model.pop_first();
+            }
+            Op::InsertAll => model.extend(batch_new.iter().copied()),
+            Op::DeleteAll => {
+                for k in &batch_old {
+                    model.remove(k);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    assert_equivalent(&trie, &model, &ctx);
+
+    // The crashed operation's announcement footprint must be fully gone.
+    let lens = trie.announcements();
+    assert!(
+        lens.is_empty(),
+        "{ctx}: announcements leaked after adoption: \
+         uall {} ruall {} pall {} sall {}",
+        lens.uall,
+        lens.ruall,
+        lens.pall,
+        lens.sall
+    );
+
+    // And the trie must still work: exercise every op family once more.
+    for k in [k_new, k_old, 200, 201] {
+        trie.insert(k);
+        model.insert(k);
+    }
+    for k in [99, 201] {
+        trie.remove(k);
+        model.remove(&k);
+    }
+    assert_equivalent(&trie, &model, &format!("{ctx} (aftermath)"));
+    let lens = trie.announcements();
+    assert!(lens.is_empty(), "{ctx}: aftermath leaked announcements");
+}
+
+fn model_pred_of(y: u64) -> Option<u64> {
+    seed_keys().into_iter().rfind(|&k| k < y)
+}
+
+fn model_succ_of(y: u64) -> Option<u64> {
+    seed_keys().into_iter().find(|&k| k > y)
+}
+
+/// Runs `scenario` on a watchdog thread so a wedged trie fails by name.
+fn run_watched(point: FaultPoint, action: FaultAction, op: Op) {
+    let (tx, rx) = mpsc::channel();
+    let name = format!("{}/{} on {op:?}", action.name(), point.name());
+    let handle = std::thread::spawn(move || {
+        scenario(point, action, op);
+        tx.send(()).ok();
+    });
+    match rx.recv_timeout(Duration::from_secs(60)) {
+        // Joins on both arms propagate a scenario panic with its own
+        // message; only a still-running thread is a wedge.
+        Ok(()) => handle.join().expect("scenario thread"),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            handle.join().expect("scenario thread panicked");
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("scenario {name} wedged: no completion within 60s")
+        }
+    }
+}
+
+#[test]
+fn panic_at_every_point_keeps_model_equivalence() {
+    fault::silence_injected_panics();
+    for point in FaultPoint::ALL {
+        for op in OPS {
+            run_watched(point, FaultAction::Panic, op);
+        }
+    }
+}
+
+#[test]
+fn abandon_at_every_point_keeps_model_equivalence_after_adoption() {
+    fault::silence_injected_panics();
+    for point in FaultPoint::ALL {
+        for op in OPS {
+            run_watched(point, FaultAction::Abandon, op);
+        }
+    }
+}
