@@ -14,6 +14,7 @@ use core::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use lftrie_primitives::epoch::Guard;
 use lftrie_primitives::registry::Registry;
 use lftrie_primitives::steps;
+use lftrie_telemetry::trace::{self, CasSite};
 
 use crate::layout::{Layout, NodeIndex};
 use crate::node::UpdateNode;
@@ -117,9 +118,11 @@ impl TrieCore {
         new: *mut UpdateNode,
     ) -> bool {
         steps::on_cas();
-        self.latest[key as usize]
+        let ok = self.latest[key as usize]
             .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok()
+            .is_ok();
+        trace::cas(CasSite::Latest, ok);
+        ok
     }
 
     /// Reads `t.dNodePtr` of internal node `t`.
@@ -149,10 +152,11 @@ impl TrieCore {
         // Safety: `new` is the caller's own live node; `current` was read
         // from the slot under the caller's guard.
         unsafe { (*new).dnode_refs.fetch_add(1, Ordering::SeqCst) };
-        if self.dnode[t as usize]
+        let ok = self.dnode[t as usize]
             .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok()
-        {
+            .is_ok();
+        trace::cas(CasSite::Dnode, ok);
+        if ok {
             if !current.is_null() && current != new {
                 unsafe { (*current).dnode_refs.fetch_sub(1, Ordering::SeqCst) };
             } else if current == new {

@@ -81,6 +81,7 @@ use lftrie_primitives::fault::{self, FaultPoint};
 use lftrie_primitives::liveness;
 use lftrie_primitives::registry::{AllocStats, Registry};
 use lftrie_primitives::{Key, NEG_INF, NO_PRED, NO_SUCC, POS_INF};
+use lftrie_telemetry::trace::{self, OpKind, TracePhase};
 use lftrie_telemetry::{
     self as telemetry, AnnouncementLens, Counter, FlightKind, TelemetrySnapshot, TraversalStats,
 };
@@ -219,6 +220,16 @@ impl Drop for UpdateOpGuard<'_> {
         if fault::is_abandoning() || !fault::unwind_guards_enabled() {
             // Simulated crash-without-unwind: leave the footprint for
             // `adopt_orphans` (or, with guards off, demonstrate the leak).
+            trace::note_abandon();
+            if !self.node.get().is_null() && self.phase.get() == OpPhase::Alloced {
+                // Allocated but never published: no helper or adopter can
+                // ever reach this pooled node again — it is stranded for
+                // the life of the structure. Count it so leak ceilings can
+                // subtract exactly what abandonment is allowed to cost.
+                telemetry::add(Counter::StrandedNodes, 1);
+                let key = unsafe { (*self.node.get()).key() };
+                telemetry::flight(FlightKind::Stranded, key, self.kind as u64);
+            }
             return;
         }
         let _quiet = fault::suppress();
@@ -253,6 +264,7 @@ impl Drop for PredQueryGuard<'_> {
             return;
         }
         if fault::is_abandoning() || !fault::unwind_guards_enabled() {
+            trace::note_abandon();
             return;
         }
         let _quiet = fault::suppress();
@@ -277,6 +289,7 @@ impl Drop for SuccQueryGuard<'_> {
             return;
         }
         if fault::is_abandoning() || !fault::unwind_guards_enabled() {
+            trace::note_abandon();
             return;
         }
         let _quiet = fault::suppress();
@@ -463,6 +476,7 @@ impl LockFreeBinaryTrie {
 
     /// Inserts `uNode` into the U-ALL and RU-ALL (lines 130/173/196).
     fn announce(&self, u_node: *mut UpdateNode, guard: &Guard<'_>) {
+        let _p = trace::phase(TracePhase::Announce);
         let key = unsafe { (*u_node).key() };
         scan_events::on_update_announce();
         telemetry::flight(FlightKind::Announce, key, 0);
@@ -475,6 +489,7 @@ impl LockFreeBinaryTrie {
     /// Removes every announcement of `uNode` (lines 136/179/205): helpers
     /// may have re-announced it, so removal is exhaustive (DESIGN.md D2).
     fn deannounce(&self, u_node: *mut UpdateNode, guard: &Guard<'_>) {
+        let _p = trace::phase(TracePhase::Withdraw);
         let key = unsafe { (*u_node).key() };
         scan_events::on_update_withdraw();
         telemetry::flight(FlightKind::Deannounce, key, 0);
@@ -499,7 +514,9 @@ impl LockFreeBinaryTrie {
     fn help_activate(&self, u_node: *mut UpdateNode, guard: &Guard<'_>) {
         let u = unsafe { &*u_node };
         if u.status() == Status::Inactive {
-            // L129
+            // L129. The helping edge targets the helped node's never-reused
+            // allocation seq; the exporter joins it to the owner's span.
+            let _h = trace::help(seq_of(u_node));
             self.announce(u_node, guard); // L130
             u.activate(); // L131
             let displaced = u.latest_next();
@@ -540,6 +557,7 @@ impl LockFreeBinaryTrie {
         x: i64,
         guard: &Guard<'_>,
     ) -> (Vec<*mut UpdateNode>, Vec<*mut UpdateNode>) {
+        let _p = trace::phase(TracePhase::Traverse);
         let mut ins = Vec::new();
         let mut del = Vec::new();
         for (key, u_node) in self.uall.iter(guard) {
@@ -569,6 +587,7 @@ impl LockFreeBinaryTrie {
     /// `TraverseUall(∞)`) yields the INS set both extremum computations
     /// read.
     fn notify_query_ops(&self, u_node: *mut UpdateNode, guard: &Guard<'_>) {
+        let _p = trace::phase(TracePhase::Notify);
         let (ins, _del) = self.traverse_uall(POS_INF, guard); // L147: TraverseUall(∞)
         let u = unsafe { &*u_node };
         telemetry::flight(FlightKind::Notify, u.key(), 0);
@@ -680,6 +699,7 @@ impl LockFreeBinaryTrie {
         p_node: *mut PredNode,
         guard: &Guard<'_>,
     ) -> (Vec<*mut UpdateNode>, Vec<*mut UpdateNode>) {
+        let _p = trace::phase(TracePhase::Traverse);
         let p = unsafe { &*p_node };
         let y = p.key; // L259
         let mut ins = Vec::new();
@@ -727,6 +747,7 @@ impl LockFreeBinaryTrie {
         y: i64,
         guard: &Guard<'_>,
     ) -> (Vec<*mut UpdateNode>, Vec<*mut UpdateNode>) {
+        let _p = trace::phase(TracePhase::Traverse);
         let mut ins = Vec::new();
         let mut del = Vec::new();
         for (key, u_node) in self.ruall.iter(guard) {
@@ -802,6 +823,7 @@ impl LockFreeBinaryTrie {
     pub fn contains(&self, x: Key) -> bool {
         let x = self.check_key(x);
         telemetry::add(Counter::ContainsOps, 1);
+        let _s = trace::span(OpKind::Contains, x);
         let _guard = epoch::pin();
         let u_node = self.find_latest(x); // L122
         unsafe { (*u_node).kind() == Kind::Ins } // L123–124
@@ -816,6 +838,7 @@ impl LockFreeBinaryTrie {
     pub fn insert(&self, x: Key) -> bool {
         let x = self.check_key(x);
         telemetry::add(Counter::InsertOps, 1);
+        let _s = trace::span(OpKind::Insert, x);
         self.maybe_adopt_orphans();
         let guard = &epoch::pin();
         fault::point(FaultPoint::InsertEntry);
@@ -856,6 +879,9 @@ impl LockFreeBinaryTrie {
         ));
         og.node.set(i_node);
         og.phase.set(OpPhase::Alloced);
+        // Bind this span to the node's never-reused allocation seq so
+        // helpers' edges (which only see the node) join back to the span.
+        trace::bind(seq_of(i_node));
         // L168: dNode.latestNext.target.stop ← True (⊥-tolerant).
         let prev_ins = unsafe { (*d_node).latest_next() };
         if !prev_ins.is_null() {
@@ -908,6 +934,7 @@ impl LockFreeBinaryTrie {
     pub fn remove(&self, x: Key) -> bool {
         let x = self.check_key(x);
         telemetry::add(Counter::RemoveOps, 1);
+        let _s = trace::span(OpKind::Remove, x);
         self.maybe_adopt_orphans();
         let guard = &epoch::pin();
         fault::point(FaultPoint::DeleteEntry);
@@ -958,6 +985,8 @@ impl LockFreeBinaryTrie {
         ));
         og.node.set(d_node);
         og.phase.set(OpPhase::Alloced);
+        // Bind the delete's span to its node seq for helping attribution.
+        trace::bind(seq_of(d_node));
         unsafe {
             (*d_node).init_del_pred(del_pred); // L188
             (*d_node).init_del_pred_node(p_node1); // L189
@@ -1156,6 +1185,11 @@ impl LockFreeBinaryTrie {
         let key = u.key();
         telemetry::add(Counter::OrphansAdopted, 1);
         telemetry::flight(FlightKind::Adopt, key, 0);
+        // Adoption is helping on behalf of a dead owner: open an `Adopt`
+        // span and a helping edge to the victim's node so the exporter can
+        // draw adopter → abandoned-span flows.
+        let _s = trace::span(OpKind::Adopt, key);
+        let _h = trace::help(seq_of(u_node));
         if u.status() == Status::Inactive {
             u.activate(); // L131
         }
@@ -1338,6 +1372,7 @@ impl LockFreeBinaryTrie {
     pub fn predecessor(&self, y: Key) -> Option<Key> {
         let y = self.check_key(y);
         telemetry::add(Counter::PredecessorOps, 1);
+        let _s = trace::span(OpKind::Predecessor, y);
         let guard = &epoch::pin();
         let (pred, p_node) = self.pred_helper(y, guard); // L254
         self.remove_pred_node(p_node, guard); // L255
@@ -1365,6 +1400,7 @@ impl LockFreeBinaryTrie {
         if !unsafe { (*p_node).claim_withdraw() } {
             return;
         }
+        let _p = trace::phase(TracePhase::Withdraw);
         let cell = unsafe { (*p_node).pall_cell() };
         // Safety: the cell was stored into the PredNode by the `insert` in
         // `pred_helper`, and the claim above makes this removal unique.
@@ -1383,6 +1419,7 @@ impl LockFreeBinaryTrie {
     pub fn successor(&self, y: Key) -> Option<Key> {
         let y = self.check_key(y);
         telemetry::add(Counter::SuccessorOps, 1);
+        let _s = trace::span(OpKind::Successor, y);
         let guard = &epoch::pin();
         let (succ, s_node) = self.succ_helper(y, guard);
         self.remove_succ_node(s_node, guard);
@@ -1457,6 +1494,7 @@ impl LockFreeBinaryTrie {
     /// `≥ universe` (consistently with [`LockFreeBinaryTrie::successor`] —
     /// an out-of-universe start is a caller bug, not an empty scan).
     pub fn range(&self, range: core::ops::RangeInclusive<Key>) -> Vec<Key> {
+        let _s = trace::span(OpKind::Range, *range.start() as i64);
         match self.range_iter(range) {
             Some(iter) => iter.collect(),
             None => Vec::new(),
@@ -1467,6 +1505,7 @@ impl LockFreeBinaryTrie {
     /// materializing the keys, under one S-ALL announcement. Same bound
     /// handling (and panics) as [`LockFreeBinaryTrie::range`].
     pub fn count(&self, range: core::ops::RangeInclusive<Key>) -> usize {
+        let _s = trace::span(OpKind::Range, *range.start() as i64);
         match self.range_iter(range) {
             Some(iter) => iter.count(),
             None => 0,
@@ -1495,6 +1534,7 @@ impl LockFreeBinaryTrie {
     /// as one `SuccHelper` under one S-ALL announcement.
     pub fn min(&self) -> Option<Key> {
         telemetry::add(Counter::AggregateOps, 1);
+        let _s = trace::span(OpKind::Min, NO_PRED);
         let guard = &epoch::pin();
         let (succ, s_node) = self.succ_helper(NO_PRED, guard); // y = −1
         self.remove_succ_node(s_node, guard);
@@ -1511,6 +1551,7 @@ impl LockFreeBinaryTrie {
     /// the mirror of [`LockFreeBinaryTrie::min`].
     pub fn max(&self) -> Option<Key> {
         telemetry::add(Counter::AggregateOps, 1);
+        let _s = trace::span(OpKind::Max, self.universe as i64);
         let guard = &epoch::pin();
         let (pred, p_node) = self.pred_helper(self.universe as i64, guard);
         self.remove_pred_node(p_node, guard);
@@ -1562,6 +1603,7 @@ impl LockFreeBinaryTrie {
             self.check_key(x);
         }
         telemetry::add(Counter::InsertOps, keys.len() as u64);
+        let _s = trace::span(OpKind::Batch, keys.len() as i64);
         self.maybe_adopt_orphans();
         let guard = &epoch::pin();
         let mut modifying = 0;
@@ -1603,6 +1645,7 @@ impl LockFreeBinaryTrie {
             self.check_key(x);
         }
         telemetry::add(Counter::RemoveOps, keys.len() as u64);
+        let _s = trace::span(OpKind::Batch, keys.len() as i64);
         self.maybe_adopt_orphans();
         let guard = &epoch::pin();
         let mut modifying = 0;
@@ -1628,6 +1671,7 @@ impl LockFreeBinaryTrie {
         if !unsafe { (*s_node).claim_withdraw() } {
             return;
         }
+        let _p = trace::phase(TracePhase::Withdraw);
         scan_events::on_withdraw();
         telemetry::flight(FlightKind::Deannounce, unsafe { (*s_node).key() }, 1);
         let cell = unsafe { (*s_node).sall_cell() };
@@ -1647,9 +1691,13 @@ impl LockFreeBinaryTrie {
     fn pred_helper(&self, y: i64, guard: &Guard<'_>) -> (i64, *mut PredNode) {
         // L208–209: announce.
         let p_node = self.preds.alloc(PredNode::new(y));
-        let p_cell = self.pall.insert(p_node, guard);
-        unsafe { (*p_node).set_pall_cell(p_cell) };
-        self.ann_add(1);
+        let p_cell;
+        {
+            let _p = trace::phase(TracePhase::Announce);
+            p_cell = self.pall.insert(p_node, guard);
+            unsafe { (*p_node).set_pall_cell(p_cell) };
+            self.ann_add(1);
+        }
         // From here to the return the announcement is live: a panic in the
         // computation withdraws it (queries have nothing to complete).
         let qg = PredQueryGuard {
@@ -1757,6 +1805,7 @@ impl LockFreeBinaryTrie {
                     self.recoveries.fetch_add(1, Ordering::Relaxed);
                     telemetry::add(Counter::Recoveries, 1);
                     telemetry::flight(FlightKind::Recovery, y, 0);
+                    let _p = trace::phase(TracePhase::Recovery);
                     self.recover_from_embedded(y, p_node, &q, &d_ruall) // L230–251
                 }
             }
@@ -1925,6 +1974,7 @@ impl LockFreeBinaryTrie {
     /// Mirror of L208–209: allocates and announces a successor node for
     /// query key `y` in the S-ALL.
     fn succ_announce(&self, y: i64, guard: &Guard<'_>) -> *mut SuccNode {
+        let _p = trace::phase(TracePhase::Announce);
         scan_events::on_announce();
         telemetry::flight(FlightKind::Announce, y, 1); // aux=1: S-ALL
         let s_node = self.succs.alloc(SuccNode::new(y));
@@ -2102,6 +2152,7 @@ impl LockFreeBinaryTrie {
                     self.succ_recoveries.fetch_add(1, Ordering::Relaxed);
                     telemetry::add(Counter::Recoveries, 1);
                     telemetry::flight(FlightKind::Recovery, y, 1);
+                    let _p = trace::phase(TracePhase::Recovery);
                     self.recover_from_embedded_succ(y, era, s_node, q, &d_pub)
                 }
             }

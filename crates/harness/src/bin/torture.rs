@@ -3,11 +3,16 @@
 //!
 //! ```text
 //! cargo run --release -p lftrie-harness --bin torture -- \
-//!     [seconds] [threads] [log2_universe] [stalled_readers]
+//!     [seconds] [threads] [log2_universe] [stalled_readers] [--trace <path>]
 //! ```
 //!
 //! Defaults: 10 seconds, 4 threads, universe 2^10, 0 stalled readers.
 //! Exits non-zero on any consistency violation.
+//!
+//! `--trace <path>` (requires `--features op-trace`) writes the captured
+//! Chrome trace-event JSON there — at exit on success, and from the
+//! failure dump on a violation, where the causal trace (spans, phases,
+//! helping edges) sits next to the flight recorder.
 //!
 //! Environment:
 //!
@@ -41,7 +46,7 @@
 //! flight recorder, and the fault log.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use lftrie_core::LockFreeBinaryTrie;
@@ -81,10 +86,28 @@ impl Repro {
     }
 }
 
+/// Where `--trace` asked for the Chrome trace-event JSON, if anywhere.
+/// Global so the failure path can flush the trace without threading the
+/// path through every validation call.
+static TRACE_PATH: OnceLock<String> = OnceLock::new();
+
+/// Writes the captured Chrome trace-event JSON to the `--trace` path (if
+/// one was given and capture is compiled in). Returns the path on success.
+fn write_trace() -> Option<&'static str> {
+    let path = TRACE_PATH.get()?;
+    match std::fs::write(path, lftrie_telemetry::trace::chrome_trace_json()) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("failed to write trace {path}: {e}");
+            None
+        }
+    }
+}
+
 /// Reports a consistency violation, dumps the unified telemetry snapshot,
 /// the flight-recorder ring (the last protocol events leading up to the
-/// failure), the fault log, and the reproduction seed, then exits
-/// non-zero.
+/// failure), the causal op-trace digest, the fault log, and the
+/// reproduction seed, then exits non-zero.
 fn fail(round: u64, trie: &LockFreeBinaryTrie, repro: &Repro, msg: &str) -> ! {
     // The heartbeat ends in `\r` with the cursor mid-line; terminate and
     // flush it so the dump below starts on a clean line instead of
@@ -100,6 +123,11 @@ fn fail(round: u64, trie: &LockFreeBinaryTrie, repro: &Repro, msg: &str) -> ! {
     eprint!("{}", trie.telemetry().to_prometheus());
     eprintln!("--- flight recorder (oldest first) ---");
     eprint!("{}", lftrie_telemetry::flight_report());
+    eprintln!("--- op-trace ---");
+    eprint!("{}", lftrie_telemetry::trace::summary());
+    if let Some(path) = write_trace() {
+        eprintln!("wrote Chrome trace-event JSON to {path}");
+    }
     #[cfg(feature = "fault-injection")]
     {
         eprintln!("--- fault log ---");
@@ -273,10 +301,23 @@ fn worker_loop_plain(
 }
 
 fn main() {
-    let args: Vec<u64> = std::env::args()
-        .skip(1)
-        .filter_map(|a| a.parse().ok())
-        .collect();
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    // `--trace <path>` takes a value: pull the pair out before the numeric
+    // positional parse below.
+    if let Some(i) = raw.iter().position(|a| a == "--trace") {
+        if i + 1 >= raw.len() {
+            eprintln!("--trace requires a path argument");
+            std::process::exit(2);
+        }
+        let path = raw.remove(i + 1);
+        raw.remove(i);
+        if lftrie_telemetry::trace::compiled() {
+            TRACE_PATH.set(path).unwrap();
+        } else {
+            eprintln!("warning: --trace needs --features op-trace; running without capture");
+        }
+    }
+    let args: Vec<u64> = raw.iter().filter_map(|a| a.parse().ok()).collect();
     let seconds = args.first().copied().unwrap_or(10);
     let threads = args.get(1).copied().unwrap_or(4) as usize;
     let log2_u = args.get(2).copied().unwrap_or(10).min(24);
@@ -516,4 +557,7 @@ fn main() {
         round,
         total_ops.load(Ordering::Relaxed)
     );
+    if let Some(path) = write_trace() {
+        println!("wrote Chrome trace-event JSON to {path}");
+    }
 }

@@ -865,6 +865,83 @@ pub fn e11_telemetry(quick: bool) -> Table {
     table
 }
 
+/// E12 — causal op-tracing: where a contended balanced run spends its
+/// time, phase by phase, and how much of each thread's work is helping
+/// *other* operations. Requires the `op-trace` feature (the runner skips
+/// it otherwise); reported entirely from the trace histograms and CAS-site
+/// counters of a traced run.
+pub fn e12_phase_attribution(quick: bool) -> Table {
+    use lftrie_telemetry::{self as telemetry, trace, Counter, Hist};
+
+    let universe = 1u64 << 14;
+    let ops = if quick { 5_000 } else { 50_000 };
+    let trie = LockFreeBinaryTrie::new(universe);
+    prefill(&trie, universe, 0.2, SEED);
+
+    let spans_before = telemetry::counters().get(Counter::TraceSpans);
+    let edges_before = telemetry::counters().get(Counter::HelpEdges);
+    trace::set_trace_enabled(true);
+    let res = driver::run_instrumented(
+        &trie,
+        &RunConfig {
+            threads: 4,
+            ops_per_thread: ops,
+            universe,
+            mix: OpMix::BALANCED,
+            keys: KeyDist::Uniform,
+            seed: SEED,
+            scan_width: crate::workload::DEFAULT_SCAN_WIDTH,
+        },
+    );
+    let snap = trie.telemetry();
+    let counters = telemetry::counters();
+
+    let mut table = Table::new(
+        "E12: per-phase latency and helping attribution of one traced run",
+        &["metric", "value"],
+    );
+    table.row(&["Mops/s".to_string(), format!("{:.3}", res.mops)]);
+    table.row(&[
+        "spans".to_string(),
+        (counters.get(Counter::TraceSpans) - spans_before).to_string(),
+    ]);
+    table.row(&[
+        "help_edges".to_string(),
+        (counters.get(Counter::HelpEdges) - edges_before).to_string(),
+    ]);
+    for h in &snap.trace {
+        if h.hist == Hist::HelpingDepth {
+            table.row(&[
+                "helping_depth_p99".to_string(),
+                h.percentile(99.0).to_string(),
+            ]);
+            continue;
+        }
+        // One row per phase that actually ran: count + p50/p99 bucket
+        // upper bounds (ns).
+        if h.count == 0 {
+            continue;
+        }
+        let name = h.hist.name();
+        table.row(&[format!("{name}_count"), h.count.to_string()]);
+        table.row(&[format!("{name}_p50_le"), h.percentile(50.0).to_string()]);
+        table.row(&[format!("{name}_p99_le"), h.percentile(99.0).to_string()]);
+    }
+    for site in trace::CAS_SITES {
+        let (attempts_c, failures_c) = site.counters();
+        let attempts = counters.get(attempts_c);
+        if attempts == 0 {
+            continue;
+        }
+        let failures = counters.get(failures_c);
+        table.row(&[
+            format!("cas_{}_retry_rate", site.name()),
+            format!("{:.4}", failures as f64 / attempts as f64),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -886,6 +963,21 @@ mod tests {
         assert!(metrics.contains(&"latency_p99_ns_le"));
         assert!(metrics.contains(&"stalled_readers"));
         assert!(metrics.contains(&"limbo_and_pending"));
+    }
+
+    #[test]
+    fn e12_reports_phases_and_helping_when_compiled() {
+        let t = e12_phase_attribution(true);
+        let metrics: Vec<&str> = t.rows().iter().map(|r| r[0].as_str()).collect();
+        assert!(metrics.contains(&"spans"));
+        assert!(metrics.contains(&"help_edges"));
+        assert!(metrics.contains(&"helping_depth_p99"));
+        if lftrie_telemetry::trace::compiled() {
+            // A traced balanced run must attribute time to at least the
+            // announce phase and tally CAS attempts at the latest list.
+            assert!(metrics.iter().any(|m| m.starts_with("phase_announce_ns")));
+            assert!(metrics.contains(&"cas_latest_retry_rate"));
+        }
     }
 
     #[test]

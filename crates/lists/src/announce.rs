@@ -37,6 +37,7 @@ use lftrie_primitives::marked::{AtomicMarkedPtr, MarkedPtr};
 use lftrie_primitives::registry::{Reclaim, Registry};
 use lftrie_primitives::swcursor::PublishedKey;
 use lftrie_primitives::{NEG_INF, POS_INF};
+use lftrie_telemetry::trace::{self, CasSite};
 
 /// Sort direction of an announcement list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -184,7 +185,9 @@ impl<P> AnnounceList<P> {
     ) -> bool {
         let expected = MarkedPtr::new(cur, false);
         let replacement = MarkedPtr::new(cur_next, false);
-        if unsafe { (*pred).next.compare_exchange(expected, replacement) } {
+        let ok = unsafe { (*pred).next.compare_exchange(expected, replacement) };
+        trace::cas(CasSite::Announce, ok);
+        if ok {
             // Exactly one CAS detaches each cell (cells are never re-linked),
             // so this retire runs once per cell.
             unsafe { self.cells.retire(cur, guard) };
@@ -237,7 +240,9 @@ impl<P> AnnounceList<P> {
             unsafe { (*cell).next.store(MarkedPtr::new(succ, false)) };
             let expected = MarkedPtr::new(succ, false);
             let new = MarkedPtr::new(cell, false);
-            if unsafe { (*pred).next.compare_exchange(expected, new) } {
+            let ok = unsafe { (*pred).next.compare_exchange(expected, new) };
+            trace::cas(CasSite::Announce, ok);
+            if ok {
                 return cell;
             }
         }
@@ -274,7 +279,9 @@ impl<P> AnnounceList<P> {
                     // above detaches it.
                     let expected = MarkedPtr::new(cur_next.ptr(), false);
                     let marked = MarkedPtr::new(cur_next.ptr(), true);
-                    if unsafe { (*cur).next.compare_exchange(expected, marked) } {
+                    let ok = unsafe { (*cur).next.compare_exchange(expected, marked) };
+                    trace::cas(CasSite::Announce, ok);
+                    if ok {
                         removed += 1;
                     }
                     continue 'retry;
@@ -338,7 +345,11 @@ impl<P> AnnounceList<P> {
             // Validated copy: publish, then confirm the source is unchanged.
             position.publish(unsafe { (*next).key });
             let check = unsafe { (*cur).next.load() };
-            if check.ptr() == next {
+            let ok = check.ptr() == next;
+            // Not a CAS, but the validate-retry plays the same role: a
+            // failed validation is a contention-forced retry of the hop.
+            trace::cas(CasSite::Cursor, ok);
+            if ok {
                 return next;
             }
         }

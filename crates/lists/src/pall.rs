@@ -33,6 +33,7 @@ use core::fmt;
 use lftrie_primitives::epoch::{self, Guard};
 use lftrie_primitives::marked::{AtomicMarkedPtr, MarkedPtr};
 use lftrie_primitives::registry::{Reclaim, Registry};
+use lftrie_telemetry::trace::{self, CasSite};
 
 /// One P-ALL cell announcing a predecessor node `P`.
 pub struct PallCell<P> {
@@ -125,11 +126,13 @@ impl<P> PallList<P> {
             let first = unsafe { (*self.head).next.load() };
             debug_assert!(!first.is_marked(), "head sentinel is never marked");
             unsafe { (*cell).next.store(MarkedPtr::new(first.ptr(), false)) };
-            if unsafe {
+            let ok = unsafe {
                 (*self.head)
                     .next
                     .compare_exchange(first, MarkedPtr::new(cell, false))
-            } {
+            };
+            trace::cas(CasSite::Announce, ok);
+            if ok {
                 return cell;
             }
         }
@@ -150,7 +153,9 @@ impl<P> PallList<P> {
             if next.is_marked() {
                 break; // already removed (should not happen for unique owners)
             }
-            if unsafe { (*cell).next.compare_exchange(next, next.with_mark()) } {
+            let ok = unsafe { (*cell).next.compare_exchange(next, next.with_mark()) };
+            trace::cas(CasSite::Announce, ok);
+            if ok {
                 break;
             }
         }
@@ -168,7 +173,9 @@ impl<P> PallList<P> {
                 if cur_next.is_marked() {
                     let expected = MarkedPtr::new(cur, false);
                     let replacement = MarkedPtr::new(cur_next.ptr(), false);
-                    if !unsafe { (*pred).next.compare_exchange(expected, replacement) } {
+                    let ok = unsafe { (*pred).next.compare_exchange(expected, replacement) };
+                    trace::cas(CasSite::Announce, ok);
+                    if !ok {
                         continue 'retry;
                     }
                     // The successful unlink CAS is unique per cell.

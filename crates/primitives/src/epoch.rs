@@ -509,6 +509,7 @@ impl<'d> Handle<'d> {
     pub fn pin(&self) -> Guard<'d> {
         let p = self.participant;
         if p.nest.load(Ordering::Relaxed) == 0 {
+            let _t = telemetry::trace::phase(telemetry::trace::TracePhase::Pin);
             // A new read session: any hazard coverage from a previous one is
             // void. Cleared *before* announcing, so no advance pass can pair
             // the fresh announcement with stale coverage (exemption also

@@ -930,6 +930,7 @@ impl<T> Registry<T> {
             return;
         }
         telemetry::add(Counter::Sweeps, 1);
+        let _t = telemetry::trace::phase(telemetry::trace::TracePhase::Reclaim);
         // Everything below runs user code (`Reclaim` hooks, node `Drop`s);
         // the guard clears `sweeping` and re-attaches the unexamined chain
         // remainder on every exit path, panics included. A panicking hook

@@ -53,6 +53,9 @@ pub enum FlightKind {
     /// An orphaned announcement of a dead incarnation was adopted
     /// (completed via helping and withdrawn).
     Adopt = 11,
+    /// An injected `Abandon` stranded an allocated-but-unpublished update
+    /// node in its pool (no helper or adopter can ever reach it).
+    Stranded = 12,
 }
 
 impl FlightKind {
@@ -70,6 +73,7 @@ impl FlightKind {
             FlightKind::Fence => "fence",
             FlightKind::Fault => "fault",
             FlightKind::Adopt => "adopt",
+            FlightKind::Stranded => "stranded",
         }
     }
 
@@ -86,6 +90,7 @@ impl FlightKind {
             9 => FlightKind::Fence,
             10 => FlightKind::Fault,
             11 => FlightKind::Adopt,
+            12 => FlightKind::Stranded,
             _ => return None,
         })
     }
@@ -96,6 +101,12 @@ impl FlightKind {
 pub struct FlightEvent {
     /// Process-global sequence id (1-based; later events have larger ids).
     pub seq: u64,
+    /// Monotonic nanoseconds since the process trace anchor (shared with
+    /// the op-trace layer). Stamped at `SEQ_BATCH` resolution — one raw
+    /// tick read per id-batch refill, shared by the batch; see that
+    /// constant's docs for the budget/resolution trade-off — and converted
+    /// against the anchor when the ring is drained.
+    pub ts: u64,
     /// Shard (≈ thread) id that recorded the event.
     pub shard: usize,
     /// What happened.
@@ -114,7 +125,14 @@ pub const FLIGHT_CAP: usize = 128;
 /// contended global `fetch_add` off the per-event path (one RMW per 16
 /// events); the cost is ordering *resolution* — ids stay unique and
 /// per-thread monotone, but two threads' events interleave only to batch
-/// granularity in a sorted dump.
+/// granularity in a sorted dump. The timestamp rides the same boundary:
+/// the ring re-reads the tick counter once per refill and stamps the whole
+/// batch with it (a per-event read, even a raw `rdtsc`, measurably dents
+/// the <3% always-on budget), so time also interleaves threads at batch
+/// resolution — strictly finer than ids alone, since batches from
+/// different threads order by wall clock rather than by when they happened
+/// to reserve ids, but a burst's first events can carry a stamp up to one
+/// batch stale after an idle gap.
 const SEQ_BATCH: u64 = 16;
 
 /// Global sequence ids; starts at 1 so `seq == 0` marks an empty slot.
@@ -122,6 +140,7 @@ static SEQ: AtomicU64 = AtomicU64::new(1);
 
 struct Slot {
     seq: AtomicU64,
+    ts: AtomicU64,
     kind: AtomicU64,
     key: AtomicI64,
     aux: AtomicU64,
@@ -138,6 +157,9 @@ pub(crate) struct Ring {
     /// One past the last reserved id; `seq_next == seq_end` forces a
     /// [`SEQ_BATCH`]-sized refill from the global counter.
     seq_end: AtomicU64,
+    /// Raw tick stamp shared by the current id batch (owner-only; see
+    /// [`SEQ_BATCH`] on the resolution trade-off).
+    ts_batch: AtomicU64,
 }
 
 impl Ring {
@@ -146,6 +168,7 @@ impl Ring {
             slots: [const {
                 Slot {
                     seq: AtomicU64::new(0),
+                    ts: AtomicU64::new(0),
                     kind: AtomicU64::new(0),
                     key: AtomicI64::new(0),
                     aux: AtomicU64::new(0),
@@ -154,6 +177,7 @@ impl Ring {
             cursor: AtomicU64::new(0),
             seq_next: AtomicU64::new(0),
             seq_end: AtomicU64::new(0),
+            ts_batch: AtomicU64::new(0),
         }
     }
 
@@ -166,6 +190,7 @@ impl Ring {
         if seq == self.seq_end.load(Ordering::Relaxed) {
             seq = SEQ.fetch_add(SEQ_BATCH, Ordering::Relaxed);
             self.seq_end.store(seq + SEQ_BATCH, Ordering::Relaxed);
+            self.ts_batch.store(crate::now_ticks(), Ordering::Relaxed);
         }
         self.seq_next.store(seq + 1, Ordering::Relaxed);
         let c = self.cursor.load(Ordering::Relaxed);
@@ -173,14 +198,19 @@ impl Ring {
         let i = c as usize % FLIGHT_CAP;
         let slot = &self.slots[i];
         slot.seq.store(0, Ordering::Relaxed);
+        slot.ts
+            .store(self.ts_batch.load(Ordering::Relaxed), Ordering::Relaxed);
         slot.kind.store(kind as u64, Ordering::Relaxed);
         slot.key.store(key, Ordering::Relaxed);
         slot.aux.store(aux, Ordering::Relaxed);
         slot.seq.store(seq, Ordering::Release);
     }
 
-    /// Appends every currently-valid entry to `out` (unsorted).
-    pub(crate) fn drain_into(&self, shard: usize, out: &mut Vec<FlightEvent>) {
+    /// Appends every currently-valid entry to `out` (unsorted), mapping
+    /// stored ticks to nanoseconds at the given [`crate::tick_rate`] —
+    /// callers sample the rate once per dump so one dump gets one linear,
+    /// order-preserving map.
+    pub(crate) fn drain_into(&self, shard: usize, rate: f64, out: &mut Vec<FlightEvent>) {
         for slot in &self.slots {
             let seq = slot.seq.load(Ordering::Acquire);
             if seq == 0 {
@@ -191,6 +221,7 @@ impl Ring {
             };
             out.push(FlightEvent {
                 seq,
+                ts: crate::ticks_to_ns(slot.ts.load(Ordering::Relaxed), rate),
                 shard,
                 kind,
                 key: slot.key.load(Ordering::Relaxed),
@@ -211,7 +242,7 @@ mod tests {
             ring.push(FlightKind::Announce, k, 0);
         }
         let mut out = Vec::new();
-        ring.drain_into(0, &mut out);
+        ring.drain_into(0, crate::tick_rate(), &mut out);
         assert_eq!(out.len(), FLIGHT_CAP);
         out.sort_by_key(|e| e.seq);
         // The oldest 16 events were overwritten.
@@ -235,6 +266,7 @@ mod tests {
             FlightKind::Fence,
             FlightKind::Fault,
             FlightKind::Adopt,
+            FlightKind::Stranded,
         ] {
             assert_eq!(FlightKind::from_u64(k as u64), Some(k));
         }

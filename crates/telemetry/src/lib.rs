@@ -66,6 +66,7 @@ use crossbeam::utils::CachePadded;
 
 mod flight;
 mod snapshot;
+pub mod trace;
 
 pub use flight::{FlightEvent, FlightKind, FLIGHT_CAP};
 pub use snapshot::{
@@ -153,10 +154,39 @@ pub enum Counter {
     /// Operations withdrawn or driven to completion by an RAII unwind
     /// guard after a panic.
     UnwindWithdrawals,
+    /// Pooled update nodes stranded by an injected `Abandon` that struck
+    /// after allocation but before the latest-list publish: no helper or
+    /// adopter can ever reach them, so they stay pooled until the trie
+    /// drops. Bounded by the abandon count; this gauge makes the known
+    /// leak observable.
+    StrandedNodes,
+    /// Operation spans opened by the op-trace layer.
+    TraceSpans,
+    /// Spans terminated with the abandoned status (injected `Abandon`).
+    SpansAbandoned,
+    /// Helping edges recorded (one per `HelpActivate`/adoption advance of
+    /// another thread's operation).
+    HelpEdges,
+    /// dNodePtr-install CAS attempts (`TrieCore::dnode_cas`; op-trace).
+    DnodeCasAttempts,
+    /// dNodePtr-install CAS failures (op-trace).
+    DnodeCasFailures,
+    /// Latest-list head CAS attempts (`TrieCore::cas_latest`; op-trace).
+    LatestCasAttempts,
+    /// Latest-list head CAS failures (op-trace).
+    LatestCasFailures,
+    /// Announcement-list cell CAS attempts (all four lists; op-trace).
+    AnnounceCasAttempts,
+    /// Announcement-list cell CAS failures (op-trace).
+    AnnounceCasFailures,
+    /// Published-cursor advance CAS/validation attempts (op-trace).
+    CursorCasAttempts,
+    /// Published-cursor advance validation failures (op-trace).
+    CursorCasFailures,
 }
 
 /// Number of [`Counter`] variants (the shard array length).
-pub const COUNTER_COUNT: usize = Counter::UnwindWithdrawals as usize + 1;
+pub const COUNTER_COUNT: usize = Counter::CursorCasFailures as usize + 1;
 
 impl Counter {
     /// Every counter, in report order.
@@ -194,6 +224,18 @@ impl Counter {
         Counter::FaultsInjected,
         Counter::OrphansAdopted,
         Counter::UnwindWithdrawals,
+        Counter::StrandedNodes,
+        Counter::TraceSpans,
+        Counter::SpansAbandoned,
+        Counter::HelpEdges,
+        Counter::DnodeCasAttempts,
+        Counter::DnodeCasFailures,
+        Counter::LatestCasAttempts,
+        Counter::LatestCasFailures,
+        Counter::AnnounceCasAttempts,
+        Counter::AnnounceCasFailures,
+        Counter::CursorCasAttempts,
+        Counter::CursorCasFailures,
     ];
 
     /// The stable report label for this counter.
@@ -232,6 +274,18 @@ impl Counter {
             Counter::FaultsInjected => "faults_injected",
             Counter::OrphansAdopted => "orphans_adopted",
             Counter::UnwindWithdrawals => "unwind_withdrawals",
+            Counter::StrandedNodes => "stranded_nodes",
+            Counter::TraceSpans => "trace_spans",
+            Counter::SpansAbandoned => "spans_abandoned",
+            Counter::HelpEdges => "help_edges",
+            Counter::DnodeCasAttempts => "dnode_cas_attempts",
+            Counter::DnodeCasFailures => "dnode_cas_failures",
+            Counter::LatestCasAttempts => "latest_cas_attempts",
+            Counter::LatestCasFailures => "latest_cas_failures",
+            Counter::AnnounceCasAttempts => "announce_cas_attempts",
+            Counter::AnnounceCasFailures => "announce_cas_failures",
+            Counter::CursorCasAttempts => "cursor_cas_attempts",
+            Counter::CursorCasFailures => "cursor_cas_failures",
         }
     }
 }
@@ -247,10 +301,29 @@ pub enum Hist {
     /// instrumented driver (never from inside the structures — a clock read
     /// per op would perturb the throughput experiments).
     OpLatencyNs,
+    /// Epoch-pin duration in ns (op-trace phase).
+    PhasePinNs,
+    /// Announcement-list traversal duration in ns (op-trace phase).
+    PhaseTraverseNs,
+    /// Announcement-publish duration in ns (op-trace phase).
+    PhaseAnnounceNs,
+    /// Query-notification duration in ns (op-trace phase).
+    PhaseNotifyNs,
+    /// ⊥-recovery duration in ns (op-trace phase).
+    PhaseRecoveryNs,
+    /// Announcement-withdrawal duration in ns (op-trace phase).
+    PhaseWithdrawNs,
+    /// Registry-sweep duration in ns (op-trace phase).
+    PhaseReclaimNs,
+    /// Time spent advancing *other* threads' operations in ns (op-trace
+    /// phase; the helping half of the own-work vs. helping attribution).
+    PhaseHelpNs,
+    /// Helping-nesting depth at each recorded helping edge (op-trace).
+    HelpingDepth,
 }
 
 /// Number of [`Hist`] variants.
-pub const HIST_COUNT: usize = Hist::OpLatencyNs as usize + 1;
+pub const HIST_COUNT: usize = Hist::HelpingDepth as usize + 1;
 
 /// Buckets per histogram: bucket `b` counts values whose bit length is `b`,
 /// i.e. `v == 0 → 0` and otherwise `⌊log₂ v⌋ + 1`, so the upper bound of
@@ -259,15 +332,122 @@ pub const HIST_BUCKETS: usize = 65;
 
 impl Hist {
     /// Every histogram, in report order.
-    pub const ALL: [Hist; HIST_COUNT] = [Hist::TraversalDepth, Hist::OpLatencyNs];
+    pub const ALL: [Hist; HIST_COUNT] = [
+        Hist::TraversalDepth,
+        Hist::OpLatencyNs,
+        Hist::PhasePinNs,
+        Hist::PhaseTraverseNs,
+        Hist::PhaseAnnounceNs,
+        Hist::PhaseNotifyNs,
+        Hist::PhaseRecoveryNs,
+        Hist::PhaseWithdrawNs,
+        Hist::PhaseReclaimNs,
+        Hist::PhaseHelpNs,
+        Hist::HelpingDepth,
+    ];
+
+    /// The op-trace histograms (everything after the two originals), in
+    /// report order: the per-phase latency distributions plus the
+    /// helping-depth distribution.
+    pub const TRACE: [Hist; 9] = [
+        Hist::PhasePinNs,
+        Hist::PhaseTraverseNs,
+        Hist::PhaseAnnounceNs,
+        Hist::PhaseNotifyNs,
+        Hist::PhaseRecoveryNs,
+        Hist::PhaseWithdrawNs,
+        Hist::PhaseReclaimNs,
+        Hist::PhaseHelpNs,
+        Hist::HelpingDepth,
+    ];
 
     /// The stable report label for this histogram.
     pub const fn name(self) -> &'static str {
         match self {
             Hist::TraversalDepth => "traversal_depth",
             Hist::OpLatencyNs => "op_latency_ns",
+            Hist::PhasePinNs => "phase_pin_ns",
+            Hist::PhaseTraverseNs => "phase_traverse_ns",
+            Hist::PhaseAnnounceNs => "phase_announce_ns",
+            Hist::PhaseNotifyNs => "phase_notify_ns",
+            Hist::PhaseRecoveryNs => "phase_recovery_ns",
+            Hist::PhaseWithdrawNs => "phase_withdraw_ns",
+            Hist::PhaseReclaimNs => "phase_reclaim_ns",
+            Hist::PhaseHelpNs => "phase_help_ns",
+            Hist::HelpingDepth => "helping_depth",
         }
     }
+}
+
+/// The process-wide trace anchor: an `Instant` paired with the raw tick
+/// counter read at the same moment. Event timestamps are raw ticks (one
+/// `rdtsc` on x86-64 — cheap enough for the always-on budget, where an
+/// `Instant::now` per flight event is not); the dump paths map ticks back
+/// to nanoseconds against this anchor.
+struct TickAnchor {
+    instant: std::time::Instant,
+    tick: u64,
+}
+
+fn tick_anchor() -> &'static TickAnchor {
+    static ANCHOR: std::sync::OnceLock<TickAnchor> = std::sync::OnceLock::new();
+    ANCHOR.get_or_init(|| TickAnchor {
+        instant: std::time::Instant::now(),
+        tick: arch_tick().unwrap_or(0),
+    })
+}
+
+/// The hardware tick counter where one exists: `rdtsc` on x86-64
+/// (invariant and core-synchronized on every CPU of this code's vintage).
+#[inline]
+fn arch_tick() -> Option<u64> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        Some(unsafe { core::arch::x86_64::_rdtsc() })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        None
+    }
+}
+
+/// The raw monotonic tick counter: the hardware counter where available,
+/// the ns clock elsewhere (those targets pay the syscall per event and
+/// their "ticks" already are nanoseconds, so the calibrated rate settles
+/// at 1.0; the budget guard still holds where it runs in CI).
+#[inline]
+fn raw_tick() -> u64 {
+    arch_tick().unwrap_or_else(|| tick_anchor().instant.elapsed().as_nanos() as u64)
+}
+
+/// A raw timestamp for one event. Shared by the flight recorder and the
+/// op-trace layer, so the two timelines interleave.
+#[inline]
+pub(crate) fn now_ticks() -> u64 {
+    // Touch the anchor so every recorded tick is >= the anchor tick.
+    let _ = tick_anchor();
+    raw_tick()
+}
+
+/// Ticks per nanosecond, calibrated against the ns clock *now* — the
+/// longer the process has run, the better the estimate. Costs one
+/// `Instant::now`; dump/export-path only, never on the record path.
+pub(crate) fn tick_rate() -> f64 {
+    let anchor = tick_anchor();
+    let ticks = raw_tick().saturating_sub(anchor.tick);
+    if ticks == 0 {
+        return 1.0;
+    }
+    anchor.instant.elapsed().as_nanos() as f64 / ticks as f64
+}
+
+/// Monotonic nanoseconds since the trace anchor for a recorded tick, at
+/// the given [`tick_rate`]. Callers converting a batch sample the rate
+/// once so one timeline gets one linear map (order-preserving; two dumps
+/// may disagree by the calibration drift, events within one never do).
+#[inline]
+pub(crate) fn ticks_to_ns(tick: u64, rate: f64) -> u64 {
+    (tick.saturating_sub(tick_anchor().tick) as f64 * rate) as u64
 }
 
 /// The bucket a value lands in: its bit length.
@@ -568,11 +748,20 @@ pub fn histogram(h: Hist) -> HistogramSnapshot {
 }
 
 /// Collects every flight-recorder event currently buffered, across all
-/// shards, ordered by global sequence id.
+/// shards, ordered by `(ts, seq)`.
+///
+/// Timestamp-first, because sequence ids alone only resolve cross-thread
+/// order to *batch* granularity: each ring reserves `SEQ_BATCH` (16) ids
+/// per refill of the global counter, so thread A can stamp ids 16–31 on
+/// events that happen long after thread B consumed id 40 from an earlier
+/// reservation. The monotonic timestamps interleave threads at clock
+/// resolution instead; ids break ties and still give the exact per-thread
+/// order (they stay unique and per-thread monotone).
 pub fn flight_dump() -> Vec<FlightEvent> {
     let mut out = Vec::new();
-    for_each_shard(|s| s.ring.drain_into(s.id, &mut out));
-    out.sort_by_key(|e| e.seq);
+    let rate = tick_rate();
+    for_each_shard(|s| s.ring.drain_into(s.id, rate, &mut out));
+    out.sort_by_key(|e| (e.ts, e.seq));
     out
 }
 
@@ -586,8 +775,9 @@ pub fn flight_report() -> String {
     out.push_str(&format!("flight recorder: {} event(s)\n", events.len()));
     for e in &events {
         out.push_str(&format!(
-            "  #{seq:<10} t{shard:<3} {kind:<10} key={key:<20} aux={aux}\n",
+            "  #{seq:<10} @{ts:<12} t{shard:<3} {kind:<10} key={key:<20} aux={aux}\n",
             seq = e.seq,
+            ts = e.ts,
             shard = e.shard,
             kind = e.kind.name(),
             key = e.key,
@@ -605,11 +795,20 @@ pub fn snapshot() -> TelemetrySnapshot {
         counters: counters(),
         traversal_depth: histogram(Hist::TraversalDepth),
         op_latency_ns: histogram(Hist::OpLatencyNs),
+        trace: Hist::TRACE.iter().map(|&h| histogram(h)).collect(),
         epoch: None,
         reclaim: Vec::new(),
         announcements: None,
         traversal: None,
     }
+}
+
+/// Serializes tests that toggle the process-global kill-switches (the
+/// crate's own suite runs multi-threaded).
+#[cfg(test)]
+pub(crate) fn test_serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]
@@ -629,6 +828,7 @@ mod tests {
     #[test]
     #[cfg(not(feature = "compiled-out"))]
     fn kill_switch_freezes_totals() {
+        let _serial = test_serial();
         add(Counter::RemoveOps, 1);
         let frozen = counters().get(Counter::RemoveOps);
         set_enabled(false);

@@ -216,6 +216,10 @@ pub struct TelemetrySnapshot {
     pub traversal_depth: HistogramSnapshot,
     /// Per-operation latency (populated by the instrumented driver).
     pub op_latency_ns: HistogramSnapshot,
+    /// The op-trace histograms ([`Hist::TRACE`] order): per-phase latency
+    /// distributions plus helping depth. All-zero unless the `op-trace`
+    /// feature recorded.
+    pub trace: Vec<HistogramSnapshot>,
     /// Epoch-domain health, when the sampler had a domain in hand.
     pub epoch: Option<EpochHealth>,
     /// Per-registry reclamation health, when sampled from a structure.
@@ -249,7 +253,15 @@ impl TelemetrySnapshot {
                 v
             ));
         }
-        for h in [&self.traversal_depth, &self.op_latency_ns] {
+        // Every histogram renders as a real Prometheus histogram family:
+        // cumulative `_bucket{le=...}` series (le = the log₂ bucket's
+        // inclusive upper bound, empty buckets elided), the `+Inf` bucket,
+        // and the `_sum`/`_count` pair. Trace histograms are skipped while
+        // empty so the default (untraced) exposition stays compact.
+        for h in [&self.traversal_depth, &self.op_latency_ns]
+            .into_iter()
+            .chain(self.trace.iter().filter(|h| h.count > 0))
+        {
             let name = format!("lftrie_{}", h.hist.name());
             out.push_str(&format!("# TYPE {name} histogram\n"));
             let mut cum = 0u64;
@@ -266,6 +278,28 @@ impl TelemetrySnapshot {
             out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
             out.push_str(&format!("{name}_sum {}\n", h.sum));
             out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        // Per-site CAS attempt/failure tallies (op-trace): the retry-rate
+        // view of the contended protocol steps. Only rendered once any
+        // site recorded an attempt.
+        if crate::trace::CAS_SITES
+            .iter()
+            .any(|s| self.counters.get(s.counters().0) > 0)
+        {
+            out.push_str("# TYPE lftrie_cas_total counter\n");
+            for site in crate::trace::CAS_SITES {
+                let (attempts, failures) = site.counters();
+                out.push_str(&format!(
+                    "lftrie_cas_total{{site=\"{}\",result=\"attempts\"}} {}\n",
+                    site.name(),
+                    self.counters.get(attempts)
+                ));
+                out.push_str(&format!(
+                    "lftrie_cas_total{{site=\"{}\",result=\"failures\"}} {}\n",
+                    site.name(),
+                    self.counters.get(failures)
+                ));
+            }
         }
         if let Some(e) = &self.epoch {
             out.push_str("# TYPE lftrie_epoch gauge\n");
@@ -368,6 +402,9 @@ impl TelemetrySnapshot {
             self.op_latency_ns.hist.name(),
             hist_json(&self.op_latency_ns)
         ));
+        for h in &self.trace {
+            out.push_str(&format!(",\"{}\":{}", h.hist.name(), hist_json(h)));
+        }
         out.push_str("},\"epoch\":");
         match &self.epoch {
             None => out.push_str("null"),
@@ -428,6 +465,7 @@ mod tests {
             },
             traversal_depth: sample_hist(&[1, 2, 4, 8, 16]),
             op_latency_ns: sample_hist(&[]),
+            trace: Vec::new(),
             epoch: Some(EpochHealth {
                 epoch: 42,
                 pinned: 1,
@@ -524,6 +562,73 @@ mod tests {
         let json = none.to_json();
         assert!(json.contains("\"epoch\":null"));
         assert!(json.contains("\"reclaim\":[]"));
+    }
+
+    #[test]
+    fn histograms_render_as_prometheus_bucket_series() {
+        // The render contract for *every* histogram family: `_bucket`
+        // series with `le` labels from the log₂ bucket bounds, cumulative
+        // and monotone, `+Inf` equal to `_count`, plus `_sum`.
+        let mut snap = sample_snapshot();
+        let mut trace_hist = sample_hist(&[3, 3, 900, 70_000]);
+        trace_hist.hist = Hist::PhaseAnnounceNs;
+        snap.trace = vec![trace_hist];
+        let text = snap.to_prometheus();
+
+        // 3 and 3 share bucket 2 (le=3); 900 lands in bucket 10 (le=1023);
+        // 70_000 in bucket 17 (le=131071). Cumulative counts: 2, 3, 4.
+        assert!(text.contains("# TYPE lftrie_phase_announce_ns histogram"));
+        assert!(text.contains("lftrie_phase_announce_ns_bucket{le=\"3\"} 2"));
+        assert!(text.contains("lftrie_phase_announce_ns_bucket{le=\"1023\"} 3"));
+        assert!(text.contains("lftrie_phase_announce_ns_bucket{le=\"131071\"} 4"));
+        assert!(text.contains("lftrie_phase_announce_ns_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("lftrie_phase_announce_ns_sum 70906"));
+        assert!(text.contains("lftrie_phase_announce_ns_count 4"));
+
+        // Cumulative bucket values never decrease within a family.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("lftrie_phase_announce_ns_bucket"))
+        {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "cumulative buckets are monotone: {line}");
+            last = v;
+        }
+
+        // Empty trace histograms are elided entirely.
+        let bare = sample_snapshot().to_prometheus();
+        assert!(!bare.contains("lftrie_phase_announce_ns"));
+
+        // CAS tallies render as a labeled counter family once populated,
+        // and are elided entirely while every site reads zero.
+        let mut quiet = sample_snapshot();
+        for site in crate::trace::CAS_SITES {
+            let (attempts, failures) = site.counters();
+            quiet.counters.totals[attempts as usize] = 0;
+            quiet.counters.totals[failures as usize] = 0;
+        }
+        assert!(
+            !quiet.to_prometheus().contains("lftrie_cas_total"),
+            "all-zero cas elided"
+        );
+        let mut cased = sample_snapshot();
+        cased.counters.totals[Counter::DnodeCasAttempts as usize] = 10;
+        cased.counters.totals[Counter::DnodeCasFailures as usize] = 4;
+        let text = cased.to_prometheus();
+        assert!(text.contains("lftrie_cas_total{site=\"dnode\",result=\"attempts\"} 10"));
+        assert!(text.contains("lftrie_cas_total{site=\"dnode\",result=\"failures\"} 4"));
+    }
+
+    #[test]
+    fn trace_histograms_appear_in_json() {
+        let mut snap = sample_snapshot();
+        let mut h = sample_hist(&[5, 6]);
+        h.hist = Hist::HelpingDepth;
+        snap.trace = vec![h];
+        let json = snap.to_json();
+        assert!(json.contains("\"helping_depth\":{\"count\":2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -25,6 +25,7 @@ use std::time::Duration;
 
 use lftrie::core::fault::{self, FaultAction, FaultPlan, FaultPoint, InjectedFault};
 use lftrie::core::LockFreeBinaryTrie;
+use lftrie::telemetry::{self, Counter};
 
 /// The teeth tests flip process-global switches; every test in this binary
 /// serializes on this lock so they never bleed into each other.
@@ -146,6 +147,7 @@ fn chaos_round(seed: u64) {
     }
 
     let fired_before = fault::fired_total();
+    let stranded_before = telemetry::counters().get(Counter::StrandedNodes);
     fault::install(FaultPlan::seeded(seed).with_rate(24).with_actions(&[
         FaultAction::Yield,
         FaultAction::Stall,
@@ -202,17 +204,30 @@ fn chaos_round(seed: u64) {
     );
 
     // Memory ceiling, memory_bound-style: steady-state live nodes stay
-    // bounded by the universe plus a constant per *abandoned* operation
-    // (an abandon can strand a bounded handful of pooled nodes; panics
-    // with unwind guards strand nothing) — independent of the op count.
+    // bounded by the universe plus a constant per *abandoned* operation —
+    // independent of the op count. The `StrandedNodes` counter makes the
+    // bound sharper than a uniform per-abandon charge: only an abandon
+    // that dies between allocating its update node and publishing it
+    // leaks that node for good (adoption can never reach an unpublished
+    // node), so those abandons carry the heavy charge and every other
+    // abandon only a small transient one. Both coefficients sum to the
+    // old uniform charge, so this is strictly tighter whenever any
+    // abandon died pre-allocation or post-publication.
+    let stranded = telemetry::counters().get(Counter::StrandedNodes) - stranded_before;
+    assert!(
+        stranded <= abandoned,
+        "more stranded nodes than abandoned ops (seed {seed:#x}): \
+         {stranded} stranded, {abandoned} abandoned"
+    );
     trie.collect_garbage();
     let allocated = trie.allocated_nodes();
     let live = trie.live_nodes();
-    let ceiling = 4 * U as usize + 512 + 8 * abandoned as usize;
+    let ceiling = 4 * U as usize + 512 + 2 * abandoned as usize + 6 * stranded as usize;
     assert!(
         live <= ceiling,
         "live nodes unbounded after chaos (seed {seed:#x}): {live} live of \
-         {allocated} allocated (ceiling {ceiling}, {abandoned} abandoned)"
+         {allocated} allocated (ceiling {ceiling}, {abandoned} abandoned, \
+         {stranded} stranded)"
     );
     // On the drop-only arena nothing is ever reclaimed, so this direction
     // proves the run generated enough garbage for the ceiling to bite.

@@ -109,6 +109,7 @@ fn counters_and_histograms_are_monotone_under_concurrent_recording() {
                 let prev = match h.hist {
                     Hist::TraversalDepth => &last.traversal_depth,
                     Hist::OpLatencyNs => &last.op_latency_ns,
+                    _ => unreachable!("loop visits only the two base histograms"),
                 };
                 assert!(h.count >= prev.count, "histogram count went backwards");
                 assert_eq!(h.count, h.buckets.iter().sum::<u64>());
@@ -149,8 +150,14 @@ fn flight_recorder_captures_announce_and_stall_events() {
             .any(|e| e.kind == FlightKind::Stall && e.key == 99),
         "stall event carries the stalled key"
     );
-    // Sequence ids are unique and the dump is ordered by them.
-    assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    // The dump interleaves threads by timestamp (seq breaks ties), and
+    // sequence ids stay unique.
+    assert!(events
+        .windows(2)
+        .all(|w| (w[0].ts, w[0].seq) <= (w[1].ts, w[1].seq)));
+    let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+    seqs.sort_unstable();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "seq ids are unique");
     assert!(telemetry::counters().get(Counter::FlightEvents) > flights_before);
     assert!(telemetry::counters().get(Counter::StallsInjected) > stalls_before);
 
